@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the hot kernels, backing the paper's
+//! complexity claims (§III-G): order inference is
+//! `O(|V(q)|·(|E(q)|+d²))` and completes well under 100 ms; filtering and
+//! enumeration dominate end-to-end time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlqvo_core::{RlQvo, RlQvoConfig};
+use rlqvo_datasets::{build_query_set, Dataset};
+use rlqvo_gnn::GraphTensors;
+use rlqvo_matching::order::{GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering};
+use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter};
+use rlqvo_tensor::{Matrix, Tape};
+
+fn bench_filters(c: &mut Criterion) {
+    let g = Dataset::Yeast.load();
+    let q = build_query_set(&g, 16, 1, 7).queries.pop().unwrap();
+    let mut group = c.benchmark_group("filter");
+    group.bench_function("LDF", |b| b.iter(|| LdfFilter.filter(&q, &g)));
+    group.bench_function("NLF", |b| b.iter(|| NlfFilter.filter(&q, &g)));
+    group.bench_function("GQL", |b| b.iter(|| GqlFilter::default().filter(&q, &g)));
+    group.finish();
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let g = Dataset::Yeast.load();
+    let q = build_query_set(&g, 16, 1, 7).queries.pop().unwrap();
+    let cand = GqlFilter::default().filter(&q, &g);
+    let methods: Vec<(&str, Box<dyn OrderingMethod>)> = vec![
+        ("RI", Box::new(RiOrdering)),
+        ("QSI", Box::new(QsiOrdering)),
+        ("VF2++", Box::new(Vf2ppOrdering)),
+        ("GQL", Box::new(GqlOrdering)),
+        ("VEQ", Box::new(VeqOrdering)),
+    ];
+    let mut group = c.benchmark_group("ordering");
+    for (name, m) in &methods {
+        group.bench_with_input(BenchmarkId::from_parameter(name), m, |b, m| {
+            b.iter(|| m.order(&q, &g, &cand))
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let g = Dataset::Yeast.load();
+    let q = build_query_set(&g, 12, 1, 3).queries.pop().unwrap();
+    let cand = GqlFilter::default().filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let config = EnumConfig { max_matches: 1_000, ..EnumConfig::default() };
+    c.bench_function("enumerate/first-1k-matches", |b| {
+        b.iter(|| enumerate(&q, &g, &cand, &order, config))
+    });
+}
+
+fn bench_gcn_forward(c: &mut Criterion) {
+    let g = Dataset::Yeast.load();
+    let mut group = c.benchmark_group("policy");
+    for &n in &[8usize, 16, 32] {
+        let q = build_query_set(&g, n, 1, 11).queries.pop().unwrap();
+        let model = RlQvo::new(RlQvoConfig::default());
+        let gt = GraphTensors::of(&q);
+        let feats = Matrix::from_fn(n, 7, |r, c| ((r * 7 + c) as f32 * 0.1).sin());
+        let mask = vec![true; n];
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| model.policy().forward(&gt, &feats, &mask))
+        });
+        // Full order inference (the paper's ≤100 ms claim).
+        group.bench_with_input(BenchmarkId::new("order-inference", n), &n, |b, _| {
+            b.iter(|| model.order_query(&q, &g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_autograd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autograd");
+    for &d in &[64usize, 256] {
+        let a = Matrix::from_fn(32, d, |r, q| ((r * d + q) as f32 * 0.01).sin());
+        let w = Matrix::from_fn(d, d, |r, q| ((r + q) as f32 * 0.001).cos());
+        group.bench_with_input(BenchmarkId::new("matmul-fwd-bwd", d), &d, |b, _| {
+            b.iter(|| {
+                let t = Tape::new();
+                let av = t.leaf(a.clone());
+                let wv = t.leaf(w.clone());
+                let y = t.matmul(av, wv);
+                let loss = t.sum(t.mul(y, y));
+                t.backward(loss)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_filters, bench_orderings, bench_enumeration, bench_gcn_forward, bench_autograd
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 3 — average query processing time, all methods × all datasets,
+//! default query sets (Q32; Q16 for wordnet).
+//!
+//! Paper expectation: RL-QVO generally fastest, up to two orders of
+//! magnitude over VEQ/Hybrid on citeseer/dblp.
+
+use rlqvo_bench::{baseline_methods, rlqvo_method, run_method, train_model_for, Scale};
+use rlqvo_bench::models::split_queries;
+use rlqvo_core::RlQvoConfig;
+use rlqvo_datasets::ALL_DATASETS;
+
+fn main() {
+    let scale = Scale::default();
+    scale.banner(
+        "Figure 3 — average query processing time",
+        "default query sets; t = t_filter + t_order + t_enum; unsolved = 500 s",
+    );
+
+    println!(
+        "{:<10} {:>6} | {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} | unsolved(RL-QVO)",
+        "dataset", "Qset", "RL-QVO", "VEQ", "Hybrid", "RI", "QSI", "VF2++", "GQL", "CFL"
+    );
+
+    for dataset in ALL_DATASETS {
+        let g = dataset.load();
+        let size = dataset.default_query_size();
+        let split = split_queries(&g, dataset, size, &scale);
+        let (model, _) = train_model_for(&g, dataset, size, &scale, RlQvoConfig::harness(), true);
+
+        let mut row: Vec<(String, f64, usize)> = Vec::new();
+        let rl = rlqvo_method(&model);
+        let stats = run_method(&g, &split.eval, &rl, scale.enum_config(), scale.threads);
+        row.push((stats.name.clone(), stats.mean_total_secs(), stats.unsolved));
+        for m in baseline_methods() {
+            let s = run_method(&g, &split.eval, &m, scale.enum_config(), scale.threads);
+            row.push((s.name.clone(), s.mean_total_secs(), s.unsolved));
+        }
+
+        print!("{:<10} {:>6}", dataset.name(), format!("Q{size}"));
+        print!(" |");
+        let order = ["RL-QVO", "VEQ", "Hybrid", "RI", "QSI", "VF2++", "GQL", "CFL"];
+        for name in order {
+            let (_, secs, _) = row.iter().find(|(n, _, _)| n == name).expect("method present");
+            print!(" {:>10.4}", secs);
+        }
+        let unsolved = row.iter().find(|(n, _, _)| n == "RL-QVO").map(|r| r.2).unwrap_or(0);
+        println!(" | {unsolved}");
+    }
+
+    println!();
+    println!("paper shape: RL-QVO lowest bar on every dataset (Fig. 3); largest gaps on");
+    println!("citeseer/dblp (≈2 orders of magnitude vs VEQ/Hybrid).");
+}

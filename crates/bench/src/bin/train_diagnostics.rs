@@ -1,0 +1,73 @@
+//! Training diagnostics (not a paper figure): prints the per-epoch
+//! learning curve — mean episode return, mean enumeration advantage over
+//! the RI baseline, and policy entropy — plus the eval-set comparison
+//! against Hybrid after training. Used to sanity-check that learning
+//! actually happens before running the figure harnesses.
+
+use rlqvo_bench::models::split_queries;
+use rlqvo_bench::{hybrid_method, rlqvo_method, run_method, Scale};
+use rlqvo_core::{RlQvo, RlQvoConfig};
+use rlqvo_datasets::Dataset;
+
+fn main() {
+    let scale = Scale::default();
+    let dataset = std::env::args()
+        .nth(1)
+        .and_then(|n| Dataset::from_name(&n))
+        .unwrap_or(Dataset::Dblp);
+    scale.banner("training diagnostics", "not a paper figure");
+
+    let g = dataset.load();
+    let size = dataset.default_query_size();
+    let split = split_queries(&g, dataset, size, &scale);
+    println!("dataset {} Q{} | {} train / {} eval queries", dataset.name(), size, split.train.len(), split.eval.len());
+
+    let mut config = RlQvoConfig::harness();
+    config.epochs = scale.train_epochs;
+    let envf = |k: &str, d: f32| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
+    config.learning_rate = envf("RLQVO_LR", config.learning_rate);
+    config.dropout = envf("RLQVO_DROPOUT", config.dropout);
+    config.rollouts_per_query = envf("RLQVO_ROLLOUTS", config.rollouts_per_query as f32) as usize;
+    config.update_epochs = envf("RLQVO_UPDATE_EPOCHS", config.update_epochs as f32) as usize;
+    println!(
+        "lr {} dropout {} rollouts {} update_epochs {}",
+        config.learning_rate, config.dropout, config.rollouts_per_query, config.update_epochs
+    );
+    let mut model = RlQvo::new(config);
+    let report = model.train(&split.train, &g);
+    println!("training took {:?}", report.elapsed);
+    println!("{:>5} {:>12} {:>12} {:>10}", "epoch", "return", "enum_adv", "entropy");
+    for (i, e) in report.epochs.iter().enumerate() {
+        println!("{:>5} {:>12.4} {:>12.4} {:>10.4}", i + 1, e.mean_return, e.mean_enum_advantage, e.mean_entropy);
+    }
+
+    let rl = rlqvo_method(&model);
+    let hy = hybrid_method();
+    let rl_train = run_method(&g, &split.train, &rl, scale.enum_config(), scale.threads);
+    let hy_train = run_method(&g, &split.train, &hy, scale.enum_config(), scale.threads);
+    println!();
+    println!(
+        "train(greedy): RL-QVO #enum {:.0} vs Hybrid #enum {:.0} | totals {:.4}s vs {:.4}s",
+        rl_train.mean_enumerations(),
+        hy_train.mean_enumerations(),
+        rl_train.mean_total_secs(),
+        hy_train.mean_total_secs()
+    );
+    let rl_stats = run_method(&g, &split.eval, &rl, scale.enum_config(), scale.threads);
+    let hy_stats = run_method(&g, &split.eval, &hy, scale.enum_config(), scale.threads);
+    println!(
+        "eval: RL-QVO mean total {:.4}s (enum {:.4}s, order {:.4}s, #enum {:.0}, unsolved {})",
+        rl_stats.mean_total_secs(),
+        rl_stats.mean_enum_secs(),
+        rl_stats.mean_order_secs(),
+        rl_stats.mean_enumerations(),
+        rl_stats.unsolved
+    );
+    println!(
+        "eval: Hybrid mean total {:.4}s (enum {:.4}s, #enum {:.0}, unsolved {})",
+        hy_stats.mean_total_secs(),
+        hy_stats.mean_enum_secs(),
+        hy_stats.mean_enumerations(),
+        hy_stats.unsolved
+    );
+}

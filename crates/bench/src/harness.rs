@@ -1,0 +1,185 @@
+//! Query-parallel method evaluation with paper-style aggregates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rlqvo_graph::Graph;
+use rlqvo_matching::{run_pipeline, EnumConfig, Pipeline, PipelineResult};
+
+use crate::methods::BenchMethod;
+
+/// Per-method evaluation outcome over a query set.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Method name.
+    pub name: String,
+    /// Total query processing times `t = t_filter + t_order + t_enum`,
+    /// one entry per query. Unsolved queries carry the time limit, as in
+    /// the paper.
+    pub total_times: Vec<Duration>,
+    /// Enumeration-phase times.
+    pub enum_times: Vec<Duration>,
+    /// Ordering-phase times (RL-QVO's inference cost shows up here).
+    pub order_times: Vec<Duration>,
+    /// `#enum` per query.
+    pub enumerations: Vec<u64>,
+    /// Matches found per query.
+    pub matches: Vec<u64>,
+    /// Number of unsolved (timed-out) queries.
+    pub unsolved: usize,
+}
+
+impl RunStats {
+    /// Arithmetic mean of total query processing time, in seconds.
+    pub fn mean_total_secs(&self) -> f64 {
+        mean_secs(&self.total_times)
+    }
+
+    /// Mean enumeration time in seconds.
+    pub fn mean_enum_secs(&self) -> f64 {
+        mean_secs(&self.enum_times)
+    }
+
+    /// Mean ordering time in seconds.
+    pub fn mean_order_secs(&self) -> f64 {
+        mean_secs(&self.order_times)
+    }
+
+    /// Mean `#enum`.
+    pub fn mean_enumerations(&self) -> f64 {
+        if self.enumerations.is_empty() {
+            0.0
+        } else {
+            self.enumerations.iter().sum::<u64>() as f64 / self.enumerations.len() as f64
+        }
+    }
+
+    /// `p`-th percentile (0–100) of total time, in seconds.
+    pub fn percentile_total_secs(&self, p: f64) -> f64 {
+        percentile_secs(&self.total_times, p)
+    }
+}
+
+fn mean_secs(times: &[Duration]) -> f64 {
+    if times.is_empty() {
+        0.0
+    } else {
+        times.iter().map(|d| d.as_secs_f64()).sum::<f64>() / times.len() as f64
+    }
+}
+
+fn percentile_secs(times: &[Duration], p: f64) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    let mut secs: Vec<f64> = times.iter().map(|d| d.as_secs_f64()).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (secs.len() - 1) as f64).round() as usize;
+    secs[rank.min(secs.len() - 1)]
+}
+
+/// Runs `method` over every query (in parallel across `threads` workers)
+/// and aggregates. Unsolved queries are clamped to the time limit, as the
+/// paper does.
+pub fn run_method(g: &Graph, queries: &[Graph], method: &BenchMethod<'_>, config: EnumConfig, threads: usize) -> RunStats {
+    let results: Vec<PipelineResult> = {
+        let slots: Mutex<Vec<Option<PipelineResult>>> = Mutex::new(vec![None; queries.len()]);
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads.max(1) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let pipeline =
+                        Pipeline { filter: method.filter.as_ref(), ordering: method.ordering.as_ref(), config };
+                    let r = run_pipeline(&queries[i], g, &pipeline);
+                    slots.lock()[i] = Some(r);
+                });
+            }
+        })
+        .expect("worker panicked");
+        slots.into_inner().into_iter().map(|r| r.expect("all queries evaluated")).collect()
+    };
+
+    let mut stats = RunStats {
+        name: method.name.to_string(),
+        total_times: Vec::with_capacity(results.len()),
+        enum_times: Vec::with_capacity(results.len()),
+        order_times: Vec::with_capacity(results.len()),
+        enumerations: Vec::with_capacity(results.len()),
+        matches: Vec::with_capacity(results.len()),
+        unsolved: 0,
+    };
+    for r in results {
+        let unsolved = r.unsolved();
+        if unsolved {
+            stats.unsolved += 1;
+            // Paper: "assign the time cost as [the limit] for this query".
+            stats.total_times.push(config.time_limit);
+            stats.enum_times.push(config.time_limit);
+        } else {
+            stats.total_times.push(r.total_time());
+            stats.enum_times.push(r.enum_time);
+        }
+        stats.order_times.push(r.order_time);
+        stats.enumerations.push(r.enum_result.enumerations);
+        stats.matches.push(r.enum_result.match_count);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{baseline_methods, hybrid_method};
+    use rlqvo_datasets::{build_query_set, Dataset};
+
+    #[test]
+    fn run_method_covers_all_queries() {
+        let g = Dataset::Yeast.load_scaled(600);
+        let set = build_query_set(&g, 6, 6, 5);
+        let m = hybrid_method();
+        let stats = run_method(&g, &set.queries, &m, EnumConfig::default(), 4);
+        assert_eq!(stats.total_times.len(), 6);
+        assert_eq!(stats.name, "Hybrid");
+        assert!(stats.mean_total_secs() >= 0.0);
+        assert_eq!(stats.unsolved, 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_match_counts() {
+        let g = Dataset::Yeast.load_scaled(400);
+        let set = build_query_set(&g, 5, 4, 9);
+        let m = hybrid_method();
+        let a = run_method(&g, &set.queries, &m, EnumConfig::default(), 1);
+        let b = run_method(&g, &set.queries, &m, EnumConfig::default(), 4);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.enumerations, b.enumerations);
+    }
+
+    #[test]
+    fn all_baselines_agree_on_match_counts() {
+        let g = Dataset::Citeseer.load_scaled(800);
+        let set = build_query_set(&g, 4, 4, 2);
+        let mut counts: Option<Vec<u64>> = None;
+        for m in baseline_methods() {
+            let stats = run_method(&g, &set.queries, &m, EnumConfig::find_all(), 2);
+            match &counts {
+                None => counts = Some(stats.matches.clone()),
+                Some(c) => assert_eq!(c, &stats.matches, "{} disagrees", m.name),
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone() {
+        let g = Dataset::Yeast.load_scaled(400);
+        let set = build_query_set(&g, 5, 5, 4);
+        let m = hybrid_method();
+        let stats = run_method(&g, &set.queries, &m, EnumConfig::default(), 2);
+        assert!(stats.percentile_total_secs(50.0) <= stats.percentile_total_secs(100.0));
+    }
+}

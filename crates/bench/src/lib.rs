@@ -1,0 +1,21 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every figure/table of the paper has a binary in `src/bin/` built on the
+//! helpers here: the compared method roster ([`methods`]), a parallel
+//! per-query runner with aggregate statistics ([`harness`]), model
+//! training/caching ([`models`]), and environment-variable scale knobs
+//! ([`scale`]).
+//!
+//! Run e.g. `cargo run --release -p rlqvo-bench --bin fig3_query_time`.
+//! Knobs (all optional): `RLQVO_QUERIES`, `RLQVO_EPOCHS`,
+//! `RLQVO_TIME_LIMIT_MS`, `RLQVO_MAX_MATCHES`, `RLQVO_THREADS`.
+
+pub mod harness;
+pub mod methods;
+pub mod models;
+pub mod scale;
+
+pub use harness::{run_method, RunStats};
+pub use methods::{baseline_methods, hybrid_method, rlqvo_method, BenchMethod};
+pub use models::train_model_for;
+pub use scale::Scale;

@@ -1,0 +1,85 @@
+//! The compared-method roster (paper §IV-A "Compared Methods").
+//!
+//! Each method is a (filter, ordering) pair run through the shared
+//! enumeration engine:
+//!
+//! | paper name | filter | ordering | note |
+//! |---|---|---|---|
+//! | QSI    | LDF | QuickSI | QSI filters lazily during enumeration; LDF is its effective candidate structure |
+//! | RI     | LDF | RI      | RI is structure-only |
+//! | VF2++  | LDF | VF2++   | |
+//! | GQL    | GQL | GraphQL | |
+//! | CFL    | NLF | CFL     | path-based order on NLF candidates |
+//! | VEQ    | NLF | VEQ     | ordering rule only; see DESIGN.md §2 |
+//! | Hybrid | GQL | RI      | the SIGMOD'20 study's recommended stack |
+//! | RL-QVO | GQL | learned | same filter + enumeration as Hybrid |
+
+use rlqvo_core::RlQvo;
+use rlqvo_matching::order::{CflOrdering, GqlOrdering, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering};
+use rlqvo_matching::{CandidateFilter, GqlFilter, LdfFilter, NlfFilter, OrderingMethod};
+
+/// One compared method: a named (filter, ordering) pair.
+pub struct BenchMethod<'a> {
+    /// Paper display name.
+    pub name: &'static str,
+    /// Phase-1 strategy.
+    pub filter: Box<dyn CandidateFilter + 'a>,
+    /// Phase-2 strategy.
+    pub ordering: Box<dyn OrderingMethod + 'a>,
+}
+
+/// The seven heuristic baselines of Figure 3, in the paper's order.
+pub fn baseline_methods() -> Vec<BenchMethod<'static>> {
+    vec![
+        BenchMethod { name: "VEQ", filter: Box::new(NlfFilter), ordering: Box::new(VeqOrdering) },
+        hybrid_method(),
+        BenchMethod { name: "RI", filter: Box::new(LdfFilter), ordering: Box::new(RiOrdering) },
+        BenchMethod { name: "QSI", filter: Box::new(LdfFilter), ordering: Box::new(QsiOrdering) },
+        BenchMethod { name: "VF2++", filter: Box::new(LdfFilter), ordering: Box::new(Vf2ppOrdering) },
+        BenchMethod { name: "GQL", filter: Box::new(GqlFilter::default()), ordering: Box::new(GqlOrdering) },
+        BenchMethod { name: "CFL", filter: Box::new(NlfFilter), ordering: Box::new(CflOrdering) },
+    ]
+}
+
+/// `Hybrid` — GQL filtering + RI ordering + the shared enumerator (the
+/// stack the in-memory study recommends and the paper's main baseline).
+pub fn hybrid_method() -> BenchMethod<'static> {
+    BenchMethod { name: "Hybrid", filter: Box::new(GqlFilter::default()), ordering: Box::new(RiOrdering) }
+}
+
+/// RL-QVO: identical filter + enumeration to Hybrid, learned ordering.
+pub fn rlqvo_method(model: &RlQvo) -> BenchMethod<'_> {
+    BenchMethod {
+        name: "RL-QVO",
+        filter: Box::new(GqlFilter::default()),
+        ordering: Box::new(model.ordering()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_paper() {
+        let names: Vec<&str> = baseline_methods().iter().map(|m| m.name).collect();
+        for expected in ["VEQ", "Hybrid", "RI", "QSI", "VF2++", "GQL", "CFL"] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn hybrid_is_gql_plus_ri() {
+        let h = hybrid_method();
+        assert_eq!(h.filter.name(), "GQL");
+        assert_eq!(h.ordering.name(), "RI");
+    }
+
+    #[test]
+    fn rlqvo_shares_hybrids_filter() {
+        let model = RlQvo::new(rlqvo_core::RlQvoConfig::fast());
+        let m = rlqvo_method(&model);
+        assert_eq!(m.filter.name(), "GQL");
+        assert_eq!(m.ordering.name(), "RL-QVO");
+    }
+}

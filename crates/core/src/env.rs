@@ -1,0 +1,201 @@
+//! The query-vertex-ordering MDP (paper §III-C).
+//!
+//! * **State**: the partial order `φ_t` (plus the feature matrix, owned by
+//!   [`crate::FeatureExtractor`]).
+//! * **Action space**: `N(φ_t)` — unordered neighbours of ordered vertices,
+//!   which guarantees connected orders. At `t = 0` the space is all of
+//!   `V(q)` (the policy also chooses the start vertex).
+//! * **Transition**: `φ_{t+1} = φ_t ∪ {u}`.
+//! * **Terminal**: all query vertices ordered.
+
+use rlqvo_graph::{Graph, VertexId};
+
+/// Mutable episode state for ordering one query graph.
+#[derive(Clone, Debug)]
+pub struct OrderingEnv<'q> {
+    q: &'q Graph,
+    order: Vec<VertexId>,
+    ordered: Vec<bool>,
+}
+
+impl<'q> OrderingEnv<'q> {
+    /// Fresh episode over `q`.
+    pub fn new(q: &'q Graph) -> Self {
+        OrderingEnv { q, order: Vec::with_capacity(q.num_vertices()), ordered: vec![false; q.num_vertices()] }
+    }
+
+    /// 1-based step counter `t` (`t = |φ| + 1` is the next decision).
+    pub fn step_number(&self) -> usize {
+        self.order.len() + 1
+    }
+
+    /// The partial order `φ_t`.
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Ordered-flag per vertex (feature dim 7 / masking input).
+    pub fn ordered_flags(&self) -> &[bool] {
+        &self.ordered
+    }
+
+    /// True when every vertex is ordered.
+    pub fn done(&self) -> bool {
+        self.order.len() == self.q.num_vertices()
+    }
+
+    /// The action space `N(φ_t)` as a boolean mask over query vertices.
+    /// At `t = 0` all vertices are available. For disconnected queries an
+    /// exhausted frontier falls back to all unordered vertices (component
+    /// switch) — the masking guard the paper describes keeps the order
+    /// valid even then.
+    pub fn action_mask(&self) -> Vec<bool> {
+        let n = self.q.num_vertices();
+        if self.order.is_empty() {
+            return vec![true; n];
+        }
+        let mut mask = vec![false; n];
+        let mut any = false;
+        for &u in &self.order {
+            for &nb in self.q.neighbors(u) {
+                if !self.ordered[nb as usize] {
+                    mask[nb as usize] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            for (v, m) in mask.iter_mut().enumerate() {
+                *m = !self.ordered[v];
+            }
+        }
+        mask
+    }
+
+    /// Action-space size plus, when it is exactly one, the forced vertex —
+    /// the `|AS(t)| = 1` short-circuit of §III-D skips the network pass.
+    pub fn forced_action(&self) -> Option<VertexId> {
+        let mask = self.action_mask();
+        let mut found = None;
+        for (v, &m) in mask.iter().enumerate() {
+            if m {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(v as VertexId);
+            }
+        }
+        found
+    }
+
+    /// Applies the chosen action.
+    ///
+    /// # Panics
+    /// If `u` is already ordered or outside the action space.
+    pub fn apply(&mut self, u: VertexId) {
+        assert!(!self.ordered[u as usize], "vertex {u} ordered twice");
+        assert!(self.action_mask()[u as usize], "vertex {u} outside the action space");
+        self.ordered[u as usize] = true;
+        self.order.push(u);
+    }
+
+    /// Consumes the episode, returning the complete order.
+    ///
+    /// # Panics
+    /// If the episode is not done.
+    pub fn into_order(self) -> Vec<VertexId> {
+        assert!(self.done(), "episode incomplete: {}/{}", self.order.len(), self.q.num_vertices());
+        self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_graph::GraphBuilder;
+
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(0);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn initial_action_space_is_everything() {
+        let q = path4();
+        let env = OrderingEnv::new(&q);
+        assert_eq!(env.action_mask(), vec![true; 4]);
+        assert_eq!(env.step_number(), 1);
+        assert!(!env.done());
+        assert_eq!(env.forced_action(), None);
+    }
+
+    #[test]
+    fn action_space_is_frontier_afterwards() {
+        let q = path4();
+        let mut env = OrderingEnv::new(&q);
+        env.apply(1);
+        assert_eq!(env.action_mask(), vec![true, false, true, false]);
+        env.apply(2);
+        assert_eq!(env.action_mask(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn forced_action_detected() {
+        let q = path4();
+        let mut env = OrderingEnv::new(&q);
+        env.apply(0);
+        // Only vertex 1 is adjacent to φ = [0].
+        assert_eq!(env.forced_action(), Some(1));
+    }
+
+    #[test]
+    fn full_episode_yields_connected_permutation() {
+        let q = path4();
+        let mut env = OrderingEnv::new(&q);
+        env.apply(2);
+        env.apply(3);
+        env.apply(1);
+        env.apply(0);
+        assert!(env.done());
+        let order = env.into_order();
+        assert_eq!(order, vec![2, 3, 1, 0]);
+        assert!(rlqvo_matching::connected_prefix_ok(&q, &order));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the action space")]
+    fn rejects_disconnected_choice() {
+        let q = path4();
+        let mut env = OrderingEnv::new(&q);
+        env.apply(0);
+        env.apply(3); // not adjacent to 0
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered twice")]
+    fn rejects_duplicate_choice() {
+        let q = path4();
+        let mut env = OrderingEnv::new(&q);
+        env.apply(0);
+        env.apply(0);
+    }
+
+    #[test]
+    fn disconnected_query_falls_back_to_all_unordered() {
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(0);
+        b.add_vertex(0);
+        let q = b.build();
+        let mut env = OrderingEnv::new(&q);
+        env.apply(0);
+        assert_eq!(env.action_mask(), vec![false, true]);
+        env.apply(1);
+        assert!(env.done());
+    }
+}

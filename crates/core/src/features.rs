@@ -1,0 +1,233 @@
+//! Initial feature representation (paper §III-C "Feature Representations").
+//!
+//! Each query vertex `u` gets a 7-dimensional vector:
+//!
+//! | dim | content | paper formula |
+//! |-----|---------|---------------|
+//! | 1 | scaled degree            | `degree(u)/α_degree` |
+//! | 2 | label id                 | `label(u)` |
+//! | 3 | vertex id                | `id(u)` |
+//! | 4 | data degree frequency    | `|{v∈G : d(u)<d(v)}| / (|V(G)|·α_d)` |
+//! | 5 | data label frequency     | `|{v∈G : L(u)=L(v)}| / (|V(G)|·α_l)` |
+//! | 6 | unordered count          | `|V(q)| − t + 1` |
+//! | 7 | ordered indicator        | `1(u ∈ φ_{t−1})` |
+//!
+//! Dims 1–5 are static per (query, data) pair; dims 6–7 change every step,
+//! so [`FeatureExtractor::features_at`] rebuilds only those.
+//!
+//! The experiments set every scaling factor `α` to 1 (paper §IV-A); they
+//! stay configurable here. The `RL-QVO-RIF` ablation replaces all seven
+//! dimensions with fixed random values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlqvo_graph::Graph;
+use rlqvo_tensor::Matrix;
+
+/// Number of feature dimensions.
+pub const FEATURE_DIM: usize = 7;
+
+/// Scaling factors `α` of the paper (§III-C); all 1.0 in the experiments.
+///
+/// `normalize` additionally rescales the unit-free integer features
+/// (degree, label id, vertex id, remaining count) into `[0, 1]` by the
+/// query's own extents. The paper argues query graphs are small enough to
+/// skip this; with the drastically smaller training budgets of this
+/// harness the conditioning matters, so it defaults on (documented
+/// deviation — turn it off to recover the paper's literal features).
+#[derive(Clone, Copy, Debug)]
+pub struct FeatureScaling {
+    /// `α_degree` dividing the query degree.
+    pub alpha_degree: f32,
+    /// `α_d` in the data degree-frequency feature.
+    pub alpha_d: f32,
+    /// `α_l` in the data label-frequency feature.
+    pub alpha_l: f32,
+    /// Rescale integer-valued features by the query extents (see type
+    /// docs).
+    pub normalize: bool,
+}
+
+impl Default for FeatureScaling {
+    fn default() -> Self {
+        FeatureScaling { alpha_degree: 1.0, alpha_d: 1.0, alpha_l: 1.0, normalize: true }
+    }
+}
+
+impl FeatureScaling {
+    /// The paper's literal setting: every α = 1, no extra normalization.
+    pub fn paper_literal() -> Self {
+        FeatureScaling { normalize: false, ..Default::default() }
+    }
+}
+
+/// Precomputes the static feature columns for one (query, data) pair and
+/// materializes per-step matrices.
+#[derive(Clone, Debug)]
+pub struct FeatureExtractor {
+    /// `n×5` static columns (dims 1–5), or the full random `n×7` matrix in
+    /// RIF mode.
+    static_cols: Matrix,
+    num_vertices: usize,
+    random_mode: bool,
+    /// Divisor for the step feature h6 (1.0, or `n` when normalizing).
+    remaining_scale: f32,
+}
+
+impl FeatureExtractor {
+    /// Builds the extractor with the paper's features.
+    pub fn new(q: &Graph, g: &Graph, scaling: FeatureScaling) -> Self {
+        let n = q.num_vertices();
+        let gv = g.num_vertices().max(1) as f32;
+        let (deg_div, label_div, id_div) = if scaling.normalize {
+            (q.max_degree().max(1) as f32, g.num_labels().max(1) as f32, n.max(1) as f32)
+        } else {
+            (1.0, 1.0, 1.0)
+        };
+        let static_cols = Matrix::from_fn(n, 5, |r, c| {
+            let u = r as u32;
+            match c {
+                0 => q.degree(u) as f32 / (scaling.alpha_degree * deg_div),
+                1 => q.label(u) as f32 / label_div,
+                2 => u as f32 / id_div,
+                3 => g.count_degree_greater(q.degree(u)) as f32 / (gv * scaling.alpha_d),
+                _ => g.label_frequency(q.label(u)) as f32 / (gv * scaling.alpha_l),
+            }
+        });
+        FeatureExtractor {
+            static_cols,
+            num_vertices: n,
+            random_mode: false,
+            remaining_scale: if scaling.normalize { n.max(1) as f32 } else { 1.0 },
+        }
+    }
+
+    /// The `RL-QVO-RIF` ablation: random input features, fixed per query
+    /// (seeded), replacing *all* columns including the step-dependent ones.
+    pub fn new_random(q: &Graph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x01F_FEA7u64);
+        let n = q.num_vertices();
+        let static_cols = Matrix::from_fn(n, FEATURE_DIM, |_, _| rng.gen_range(-1.0..1.0));
+        FeatureExtractor { static_cols, num_vertices: n, random_mode: true, remaining_scale: 1.0 }
+    }
+
+    /// Number of query vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// The full `n×7` feature matrix at step `t` (1-based, as in the
+    /// paper), given which vertices are already ordered.
+    ///
+    /// # Panics
+    /// If `ordered.len()` differs from the query size.
+    pub fn features_at(&self, t: usize, ordered: &[bool]) -> Matrix {
+        assert_eq!(ordered.len(), self.num_vertices, "ordered-flag length mismatch");
+        if self.random_mode {
+            return self.static_cols.clone();
+        }
+        let remaining = ((self.num_vertices as f32) - (t as f32) + 1.0) / self.remaining_scale;
+        Matrix::from_fn(self.num_vertices, FEATURE_DIM, |r, c| match c {
+            0..=4 => self.static_cols.get(r, c),
+            5 => remaining,
+            _ => {
+                if ordered[r] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_graph::GraphBuilder;
+
+    fn setup() -> (Graph, Graph) {
+        // q: path 0(l0)-1(l1)-2(l0); G: 6 vertices, labels mixed.
+        let mut qb = GraphBuilder::new(2);
+        qb.add_vertex(0);
+        qb.add_vertex(1);
+        qb.add_vertex(0);
+        qb.add_edge(0, 1);
+        qb.add_edge(1, 2);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        for i in 0..6u32 {
+            gb.add_vertex(i % 2);
+        }
+        gb.add_edge(0, 1);
+        gb.add_edge(1, 2);
+        gb.add_edge(2, 3);
+        gb.add_edge(3, 4);
+        gb.add_edge(4, 5);
+        gb.add_edge(1, 3);
+        (q, gb.build())
+    }
+
+    #[test]
+    fn static_columns_match_definitions() {
+        let (q, g) = setup();
+        let fx = FeatureExtractor::new(&q, &g, FeatureScaling::paper_literal());
+        let m = fx.features_at(1, &[false, false, false]);
+        // dim1: degree
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        // dim2: label, dim3: id
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(2, 2), 2.0);
+        // dim4: fraction of data vertices with degree > d(u).
+        let expect = g.count_degree_greater(1) as f32 / 6.0;
+        assert!((m.get(0, 3) - expect).abs() < 1e-6);
+        // dim5: label frequency fraction.
+        assert!((m.get(0, 4) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_columns_update() {
+        let (q, g) = setup();
+        let fx = FeatureExtractor::new(&q, &g, FeatureScaling::paper_literal());
+        let m1 = fx.features_at(1, &[false, false, false]);
+        assert_eq!(m1.get(0, 5), 3.0); // |V(q)| - 1 + 1
+        assert_eq!(m1.get(0, 6), 0.0);
+        let m2 = fx.features_at(2, &[false, true, false]);
+        assert_eq!(m2.get(0, 5), 2.0);
+        assert_eq!(m2.get(1, 6), 1.0);
+        assert_eq!(m2.get(0, 6), 0.0);
+    }
+
+    #[test]
+    fn scaling_factors_divide() {
+        let (q, g) = setup();
+        let fx = FeatureExtractor::new(
+            &q,
+            &g,
+            FeatureScaling { alpha_degree: 2.0, ..FeatureScaling::paper_literal() },
+        );
+        let m = fx.features_at(1, &[false; 3]);
+        assert_eq!(m.get(1, 0), 1.0, "degree 2 halved");
+    }
+
+    #[test]
+    fn random_mode_is_static_and_seeded() {
+        let (q, _) = setup();
+        let a = FeatureExtractor::new_random(&q, 42);
+        let b = FeatureExtractor::new_random(&q, 42);
+        let c = FeatureExtractor::new_random(&q, 43);
+        let ma = a.features_at(1, &[false; 3]);
+        assert_eq!(ma, b.features_at(2, &[true, false, false]), "RIF ignores the step");
+        assert_ne!(ma, c.features_at(1, &[false; 3]), "different seed, different features");
+        assert_eq!(ma.shape(), (3, FEATURE_DIM));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_ordered_length() {
+        let (q, g) = setup();
+        let fx = FeatureExtractor::new(&q, &g, FeatureScaling::paper_literal());
+        fx.features_at(1, &[false; 2]);
+    }
+}

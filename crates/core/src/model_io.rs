@@ -1,0 +1,248 @@
+//! Model persistence in a compact, dependency-free text format.
+//!
+//! The allowed offline crate set has no serde *format* crate, so weights
+//! are stored as a line-oriented text file:
+//!
+//! ```text
+//! rlqvo-model v1
+//! kind GCN
+//! layers 2
+//! feature_dim 7
+//! hidden_dim 64
+//! params 8
+//! p 7 64
+//! 0.1 0.2 ...          (one line per row)
+//! ...
+//! ```
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use rlqvo_gnn::GnnKind;
+use rlqvo_tensor::Matrix;
+
+use crate::model::{RlQvo, RlQvoConfig};
+use crate::policy::PolicyNetwork;
+
+/// Errors from model load/save.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a v1 rlqvo model or is structurally broken.
+    Format(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "io: {e}"),
+            ModelIoError::Format(m) => write!(f, "format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+fn kind_name(kind: GnnKind) -> &'static str {
+    kind.name()
+}
+
+fn kind_from_name(name: &str) -> Option<GnnKind> {
+    [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense]
+        .into_iter()
+        .find(|k| k.name() == name)
+}
+
+impl RlQvo {
+    /// Writes architecture + weights to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        let policy = self.policy();
+        writeln!(w, "rlqvo-model v1")?;
+        writeln!(w, "kind {}", kind_name(policy.kind()))?;
+        writeln!(w, "layers {}", policy.num_layers())?;
+        writeln!(w, "feature_dim {}", policy.feature_dim())?;
+        writeln!(w, "hidden_dim {}", policy.hidden_dim())?;
+        let params = policy.params();
+        writeln!(w, "params {}", params.len())?;
+        for p in params {
+            writeln!(w, "p {} {}", p.rows(), p.cols())?;
+            for r in 0..p.rows() {
+                let row: Vec<String> = p.row(r).iter().map(|x| format!("{x:e}")).collect();
+                writeln!(w, "{}", row.join(" "))?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Loads a model saved by [`RlQvo::save`]. Training hyperparameters
+    /// come from `config`; the architecture fields of `config` are
+    /// overwritten by the file's.
+    pub fn load(path: impl AsRef<Path>, mut config: RlQvoConfig) -> Result<Self, ModelIoError> {
+        let file = std::fs::File::open(path)?;
+        let reader = std::io::BufReader::new(file);
+        let mut lines = reader.lines();
+        let mut next = || -> Result<String, ModelIoError> {
+            lines
+                .next()
+                .ok_or_else(|| ModelIoError::Format("unexpected end of file".into()))?
+                .map_err(ModelIoError::from)
+        };
+
+        let header = next()?;
+        if header.trim() != "rlqvo-model v1" {
+            return Err(ModelIoError::Format(format!("bad header {header:?}")));
+        }
+        let kind_line = next()?;
+        let kind = kind_line
+            .strip_prefix("kind ")
+            .and_then(kind_from_name)
+            .ok_or_else(|| ModelIoError::Format(format!("bad kind line {kind_line:?}")))?;
+        let parse_field = |line: &str, key: &str| -> Result<usize, ModelIoError> {
+            line.strip_prefix(key)
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| ModelIoError::Format(format!("bad {key} line: {line:?}")))
+        };
+        let layers = parse_field(&next()?, "layers")?;
+        let feature_dim = parse_field(&next()?, "feature_dim")?;
+        let hidden_dim = parse_field(&next()?, "hidden_dim")?;
+        let count = parse_field(&next()?, "params")?;
+
+        config.gnn_kind = kind;
+        config.num_layers = layers;
+        config.hidden_dim = hidden_dim;
+        let mut policy = PolicyNetwork::new(kind, layers, feature_dim, hidden_dim, config.seed);
+        {
+            let mut params = policy.params_mut();
+            if params.len() != count {
+                return Err(ModelIoError::Format(format!(
+                    "architecture expects {} params, file has {count}",
+                    params.len()
+                )));
+            }
+            for (i, slot) in params.iter_mut().enumerate() {
+                let head = next()?;
+                let mut it = head.split_whitespace();
+                if it.next() != Some("p") {
+                    return Err(ModelIoError::Format(format!("expected param header, got {head:?}")));
+                }
+                let rows: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ModelIoError::Format("bad rows".into()))?;
+                let cols: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ModelIoError::Format("bad cols".into()))?;
+                if (rows, cols) != slot.shape() {
+                    return Err(ModelIoError::Format(format!(
+                        "param {i}: file shape {rows}x{cols} vs model {:?}",
+                        slot.shape()
+                    )));
+                }
+                let mut data = Vec::with_capacity(rows * cols);
+                for _ in 0..rows {
+                    let line = next()?;
+                    for tok in line.split_whitespace() {
+                        let v: f32 = tok
+                            .parse()
+                            .map_err(|_| ModelIoError::Format(format!("bad float {tok:?}")))?;
+                        data.push(v);
+                    }
+                }
+                if data.len() != rows * cols {
+                    return Err(ModelIoError::Format(format!(
+                        "param {i}: expected {} values, got {}",
+                        rows * cols,
+                        data.len()
+                    )));
+                }
+                **slot = Matrix::from_vec(rows, cols, data);
+            }
+        }
+        Ok(RlQvo::from_policy(config, policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_datasets::Dataset;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rlqvo-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_behaviour() {
+        let g = Dataset::Yeast.load_scaled(300);
+        let set = rlqvo_datasets::build_query_set(&g, 5, 2, 3);
+        let mut cfg = RlQvoConfig::fast();
+        cfg.epochs = 2;
+        let mut model = RlQvo::new(cfg);
+        model.train(&set.queries, &g);
+
+        let path = tmp("roundtrip.model");
+        model.save(&path).unwrap();
+        let loaded = RlQvo::load(&path, RlQvoConfig::fast()).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        for q in &set.queries {
+            assert_eq!(model.order_query(q, &g), loaded.order_query(q, &g));
+        }
+        // Weights identical.
+        for (a, b) in model.policy().params().iter().zip(loaded.policy().params()) {
+            assert!(a.max_abs_diff(b) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage.model");
+        std::fs::write(&path, "not a model\n").unwrap();
+        let err = RlQvo::load(&path, RlQvoConfig::fast()).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, ModelIoError::Format(_)));
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let g = Dataset::Yeast.load_scaled(200);
+        let _ = g;
+        let model = RlQvo::new(RlQvoConfig::fast());
+        let path = tmp("trunc.model");
+        model.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        std::fs::write(&path, cut).unwrap();
+        let err = RlQvo::load(&path, RlQvoConfig::fast()).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, ModelIoError::Format(_)));
+    }
+
+    #[test]
+    fn load_preserves_architecture_overrides() {
+        let mut cfg = RlQvoConfig::fast();
+        cfg.num_layers = 3;
+        cfg.hidden_dim = 16;
+        let model = RlQvo::new(cfg);
+        let path = tmp("arch.model");
+        model.save(&path).unwrap();
+        // Load with a *different* config; the file's architecture wins.
+        let loaded = RlQvo::load(&path, RlQvoConfig::default()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.policy().num_layers(), 3);
+        assert_eq!(loaded.policy().hidden_dim(), 16);
+    }
+}

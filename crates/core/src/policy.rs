@@ -1,0 +1,262 @@
+//! The RL-QVO policy network (paper §III-D, Eq. 3–4):
+//! `L` GNN layers embed the query vertices, a two-layer MLP scores each
+//! vertex, scores outside the action space are masked out, and a softmax
+//! yields the selection distribution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlqvo_gnn::{build_layer, GnnKind, GnnLayer, GraphTensors, MlpHead};
+use rlqvo_tensor::{Matrix, Tape, Var};
+
+/// Inference output for one ordering step.
+#[derive(Clone, Debug)]
+pub struct PolicyOutput {
+    /// Masked softmax probabilities per query vertex (zeros off-mask).
+    pub probs: Vec<f32>,
+    /// Argmax of the *unmasked* scores — the validate reward checks
+    /// whether this lands inside the action space (§III-C).
+    pub raw_argmax: usize,
+}
+
+/// Tape handles for one bound forward pass.
+pub struct PolicyBinding {
+    layer_vars: Vec<Vec<Var>>,
+    head_vars: Vec<Var>,
+}
+
+impl PolicyBinding {
+    /// All parameter handles flattened in [`PolicyNetwork::params`] order.
+    pub fn flat(&self) -> Vec<Var> {
+        self.layer_vars.iter().flatten().chain(self.head_vars.iter()).copied().collect()
+    }
+}
+
+/// The GNN + MLP policy `π_θ`.
+pub struct PolicyNetwork {
+    layers: Vec<Box<dyn GnnLayer>>,
+    head: MlpHead,
+    kind: GnnKind,
+    feature_dim: usize,
+    hidden_dim: usize,
+}
+
+impl PolicyNetwork {
+    /// Builds the paper's default topology: `num_layers` GNN layers of
+    /// width `hidden_dim` (64 in the paper) on `feature_dim`-dimensional
+    /// inputs, then an MLP head with hidden width `hidden_dim`.
+    pub fn new(kind: GnnKind, num_layers: usize, feature_dim: usize, hidden_dim: usize, seed: u64) -> Self {
+        assert!(num_layers >= 1, "at least one layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers: Vec<Box<dyn GnnLayer>> = Vec::with_capacity(num_layers);
+        let mut in_dim = feature_dim;
+        for _ in 0..num_layers {
+            layers.push(build_layer(kind, in_dim, hidden_dim, &mut rng));
+            in_dim = hidden_dim;
+        }
+        let head = MlpHead::new(hidden_dim, hidden_dim, &mut rng);
+        PolicyNetwork { layers, head, kind, feature_dim, hidden_dim }
+    }
+
+    /// GNN family used.
+    pub fn kind(&self) -> GnnKind {
+        self.kind
+    }
+
+    /// Number of GNN layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// GNN output dimension (the paper's "output dimension" knob, Fig. 8).
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Input feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// All parameters (layers in order, then the MLP head).
+    pub fn params(&self) -> Vec<&Matrix> {
+        self.layers.iter().flat_map(|l| l.params()).chain(self.head.params()).collect()
+    }
+
+    /// Mutable parameters in the same order.
+    pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out: Vec<&mut Matrix> = Vec::new();
+        for l in &mut self.layers {
+            out.extend(l.params_mut());
+        }
+        out.extend(self.head.params_mut());
+        out
+    }
+
+    /// Parameter shapes (optimizer construction).
+    pub fn param_shapes(&self) -> Vec<(usize, usize)> {
+        self.params().iter().map(|p| p.shape()).collect()
+    }
+
+    /// Bytes of parameter storage — the paper's Table IV "Model Space".
+    pub fn storage_bytes(&self) -> usize {
+        self.params().iter().map(|p| p.storage_bytes()).sum()
+    }
+
+    /// Binds every parameter onto `t` (leaves in [`Self::params`] order).
+    pub fn bind(&self, t: &Tape) -> PolicyBinding {
+        PolicyBinding {
+            layer_vars: self.layers.iter().map(|l| l.bind(t)).collect(),
+            head_vars: self.head.bind(t),
+        }
+    }
+
+    /// Forward pass on an existing tape. Returns `(masked probability
+    /// column, raw scores column)`. `dropout` (probability, rng) applies
+    /// inverted dropout after every GNN layer — training only.
+    pub fn forward_on_tape(
+        &self,
+        t: &Tape,
+        binding: &PolicyBinding,
+        gt: &GraphTensors,
+        features: &Matrix,
+        mask: &[bool],
+        dropout: Option<(f32, &mut StdRng)>,
+    ) -> (Var, Var) {
+        let mut h = t.leaf(features.clone());
+        let mut drop = dropout;
+        for (layer, vars) in self.layers.iter().zip(&binding.layer_vars) {
+            h = layer.forward(t, gt, vars, h);
+            if let Some((p, rng)) = drop.as_mut() {
+                let keep = 1.0 - *p;
+                let (rows, cols) = h.shape();
+                let m = Matrix::from_fn(rows, cols, |_, _| {
+                    if rng.gen::<f32>() < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                });
+                h = t.mul_const(h, &m);
+            }
+        }
+        let scores = self.head.forward(t, &binding.head_vars, h);
+        let probs = t.masked_softmax_col(scores, mask);
+        (probs, scores)
+    }
+
+    /// Inference-only forward: throwaway tape, no dropout.
+    pub fn forward(&self, gt: &GraphTensors, features: &Matrix, mask: &[bool]) -> PolicyOutput {
+        let t = Tape::new();
+        let binding = self.bind(&t);
+        let (probs, scores) = self.forward_on_tape(&t, &binding, gt, features, mask, None);
+        let pv = t.value(probs);
+        let sv = t.value(scores);
+        let raw_argmax = (0..sv.rows())
+            .max_by(|&a, &b| sv.get(a, 0).partial_cmp(&sv.get(b, 0)).unwrap().then(b.cmp(&a)))
+            .expect("non-empty scores");
+        PolicyOutput { probs: (0..pv.rows()).map(|r| pv.get(r, 0)).collect(), raw_argmax }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_graph::GraphBuilder;
+
+    fn tensors_and_features() -> (GraphTensors, Matrix) {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(0);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        let q = b.build();
+        let gt = GraphTensors::of(&q);
+        let f = Matrix::from_fn(4, 7, |r, c| ((r * 7 + c) as f32 * 0.21).sin());
+        (gt, f)
+    }
+
+    #[test]
+    fn output_is_masked_distribution() {
+        let (gt, f) = tensors_and_features();
+        let net = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 16, 1);
+        let mask = [true, false, true, false];
+        let out = net.forward(&gt, &f, &mask);
+        assert_eq!(out.probs.len(), 4);
+        assert_eq!(out.probs[1], 0.0);
+        assert_eq!(out.probs[3], 0.0);
+        let sum: f32 = out.probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(out.raw_argmax < 4);
+    }
+
+    #[test]
+    fn parameter_count_matches_shapes() {
+        let net = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 64, 2);
+        // GCN layer = W + b; ×2 layers; MLP head = W1,b1,W2,b2.
+        assert_eq!(net.params().len(), 2 * 2 + 4);
+        assert_eq!(net.param_shapes()[0], (7, 64));
+        // Paper Table IV: model space is fixed (~186 kB at d=64); ours is
+        // the same order of magnitude.
+        let bytes = net.storage_bytes();
+        assert!(bytes > 10_000 && bytes < 300_000, "{bytes}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (gt, f) = tensors_and_features();
+        let a = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 16, 7);
+        let b = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 16, 7);
+        let mask = [true; 4];
+        assert_eq!(a.forward(&gt, &f, &mask).probs, b.forward(&gt, &f, &mask).probs);
+    }
+
+    #[test]
+    fn every_gnn_kind_runs() {
+        let (gt, f) = tensors_and_features();
+        for kind in [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense] {
+            let net = PolicyNetwork::new(kind, 2, 7, 8, 3);
+            let out = net.forward(&gt, &f, &[true; 4]);
+            assert!(out.probs.iter().all(|p| p.is_finite()), "{}", kind.name());
+            assert_eq!(net.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let (gt, f) = tensors_and_features();
+        let net = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 8, 4);
+        let t = Tape::new();
+        let binding = net.bind(&t);
+        let (probs, _) = net.forward_on_tape(&t, &binding, &gt, &f, &[true; 4], None);
+        let loss = t.ln(t.pick(probs, 1, 0));
+        let grads = t.backward(loss);
+        for (i, v) in binding.flat().iter().enumerate() {
+            assert!(grads.get(*v).is_some(), "param {i} missing grad");
+        }
+    }
+
+    #[test]
+    fn dropout_changes_training_pass_but_not_inference() {
+        let (gt, f) = tensors_and_features();
+        let net = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 16, 5);
+        let mask = [true; 4];
+        let a = net.forward(&gt, &f, &mask).probs;
+        let b = net.forward(&gt, &f, &mask).probs;
+        assert_eq!(a, b, "inference is deterministic");
+
+        let t = Tape::new();
+        let binding = net.bind(&t);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (p1, _) = net.forward_on_tape(&t, &binding, &gt, &f, &mask, Some((0.5, &mut rng)));
+        let (p2, _) = net.forward_on_tape(&t, &binding, &gt, &f, &mask, Some((0.5, &mut rng)));
+        assert_ne!(t.value(p1), t.value(p2), "dropout masks differ across passes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn rejects_zero_layers() {
+        PolicyNetwork::new(GnnKind::Gcn, 0, 7, 8, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Reward design (paper §III-C, Eq. 1–2).
+//!
+//! `R_t = r_enum + β_val·r_val,t + β_h·r_h,t`, aggregated per episode as
+//! `R_q = Σ_t γ^t R_t`.
+//!
+//! * `r_enum` — shared across all steps of the episode:
+//!   `f_enum(Δ#enum)` where `Δ#enum` compares the learned order with the
+//!   RI baseline order (`φ_base = φ_RI`, §III-C). The paper asks for "a
+//!   function such as logarithm which reduces the gaps"; we use the
+//!   log-ratio `ln((#enum(φ_RI)+1)/(#enum(φ)+1))`, which is positive when
+//!   the learned order is better, symmetric in log space, and bounded by
+//!   the enumeration budget.
+//! * `r_val,t` — small positive reward when the *unmasked* argmax lies in
+//!   the action space, a larger (in magnitude) negative punishment
+//!   otherwise.
+//! * `r_h,t` — Shannon entropy of the masked action distribution.
+
+/// Reward hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RewardConfig {
+    /// `β_val` — validate reward coefficient.
+    pub beta_val: f32,
+    /// `β_h` — entropy reward coefficient.
+    pub beta_h: f32,
+    /// `γ` — the per-step decay of Eq. 2 (early decisions matter more).
+    pub gamma: f32,
+    /// Positive validate reward.
+    pub val_bonus: f32,
+    /// Negative validate punishment (stored positive; applied negated).
+    /// Must exceed `val_bonus` in magnitude (§III-C).
+    pub val_penalty: f32,
+    /// Disable flags for the `NoEnt` / `NoVal` ablations (Fig. 7).
+    pub use_entropy: bool,
+    /// See `use_entropy`.
+    pub use_validate: bool,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        RewardConfig {
+            beta_val: 1.0,
+            beta_h: 0.05,
+            gamma: 0.95,
+            val_bonus: 0.1,
+            val_penalty: 0.5,
+            use_entropy: true,
+            use_validate: true,
+        }
+    }
+}
+
+impl RewardConfig {
+    /// `f_enum`: log-ratio enumeration reward. Positive ⇔ the learned
+    /// order enumerates less than the baseline.
+    pub fn enum_reward(&self, baseline_enums: u64, learned_enums: u64) -> f32 {
+        ((baseline_enums as f64 + 1.0) / (learned_enums as f64 + 1.0)).ln() as f32
+    }
+
+    /// `r_val,t` for one step.
+    pub fn validate_reward(&self, raw_argmax_in_action_space: bool) -> f32 {
+        if !self.use_validate {
+            return 0.0;
+        }
+        if raw_argmax_in_action_space {
+            self.val_bonus
+        } else {
+            -self.val_penalty
+        }
+    }
+
+    /// `β_h · r_h,t` for one step, from the masked distribution's entropy.
+    pub fn entropy_reward(&self, entropy: f32) -> f32 {
+        if self.use_entropy {
+            self.beta_h * entropy
+        } else {
+            0.0
+        }
+    }
+
+    /// Combines the step-wise parts (Eq. 1 minus the shared `r_enum`,
+    /// which is added after the episode via
+    /// [`rlqvo_rl::Trajectory::add_shared_reward`]).
+    pub fn step_reward(&self, raw_argmax_ok: bool, entropy: f32) -> f32 {
+        self.beta_val * self.validate_reward(raw_argmax_ok) + self.entropy_reward(entropy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_reward_sign_and_magnitude() {
+        let c = RewardConfig::default();
+        assert!(c.enum_reward(1000, 10) > 0.0, "beating the baseline is positive");
+        assert!(c.enum_reward(10, 1000) < 0.0, "losing is negative");
+        assert_eq!(c.enum_reward(500, 500), 0.0);
+        // Two orders of magnitude ≈ ln(100).
+        let two_oom = c.enum_reward(10_000, 100);
+        assert!((two_oom - (101.0f32 / 10_001.0).recip().ln()).abs() < 0.1);
+    }
+
+    #[test]
+    fn enum_reward_handles_zero() {
+        let c = RewardConfig::default();
+        assert!(c.enum_reward(0, 0).abs() < 1e-6);
+        assert!(c.enum_reward(100, 0) > 0.0);
+    }
+
+    #[test]
+    fn validate_reward_asymmetry() {
+        let c = RewardConfig::default();
+        let good = c.validate_reward(true);
+        let bad = c.validate_reward(false);
+        assert!(good > 0.0);
+        assert!(bad < 0.0);
+        assert!(bad.abs() > good.abs(), "punishment must outweigh reward (§III-C)");
+    }
+
+    #[test]
+    fn ablation_flags_zero_out_components() {
+        let c = RewardConfig { use_entropy: false, use_validate: false, ..Default::default() };
+        assert_eq!(c.validate_reward(false), 0.0);
+        assert_eq!(c.entropy_reward(3.0), 0.0);
+        assert_eq!(c.step_reward(false, 3.0), 0.0);
+    }
+
+    #[test]
+    fn step_reward_combines_parts() {
+        let c = RewardConfig::default();
+        let r = c.step_reward(true, 1.0);
+        assert!((r - (c.beta_val * c.val_bonus + c.beta_h)).abs() < 1e-6);
+    }
+}

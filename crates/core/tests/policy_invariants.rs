@@ -1,0 +1,121 @@
+//! Cross-component invariants of the policy network and the ordering MDP,
+//! property-tested across GNN families and random query shapes.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rlqvo_core::{FeatureExtractor, OrderingEnv, PolicyNetwork};
+use rlqvo_core::features::FeatureScaling;
+use rlqvo_gnn::{GnnKind, GraphTensors};
+use rlqvo_graph::{extract_connected_subgraph, GraphBuilder};
+
+fn random_query(seed: u64, size: usize) -> rlqvo_graph::Graph {
+    // Host: a fixed 6x6 labeled grid; queries are random connected chunks.
+    let mut b = GraphBuilder::new(4);
+    for i in 0..36u32 {
+        b.add_vertex(i % 4);
+    }
+    for r in 0..6u32 {
+        for c in 0..6u32 {
+            let v = r * 6 + c;
+            if c + 1 < 6 {
+                b.add_edge(v, v + 1);
+            }
+            if r + 1 < 6 {
+                b.add_edge(v, v + 6);
+            }
+        }
+    }
+    let host = b.build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    extract_connected_subgraph(&host, size, &mut rng).unwrap().0
+}
+
+const KINDS: [GnnKind; 6] =
+    [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every GNN family yields a proper masked distribution on every step
+    /// of a full episode, for random queries and random step masks.
+    #[test]
+    fn full_episode_distributions_are_valid(seed in 0u64..300, size in 4usize..10, kind_ix in 0usize..6) {
+        let q = random_query(seed, size);
+        let g = random_query(seed ^ 1, 10.min(size + 2)); // any labeled graph works as G
+        let policy = PolicyNetwork::new(KINDS[kind_ix], 2, 7, 8, seed);
+        let fx = FeatureExtractor::new(&q, &g, FeatureScaling::default());
+        let gt = GraphTensors::of(&q);
+        let mut env = OrderingEnv::new(&q);
+        while !env.done() {
+            if let Some(forced) = env.forced_action() {
+                env.apply(forced);
+                continue;
+            }
+            let feats = fx.features_at(env.step_number(), env.ordered_flags());
+            let mask = env.action_mask();
+            let out = policy.forward(&gt, &feats, &mask);
+            let sum: f32 = out.probs.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+            for (i, &p) in out.probs.iter().enumerate() {
+                prop_assert!(p >= 0.0 && p.is_finite());
+                if !mask[i] {
+                    prop_assert_eq!(p, 0.0);
+                }
+            }
+            // Greedy-advance using the masked argmax.
+            let best = out
+                .probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            env.apply(best);
+        }
+        prop_assert_eq!(env.order().len(), size);
+    }
+
+    /// Feature matrices always carry exactly |φ_t| ordered flags and the
+    /// right remaining count, at every step of every episode.
+    #[test]
+    fn feature_step_columns_track_episode(seed in 0u64..300, size in 3usize..10) {
+        let q = random_query(seed, size);
+        let g = random_query(seed ^ 2, size);
+        let fx = FeatureExtractor::new(&q, &g, FeatureScaling::paper_literal());
+        let mut env = OrderingEnv::new(&q);
+        let mut t = 1usize;
+        while !env.done() {
+            let feats = fx.features_at(t, env.ordered_flags());
+            let flags: f32 = (0..size).map(|r| feats.get(r, 6)).sum();
+            prop_assert_eq!(flags as usize, env.order().len());
+            prop_assert_eq!(feats.get(0, 5) as usize, size - t + 1);
+            let next = env.action_mask().iter().position(|&m| m).unwrap() as u32;
+            env.apply(next);
+            t += 1;
+        }
+    }
+
+    /// The |AS|=1 short-circuit and the mask agree: forced_action is Some
+    /// exactly when the mask has a single true entry.
+    #[test]
+    fn forced_action_matches_mask(seed in 0u64..300, size in 3usize..10) {
+        let q = random_query(seed, size);
+        let mut env = OrderingEnv::new(&q);
+        while !env.done() {
+            let mask = env.action_mask();
+            let live = mask.iter().filter(|&&m| m).count();
+            match env.forced_action() {
+                Some(v) => {
+                    prop_assert_eq!(live, 1);
+                    prop_assert!(mask[v as usize]);
+                    env.apply(v);
+                }
+                None => {
+                    prop_assert!(live > 1);
+                    let first = mask.iter().position(|&m| m).unwrap() as u32;
+                    env.apply(first);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The six paper datasets (Table II) and their analog configurations.
+
+use rlqvo_graph::Graph;
+
+use crate::generator::{generate, SyntheticConfig};
+
+/// The properties the paper reports for each real dataset (Table II).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperProperties {
+    /// `|V|` of the real graph.
+    pub num_vertices: usize,
+    /// `|E|` of the real graph.
+    pub num_edges: usize,
+    /// `|L|` of the real graph.
+    pub num_labels: u32,
+    /// Average degree of the real graph.
+    pub avg_degree: f64,
+    /// Category in the paper's taxonomy.
+    pub category: &'static str,
+}
+
+/// One of the six evaluation datasets, reproduced as a seeded analog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Citation network: tiny, sparse (d=1.4), 6 labels, fragmented.
+    Citeseer,
+    /// Protein-interaction network: small, dense (d=8.0), 71 labels.
+    Yeast,
+    /// Collaboration/social network: large, d=6.6, 15 labels, power-law.
+    Dblp,
+    /// Social network: largest, d=5.3, 25 labels, power-law.
+    Youtube,
+    /// Lexical network: mid-size, sparse (d=3.1), only 5 labels.
+    Wordnet,
+    /// Web graph: very dense (d=37.4), 40 labels, heavy power-law.
+    Eu2005,
+}
+
+/// All six datasets in the paper's reporting order.
+pub const ALL_DATASETS: [Dataset; 6] =
+    [Dataset::Citeseer, Dataset::Yeast, Dataset::Dblp, Dataset::Youtube, Dataset::Wordnet, Dataset::Eu2005];
+
+impl Dataset {
+    /// Lower-case name as printed in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Citeseer => "citeseer",
+            Dataset::Yeast => "yeast",
+            Dataset::Dblp => "dblp",
+            Dataset::Youtube => "youtube",
+            Dataset::Wordnet => "wordnet",
+            Dataset::Eu2005 => "eu2005",
+        }
+    }
+
+    /// Parses a lower-case dataset name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_DATASETS.iter().copied().find(|d| d.name() == name)
+    }
+
+    /// Table II ground truth for the real dataset.
+    pub fn paper_properties(self) -> PaperProperties {
+        match self {
+            Dataset::Citeseer => PaperProperties {
+                num_vertices: 3_327,
+                num_edges: 4_732,
+                num_labels: 6,
+                avg_degree: 1.4,
+                category: "citation",
+            },
+            Dataset::Yeast => PaperProperties {
+                num_vertices: 3_112,
+                num_edges: 12_519,
+                num_labels: 71,
+                avg_degree: 8.0,
+                category: "biology",
+            },
+            Dataset::Dblp => PaperProperties {
+                num_vertices: 317_080,
+                num_edges: 1_049_866,
+                num_labels: 15,
+                avg_degree: 6.6,
+                category: "social",
+            },
+            Dataset::Youtube => PaperProperties {
+                num_vertices: 1_134_890,
+                num_edges: 2_987_624,
+                num_labels: 25,
+                avg_degree: 5.3,
+                category: "social",
+            },
+            Dataset::Wordnet => PaperProperties {
+                num_vertices: 76_853,
+                num_edges: 120_399,
+                num_labels: 5,
+                avg_degree: 3.1,
+                category: "lexical",
+            },
+            Dataset::Eu2005 => PaperProperties {
+                num_vertices: 862_664,
+                num_edges: 16_138_468,
+                num_labels: 40,
+                avg_degree: 37.4,
+                category: "web",
+            },
+        }
+    }
+
+    /// The analog generator configuration. `|L|` and average degree match
+    /// Table II exactly; `|V|` is scaled down (DESIGN.md §2) so that every
+    /// figure regenerates in minutes; skew parameters follow the category.
+    pub fn analog_config(self) -> SyntheticConfig {
+        match self {
+            // Citeseer and Yeast are small enough to keep at full scale.
+            Dataset::Citeseer => SyntheticConfig {
+                num_vertices: 3_327,
+                avg_degree: 1.4,
+                num_labels: 6,
+                label_zipf: 0.8,
+                pref_strength: 0.6,
+                isolated_fraction: 0.15,
+            },
+            Dataset::Yeast => SyntheticConfig {
+                num_vertices: 3_112,
+                avg_degree: 8.0,
+                num_labels: 71,
+                label_zipf: 1.0,
+                pref_strength: 0.5,
+                isolated_fraction: 0.0,
+            },
+            Dataset::Dblp => SyntheticConfig {
+                num_vertices: 16_000,
+                avg_degree: 6.6,
+                num_labels: 15,
+                label_zipf: 0.9,
+                pref_strength: 0.8,
+                isolated_fraction: 0.0,
+            },
+            Dataset::Youtube => SyntheticConfig {
+                num_vertices: 24_000,
+                avg_degree: 5.3,
+                num_labels: 25,
+                label_zipf: 1.1,
+                pref_strength: 0.9,
+                isolated_fraction: 0.0,
+            },
+            Dataset::Wordnet => SyntheticConfig {
+                num_vertices: 10_000,
+                avg_degree: 3.1,
+                num_labels: 5,
+                label_zipf: 0.4,
+                pref_strength: 0.4,
+                isolated_fraction: 0.02,
+            },
+            Dataset::Eu2005 => SyntheticConfig {
+                num_vertices: 8_000,
+                avg_degree: 37.4,
+                num_labels: 40,
+                label_zipf: 1.0,
+                pref_strength: 0.9,
+                isolated_fraction: 0.0,
+            },
+        }
+    }
+
+    /// Default seed for the analog, fixed so every experiment binary sees
+    /// the same graph.
+    pub fn default_seed(self) -> u64 {
+        match self {
+            Dataset::Citeseer => 0xC17E,
+            Dataset::Yeast => 0x9EA57,
+            Dataset::Dblp => 0xDB19,
+            Dataset::Youtube => 0x907BE,
+            Dataset::Wordnet => 0x30BD,
+            Dataset::Eu2005 => 0xE2005,
+        }
+    }
+
+    /// Generates the analog data graph with the default seed.
+    pub fn load(self) -> Graph {
+        generate(&self.analog_config(), self.default_seed())
+    }
+
+    /// Generates a reduced-size analog (vertex count capped at `max_n`),
+    /// used by tests and the fast example binaries.
+    pub fn load_scaled(self, max_n: usize) -> Graph {
+        let mut config = self.analog_config();
+        config.num_vertices = config.num_vertices.min(max_n);
+        generate(&config, self.default_seed())
+    }
+
+    /// Query sizes evaluated in the paper (Table III): up to Q32, except
+    /// Wordnet which stops at Q16.
+    pub fn query_sizes(self) -> &'static [usize] {
+        match self {
+            Dataset::Wordnet => &[4, 8, 16],
+            _ => &[4, 8, 16, 32],
+        }
+    }
+
+    /// The "default" query set used when a figure shows one size per
+    /// dataset (Q32; Q16 for Wordnet).
+    pub fn default_query_size(self) -> usize {
+        *self.query_sizes().last().unwrap()
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_graph::GraphStats;
+
+    #[test]
+    fn names_round_trip() {
+        for d in ALL_DATASETS {
+            assert_eq!(Dataset::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Dataset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn analog_label_universe_matches_paper() {
+        for d in ALL_DATASETS {
+            assert_eq!(d.analog_config().num_labels, d.paper_properties().num_labels, "{d}");
+        }
+    }
+
+    #[test]
+    fn analog_density_matches_paper_target() {
+        for d in ALL_DATASETS {
+            let g = d.load_scaled(4000);
+            let target = d.paper_properties().avg_degree;
+            let got = g.avg_degree();
+            // Duplicate-edge drops make dense graphs land slightly under.
+            assert!(
+                (got - target).abs() / target < 0.25,
+                "{d}: avg degree {got:.2} vs paper {target:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_sizes_follow_table_iii() {
+        assert_eq!(Dataset::Wordnet.query_sizes(), &[4, 8, 16]);
+        assert_eq!(Dataset::Dblp.query_sizes(), &[4, 8, 16, 32]);
+        assert_eq!(Dataset::Wordnet.default_query_size(), 16);
+        assert_eq!(Dataset::Eu2005.default_query_size(), 32);
+    }
+
+    #[test]
+    fn loads_are_deterministic() {
+        let a = Dataset::Citeseer.load_scaled(1000);
+        let b = Dataset::Citeseer.load_scaled(1000);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn stats_are_printable() {
+        let g = Dataset::Yeast.load_scaled(800);
+        let s = GraphStats::of(&g);
+        assert!(s.num_vertices <= 800);
+        assert!(s.num_labels_present > 10, "yeast analog should use many labels");
+    }
+}

@@ -1,0 +1,433 @@
+//! GNN layer implementations.
+//!
+//! Layers own their parameters as plain matrices. Each forward pass *binds*
+//! the parameters onto a tape (one leaf per matrix, in [`GnnLayer::params`]
+//! order) so the trainer can read gradients back out of the
+//! [`rlqvo_tensor::GradStore`] by position.
+
+use rand::Rng;
+use rlqvo_tensor::{Matrix, Tape, Var};
+
+use crate::adj::GraphTensors;
+
+/// The layer families of the paper's ablation (Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GnnKind {
+    /// Graph convolutional network (Kipf & Welling) — RL-QVO's default.
+    Gcn,
+    /// Graph attention network (Veličković et al.) — `RL-QVO-GAT`.
+    Gat,
+    /// GraphSAGE mean aggregator (Hamilton et al.) — `RL-QVO-GraphSAGE`.
+    GraphSage,
+    /// GraphConv / Weisfeiler-Leman operator (Morris et al.) —
+    /// `RL-QVO-GraphNN`.
+    GraphConv,
+    /// LEConv, the operator inside ASAP (Ranjan et al.) — `RL-QVO-ASAP`.
+    LeConv,
+    /// Structure-blind dense layer — the `RL-QVO-NN` ablation.
+    Dense,
+}
+
+impl GnnKind {
+    /// Ablation-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnKind::Gcn => "GCN",
+            GnnKind::Gat => "GAT",
+            GnnKind::GraphSage => "GraphSAGE",
+            GnnKind::GraphConv => "GraphNN",
+            GnnKind::LeConv => "ASAP",
+            GnnKind::Dense => "NN",
+        }
+    }
+}
+
+/// A graph layer with owned parameters.
+///
+/// `Send + Sync` (parameters are plain matrices) so policies can be shared
+/// across harness threads.
+pub trait GnnLayer: Send + Sync {
+    /// Parameter matrices (stable order).
+    fn params(&self) -> Vec<&Matrix>;
+    /// Mutable access in the same order (optimizer updates).
+    fn params_mut(&mut self) -> Vec<&mut Matrix>;
+    /// Creates tape leaves for all parameters, in [`Self::params`] order.
+    fn bind(&self, t: &Tape) -> Vec<Var> {
+        self.params().into_iter().map(|p| t.leaf(p.clone())).collect()
+    }
+    /// Forward pass. `bound` must come from [`Self::bind`] on the same tape.
+    fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var;
+    /// Output feature dimension.
+    fn out_dim(&self) -> usize;
+    /// Which ablation family this layer belongs to.
+    fn kind(&self) -> GnnKind;
+}
+
+/// Constructs a layer of the requested kind.
+pub fn build_layer<R: Rng>(kind: GnnKind, in_dim: usize, out_dim: usize, rng: &mut R) -> Box<dyn GnnLayer> {
+    match kind {
+        GnnKind::Gcn => Box::new(GcnLayer::new(in_dim, out_dim, rng)),
+        GnnKind::Gat => Box::new(GatLayer::new(in_dim, out_dim, rng)),
+        GnnKind::GraphSage => Box::new(SageLayer::new(in_dim, out_dim, rng)),
+        GnnKind::GraphConv => Box::new(GraphConvLayer::new(in_dim, out_dim, rng)),
+        GnnKind::LeConv => Box::new(LeConvLayer::new(in_dim, out_dim, rng)),
+        GnnKind::Dense => Box::new(DenseLayer::new(in_dim, out_dim, rng)),
+    }
+}
+
+/// GCN (paper Eq. 3): `H' = ReLU(Â H W + b)`.
+pub struct GcnLayer {
+    w: Matrix,
+    b: Matrix,
+}
+
+impl GcnLayer {
+    /// Xavier-initialized GCN layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        GcnLayer { w: Matrix::xavier_uniform(in_dim, out_dim, rng), b: Matrix::zeros(1, out_dim) }
+    }
+}
+
+impl GnnLayer for GcnLayer {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w, &self.b]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w, &mut self.b]
+    }
+    fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var {
+        let adj = t.leaf(gt.norm_adj.clone());
+        let agg = t.matmul(adj, h);
+        let lin = t.add_bias_row(t.matmul(agg, bound[0]), bound[1]);
+        t.relu(lin)
+    }
+    fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+    fn kind(&self) -> GnnKind {
+        GnnKind::Gcn
+    }
+}
+
+/// Single-head GAT: attention scores
+/// `e_ij = LeakyReLU(a₁ᵀ W h_i + a₂ᵀ W h_j)` masked to `A + I`,
+/// row-softmaxed, then `H' = ReLU(α (H W))`.
+pub struct GatLayer {
+    w: Matrix,
+    a_src: Matrix,
+    a_dst: Matrix,
+}
+
+impl GatLayer {
+    /// Xavier-initialized GAT layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        GatLayer {
+            w: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            a_src: Matrix::xavier_uniform(out_dim, 1, rng),
+            a_dst: Matrix::xavier_uniform(out_dim, 1, rng),
+        }
+    }
+}
+
+impl GnnLayer for GatLayer {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w, &self.a_src, &self.a_dst]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w, &mut self.a_src, &mut self.a_dst]
+    }
+    fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var {
+        let z = t.matmul(h, bound[0]);
+        let s_src = t.matmul(z, bound[1]);
+        let s_dst = t.matmul(z, bound[2]);
+        let scores = t.leaky_relu(t.broadcast_add_col_row(s_src, s_dst), 0.2);
+        let att = t.masked_softmax_rows(scores, &gt.mask_self);
+        t.relu(t.matmul(att, z))
+    }
+    fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+    fn kind(&self) -> GnnKind {
+        GnnKind::Gat
+    }
+}
+
+/// GraphSAGE mean aggregator: `H' = ReLU(H W_self + (A_mean H) W_neigh + b)`.
+pub struct SageLayer {
+    w_self: Matrix,
+    w_neigh: Matrix,
+    b: Matrix,
+}
+
+impl SageLayer {
+    /// Xavier-initialized GraphSAGE layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        SageLayer {
+            w_self: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            w_neigh: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            b: Matrix::zeros(1, out_dim),
+        }
+    }
+}
+
+impl GnnLayer for SageLayer {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w_self, &self.w_neigh, &self.b]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w_self, &mut self.w_neigh, &mut self.b]
+    }
+    fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var {
+        let mean = t.leaf(gt.mean_adj.clone());
+        let own = t.matmul(h, bound[0]);
+        let neigh = t.matmul(t.matmul(mean, h), bound[1]);
+        t.relu(t.add_bias_row(t.add(own, neigh), bound[2]))
+    }
+    fn out_dim(&self) -> usize {
+        self.w_self.cols()
+    }
+    fn kind(&self) -> GnnKind {
+        GnnKind::GraphSage
+    }
+}
+
+/// GraphConv (Morris et al. "Weisfeiler and Leman go neural"):
+/// `H' = ReLU(H W₁ + (A H) W₂ + b)`.
+pub struct GraphConvLayer {
+    w1: Matrix,
+    w2: Matrix,
+    b: Matrix,
+}
+
+impl GraphConvLayer {
+    /// Xavier-initialized GraphConv layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        GraphConvLayer {
+            w1: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            w2: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            b: Matrix::zeros(1, out_dim),
+        }
+    }
+}
+
+impl GnnLayer for GraphConvLayer {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w1, &self.w2, &self.b]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w1, &mut self.w2, &mut self.b]
+    }
+    fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var {
+        let adj = t.leaf(gt.adj.clone());
+        let own = t.matmul(h, bound[0]);
+        let neigh = t.matmul(t.matmul(adj, h), bound[1]);
+        t.relu(t.add_bias_row(t.add(own, neigh), bound[2]))
+    }
+    fn out_dim(&self) -> usize {
+        self.w1.cols()
+    }
+    fn kind(&self) -> GnnKind {
+        GnnKind::GraphConv
+    }
+}
+
+/// LEConv (the operator inside ASAP):
+/// `h'_i = ReLU(W₁ h_i + Σ_j A_ij (W₂ h_i − W₃ h_j))`
+/// `     = ReLU(H W₁ + D (H W₂) − A (H W₃) + b)`.
+pub struct LeConvLayer {
+    w1: Matrix,
+    w2: Matrix,
+    w3: Matrix,
+    b: Matrix,
+}
+
+impl LeConvLayer {
+    /// Xavier-initialized LEConv layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        LeConvLayer {
+            w1: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            w2: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            w3: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            b: Matrix::zeros(1, out_dim),
+        }
+    }
+}
+
+impl GnnLayer for LeConvLayer {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w1, &self.w2, &self.w3, &self.b]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w1, &mut self.w2, &mut self.w3, &mut self.b]
+    }
+    fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var {
+        let adj = t.leaf(gt.adj.clone());
+        let deg = t.leaf(gt.degree.clone());
+        let own = t.matmul(h, bound[0]);
+        let scaled = t.mul_col_broadcast(t.matmul(h, bound[1]), deg);
+        let neigh = t.matmul(adj, t.matmul(h, bound[2]));
+        let combined = t.sub(t.add(own, scaled), neigh);
+        t.relu(t.add_bias_row(combined, bound[3]))
+    }
+    fn out_dim(&self) -> usize {
+        self.w1.cols()
+    }
+    fn kind(&self) -> GnnKind {
+        GnnKind::LeConv
+    }
+}
+
+/// Structure-blind dense layer (`RL-QVO-NN` ablation): `H' = ReLU(H W + b)`.
+/// Deliberately ignores the graph tensors.
+pub struct DenseLayer {
+    w: Matrix,
+    b: Matrix,
+}
+
+impl DenseLayer {
+    /// Xavier-initialized dense layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        DenseLayer { w: Matrix::xavier_uniform(in_dim, out_dim, rng), b: Matrix::zeros(1, out_dim) }
+    }
+}
+
+impl GnnLayer for DenseLayer {
+    fn params(&self) -> Vec<&Matrix> {
+        vec![&self.w, &self.b]
+    }
+    fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w, &mut self.b]
+    }
+    fn forward(&self, t: &Tape, _gt: &GraphTensors, bound: &[Var], h: Var) -> Var {
+        t.relu(t.add_bias_row(t.matmul(h, bound[0]), bound[1]))
+    }
+    fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+    fn kind(&self) -> GnnKind {
+        GnnKind::Dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlqvo_graph::GraphBuilder;
+
+    fn path4_tensors() -> GraphTensors {
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(0);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        GraphTensors::of(&b.build())
+    }
+
+    const ALL_KINDS: [GnnKind; 6] =
+        [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense];
+
+    #[test]
+    fn every_kind_produces_right_shape() {
+        let gt = path4_tensors();
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in ALL_KINDS {
+            let layer = build_layer(kind, 7, 16, &mut rng);
+            let t = Tape::new();
+            let h = t.leaf(Matrix::ones(4, 7));
+            let bound = layer.bind(&t);
+            let out = layer.forward(&t, &gt, &bound, h);
+            assert_eq!(out.shape(), (4, 16), "{}", kind.name());
+            assert_eq!(layer.out_dim(), 16);
+            assert_eq!(layer.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let gt = path4_tensors();
+        let mut rng = StdRng::seed_from_u64(2);
+        for kind in ALL_KINDS {
+            let layer = build_layer(kind, 5, 8, &mut rng);
+            let t = Tape::new();
+            // Non-constant input so ReLU passes some signal.
+            let h = t.leaf(Matrix::from_fn(4, 5, |r, c| ((r * 5 + c) as f32 * 0.13).sin()));
+            let bound = layer.bind(&t);
+            let out = layer.forward(&t, &gt, &bound, h);
+            let loss = t.sum(t.mul(out, out));
+            let grads = t.backward(loss);
+            for (i, v) in bound.iter().enumerate() {
+                let g = grads.get(*v);
+                assert!(
+                    g.is_some(),
+                    "{}: param {i} received no gradient",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_layer_ignores_structure() {
+        // Same features, different graphs -> identical output.
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = DenseLayer::new(3, 4, &mut rng);
+        let gt_a = path4_tensors();
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..4 {
+            b.add_vertex(0);
+        }
+        b.add_edge(0, 3);
+        let gt_b = GraphTensors::of(&b.build());
+
+        let h_val = Matrix::from_fn(4, 3, |r, c| (r + c) as f32);
+        let run = |gt: &GraphTensors| {
+            let t = Tape::new();
+            let h = t.leaf(h_val.clone());
+            let bound = layer.bind(&t);
+            t.value(layer.forward(&t, gt, &bound, h))
+        };
+        assert_eq!(run(&gt_a), run(&gt_b));
+    }
+
+    #[test]
+    fn gcn_propagates_neighbor_information() {
+        // A one-hot feature on vertex 0 must reach vertex 1 (its neighbour)
+        // but not vertex 3 (two hops away) after one GCN layer.
+        let gt = path4_tensors();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = GcnLayer::new(1, 1, &mut rng);
+        layer.w = Matrix::full(1, 1, 1.0); // identity-ish weight
+        let t = Tape::new();
+        let h = t.leaf(Matrix::from_rows(&[&[1.0], &[0.0], &[0.0], &[0.0]]));
+        let bound = layer.bind(&t);
+        let out = t.value(layer.forward(&t, &gt, &bound, h));
+        assert!(out.get(0, 0) > 0.0);
+        assert!(out.get(1, 0) > 0.0, "neighbour receives the message");
+        assert_eq!(out.get(3, 0), 0.0, "two-hop vertex does not (1 layer)");
+    }
+
+    #[test]
+    fn gat_attention_rows_normalize() {
+        // Indirect check: forward must not NaN and stays finite.
+        let gt = path4_tensors();
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = GatLayer::new(3, 6, &mut rng);
+        let t = Tape::new();
+        let h = t.leaf(Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.7));
+        let bound = layer.bind(&t);
+        let out = t.value(layer.forward(&t, &gt, &bound, h));
+        assert!(out.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn kind_names_match_ablation_labels() {
+        assert_eq!(GnnKind::Gcn.name(), "GCN");
+        assert_eq!(GnnKind::GraphConv.name(), "GraphNN");
+        assert_eq!(GnnKind::LeConv.name(), "ASAP");
+        assert_eq!(GnnKind::Dense.name(), "NN");
+    }
+}

@@ -1,0 +1,24 @@
+//! # rlqvo-gnn
+//!
+//! Graph neural network layers on the `rlqvo-tensor` tape autograd.
+//!
+//! The RL-QVO paper parameterizes its policy network with GCN by default
+//! (§III-D Eq. 3) and shows in the ablation (§IV-D, Fig. 7) that GAT,
+//! GraphSAGE, GraphConv ("GraphNN") and ASAP's operator (LEConv) perform
+//! comparably, while a structure-blind MLP does not. This crate provides
+//! all of those behind one trait so the ablation harness can swap them.
+//!
+//! * [`adj`] — dense graph tensors (normalized adjacency, degree, masks).
+//!   Query graphs have ≤ 32 vertices, so dense `n×n` matrices are exact
+//!   and fast.
+//! * [`layers`] — the five layer types plus the structure-blind
+//!   [`layers::DenseLayer`]; all gradient-checked in `tests/`.
+//! * [`mlp`] — the two-linear-layer scoring head of Eq. 4.
+
+pub mod adj;
+pub mod layers;
+pub mod mlp;
+
+pub use adj::GraphTensors;
+pub use layers::{build_layer, GnnKind, GnnLayer};
+pub use mlp::MlpHead;

@@ -1,0 +1,349 @@
+//! The immutable CSR graph.
+
+use std::collections::HashMap;
+
+/// Dense vertex identifier. Kept at 32 bits: the largest paper dataset
+/// (Youtube) has 1.1 M vertices, and halving index width keeps adjacency
+/// arrays cache-resident (see the perf-book "Smaller Integers" guidance).
+pub type VertexId = u32;
+
+/// An immutable, vertex-labeled, undirected graph in CSR form.
+///
+/// Invariants (checked by the builder and by debug assertions):
+/// * `offsets.len() == n + 1`, `offsets[0] == 0`, monotone non-decreasing;
+/// * each adjacency slice `neighbors[offsets[v]..offsets[v+1]]` is strictly
+///   sorted (no self-loops, no parallel edges);
+/// * the edge relation is symmetric: `u ∈ N(v) ⇔ v ∈ N(u)`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    neighbors: Vec<VertexId>,
+    labels: Vec<u32>,
+    /// Number of distinct labels in the label universe (may exceed the
+    /// number of labels actually present, e.g. shared between `q` and `G`).
+    num_labels: u32,
+    /// `label_index[l]` = sorted vertices carrying label `l`.
+    label_index: Vec<Vec<VertexId>>,
+    /// Vertex degrees sorted ascending — supports O(log n) "how many data
+    /// vertices have degree > d" queries (feature h⁽⁰⁾(4) of the paper).
+    sorted_degrees: Vec<u32>,
+    max_degree: u32,
+}
+
+impl Graph {
+    /// Assembles a graph from raw CSR parts. Intended for
+    /// [`crate::GraphBuilder`]; validates invariants in debug builds.
+    pub(crate) fn from_csr(offsets: Vec<u32>, neighbors: Vec<VertexId>, labels: Vec<u32>, num_labels: u32) -> Self {
+        debug_assert_eq!(offsets.len(), labels.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, neighbors.len());
+        let n = labels.len();
+        let mut label_index: Vec<Vec<VertexId>> = vec![Vec::new(); num_labels as usize];
+        for (v, &l) in labels.iter().enumerate() {
+            label_index[l as usize].push(v as VertexId);
+        }
+        let mut sorted_degrees: Vec<u32> = (0..n).map(|v| offsets[v + 1] - offsets[v]).collect();
+        sorted_degrees.sort_unstable();
+        let max_degree = sorted_degrees.last().copied().unwrap_or(0);
+        let g = Graph { offsets, neighbors, labels, num_labels, label_index, sorted_degrees, max_degree };
+        debug_assert!(g.check_invariants());
+        g
+    }
+
+    fn check_invariants(&self) -> bool {
+        for v in 0..self.num_vertices() {
+            let adj = self.neighbors(v as VertexId);
+            if !adj.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            if adj.binary_search(&(v as VertexId)).is_ok() {
+                return false; // self loop
+            }
+            for &u in adj {
+                if !self.neighbors(u).binary_search(&(v as VertexId)).is_ok() {
+                    return false; // asymmetric
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Size of the label universe `|L|` this graph was built against.
+    #[inline]
+    pub fn num_labels(&self) -> u32 {
+        self.num_labels
+    }
+
+    /// Degree `d(v)`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sorted adjacency list `N(v)`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Label `f_l(v)`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// O(log d) edge test via binary search on the sorted adjacency list.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Sorted vertices carrying label `l` (empty slice for unused labels).
+    #[inline]
+    pub fn vertices_with_label(&self, l: u32) -> &[VertexId] {
+        self.label_index.get(l as usize).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `|{v ∈ V : f_l(v) = l}|` — the label frequency used by VF2++-style
+    /// orderings and by RL-QVO's feature h⁽⁰⁾(5).
+    #[inline]
+    pub fn label_frequency(&self, l: u32) -> usize {
+        self.vertices_with_label(l).len()
+    }
+
+    /// `|{v ∈ V : d(v) > d}|` — the degree-frequency statistic behind
+    /// RL-QVO's feature h⁽⁰⁾(4). O(log n) via the sorted degree array.
+    pub fn count_degree_greater(&self, d: u32) -> usize {
+        // partition_point gives the count of degrees <= d.
+        let le = self.sorted_degrees.partition_point(|&x| x <= d);
+        self.sorted_degrees.len() - le
+    }
+
+    /// Maximum degree in the graph.
+    #[inline]
+    pub fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    /// Average degree `2|E|/|V|` (the `d` column of paper Table II).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Frequency of each unordered label pair over the edges of this graph.
+    /// This is the edge weight used by QuickSI's infrequent-edge-first
+    /// ordering (weights of query edges = frequency of their label pair in
+    /// the data graph).
+    pub fn edge_label_pair_frequencies(&self) -> HashMap<(u32, u32), u64> {
+        let mut freq: HashMap<(u32, u32), u64> = HashMap::new();
+        for (u, v) in self.edges() {
+            let (a, b) = {
+                let (la, lb) = (self.label(u), self.label(v));
+                if la <= lb {
+                    (la, lb)
+                } else {
+                    (lb, la)
+                }
+            };
+            *freq.entry((a, b)).or_insert(0) += 1;
+        }
+        freq
+    }
+
+    /// Neighbour-label frequency of `v`: for each label `l`, how many
+    /// neighbours of `v` carry `l`. Dense vector of length `num_labels` —
+    /// query/data graphs in this workspace keep label universes small
+    /// (≤ 71 in the paper's datasets).
+    pub fn neighbor_label_frequency(&self, v: VertexId) -> Vec<u32> {
+        let mut nlf = vec![0u32; self.num_labels as usize];
+        for &u in self.neighbors(v) {
+            nlf[self.label(u) as usize] += 1;
+        }
+        nlf
+    }
+
+    /// True if the graph is connected (trivially true for `n <= 1`).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_vertices();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as VertexId];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(v) = stack.pop() {
+            for &u in self.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    count += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Bytes needed to store the CSR arrays (paper Table IV "Graph Space").
+    pub fn storage_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.neighbors.len() * 4 + self.labels.len() * 4
+    }
+
+    /// The induced subgraph on `verts` (which need not be sorted). Vertex
+    /// `verts[i]` becomes vertex `i` of the result; labels are preserved and
+    /// the label universe is inherited so query/data label ids stay aligned.
+    ///
+    /// Returns the subgraph together with the mapping `new id -> old id`.
+    pub fn induced_subgraph(&self, verts: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut builder = crate::GraphBuilder::new(self.num_labels);
+        let mut old_to_new: HashMap<VertexId, VertexId> = HashMap::with_capacity(verts.len());
+        for (new, &old) in verts.iter().enumerate() {
+            old_to_new.insert(old, new as VertexId);
+            builder.add_vertex(self.label(old));
+            debug_assert_eq!(builder.num_vertices() - 1, new);
+        }
+        for (new, &old) in verts.iter().enumerate() {
+            for &nb in self.neighbors(old) {
+                if let Some(&nb_new) = old_to_new.get(&nb) {
+                    if (new as VertexId) < nb_new {
+                        builder.add_edge(new as VertexId, nb_new);
+                    }
+                }
+            }
+        }
+        (builder.build(), verts.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn path3() -> super::Graph {
+        // 0(l0) - 1(l1) - 2(l0)
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path3();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.label(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn label_index_and_frequencies() {
+        let g = path3();
+        assert_eq!(g.vertices_with_label(0), &[0, 2]);
+        assert_eq!(g.vertices_with_label(1), &[1]);
+        assert_eq!(g.label_frequency(0), 2);
+        assert_eq!(g.label_frequency(7), 0);
+    }
+
+    #[test]
+    fn degree_greater_counts() {
+        let g = path3(); // degrees: 1, 2, 1
+        assert_eq!(g.count_degree_greater(0), 3);
+        assert_eq!(g.count_degree_greater(1), 1);
+        assert_eq!(g.count_degree_greater(2), 0);
+    }
+
+    #[test]
+    fn edge_iteration_is_unique() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn edge_label_pair_frequencies() {
+        let g = path3();
+        let f = g.edge_label_pair_frequencies();
+        assert_eq!(f.get(&(0, 1)), Some(&2));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn nlf_vector() {
+        let g = path3();
+        assert_eq!(g.neighbor_label_frequency(1), vec![2, 0]);
+        assert_eq!(g.neighbor_label_frequency(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = path3();
+        assert!(g.is_connected());
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(0);
+        b.add_vertex(0);
+        assert!(!b.build().is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_labels_and_edges() {
+        let g = path3();
+        let (sub, map) = g.induced_subgraph(&[1, 2]);
+        assert_eq!(sub.num_vertices(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.label(0), 1);
+        assert_eq!(sub.label(1), 0);
+        assert_eq!(map, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert!(g.is_connected());
+    }
+}

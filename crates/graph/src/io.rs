@@ -1,0 +1,187 @@
+//! Text serialization in the `t/v/e` format of the in-memory study
+//! (RapidsAtHKUST/SubgraphMatching), whose datasets the paper uses:
+//!
+//! ```text
+//! t <num-vertices> <num-edges>
+//! v <id> <label> <degree>
+//! e <u> <v>
+//! ```
+//!
+//! `degree` on `v` lines is redundant and ignored on input (emitted for
+//! compatibility on output).
+
+use std::io::{BufRead, Write};
+use std::num::ParseIntError;
+
+use crate::{Graph, GraphBuilder};
+
+/// Errors produced while parsing the text format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Line did not start with `t`, `v` or `e`.
+    UnknownRecord(String),
+    /// Wrong number of fields on a line.
+    FieldCount { line: String, expected: usize },
+    /// A field failed integer parsing.
+    Int(ParseIntError),
+    /// `v`/`e` record appeared before the `t` header.
+    MissingHeader,
+    /// Underlying reader failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownRecord(l) => write!(f, "unknown record: {l:?}"),
+            ParseError::FieldCount { line, expected } => {
+                write!(f, "expected {expected} fields in {line:?}")
+            }
+            ParseError::Int(e) => write!(f, "integer field: {e}"),
+            ParseError::MissingHeader => write!(f, "v/e record before the t header"),
+            ParseError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseIntError> for ParseError {
+    fn from(e: ParseIntError) -> Self {
+        ParseError::Int(e)
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads a graph from the `t/v/e` text format. The label universe is sized
+/// as `max label + 1` unless `label_universe` overrides it (pass the data
+/// graph's universe when loading query graphs so label ids stay aligned).
+pub fn read_graph<R: BufRead>(reader: R, label_universe: Option<u32>) -> Result<Graph, ParseError> {
+    let mut labels: Vec<u32> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut saw_header = false;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("t") => {
+                saw_header = true;
+                let fields: Vec<&str> = it.collect();
+                if fields.len() != 2 {
+                    return Err(ParseError::FieldCount { line: line.to_string(), expected: 3 });
+                }
+                labels.reserve(fields[0].parse::<usize>()?);
+                edges.reserve(fields[1].parse::<usize>()?);
+            }
+            Some("v") => {
+                if !saw_header {
+                    return Err(ParseError::MissingHeader);
+                }
+                let fields: Vec<&str> = it.collect();
+                if fields.len() < 2 {
+                    return Err(ParseError::FieldCount { line: line.to_string(), expected: 4 });
+                }
+                let id: usize = fields[0].parse()?;
+                let label: u32 = fields[1].parse()?;
+                if labels.len() <= id {
+                    labels.resize(id + 1, 0);
+                }
+                labels[id] = label;
+            }
+            Some("e") => {
+                if !saw_header {
+                    return Err(ParseError::MissingHeader);
+                }
+                let fields: Vec<&str> = it.collect();
+                if fields.len() < 2 {
+                    return Err(ParseError::FieldCount { line: line.to_string(), expected: 3 });
+                }
+                edges.push((fields[0].parse()?, fields[1].parse()?));
+            }
+            _ => return Err(ParseError::UnknownRecord(line.to_string())),
+        }
+    }
+    let universe = label_universe.unwrap_or_else(|| labels.iter().max().map(|&m| m + 1).unwrap_or(0));
+    let mut b = GraphBuilder::with_capacity(universe, labels.len(), edges.len());
+    for &l in &labels {
+        b.add_vertex(l);
+    }
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph in the `t/v/e` text format.
+pub fn write_graph<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "t {} {}", g.num_vertices(), g.num_edges())?;
+    for v in g.vertices() {
+        writeln!(w, "v {} {} {}", v, g.label(v), g.degree(v))?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "t 3 2\nv 0 0 1\nv 1 1 2\nv 2 0 1\ne 0 1\ne 1 2\n";
+
+    #[test]
+    fn round_trip() {
+        let g = read_graph(Cursor::new(SAMPLE), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.label(1), 1);
+        let mut out = Vec::new();
+        write_graph(&g, &mut out).unwrap();
+        let g2 = read_graph(Cursor::new(out), None).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.labels(), g.labels());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = format!("# header comment\n\n{SAMPLE}");
+        let g = read_graph(Cursor::new(text), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn label_universe_override() {
+        let g = read_graph(Cursor::new(SAMPLE), Some(10)).unwrap();
+        assert_eq!(g.num_labels(), 10);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_graph(Cursor::new("v 0 0 0\n"), None).unwrap_err();
+        assert!(matches!(err, ParseError::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_graph(Cursor::new("t 1 0\nx y z\n"), None).unwrap_err();
+        assert!(matches!(err, ParseError::UnknownRecord(_)));
+    }
+
+    #[test]
+    fn rejects_short_edge_line() {
+        let err = read_graph(Cursor::new("t 2 1\nv 0 0 0\nv 1 0 0\ne 0\n"), None).unwrap_err();
+        assert!(matches!(err, ParseError::FieldCount { .. }));
+    }
+}

@@ -1,0 +1,31 @@
+//! # rlqvo-graph
+//!
+//! Graph substrate for the RL-QVO subgraph-matching workspace.
+//!
+//! The central type is [`Graph`]: an immutable, CSR-encoded, vertex-labeled
+//! undirected graph. Both the *data graph* `G` and *query graphs* `q` of the
+//! paper are represented with the same type; query graphs are simply small
+//! (4–32 vertices in the paper's query sets).
+//!
+//! Vertices are dense `u32` ids in `0..n`. Adjacency lists are sorted, which
+//! lets the matching engine intersect them with galloping search and check
+//! edges with binary search.
+//!
+//! Modules:
+//! * [`builder`] — mutable edge-list builder that freezes into a [`Graph`].
+//! * [`io`] — the `t/v/e` text format used by the in-memory study
+//!   (Sun & Luo, SIGMOD'20) whose datasets the paper evaluates on.
+//! * [`sample`] — random connected-subgraph extraction, the paper's query
+//!   generation procedure (§IV-A "Query Graph").
+//! * [`stats`] — dataset property summaries (paper Table II).
+
+pub mod builder;
+pub mod graph;
+pub mod io;
+pub mod sample;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, VertexId};
+pub use sample::{extract_connected_subgraph, SampleError};
+pub use stats::GraphStats;

@@ -1,0 +1,204 @@
+//! Query-graph generation: random connected-subgraph extraction.
+//!
+//! The paper (§IV-A) generates query sets "by randomly extracting connected
+//! subgraphs from G", following the in-memory study's procedure: pick a
+//! random start vertex, grow a connected vertex set by random frontier
+//! expansion until the requested size is reached, and take the induced
+//! subgraph.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{Graph, VertexId};
+
+/// Why subgraph extraction failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SampleError {
+    /// Requested more vertices than the graph has.
+    TooLarge { requested: usize, available: usize },
+    /// Could not grow a connected set of the requested size from any tried
+    /// start vertex (graph too fragmented).
+    Fragmented { requested: usize, attempts: usize },
+    /// Requested an empty subgraph.
+    Empty,
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::TooLarge { requested, available } => {
+                write!(f, "requested {requested} vertices but the graph has {available}")
+            }
+            SampleError::Fragmented { requested, attempts } => {
+                write!(f, "no connected {requested}-vertex subgraph found in {attempts} attempts")
+            }
+            SampleError::Empty => write!(f, "requested an empty subgraph"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// Extracts a connected induced subgraph with exactly `size` vertices.
+///
+/// Growth strategy: start at a uniformly random vertex, then repeatedly add
+/// a uniformly random *frontier* vertex (a non-member adjacent to the
+/// current set). This is the standard query-workload generator of the
+/// in-memory study; it produces queries whose density tracks the data
+/// graph's local density.
+///
+/// Returns the subgraph (label universe inherited from `g`) and the data
+/// vertices backing each query vertex — handy for tests that need a known
+/// embedding.
+pub fn extract_connected_subgraph<R: Rng>(
+    g: &Graph,
+    size: usize,
+    rng: &mut R,
+) -> Result<(Graph, Vec<VertexId>), SampleError> {
+    if size == 0 {
+        return Err(SampleError::Empty);
+    }
+    if size > g.num_vertices() {
+        return Err(SampleError::TooLarge { requested: size, available: g.num_vertices() });
+    }
+    const MAX_ATTEMPTS: usize = 64;
+    for _ in 0..MAX_ATTEMPTS {
+        let start = rng.gen_range(0..g.num_vertices()) as VertexId;
+        if let Some(vs) = try_grow(g, start, size, rng) {
+            return Ok(g.induced_subgraph(&vs));
+        }
+    }
+    Err(SampleError::Fragmented { requested: size, attempts: MAX_ATTEMPTS })
+}
+
+fn try_grow<R: Rng>(g: &Graph, start: VertexId, size: usize, rng: &mut R) -> Option<Vec<VertexId>> {
+    let mut members: Vec<VertexId> = Vec::with_capacity(size);
+    let mut in_set = vec![false; g.num_vertices()];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut in_frontier = vec![false; g.num_vertices()];
+
+    members.push(start);
+    in_set[start as usize] = true;
+    for &nb in g.neighbors(start) {
+        if !in_frontier[nb as usize] {
+            in_frontier[nb as usize] = true;
+            frontier.push(nb);
+        }
+    }
+    while members.len() < size {
+        if frontier.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..frontier.len());
+        let v = frontier.swap_remove(idx);
+        in_frontier[v as usize] = false;
+        members.push(v);
+        in_set[v as usize] = true;
+        for &nb in g.neighbors(v) {
+            if !in_set[nb as usize] && !in_frontier[nb as usize] {
+                in_frontier[nb as usize] = true;
+                frontier.push(nb);
+            }
+        }
+    }
+    // Shuffle so query-vertex ids carry no information about insertion
+    // order (the paper's ordering methods must not get a free signal).
+    members.shuffle(rng);
+    Some(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid(side: u32) -> Graph {
+        let mut b = GraphBuilder::new(3);
+        for i in 0..side * side {
+            b.add_vertex(i % 3);
+        }
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    b.add_edge(v, v + 1);
+                }
+                if r + 1 < side {
+                    b.add_edge(v, v + side);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extracts_connected_subgraph_of_requested_size() {
+        let g = grid(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        for size in [1usize, 4, 8, 16] {
+            let (q, backing) = extract_connected_subgraph(&g, size, &mut rng).unwrap();
+            assert_eq!(q.num_vertices(), size);
+            assert!(q.is_connected(), "size {size} must be connected");
+            assert_eq!(backing.len(), size);
+            // Labels preserved.
+            for (new, &old) in backing.iter().enumerate() {
+                assert_eq!(q.label(new as u32), g.label(old));
+            }
+            // Every query edge is a data edge (induced subgraph property).
+            for (u, v) in q.edges() {
+                assert!(g.has_edge(backing[u as usize], backing[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_means_all_internal_edges_kept() {
+        let g = grid(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (q, backing) = extract_connected_subgraph(&g, 6, &mut rng).unwrap();
+        for i in 0..backing.len() {
+            for j in (i + 1)..backing.len() {
+                assert_eq!(
+                    g.has_edge(backing[i], backing[j]),
+                    q.has_edge(i as u32, j as u32),
+                    "induced subgraph must mirror edges exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn size_errors() {
+        let g = grid(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(extract_connected_subgraph(&g, 0, &mut rng).unwrap_err(), SampleError::Empty);
+        assert!(matches!(
+            extract_connected_subgraph(&g, 100, &mut rng).unwrap_err(),
+            SampleError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn fragmented_graph_fails() {
+        // Two isolated vertices: no connected 2-subgraph exists.
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(0);
+        b.add_vertex(0);
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            extract_connected_subgraph(&g, 2, &mut rng).unwrap_err(),
+            SampleError::Fragmented { .. }
+        ));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = grid(6);
+        let a = extract_connected_subgraph(&g, 8, &mut StdRng::seed_from_u64(42)).unwrap().1;
+        let b = extract_connected_subgraph(&g, 8, &mut StdRng::seed_from_u64(42)).unwrap().1;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! Dataset property summaries (paper Table II).
+
+use crate::Graph;
+
+/// The per-dataset properties the paper reports in Table II, plus a few
+/// extras the analog generators are validated against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// `|E|`.
+    pub num_edges: usize,
+    /// Number of labels actually present (Table II's `|L|`).
+    pub num_labels_present: usize,
+    /// Average degree `2|E|/|V|` (Table II's `d`).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: u32,
+    /// Frequency of the most common label, as a fraction of `|V|`.
+    pub top_label_share: f64,
+    /// CSR storage footprint in bytes (Table IV's "Graph Space").
+    pub storage_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes the summary for `g`.
+    pub fn of(g: &Graph) -> Self {
+        let present = (0..g.num_labels()).filter(|&l| g.label_frequency(l) > 0).count();
+        let top = (0..g.num_labels()).map(|l| g.label_frequency(l)).max().unwrap_or(0);
+        GraphStats {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            num_labels_present: present,
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            top_label_share: if g.num_vertices() == 0 { 0.0 } else { top as f64 / g.num_vertices() as f64 },
+            storage_bytes: g.storage_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |L|={} d={:.1} dmax={} space={}B",
+            self.num_vertices,
+            self.num_edges,
+            self.num_labels_present,
+            self.avg_degree,
+            self.max_degree,
+            self.storage_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_triangle_plus_isolated() {
+        let mut b = GraphBuilder::new(4);
+        b.add_vertex(0);
+        b.add_vertex(0);
+        b.add_vertex(1);
+        b.add_vertex(3); // isolated
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let s = GraphStats::of(&b.build());
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.num_labels_present, 3); // labels 0, 1, 3
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 1.5).abs() < 1e-9);
+        assert!((s.top_label_share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(0);
+        let s = GraphStats::of(&b.build());
+        let text = s.to_string();
+        assert!(text.contains("|V|=1"));
+        assert!(text.contains("|L|=1"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the CSR graph invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlqvo_graph::{extract_connected_subgraph, Graph, GraphBuilder};
+
+/// Strategy: a random labeled graph with up to `max_n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u32..4, n);
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2 + 1));
+        (labels, edges).prop_map(|(labels, edges)| {
+            let mut b = GraphBuilder::new(4);
+            for l in labels {
+                b.add_vertex(l);
+            }
+            for (u, v) in edges {
+                if u != v {
+                    b.add_edge(u as u32, v as u32);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_sorted_and_symmetric(g in arb_graph(24)) {
+        for v in g.vertices() {
+            let adj = g.neighbors(v);
+            prop_assert!(adj.windows(2).all(|w| w[0] < w[1]));
+            for &u in adj {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges(g in arb_graph(24)) {
+        let sum: u64 = g.vertices().map(|v| g.degree(v) as u64).sum();
+        prop_assert_eq!(sum, 2 * g.num_edges() as u64);
+    }
+
+    #[test]
+    fn label_index_partitions_vertices(g in arb_graph(24)) {
+        let total: usize = (0..g.num_labels()).map(|l| g.label_frequency(l)).sum();
+        prop_assert_eq!(total, g.num_vertices());
+        for l in 0..g.num_labels() {
+            for &v in g.vertices_with_label(l) {
+                prop_assert_eq!(g.label(v), l);
+            }
+        }
+    }
+
+    #[test]
+    fn count_degree_greater_matches_naive(g in arb_graph(24), d in 0u32..8) {
+        let naive = g.vertices().filter(|&v| g.degree(v) > d).count();
+        prop_assert_eq!(g.count_degree_greater(d), naive);
+    }
+
+    #[test]
+    fn nlf_sums_to_degree(g in arb_graph(24)) {
+        for v in g.vertices() {
+            let nlf = g.neighbor_label_frequency(v);
+            prop_assert_eq!(nlf.iter().sum::<u32>(), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn io_round_trip(g in arb_graph(24)) {
+        let mut buf = Vec::new();
+        rlqvo_graph::io::write_graph(&g, &mut buf).unwrap();
+        let g2 = rlqvo_graph::io::read_graph(std::io::Cursor::new(buf), Some(g.num_labels())).unwrap();
+        prop_assert_eq!(g2.num_vertices(), g.num_vertices());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        prop_assert_eq!(g2.labels(), g.labels());
+        for v in g.vertices() {
+            prop_assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn sampled_subgraph_is_connected_induced(seed in 0u64..1000) {
+        // Fixed well-connected host graph; randomness in the walk.
+        let mut b = GraphBuilder::new(3);
+        for i in 0..25u32 {
+            b.add_vertex(i % 3);
+        }
+        for r in 0..5u32 {
+            for c in 0..5u32 {
+                let v = r * 5 + c;
+                if c + 1 < 5 { b.add_edge(v, v + 1); }
+                if r + 1 < 5 { b.add_edge(v, v + 5); }
+            }
+        }
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (q, backing) = extract_connected_subgraph(&g, 8, &mut rng).unwrap();
+        prop_assert!(q.is_connected());
+        // Induced: edge iff edge in host.
+        for i in 0..8u32 {
+            for j in (i + 1)..8u32 {
+                prop_assert_eq!(
+                    q.has_edge(i, j),
+                    g.has_edge(backing[i as usize], backing[j as usize])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Maximum bipartite matching via augmenting paths (Kuhn's algorithm).
+//!
+//! Used by GraphQL's global refinement: a data vertex `v` survives in
+//! `C(u)` only if the bipartite graph between `N(u)` and `N(v)` (edge when
+//! `v' ∈ C(u')`) has a matching saturating `N(u)` — the paper's
+//! "semi-perfect matching" check (§II-C).
+//!
+//! Sizes here are tiny (left side = a query vertex's degree), so Kuhn's
+//! O(V·E) beats the constant factors of Hopcroft–Karp.
+
+/// Maximum matching size in a bipartite graph given as adjacency lists of
+/// the left side (`adj[i]` = right vertices adjacent to left vertex `i`).
+/// `right_count` is the number of right-side vertices.
+pub fn max_bipartite_matching(adj: &[Vec<usize>], right_count: usize) -> usize {
+    let mut match_right: Vec<Option<usize>> = vec![None; right_count];
+    let mut matched = 0usize;
+    let mut visited = vec![u32::MAX; right_count];
+    for (left, _) in adj.iter().enumerate() {
+        if try_kuhn(left, adj, &mut match_right, &mut visited, left as u32) {
+            matched += 1;
+        }
+    }
+    matched
+}
+
+/// True when a matching saturating the whole left side exists.
+pub fn has_left_saturating_matching(adj: &[Vec<usize>], right_count: usize) -> bool {
+    // Hall-style quick reject: any isolated left vertex kills saturation.
+    if adj.iter().any(|a| a.is_empty()) {
+        return false;
+    }
+    max_bipartite_matching(adj, right_count) == adj.len()
+}
+
+fn try_kuhn(
+    left: usize,
+    adj: &[Vec<usize>],
+    match_right: &mut [Option<usize>],
+    visited: &mut [u32],
+    stamp: u32,
+) -> bool {
+    for &r in &adj[left] {
+        if visited[r] == stamp {
+            continue;
+        }
+        visited[r] = stamp;
+        match match_right[r] {
+            None => {
+                match_right[r] = Some(left);
+                return true;
+            }
+            Some(other) => {
+                if try_kuhn(other, adj, match_right, visited, stamp) {
+                    match_right[r] = Some(left);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let adj = vec![vec![0], vec![1], vec![2]];
+        assert_eq!(max_bipartite_matching(&adj, 3), 3);
+        assert!(has_left_saturating_matching(&adj, 3));
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // left0-{r0}, left1-{r0,r1}: saturating requires augmentation.
+        let adj = vec![vec![0], vec![0, 1]];
+        assert_eq!(max_bipartite_matching(&adj, 2), 2);
+        assert!(has_left_saturating_matching(&adj, 2));
+    }
+
+    #[test]
+    fn unsaturable_when_hall_violated() {
+        // Two left vertices share one right vertex.
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(max_bipartite_matching(&adj, 1), 1);
+        assert!(!has_left_saturating_matching(&adj, 1));
+    }
+
+    #[test]
+    fn isolated_left_vertex_fails_fast() {
+        let adj = vec![vec![0], vec![]];
+        assert!(!has_left_saturating_matching(&adj, 1));
+    }
+
+    #[test]
+    fn empty_left_is_trivially_saturated() {
+        let adj: Vec<Vec<usize>> = vec![];
+        assert!(has_left_saturating_matching(&adj, 5));
+    }
+
+    #[test]
+    fn larger_random_instance_agrees_with_greedy_bound() {
+        // A 4x4 complete bipartite graph has a perfect matching.
+        let adj: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        assert_eq!(max_bipartite_matching(&adj, 4), 4);
+    }
+}

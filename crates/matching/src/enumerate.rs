@@ -1,0 +1,392 @@
+//! Phase 3: the recursive enumeration procedure (paper Algorithm 2).
+//!
+//! One shared implementation is used for every ordering method — the
+//! paper's fairness requirement (§IV-C: "all these methods utilize the same
+//! enumeration methods which are implemented in the same way, \[so\] the
+//! enumeration time costs could directly reflect the qualities of the
+//! output matching orders").
+
+use std::time::{Duration, Instant};
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::filter::Candidates;
+
+/// Knobs of an enumeration run. The paper's defaults are
+/// `max_matches = 10^5` and a 500 s time limit; the harness scales both
+/// down (and prints what it used) so figures regenerate quickly.
+#[derive(Clone, Copy, Debug)]
+pub struct EnumConfig {
+    /// Stop after this many matches (`u64::MAX` = find all).
+    pub max_matches: u64,
+    /// Wall-clock budget. Exceeding it marks the query *unsolved*.
+    pub time_limit: Duration,
+    /// Budget on `#enum` (recursive calls); `u64::MAX` = unbounded. Used by
+    /// training, where wall-clock limits would make rewards noisy.
+    pub max_enumerations: u64,
+    /// Record the matches themselves (tests/oracles) or just count them.
+    pub store_matches: bool,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            max_matches: 100_000,
+            time_limit: Duration::from_secs(500),
+            max_enumerations: u64::MAX,
+            store_matches: false,
+        }
+    }
+}
+
+impl EnumConfig {
+    /// Find-all-matches configuration (paper Fig. 4 and Fig. 11 "ALL").
+    pub fn find_all() -> Self {
+        EnumConfig { max_matches: u64::MAX, ..Default::default() }
+    }
+
+    /// Deterministic, wall-clock-free budget used during RL training: the
+    /// reward must depend only on the order, not on machine load.
+    pub fn budgeted(max_enumerations: u64) -> Self {
+        EnumConfig {
+            max_matches: u64::MAX,
+            time_limit: Duration::from_secs(u64::MAX / 4),
+            max_enumerations,
+            store_matches: false,
+        }
+    }
+}
+
+/// Outcome of an enumeration run.
+#[derive(Clone, Debug)]
+pub struct EnumResult {
+    /// Number of matches found (capped by `max_matches`).
+    pub match_count: u64,
+    /// `#enum` — the number of recursive calls of the enumeration
+    /// procedure (Definition II.6), the paper's order-quality metric.
+    pub enumerations: u64,
+    /// Wall-clock time spent enumerating.
+    pub elapsed: Duration,
+    /// True when the time limit expired — the paper's *unsolved* state.
+    pub timed_out: bool,
+    /// True when `max_enumerations` was exhausted.
+    pub budget_exhausted: bool,
+    /// The matches (query-vertex id → data-vertex id, indexed by query
+    /// vertex), populated only when `store_matches` is set.
+    pub matches: Vec<Vec<VertexId>>,
+}
+
+struct Ctx<'a> {
+    g: &'a Graph,
+    cand: &'a Candidates,
+    order: &'a [VertexId],
+    /// Backward neighbours of `order[i]` among `order[..i]` (paper
+    /// Definition II.4), precomputed per position.
+    backward: Vec<Vec<VertexId>>,
+    config: EnumConfig,
+    start: Instant,
+    deadline_hit: bool,
+    budget_hit: bool,
+    enumerations: u64,
+    match_count: u64,
+    mapping: Vec<VertexId>,
+    used: Vec<bool>,
+    matches: Vec<Vec<VertexId>>,
+    scratch: Vec<VertexId>,
+}
+
+/// Runs Algorithm 2: recursively extends partial mappings along `order`.
+///
+/// `order` must be a permutation of the query vertices. Orders whose prefix
+/// is disconnected are legal (the local candidate set falls back to the
+/// full `C(u)` — the Cartesian-product case the paper's connectivity
+/// constraint exists to avoid).
+pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], config: EnumConfig) -> EnumResult {
+    assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
+    debug_assert!(is_permutation(order));
+
+    let start = Instant::now();
+    if cand.any_empty() {
+        // Complete candidate sets: an empty set proves there is no match.
+        return EnumResult {
+            match_count: 0,
+            enumerations: 0,
+            elapsed: start.elapsed(),
+            timed_out: false,
+            budget_exhausted: false,
+            matches: Vec::new(),
+        };
+    }
+
+    let backward = order
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            order[..i].iter().copied().filter(|&p| q.has_edge(p, u)).collect::<Vec<_>>()
+        })
+        .collect();
+
+    let n = q.num_vertices();
+    let mut ctx = Ctx {
+        g,
+        cand,
+        order,
+        backward,
+        config,
+        start,
+        deadline_hit: false,
+        budget_hit: false,
+        enumerations: 0,
+        match_count: 0,
+        mapping: vec![VertexId::MAX; n],
+        used: vec![false; g.num_vertices()],
+        matches: Vec::new(),
+        scratch: Vec::new(),
+    };
+    recurse(&mut ctx, 0);
+    EnumResult {
+        match_count: ctx.match_count,
+        enumerations: ctx.enumerations,
+        elapsed: start.elapsed(),
+        timed_out: ctx.deadline_hit,
+        budget_exhausted: ctx.budget_hit,
+        matches: ctx.matches,
+    }
+}
+
+fn is_permutation(order: &[VertexId]) -> bool {
+    let mut seen = vec![false; order.len()];
+    order.iter().all(|&u| {
+        let i = u as usize;
+        i < seen.len() && !std::mem::replace(&mut seen[i], true)
+    })
+}
+
+/// Returns true when enumeration should stop (caps reached).
+fn recurse(ctx: &mut Ctx<'_>, depth: usize) -> bool {
+    ctx.enumerations += 1;
+    if ctx.enumerations >= ctx.config.max_enumerations {
+        ctx.budget_hit = true;
+        return true;
+    }
+    // Time checks are amortized: Instant::now() every call would dominate
+    // the cost of shallow recursions.
+    if ctx.enumerations & 0x3FF == 0 && ctx.start.elapsed() > ctx.config.time_limit {
+        ctx.deadline_hit = true;
+        return true;
+    }
+    if depth == ctx.order.len() {
+        ctx.match_count += 1;
+        if ctx.config.store_matches {
+            ctx.matches.push(ctx.mapping.clone());
+        }
+        return ctx.match_count >= ctx.config.max_matches;
+    }
+
+    let u = ctx.order[depth];
+    // LC(u, M) goes into a workhorse buffer taken out of ctx and restored
+    // after the loop, so steady-state recursion does not allocate.
+    let local = compute_local_candidates(ctx, u, depth);
+    for &v in &local {
+        if ctx.used[v as usize] {
+            continue;
+        }
+        ctx.mapping[u as usize] = v;
+        ctx.used[v as usize] = true;
+        let stop = recurse(ctx, depth + 1);
+        ctx.used[v as usize] = false;
+        ctx.mapping[u as usize] = VertexId::MAX;
+        if stop {
+            // Return the buffer before unwinding.
+            ctx.scratch = local;
+            return true;
+        }
+    }
+    ctx.scratch = local;
+    false
+}
+
+/// `LC(u, M)` — candidates of `u` adjacent to every already-mapped
+/// backward neighbour (Algorithm 2 line 6). Strategy: scan the adjacency
+/// list of the mapped backward neighbour with the smallest degree and keep
+/// vertices that (a) are in `C(u)` and (b) are adjacent to all remaining
+/// mapped backward neighbours.
+fn compute_local_candidates(ctx: &mut Ctx<'_>, u: VertexId, depth: usize) -> Vec<VertexId> {
+    let mut out = std::mem::take(&mut ctx.scratch);
+    out.clear();
+    let depth_backward = &ctx.backward[depth];
+    if depth_backward.is_empty() {
+        // Disconnected prefix (or the first vertex): full candidate set.
+        out.extend_from_slice(ctx.cand.of(u));
+        return out;
+    }
+    // Pick the mapped image with the smallest adjacency list as the probe.
+    let (&probe_qu, probe_img) = depth_backward
+        .iter()
+        .map(|uq| (uq, ctx.mapping[*uq as usize]))
+        .min_by_key(|&(_, img)| ctx.g.degree(img))
+        .expect("backward neighbours are mapped");
+    let _ = probe_qu;
+    for &v in ctx.g.neighbors(probe_img) {
+        if !ctx.cand.contains(u, v) {
+            continue;
+        }
+        let ok = depth_backward.iter().all(|&uq| {
+            let img = ctx.mapping[uq as usize];
+            img == probe_img || ctx.g.has_edge(img, v)
+        });
+        if ok {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+    use rlqvo_graph::GraphBuilder;
+
+    /// q = triangle with labels 0-1-2; G = two disjoint triangles with the
+    /// same labels.
+    fn two_triangles() -> (Graph, Graph) {
+        let mut qb = GraphBuilder::new(3);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(1);
+        let c = qb.add_vertex(2);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        qb.add_edge(a, c);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(3);
+        for _ in 0..2 {
+            let x = gb.add_vertex(0);
+            let y = gb.add_vertex(1);
+            let z = gb.add_vertex(2);
+            gb.add_edge(x, y);
+            gb.add_edge(y, z);
+            gb.add_edge(x, z);
+        }
+        (q, gb.build())
+    }
+
+    #[test]
+    fn finds_all_matches_in_two_triangles() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let mut cfg = EnumConfig::find_all();
+        cfg.store_matches = true;
+        let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+        assert_eq!(res.match_count, 2);
+        assert!(!res.timed_out);
+        assert_eq!(res.matches.len(), 2);
+        for m in &res.matches {
+            for (u, &v) in m.iter().enumerate() {
+                assert_eq!(q.label(u as u32), g.label(v));
+            }
+        }
+    }
+
+    #[test]
+    fn match_count_independent_of_order() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0]] {
+            let res = enumerate(&q, &g, &cand, &order, EnumConfig::find_all());
+            assert_eq!(res.match_count, 2, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn max_matches_caps_results() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let cfg = EnumConfig { max_matches: 1, ..EnumConfig::find_all() };
+        let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+        assert_eq!(res.match_count, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::budgeted(2));
+        assert!(res.budget_exhausted);
+        assert!(res.enumerations <= 2);
+    }
+
+    #[test]
+    fn empty_candidates_short_circuit() {
+        let (q, g) = two_triangles();
+        let cand = Candidates::new(vec![vec![], vec![1], vec![2]]);
+        let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all());
+        assert_eq!(res.match_count, 0);
+        assert_eq!(res.enumerations, 0);
+    }
+
+    #[test]
+    fn enumerations_counts_recursive_calls() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all());
+        // Root + 2 first-level (two label-0 vertices) + 2 second + 2 third.
+        assert_eq!(res.enumerations, 7);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // q: edge with both endpoints label 0; G: edge 0-1 both label 0.
+        let mut qb = GraphBuilder::new(1);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(1);
+        let x = gb.add_vertex(0);
+        let y = gb.add_vertex(0);
+        gb.add_edge(x, y);
+        let g = gb.build();
+        let cand = LdfFilter.filter(&q, &g);
+        let mut cfg = EnumConfig::find_all();
+        cfg.store_matches = true;
+        let res = enumerate(&q, &g, &cand, &[0, 1], cfg);
+        // (0,1) and (1,0) — but never (0,0) or (1,1).
+        assert_eq!(res.match_count, 2);
+        for m in &res.matches {
+            assert_ne!(m[0], m[1]);
+        }
+    }
+
+    #[test]
+    fn disconnected_prefix_still_correct() {
+        // Path 0-1-2 matched with the disconnected order [0, 2, 1].
+        let mut qb = GraphBuilder::new(2);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(1);
+        let c = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        let x = gb.add_vertex(0);
+        let y = gb.add_vertex(1);
+        let z = gb.add_vertex(0);
+        gb.add_edge(x, y);
+        gb.add_edge(y, z);
+        let g = gb.build();
+        let cand = LdfFilter.filter(&q, &g);
+        let res_conn = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all());
+        let res_disc = enumerate(&q, &g, &cand, &[0, 2, 1], EnumConfig::find_all());
+        assert_eq!(res_conn.match_count, res_disc.match_count);
+        assert_eq!(res_conn.match_count, 2); // the path and its reverse
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover")]
+    fn rejects_short_order() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        enumerate(&q, &g, &cand, &[0, 1], EnumConfig::find_all());
+    }
+}

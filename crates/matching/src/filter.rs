@@ -1,0 +1,364 @@
+//! Phase 1: complete candidate vertex set generation.
+//!
+//! Definition II.2 of the paper: `C(u)` is *complete* when every data
+//! vertex that participates in some match as the image of `u` is contained
+//! in `C(u)`. All filters here only remove vertices that provably cannot
+//! appear in any match, so completeness is preserved (property-tested
+//! against the brute-force oracle in `tests/oracle.rs`).
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::bipartite::has_left_saturating_matching;
+
+/// Per-query-vertex candidate sets. Each set is sorted ascending, which the
+/// enumeration engine exploits for binary-search membership tests.
+#[derive(Clone, Debug)]
+pub struct Candidates {
+    sets: Vec<Vec<VertexId>>,
+}
+
+impl Candidates {
+    /// Wraps raw candidate sets (each must be sorted).
+    pub fn new(sets: Vec<Vec<VertexId>>) -> Self {
+        debug_assert!(sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+        Candidates { sets }
+    }
+
+    /// Candidate set `C(u)`.
+    #[inline]
+    pub fn of(&self, u: VertexId) -> &[VertexId] {
+        &self.sets[u as usize]
+    }
+
+    /// `|C(u)|`.
+    #[inline]
+    pub fn len_of(&self, u: VertexId) -> usize {
+        self.sets[u as usize].len()
+    }
+
+    /// True when `v ∈ C(u)` (binary search).
+    #[inline]
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.sets[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Number of query vertices covered.
+    pub fn num_query_vertices(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when some candidate set is empty — the query has no match and
+    /// enumeration can be skipped entirely.
+    pub fn any_empty(&self) -> bool {
+        self.sets.iter().any(|s| s.is_empty())
+    }
+
+    /// Total candidate count across query vertices.
+    pub fn total(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Phase-1 strategy: builds complete candidate sets for all query vertices.
+///
+/// `Send + Sync` so the experiment harness can evaluate queries in
+/// parallel against one shared filter instance.
+pub trait CandidateFilter: Send + Sync {
+    /// Short name for reports ("LDF", "NLF", "GQL").
+    fn name(&self) -> &'static str;
+    /// Builds `C(u)` for every `u ∈ V(q)`.
+    fn filter(&self, q: &Graph, g: &Graph) -> Candidates;
+}
+
+/// Label-and-degree filter: `v ∈ C(u)` iff `f_l(v) = f_l(u)` and
+/// `d(v) ≥ d(u)`. The weakest (and cheapest) complete filter; also the
+/// candidate structure QuickSI effectively works against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LdfFilter;
+
+impl CandidateFilter for LdfFilter {
+    fn name(&self) -> &'static str {
+        "LDF"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph) -> Candidates {
+        let sets = q
+            .vertices()
+            .map(|u| {
+                let du = q.degree(u);
+                g.vertices_with_label(q.label(u)).iter().copied().filter(|&v| g.degree(v) >= du).collect()
+            })
+            .collect();
+        Candidates::new(sets)
+    }
+}
+
+/// Neighbour-label-frequency filter: LDF plus the requirement that for
+/// every label `l`, `u` has no more `l`-labeled neighbours than `v`. This
+/// is exactly GraphQL's *profile-based local pruning* (the profile of a
+/// vertex is the sorted multiset of its own and its neighbours' labels;
+/// sub-sequence containment of sorted multisets ⇔ per-label counting
+/// dominance).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NlfFilter;
+
+impl CandidateFilter for NlfFilter {
+    fn name(&self) -> &'static str {
+        "NLF"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph) -> Candidates {
+        let sets = q
+            .vertices()
+            .map(|u| {
+                let du = q.degree(u);
+                let nlf_u = q.neighbor_label_frequency(u);
+                g.vertices_with_label(q.label(u))
+                    .iter()
+                    .copied()
+                    .filter(|&v| g.degree(v) >= du && nlf_dominates(g, v, &nlf_u))
+                    .collect()
+            })
+            .collect();
+        Candidates::new(sets)
+    }
+}
+
+/// True when `v`'s neighbour-label counts dominate the query vector
+/// `nlf_u`, computed without materialising `v`'s full NLF vector.
+fn nlf_dominates(g: &Graph, v: VertexId, nlf_u: &[u32]) -> bool {
+    // Count v's neighbour labels once into a scratch vector.
+    // Query NLF vectors are short (≤ |L|); data degree can be large, so a
+    // single pass over N(v) with an accumulation array is the right shape.
+    let mut counts = vec![0u32; nlf_u.len()];
+    for &w in g.neighbors(v) {
+        let l = g.label(w) as usize;
+        if l < counts.len() {
+            counts[l] += 1;
+        }
+    }
+    nlf_u.iter().zip(&counts).all(|(&need, &have)| have >= need)
+}
+
+/// GraphQL's candidate filter (the one `Hybrid` uses): NLF-style local
+/// pruning followed by `refinement_rounds` of global refinement. A
+/// candidate `v ∈ C(u)` survives a round only if the bipartite graph
+/// between `N(u)` and `N(v)` — with an edge `(u', v')` whenever
+/// `v' ∈ C(u')` — has a matching saturating `N(u)` (paper §II-C).
+#[derive(Clone, Copy, Debug)]
+pub struct GqlFilter {
+    /// Number of global-refinement sweeps (GraphQL converges quickly; the
+    /// in-memory study uses a small constant).
+    pub refinement_rounds: usize,
+}
+
+impl Default for GqlFilter {
+    fn default() -> Self {
+        GqlFilter { refinement_rounds: 2 }
+    }
+}
+
+impl CandidateFilter for GqlFilter {
+    fn name(&self) -> &'static str {
+        "GQL"
+    }
+
+    fn filter(&self, q: &Graph, g: &Graph) -> Candidates {
+        let mut cand = NlfFilter.filter(q, g);
+        for _ in 0..self.refinement_rounds {
+            let mut changed = false;
+            let mut new_sets: Vec<Vec<VertexId>> = Vec::with_capacity(q.num_vertices());
+            for u in q.vertices() {
+                let qu_neighbors = q.neighbors(u);
+                let kept: Vec<VertexId> = cand
+                    .of(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| semi_perfect_ok(q, g, &cand, qu_neighbors, v))
+                    .collect();
+                if kept.len() != cand.len_of(u) {
+                    changed = true;
+                }
+                new_sets.push(kept);
+            }
+            cand = Candidates::new(new_sets);
+            if !changed {
+                break;
+            }
+        }
+        cand
+    }
+}
+
+fn semi_perfect_ok(q: &Graph, g: &Graph, cand: &Candidates, qu_neighbors: &[VertexId], v: VertexId) -> bool {
+    let gv_neighbors = g.neighbors(v);
+    // Build the bipartite graph: left = N(u) in q, right = N(v) in G.
+    let mut adj: Vec<Vec<usize>> = Vec::with_capacity(qu_neighbors.len());
+    for &uq in qu_neighbors {
+        let mut row = Vec::new();
+        for (ri, &vg) in gv_neighbors.iter().enumerate() {
+            // Cheap label pre-check before the binary search.
+            if g.label(vg) == q.label(uq) && cand.contains(uq, vg) {
+                row.push(ri);
+            }
+        }
+        if row.is_empty() {
+            return false; // Hall violation, no need to run matching
+        }
+        adj.push(row);
+    }
+    has_left_saturating_matching(&adj, gv_neighbors.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_graph::GraphBuilder;
+
+    /// q: triangle A-B-C. G: triangle A-B-C plus a pendant A attached to B.
+    fn triangle_case() -> (Graph, Graph) {
+        let mut qb = GraphBuilder::new(3);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(1);
+        let c = qb.add_vertex(2);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        qb.add_edge(a, c);
+        let q = qb.build();
+
+        let mut gb = GraphBuilder::new(3);
+        let ga = gb.add_vertex(0);
+        let gbv = gb.add_vertex(1);
+        let gc = gb.add_vertex(2);
+        let pendant = gb.add_vertex(0); // label A, degree 1
+        gb.add_edge(ga, gbv);
+        gb.add_edge(gbv, gc);
+        gb.add_edge(ga, gc);
+        gb.add_edge(gbv, pendant);
+        (q, gb.build())
+    }
+
+    #[test]
+    fn ldf_keeps_label_matches_with_enough_degree() {
+        let (q, g) = triangle_case();
+        let c = LdfFilter.filter(&q, &g);
+        // Query vertex 0 (label A, degree 2): data vertex 0 qualifies; the
+        // pendant (degree 1) does not.
+        assert_eq!(c.of(0), &[0]);
+        assert_eq!(c.of(1), &[1]);
+        assert_eq!(c.of(2), &[2]);
+    }
+
+    #[test]
+    fn nlf_prunes_on_neighbor_labels() {
+        // q: center labeled 0 with two neighbours labeled 1 and 2.
+        let mut qb = GraphBuilder::new(3);
+        let c = qb.add_vertex(0);
+        let x = qb.add_vertex(1);
+        let y = qb.add_vertex(2);
+        qb.add_edge(c, x);
+        qb.add_edge(c, y);
+        let q = qb.build();
+        // G: one center with neighbours {1,2} (good) and one with {1,1} (bad).
+        let mut gb = GraphBuilder::new(3);
+        let good = gb.add_vertex(0);
+        let g1 = gb.add_vertex(1);
+        let g2 = gb.add_vertex(2);
+        gb.add_edge(good, g1);
+        gb.add_edge(good, g2);
+        let bad = gb.add_vertex(0);
+        let b1 = gb.add_vertex(1);
+        let b2 = gb.add_vertex(1);
+        gb.add_edge(bad, b1);
+        gb.add_edge(bad, b2);
+        let g = gb.build();
+
+        let ldf = LdfFilter.filter(&q, &g);
+        assert_eq!(ldf.of(0), &[good, bad]); // LDF cannot tell them apart
+        let nlf = NlfFilter.filter(&q, &g);
+        assert_eq!(nlf.of(0), &[good]); // NLF can
+    }
+
+    #[test]
+    fn gql_global_refinement_prunes_unmatchable() {
+        // q: center c(0) with two label-1 arms x, y, each arm carrying a
+        // label-2 leaf. A data center must have two DISTINCT label-1
+        // neighbours that each reach a label-2 vertex — a 2-hop constraint
+        // NLF cannot see (it is 1-hop) but the semi-perfect matching check
+        // catches through the arms' candidate sets.
+        let mut qb = GraphBuilder::new(3);
+        let c = qb.add_vertex(0);
+        let x = qb.add_vertex(1);
+        let y = qb.add_vertex(1);
+        let z1 = qb.add_vertex(2);
+        let z2 = qb.add_vertex(2);
+        qb.add_edge(c, x);
+        qb.add_edge(c, y);
+        qb.add_edge(x, z1);
+        qb.add_edge(y, z2);
+        let q = qb.build();
+
+        let mut gb = GraphBuilder::new(3);
+        // good center: both arms reach a label-2 leaf.
+        let good = gb.add_vertex(0);
+        let ga = gb.add_vertex(1);
+        let gb2 = gb.add_vertex(1);
+        let t1 = gb.add_vertex(2);
+        let t2 = gb.add_vertex(2);
+        gb.add_edge(good, ga);
+        gb.add_edge(good, gb2);
+        gb.add_edge(ga, t1);
+        gb.add_edge(gb2, t2);
+        // bad center: two label-1 neighbours (NLF passes) but only ONE of
+        // them reaches a label-2 leaf, so its arms cannot be saturated.
+        let bad = gb.add_vertex(0);
+        let ba = gb.add_vertex(1);
+        let bb = gb.add_vertex(1);
+        let t3 = gb.add_vertex(2);
+        gb.add_edge(bad, ba);
+        gb.add_edge(bad, bb);
+        gb.add_edge(ba, t3);
+        // bb needs degree >= 2 to stay an arm candidate on degree grounds;
+        // give it a label-1 neighbour (useless for the label-2 requirement).
+        let filler = gb.add_vertex(1);
+        gb.add_edge(bb, filler);
+        let g = gb.build();
+
+        let nlf = NlfFilter.filter(&q, &g);
+        assert!(nlf.of(0).contains(&bad), "NLF alone keeps the bad center");
+        assert!(!nlf.of(1).contains(&bb), "NLF drops bb from the arm candidates");
+        let gql = GqlFilter::default().filter(&q, &g);
+        assert_eq!(gql.of(0), &[good], "global refinement prunes the bad center");
+    }
+
+    #[test]
+    fn empty_candidate_detection() {
+        let mut qb = GraphBuilder::new(5);
+        qb.add_vertex(4);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(5);
+        gb.add_vertex(0);
+        let g = gb.build();
+        let c = LdfFilter.filter(&q, &g);
+        assert!(c.any_empty());
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn candidates_accessors() {
+        let c = Candidates::new(vec![vec![1, 3, 5], vec![]]);
+        assert_eq!(c.num_query_vertices(), 2);
+        assert_eq!(c.len_of(0), 3);
+        assert!(c.contains(0, 3));
+        assert!(!c.contains(0, 2));
+        assert!(c.any_empty());
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn filter_names() {
+        assert_eq!(LdfFilter.name(), "LDF");
+        assert_eq!(NlfFilter.name(), "NLF");
+        assert_eq!(GqlFilter::default().name(), "GQL");
+    }
+}

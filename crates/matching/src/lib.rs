@@ -1,0 +1,38 @@
+//! # rlqvo-matching
+//!
+//! A backtracking subgraph-matching engine implementing the three-phase
+//! framework the RL-QVO paper builds on (Algorithm 1 of the paper, after
+//! Sun & Luo's SIGMOD'20 in-memory study):
+//!
+//! 1. **Candidate filtering** ([`filter`]) — [`filter::LdfFilter`] (label +
+//!    degree), [`filter::NlfFilter`] (neighbour-label frequency) and
+//!    [`filter::GqlFilter`] (GraphQL: NLF-style local pruning plus global
+//!    refinement via semi-perfect bipartite matching) — the filter `Hybrid`
+//!    uses.
+//! 2. **Ordering** ([`order`]) — QuickSI, RI, VF2++, GraphQL, CFL, VEQ and
+//!    an exhaustive [`order::OptimalOrdering`], all behind the
+//!    [`order::OrderingMethod`] trait. RL-QVO's learned ordering implements
+//!    the same trait from the `rlqvo-core` crate.
+//! 3. **Enumeration** ([`enumerate()`]) — the recursive procedure of the
+//!    paper's Algorithm 2, with `#enum` counting, match caps, time limits
+//!    and enumeration budgets. Every ordering method is evaluated through
+//!    this single implementation, exactly as the paper requires for a fair
+//!    comparison.
+//!
+//! [`pipeline`] wires the three phases together and times each one, so the
+//! harness can report `t = t_filter + t_order + t_enum` (paper §IV-B).
+//! [`naive`] holds a brute-force enumerator used as a correctness oracle in
+//! tests.
+
+pub mod bipartite;
+pub mod enumerate;
+pub mod filter;
+pub mod naive;
+pub mod nec;
+pub mod order;
+pub mod pipeline;
+
+pub use enumerate::{enumerate, EnumConfig, EnumResult};
+pub use filter::{CandidateFilter, Candidates, GqlFilter, LdfFilter, NlfFilter};
+pub use order::{OrderingMethod, connected_prefix_ok};
+pub use pipeline::{run_pipeline, Pipeline, PipelineResult};

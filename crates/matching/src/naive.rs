@@ -1,0 +1,113 @@
+//! Brute-force subgraph-isomorphism oracle for tests.
+//!
+//! Enumerates every injective, label-preserving, edge-preserving mapping by
+//! trying all data vertices per query vertex in id order, with no
+//! filtering, ordering heuristics or pruning beyond immediate consistency.
+//! Exponential — only for graphs small enough for tests — but obviously
+//! correct, which is the point.
+
+use rlqvo_graph::{Graph, VertexId};
+
+/// All subgraph-isomorphism embeddings of `q` in `g`, each a vector indexed
+/// by query vertex. The result is sorted for stable comparisons.
+pub fn all_matches(q: &Graph, g: &Graph) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    let mut mapping = vec![VertexId::MAX; q.num_vertices()];
+    let mut used = vec![false; g.num_vertices()];
+    recurse(q, g, 0, &mut mapping, &mut used, &mut out);
+    out.sort();
+    out
+}
+
+fn recurse(
+    q: &Graph,
+    g: &Graph,
+    u: usize,
+    mapping: &mut Vec<VertexId>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    if u == q.num_vertices() {
+        out.push(mapping.clone());
+        return;
+    }
+    for v in g.vertices() {
+        if used[v as usize] || g.label(v) != q.label(u as VertexId) {
+            continue;
+        }
+        // Edge preservation against all previously mapped query vertices
+        // (both directions: induced is NOT required — subgraph isomorphism
+        // per Definition II.1 only demands query edges map to data edges).
+        let consistent = (0..u).all(|p| {
+            !q.has_edge(p as VertexId, u as VertexId) || g.has_edge(mapping[p], v)
+        });
+        if !consistent {
+            continue;
+        }
+        mapping[u] = v;
+        used[v as usize] = true;
+        recurse(q, g, u + 1, mapping, used, out);
+        used[v as usize] = false;
+        mapping[u] = VertexId::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_graph::GraphBuilder;
+
+    #[test]
+    fn edge_in_triangle_has_six_embeddings() {
+        let mut qb = GraphBuilder::new(1);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(1);
+        let x = gb.add_vertex(0);
+        let y = gb.add_vertex(0);
+        let z = gb.add_vertex(0);
+        gb.add_edge(x, y);
+        gb.add_edge(y, z);
+        gb.add_edge(x, z);
+        let g = gb.build();
+        // 3 edges × 2 directions.
+        assert_eq!(all_matches(&q, &g).len(), 6);
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // q = path a-b-c; G = triangle. The path embeds even though the
+        // data graph has the extra chord (subgraph, not induced, matching).
+        let mut qb = GraphBuilder::new(1);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(0);
+        let c = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(1);
+        let x = gb.add_vertex(0);
+        let y = gb.add_vertex(0);
+        let z = gb.add_vertex(0);
+        gb.add_edge(x, y);
+        gb.add_edge(y, z);
+        gb.add_edge(x, z);
+        let g = gb.build();
+        assert_eq!(all_matches(&q, &g).len(), 6);
+    }
+
+    #[test]
+    fn labels_restrict_matches() {
+        let mut qb = GraphBuilder::new(2);
+        qb.add_vertex(1);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        gb.add_vertex(0);
+        gb.add_vertex(1);
+        let g = gb.build();
+        let ms = all_matches(&q, &g);
+        assert_eq!(ms, vec![vec![1]]);
+    }
+}

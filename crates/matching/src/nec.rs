@@ -1,0 +1,118 @@
+//! Neighbour Equivalence Classes (NEC) of degree-one query vertices.
+//!
+//! VEQ (paper §II-C) groups degree-one query vertices that share the same
+//! label *and* the same (single) neighbour: their candidates are
+//! interchangeable, so matching them eagerly only multiplies redundant
+//! permutations. The VEQ-style ordering uses class sizes to defer them.
+
+use rlqvo_graph::{Graph, VertexId};
+
+/// One equivalence class: degree-one vertices with identical label and
+/// neighbour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NecClass {
+    /// Shared label of all members.
+    pub label: u32,
+    /// The single common neighbour.
+    pub anchor: VertexId,
+    /// Members (sorted by id).
+    pub members: Vec<VertexId>,
+}
+
+/// Computes the NEC partition of all degree-one vertices of `q`.
+/// Vertices of degree ≠ 1 are not covered by any class.
+pub fn nec_classes(q: &Graph) -> Vec<NecClass> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<(u32, VertexId), Vec<VertexId>> = HashMap::new();
+    for u in q.vertices() {
+        if q.degree(u) == 1 {
+            let anchor = q.neighbors(u)[0];
+            groups.entry((q.label(u), anchor)).or_default().push(u);
+        }
+    }
+    let mut classes: Vec<NecClass> = groups
+        .into_iter()
+        .map(|((label, anchor), mut members)| {
+            members.sort_unstable();
+            NecClass { label, anchor, members }
+        })
+        .collect();
+    classes.sort_by_key(|c| (c.anchor, c.label));
+    classes
+}
+
+/// Size of the NEC class containing `u` (1 when `u` is in no class —
+/// higher-degree vertices are their own singleton for ordering purposes).
+pub fn nec_size(classes: &[NecClass], u: VertexId) -> usize {
+    classes.iter().find(|c| c.members.contains(&u)).map(|c| c.members.len()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlqvo_graph::GraphBuilder;
+
+    /// Star: center 0 (label 0) with three leaves — two label-1, one label-2.
+    fn star() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        let c = b.add_vertex(0);
+        let l1 = b.add_vertex(1);
+        let l2 = b.add_vertex(1);
+        let l3 = b.add_vertex(2);
+        b.add_edge(c, l1);
+        b.add_edge(c, l2);
+        b.add_edge(c, l3);
+        b.build()
+    }
+
+    #[test]
+    fn groups_same_label_leaves() {
+        let q = star();
+        let classes = nec_classes(&q);
+        assert_eq!(classes.len(), 2);
+        let big = classes.iter().find(|c| c.label == 1).unwrap();
+        assert_eq!(big.members, vec![1, 2]);
+        assert_eq!(big.anchor, 0);
+        let small = classes.iter().find(|c| c.label == 2).unwrap();
+        assert_eq!(small.members, vec![3]);
+    }
+
+    #[test]
+    fn nec_size_lookup() {
+        let q = star();
+        let classes = nec_classes(&q);
+        assert_eq!(nec_size(&classes, 1), 2);
+        assert_eq!(nec_size(&classes, 2), 2);
+        assert_eq!(nec_size(&classes, 3), 1);
+        assert_eq!(nec_size(&classes, 0), 1, "center is no class member");
+    }
+
+    #[test]
+    fn leaves_with_different_anchors_are_separate() {
+        // Path 0-1, plus leaves 2 (on 0) and 3 (on 1), same label.
+        let mut b = GraphBuilder::new(2);
+        let a = b.add_vertex(0);
+        let c = b.add_vertex(0);
+        let l1 = b.add_vertex(1);
+        let l2 = b.add_vertex(1);
+        b.add_edge(a, c);
+        b.add_edge(a, l1);
+        b.add_edge(c, l2);
+        let q = b.build();
+        let classes = nec_classes(&q);
+        assert_eq!(classes.len(), 2);
+        assert!(classes.iter().all(|cl| cl.members.len() == 1));
+    }
+
+    #[test]
+    fn no_degree_one_vertices_no_classes() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.add_vertex(0);
+        let y = b.add_vertex(0);
+        let z = b.add_vertex(0);
+        b.add_edge(x, y);
+        b.add_edge(y, z);
+        b.add_edge(x, z);
+        assert!(nec_classes(&b.build()).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! CFL-style path-based ordering (Bi et al., SIGMOD 2016).
+//!
+//! CFL decomposes the query into a core, forest and leaves and orders
+//! root-to-leaf *paths* by their estimated embedding counts so cheap paths
+//! come first and Cartesian products are postponed. This implementation
+//! keeps the path-based heart of the method: build a BFS tree from a
+//! low-candidate root, decompose into root-to-leaf paths, estimate each
+//! path's cardinality as the product of its vertices' candidate sizes, and
+//! emit paths in ascending estimated cardinality (new vertices only).
+//! The full core-forest-leaf machinery is approximated — see DESIGN.md §2.
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::filter::Candidates;
+use crate::order::OrderingMethod;
+
+/// CFL's path-based order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CflOrdering;
+
+impl OrderingMethod for CflOrdering {
+    fn name(&self) -> &str {
+        "CFL"
+    }
+
+    fn order(&self, q: &Graph, _g: &Graph, cand: &Candidates) -> Vec<VertexId> {
+        let n = q.num_vertices();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Root: minimum |C(u)| / d(u) — CFL's start-vertex rule.
+        let root = q
+            .vertices()
+            .min_by(|&a, &b| {
+                let ka = cand.len_of(a) as f64 / q.degree(a).max(1) as f64;
+                let kb = cand.len_of(b) as f64 / q.degree(b).max(1) as f64;
+                ka.partial_cmp(&kb).unwrap().then(a.cmp(&b))
+            })
+            .expect("non-empty query");
+
+        // BFS tree.
+        let mut parent: Vec<Option<VertexId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut bfs = std::collections::VecDeque::new();
+        visited[root as usize] = true;
+        bfs.push_back(root);
+        let mut tree_order: Vec<VertexId> = Vec::with_capacity(n);
+        while let Some(u) = bfs.pop_front() {
+            tree_order.push(u);
+            for &nb in q.neighbors(u) {
+                if !visited[nb as usize] {
+                    visited[nb as usize] = true;
+                    parent[nb as usize] = Some(u);
+                    bfs.push_back(nb);
+                }
+            }
+        }
+
+        // Root-to-leaf paths (a leaf = vertex that is nobody's parent).
+        let mut is_parent = vec![false; n];
+        for v in q.vertices() {
+            if let Some(p) = parent[v as usize] {
+                is_parent[p as usize] = true;
+            }
+        }
+        let mut paths: Vec<(f64, Vec<VertexId>)> = Vec::new();
+        for v in q.vertices() {
+            if visited[v as usize] && !is_parent[v as usize] && v != root {
+                let mut path = vec![v];
+                let mut cur = v;
+                while let Some(p) = parent[cur as usize] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse(); // root ... leaf
+                let cardinality: f64 = path.iter().map(|&u| cand.len_of(u).max(1) as f64).product();
+                paths.push((cardinality, path));
+            }
+        }
+        paths.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut in_order = vec![false; n];
+        let push = |u: VertexId, order: &mut Vec<VertexId>, in_order: &mut Vec<bool>| {
+            if !in_order[u as usize] {
+                in_order[u as usize] = true;
+                order.push(u);
+            }
+        };
+        push(root, &mut order, &mut in_order);
+        for (_, path) in paths {
+            for u in path {
+                push(u, &mut order, &mut in_order);
+            }
+        }
+        // Disconnected queries: leftover components in BFS order.
+        for u in tree_order {
+            push(u, &mut order, &mut in_order);
+        }
+        for u in q.vertices() {
+            push(u, &mut order, &mut in_order);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+    use crate::order::testutil::{assert_permutation, fig1_data, fig1_query};
+    use rlqvo_graph::GraphBuilder;
+
+    #[test]
+    fn produces_connected_permutation() {
+        let q = fig1_query();
+        let g = fig1_data();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = CflOrdering.order(&q, &g, &cand);
+        assert_permutation(&order, 4);
+        assert!(crate::order::connected_prefix_ok(&q, &order));
+    }
+
+    #[test]
+    fn cheap_path_first() {
+        // Spider: root 0 with two legs 0-1-2 (big candidates) and
+        // 0-3-4 (small candidates).
+        let mut qb = GraphBuilder::new(1);
+        for _ in 0..5 {
+            qb.add_vertex(0);
+        }
+        qb.add_edge(0, 1);
+        qb.add_edge(1, 2);
+        qb.add_edge(0, 3);
+        qb.add_edge(3, 4);
+        let q = qb.build();
+        let g = q.clone();
+        let cand = Candidates::new(vec![
+            vec![0],          // root: forced as start (|C|/d smallest)
+            vec![0, 1, 2, 3], // leg A is expensive
+            vec![0, 1, 2, 3],
+            vec![0],          // leg B is cheap
+            vec![0],
+        ]);
+        let order = CflOrdering.order(&q, &g, &cand);
+        assert_eq!(order, vec![0, 3, 4, 1, 2], "cheap path before expensive path");
+    }
+
+    #[test]
+    fn single_vertex() {
+        let mut qb = GraphBuilder::new(1);
+        qb.add_vertex(0);
+        let q = qb.build();
+        let g = q.clone();
+        let cand = LdfFilter.filter(&q, &g);
+        assert_eq!(CflOrdering.order(&q, &g, &cand), vec![0]);
+    }
+}

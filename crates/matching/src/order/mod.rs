@@ -1,0 +1,198 @@
+//! Phase 2: matching-order (query-vertex-order) generation.
+//!
+//! Every method implements [`OrderingMethod`] and produces a permutation of
+//! the query vertices. All heuristic methods here generate *connected*
+//! orders (each vertex after the first has a backward neighbour), the
+//! constraint the paper's action space enforces for RL-QVO too.
+//!
+//! Implemented methods and their sources:
+//! * [`RiOrdering`] — RI (Bonnici et al., BMC Bioinformatics 2013), the
+//!   ordering `Hybrid` uses; reproduces the paper's §II-C description
+//!   including both tie-breaker levels.
+//! * [`QsiOrdering`] — QuickSI's infrequent-edge-first order.
+//! * [`Vf2ppOrdering`] — VF2++'s BFS, infrequent-label-first order.
+//! * [`GqlOrdering`] — GraphQL's greedy minimum-candidate-set order.
+//! * [`CflOrdering`] — CFL's path-based order (path cardinality estimate).
+//! * [`VeqOrdering`] — VEQ-style candidate-size + NEC order (approximation:
+//!   see DESIGN.md §2).
+//! * [`OptimalOrdering`] — exhaustive minimum-`#enum` order (paper §IV-C's
+//!   `Opt` spectrum baseline), tractable for small queries only.
+
+mod cfl;
+mod gql;
+mod optimal;
+mod qsi;
+mod ri;
+mod veq;
+mod vf2pp;
+
+pub use cfl::CflOrdering;
+pub use gql::GqlOrdering;
+pub use optimal::OptimalOrdering;
+pub use qsi::QsiOrdering;
+pub use ri::RiOrdering;
+pub use veq::VeqOrdering;
+pub use vf2pp::Vf2ppOrdering;
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::filter::Candidates;
+
+/// A matching-order generator (paper Definition II.3).
+///
+/// `Send + Sync` so the experiment harness can evaluate queries in
+/// parallel against one shared method instance.
+pub trait OrderingMethod: Send + Sync {
+    /// Display name ("RI", "QSI", "RL-QVO", ...).
+    fn name(&self) -> &str;
+
+    /// Produces a permutation of `V(q)`. Implementations may consult the
+    /// data graph (label/degree statistics) and the candidate sets
+    /// (GQL/CFL/VEQ do; RI/QSI/VF2++ do not).
+    fn order(&self, q: &Graph, g: &Graph, cand: &Candidates) -> Vec<VertexId>;
+}
+
+/// True when every vertex after the first has a neighbour earlier in the
+/// order — the connectivity constraint shared by all methods here.
+/// (Disconnected *query graphs* are exempt at the component boundary.)
+pub fn connected_prefix_ok(q: &Graph, order: &[VertexId]) -> bool {
+    for (i, &u) in order.iter().enumerate().skip(1) {
+        let has_backward = order[..i].iter().any(|&p| q.has_edge(p, u));
+        if !has_backward {
+            // Allowed only if u is disconnected from ALL earlier vertices'
+            // component — approximated by: u has no neighbour at all among
+            // the earlier vertices AND no earlier vertex reaches it. For
+            // connected queries (the paper's setting) this reduces to
+            // failure.
+            if q.is_connected() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Shared helper: the vertices adjacent to the ordered prefix but not yet
+/// ordered — both RI's candidate pool and RL-QVO's action space
+/// `N(φ_t)` (paper §III-C).
+pub fn frontier(q: &Graph, ordered: &[VertexId], in_order: &[bool]) -> Vec<VertexId> {
+    let mut seen = vec![false; q.num_vertices()];
+    let mut out = Vec::new();
+    for &u in ordered {
+        for &nb in q.neighbors(u) {
+            if !in_order[nb as usize] && !seen[nb as usize] {
+                seen[nb as usize] = true;
+                out.push(nb);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rlqvo_graph::{Graph, GraphBuilder};
+
+    /// The paper's Figure 1 query: u1(A)–u2(B), u1–u3(C), u2–u4(D), u3–u4,
+    /// u2–u3. Vertex ids: u1=0, u2=1, u3=2, u4=3; labels A=0,B=1,C=2,D=3.
+    pub fn fig1_query() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        let u1 = b.add_vertex(0);
+        let u2 = b.add_vertex(1);
+        let u3 = b.add_vertex(2);
+        let u4 = b.add_vertex(3);
+        b.add_edge(u1, u2);
+        b.add_edge(u1, u3);
+        b.add_edge(u2, u3);
+        b.add_edge(u2, u4);
+        b.add_edge(u3, u4);
+        b.build()
+    }
+
+    /// The paper's Figure 1 data graph (13 vertices): v1(A) adjacent to
+    /// v2(B), v3(C), v4(B), v5(C), v6(C)... reproduced structurally close:
+    /// one A hub, B/C middle layer, D leaves.
+    pub fn fig1_data() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        let v1 = b.add_vertex(0); // A
+        let v2 = b.add_vertex(1); // B
+        let v3 = b.add_vertex(2); // C
+        let v4 = b.add_vertex(1); // B
+        let v5 = b.add_vertex(2); // C
+        let v6 = b.add_vertex(1); // B
+        let v7 = b.add_vertex(2); // C
+        let d: Vec<_> = (0..6).map(|_| b.add_vertex(3)).collect(); // D row
+        for &m in &[v2, v3, v4, v5] {
+            b.add_edge(v1, m);
+        }
+        b.add_edge(v2, v3);
+        b.add_edge(v4, v5);
+        b.add_edge(v6, v7);
+        b.add_edge(v4, d[0]);
+        b.add_edge(v5, d[0]);
+        b.add_edge(v4, d[1]);
+        b.add_edge(v5, d[1]);
+        b.add_edge(v6, d[2]);
+        b.add_edge(v7, d[2]);
+        b.add_edge(v2, d[3]);
+        b.add_edge(v3, d[3]);
+        b.add_edge(v6, d[4]);
+        b.add_edge(v7, d[5]);
+        b.build()
+    }
+
+    /// Asserts `order` is a permutation of `0..n`.
+    pub fn assert_permutation(order: &[u32], n: usize) {
+        assert_eq!(order.len(), n);
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(sorted, expect, "not a permutation: {order:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+
+    #[test]
+    fn connected_prefix_validation() {
+        let q = fig1_query();
+        assert!(connected_prefix_ok(&q, &[0, 1, 2, 3]));
+        assert!(connected_prefix_ok(&q, &[3, 1, 0, 2]));
+        assert!(!connected_prefix_ok(&q, &[0, 3, 1, 2]), "0 and 3 are not adjacent");
+    }
+
+    #[test]
+    fn frontier_matches_action_space_definition() {
+        let q = fig1_query();
+        let mut in_order = vec![false; 4];
+        in_order[0] = true;
+        assert_eq!(frontier(&q, &[0], &in_order), vec![1, 2]);
+        in_order[1] = true;
+        assert_eq!(frontier(&q, &[0, 1], &in_order), vec![2, 3]);
+    }
+
+    #[test]
+    fn all_heuristics_produce_connected_permutations() {
+        let q = fig1_query();
+        let g = fig1_data();
+        let cand = LdfFilter.filter(&q, &g);
+        let methods: Vec<Box<dyn OrderingMethod>> = vec![
+            Box::new(RiOrdering),
+            Box::new(QsiOrdering),
+            Box::new(Vf2ppOrdering),
+            Box::new(GqlOrdering),
+            Box::new(CflOrdering),
+            Box::new(VeqOrdering),
+        ];
+        for m in &methods {
+            let order = m.order(&q, &g, &cand);
+            assert_permutation(&order, 4);
+            assert!(connected_prefix_ok(&q, &order), "{} produced {order:?}", m.name());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! QuickSI ordering (Shang et al., VLDB 2008): infrequent-edge first.
+//!
+//! The query is viewed as a weighted graph whose edge weights are the
+//! frequencies of the edge's label pair among the data graph's edges; a
+//! Prim-style growth repeatedly takes the cheapest edge leaving the grown
+//! tree, so rare structures are matched early and prune aggressively.
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::filter::Candidates;
+use crate::order::OrderingMethod;
+
+/// QuickSI's infrequent-edge-first order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QsiOrdering;
+
+impl OrderingMethod for QsiOrdering {
+    fn name(&self) -> &str {
+        "QSI"
+    }
+
+    fn order(&self, q: &Graph, g: &Graph, _cand: &Candidates) -> Vec<VertexId> {
+        let n = q.num_vertices();
+        if n == 0 {
+            return Vec::new();
+        }
+        let freq = g.edge_label_pair_frequencies();
+        let weight = |u: VertexId, v: VertexId| -> u64 {
+            let (a, b) = {
+                let (la, lb) = (q.label(u), q.label(v));
+                if la <= lb {
+                    (la, lb)
+                } else {
+                    (lb, la)
+                }
+            };
+            freq.get(&(a, b)).copied().unwrap_or(0)
+        };
+
+        // Seed with the globally cheapest edge; its rarer-label endpoint
+        // (by data label frequency) goes first.
+        let seed = q.edges().min_by_key(|&(u, v)| (weight(u, v), u, v));
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut in_order = vec![false; n];
+        match seed {
+            Some((u, v)) => {
+                let (first, second) = if g.label_frequency(q.label(u)) <= g.label_frequency(q.label(v)) {
+                    (u, v)
+                } else {
+                    (v, u)
+                };
+                order.push(first);
+                order.push(second);
+                in_order[first as usize] = true;
+                in_order[second as usize] = true;
+            }
+            None => {
+                // Edgeless query: fall back to id order.
+                return q.vertices().collect();
+            }
+        }
+
+        while order.len() < n {
+            // Cheapest edge from the tree to an unordered vertex.
+            let mut best: Option<(u64, VertexId, VertexId)> = None;
+            for &t in &order {
+                for &nb in q.neighbors(t) {
+                    if in_order[nb as usize] {
+                        continue;
+                    }
+                    let w = weight(t, nb);
+                    let cand_entry = (w, nb, t);
+                    if best.map_or(true, |b| cand_entry < (b.0, b.1, b.2)) {
+                        best = Some(cand_entry);
+                    }
+                }
+            }
+            match best {
+                Some((_, nb, _)) => {
+                    order.push(nb);
+                    in_order[nb as usize] = true;
+                }
+                None => {
+                    // Disconnected query: append remaining by id.
+                    for u in q.vertices() {
+                        if !in_order[u as usize] {
+                            order.push(u);
+                            in_order[u as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+    use crate::order::testutil::assert_permutation;
+    use rlqvo_graph::GraphBuilder;
+
+    /// Data graph where label pair (0,1) is common and (0,2) is rare.
+    fn skewed_data() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        // Five (0,1) edges.
+        for _ in 0..5 {
+            let x = b.add_vertex(0);
+            let y = b.add_vertex(1);
+            b.add_edge(x, y);
+        }
+        // One (0,2) edge.
+        let x = b.add_vertex(0);
+        let z = b.add_vertex(2);
+        b.add_edge(x, z);
+        b.build()
+    }
+
+    #[test]
+    fn rare_edge_first() {
+        // q: path 1(label1) - 0(label0) - 2(label2).
+        let mut qb = GraphBuilder::new(3);
+        let a = qb.add_vertex(0);
+        let b1 = qb.add_vertex(1);
+        let c = qb.add_vertex(2);
+        qb.add_edge(a, b1);
+        qb.add_edge(a, c);
+        let q = qb.build();
+        let g = skewed_data();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = QsiOrdering.order(&q, &g, &cand);
+        assert_permutation(&order, 3);
+        // The (0,2) edge is rarer: endpoints {0, 2} first, and label 2 is
+        // rarer than label 0 in G, so vertex 2 leads.
+        assert_eq!(&order[..2], &[2, 0]);
+    }
+
+    #[test]
+    fn edgeless_query_falls_back_to_id_order() {
+        let mut qb = GraphBuilder::new(1);
+        qb.add_vertex(0);
+        qb.add_vertex(0);
+        let q = qb.build();
+        let g = skewed_data();
+        let cand = LdfFilter.filter(&q, &g);
+        assert_eq!(QsiOrdering.order(&q, &g, &cand), vec![0, 1]);
+    }
+
+    #[test]
+    fn unseen_label_pairs_count_as_rarest() {
+        // q has a (1,2) edge absent from G: weight 0, chosen first.
+        let mut qb = GraphBuilder::new(3);
+        let a = qb.add_vertex(0);
+        let b1 = qb.add_vertex(1);
+        let c = qb.add_vertex(2);
+        qb.add_edge(a, b1);
+        qb.add_edge(b1, c);
+        let q = qb.build();
+        let g = skewed_data();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = QsiOrdering.order(&q, &g, &cand);
+        assert_eq!(&order[..2], &[2, 1], "zero-frequency edge leads, rarer label first");
+    }
+}

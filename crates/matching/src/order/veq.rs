@@ -1,0 +1,116 @@
+//! VEQ-style ordering (Kim et al., SIGMOD 2021).
+//!
+//! VEQ orders extendable vertices by ascending candidate-set size divided
+//! by the size of the vertex's neighbour-equivalence class (NEC): a vertex
+//! standing for `k` interchangeable degree-one siblings is `k` times less
+//! urgent, and deferring the class avoids redundant permutations. Only the
+//! ordering rule is reproduced here; VEQ's dynamic-equivalence subtree
+//! pruning lives in the enumeration engine of the original system and is
+//! out of scope (DESIGN.md §2).
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::filter::Candidates;
+use crate::nec::{nec_classes, nec_size};
+use crate::order::OrderingMethod;
+
+/// VEQ's candidate-size + NEC ordering.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VeqOrdering;
+
+impl OrderingMethod for VeqOrdering {
+    fn name(&self) -> &str {
+        "VEQ"
+    }
+
+    fn order(&self, q: &Graph, _g: &Graph, cand: &Candidates) -> Vec<VertexId> {
+        let n = q.num_vertices();
+        if n == 0 {
+            return Vec::new();
+        }
+        let classes = nec_classes(q);
+        // Effective weight: |C(u)| scaled up for degree-one NEC members so
+        // whole classes sink to the end of the order.
+        let weight = |u: VertexId| -> (u64, u64, VertexId) {
+            let c = cand.len_of(u) as u64;
+            let nec = nec_size(&classes, u) as u64;
+            let deferred = if q.degree(u) == 1 { 1 } else { 0 };
+            (deferred, c.saturating_mul(nec), u)
+        };
+
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut in_order = vec![false; n];
+        let first = q.vertices().min_by_key(|&u| weight(u)).expect("non-empty query");
+        order.push(first);
+        in_order[first as usize] = true;
+
+        while order.len() < n {
+            let frontier = crate::order::frontier(q, &order, &in_order);
+            let next = if frontier.is_empty() {
+                q.vertices().filter(|&u| !in_order[u as usize]).min_by_key(|&u| weight(u))
+            } else {
+                frontier.into_iter().min_by_key(|&u| weight(u))
+            }
+            .expect("unordered vertex exists");
+            order.push(next);
+            in_order[next as usize] = true;
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+    use crate::order::testutil::{assert_permutation, fig1_data, fig1_query};
+    use rlqvo_graph::GraphBuilder;
+
+    #[test]
+    fn produces_connected_permutation() {
+        let q = fig1_query();
+        let g = fig1_data();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = VeqOrdering.order(&q, &g, &cand);
+        assert_permutation(&order, 4);
+        assert!(crate::order::connected_prefix_ok(&q, &order));
+    }
+
+    #[test]
+    fn degree_one_nec_members_come_last() {
+        // Star: center 0 plus three identical leaves (one NEC class of 3).
+        let mut qb = GraphBuilder::new(2);
+        let c = qb.add_vertex(0);
+        for _ in 0..3 {
+            let l = qb.add_vertex(1);
+            qb.add_edge(c, l);
+        }
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        let gc = gb.add_vertex(0);
+        for _ in 0..5 {
+            let l = gb.add_vertex(1);
+            gb.add_edge(gc, l);
+        }
+        let g = gb.build();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = VeqOrdering.order(&q, &g, &cand);
+        assert_eq!(order[0], 0, "center first despite leaves' smaller |C|·NEC? center has |C|=1");
+    }
+
+    #[test]
+    fn smaller_candidate_sets_win_among_same_degree() {
+        // Path 0-1-2, candidate sizes 3,1,2 — start at 1, then 2, then 0.
+        let mut qb = GraphBuilder::new(1);
+        for _ in 0..3 {
+            qb.add_vertex(0);
+        }
+        qb.add_edge(0, 1);
+        qb.add_edge(1, 2);
+        let q = qb.build();
+        let g = q.clone();
+        let cand = Candidates::new(vec![vec![0, 1, 2], vec![0], vec![0, 1]]);
+        let order = VeqOrdering.order(&q, &g, &cand);
+        assert_eq!(order[0], 1);
+    }
+}

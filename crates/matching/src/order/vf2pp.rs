@@ -1,0 +1,117 @@
+//! VF2++ ordering (Jüttner & Madarasi, DAM 2018): BFS order, rarest data
+//! label first within each BFS level.
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::filter::Candidates;
+use crate::order::OrderingMethod;
+
+/// VF2++'s infrequent-label-first BFS order: the root is the vertex whose
+/// label is rarest in the data graph (max degree breaks ties); BFS levels
+/// are appended level-by-level, each level sorted by (label rarity,
+/// descending degree, id).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Vf2ppOrdering;
+
+impl OrderingMethod for Vf2ppOrdering {
+    fn name(&self) -> &str {
+        "VF2++"
+    }
+
+    fn order(&self, q: &Graph, g: &Graph, _cand: &Candidates) -> Vec<VertexId> {
+        let n = q.num_vertices();
+        if n == 0 {
+            return Vec::new();
+        }
+        let rarity = |u: VertexId| g.label_frequency(q.label(u));
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+
+        // Outer loop handles disconnected queries: restart BFS per component.
+        loop {
+            let root = match q
+                .vertices()
+                .filter(|&u| !visited[u as usize])
+                .min_by(|&a, &b| rarity(a).cmp(&rarity(b)).then(q.degree(b).cmp(&q.degree(a))).then(a.cmp(&b)))
+            {
+                Some(r) => r,
+                None => break,
+            };
+            visited[root as usize] = true;
+            let mut level = vec![root];
+            while !level.is_empty() {
+                order.extend_from_slice(&level);
+                let mut next: Vec<VertexId> = Vec::new();
+                for &u in &level {
+                    for &nb in q.neighbors(u) {
+                        if !visited[nb as usize] {
+                            visited[nb as usize] = true;
+                            next.push(nb);
+                        }
+                    }
+                }
+                next.sort_by(|&a, &b| {
+                    rarity(a).cmp(&rarity(b)).then(q.degree(b).cmp(&q.degree(a))).then(a.cmp(&b))
+                });
+                level = next;
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+    use crate::order::testutil::{assert_permutation, fig1_data, fig1_query};
+    use rlqvo_graph::GraphBuilder;
+
+    #[test]
+    fn root_has_rarest_label() {
+        let q = fig1_query(); // labels A,B,C,D = 0..3
+        let g = fig1_data(); // A appears once (v1) — rarest
+        let cand = LdfFilter.filter(&q, &g);
+        let order = Vf2ppOrdering.order(&q, &g, &cand);
+        assert_permutation(&order, 4);
+        assert_eq!(order[0], 0, "u1 carries the unique label A");
+    }
+
+    #[test]
+    fn bfs_levels_are_contiguous() {
+        // Star center 0 with 3 leaves: leaves must all follow the center
+        // when the center is the root.
+        let mut qb = GraphBuilder::new(2);
+        let c = qb.add_vertex(1); // rare label
+        for _ in 0..3 {
+            let l = qb.add_vertex(0);
+            qb.add_edge(c, l);
+        }
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        let gc = gb.add_vertex(1);
+        for _ in 0..4 {
+            let l = gb.add_vertex(0);
+            gb.add_edge(gc, l);
+        }
+        let g = gb.build();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = Vf2ppOrdering.order(&q, &g, &cand);
+        assert_eq!(order[0], 0);
+        let mut rest = order[1..].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handles_disconnected_queries() {
+        let mut qb = GraphBuilder::new(1);
+        qb.add_vertex(0);
+        qb.add_vertex(0);
+        let q = qb.build();
+        let g = q.clone();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = Vf2ppOrdering.order(&q, &g, &cand);
+        assert_permutation(&order, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! The three-phase pipeline (paper Algorithm 1) with per-phase timing.
+//!
+//! The paper reports `t = t_filter + t_order + t_enum` (§IV-B); this module
+//! measures each term so every figure harness reads them off directly.
+
+use std::time::{Duration, Instant};
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::enumerate::{enumerate, EnumConfig, EnumResult};
+use crate::filter::{CandidateFilter, Candidates};
+use crate::order::OrderingMethod;
+
+/// A configured matching algorithm: filter + ordering + enumeration knobs.
+/// `Hybrid` of the paper = `Pipeline::hybrid()`; RL-QVO = the same filter
+/// and enumeration with the learned ordering plugged in.
+pub struct Pipeline<'a> {
+    /// Phase-1 strategy.
+    pub filter: &'a dyn CandidateFilter,
+    /// Phase-2 strategy.
+    pub ordering: &'a dyn OrderingMethod,
+    /// Phase-3 knobs.
+    pub config: EnumConfig,
+}
+
+/// Timed outcome of a full pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Phase-1 wall time.
+    pub filter_time: Duration,
+    /// Phase-2 wall time (the paper's `t_order` — RL-QVO's inference cost
+    /// shows up here).
+    pub order_time: Duration,
+    /// Phase-3 wall time.
+    pub enum_time: Duration,
+    /// The matching order that was used.
+    pub order: Vec<VertexId>,
+    /// Enumeration outcome (`#enum`, match count, timeout flag).
+    pub enum_result: EnumResult,
+    /// Total candidate count after filtering (diagnostic).
+    pub candidate_total: usize,
+}
+
+impl PipelineResult {
+    /// `t = t_filter + t_order + t_enum`.
+    pub fn total_time(&self) -> Duration {
+        self.filter_time + self.order_time + self.enum_time
+    }
+
+    /// The paper's *unsolved* predicate.
+    pub fn unsolved(&self) -> bool {
+        self.enum_result.timed_out
+    }
+}
+
+/// Runs the three phases for one query.
+pub fn run_pipeline(q: &Graph, g: &Graph, pipeline: &Pipeline<'_>) -> PipelineResult {
+    let t0 = Instant::now();
+    let cand = pipeline.filter.filter(q, g);
+    let filter_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let order = pipeline.ordering.order(q, g, &cand);
+    let order_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let enum_result = enumerate(q, g, &cand, &order, pipeline.config);
+    let enum_time = t2.elapsed();
+
+    PipelineResult {
+        filter_time,
+        order_time,
+        enum_time,
+        candidate_total: cand.total(),
+        order,
+        enum_result,
+    }
+}
+
+/// Convenience: filter once, reuse candidates across several orderings
+/// (Fig. 5/6 compare orderings on identical candidate sets).
+pub fn run_with_candidates(
+    q: &Graph,
+    g: &Graph,
+    cand: &Candidates,
+    ordering: &dyn OrderingMethod,
+    config: EnumConfig,
+) -> PipelineResult {
+    let t1 = Instant::now();
+    let order = ordering.order(q, g, cand);
+    let order_time = t1.elapsed();
+    let t2 = Instant::now();
+    let enum_result = enumerate(q, g, cand, &order, config);
+    let enum_time = t2.elapsed();
+    PipelineResult {
+        filter_time: Duration::ZERO,
+        order_time,
+        enum_time,
+        candidate_total: cand.total(),
+        order,
+        enum_result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{GqlFilter, LdfFilter};
+    use crate::order::{GqlOrdering, QsiOrdering, RiOrdering, Vf2ppOrdering};
+    use rlqvo_graph::GraphBuilder;
+
+    fn small_case() -> (Graph, Graph) {
+        let mut qb = GraphBuilder::new(2);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(1);
+        let c = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        let mut prev = gb.add_vertex(0);
+        for i in 1..10 {
+            let v = gb.add_vertex(i % 2);
+            gb.add_edge(prev, v);
+            prev = v;
+        }
+        (q, gb.build())
+    }
+
+    #[test]
+    fn pipeline_produces_same_matches_for_all_orderings() {
+        let (q, g) = small_case();
+        let filter = GqlFilter::default();
+        let orderings: Vec<Box<dyn OrderingMethod>> = vec![
+            Box::new(RiOrdering),
+            Box::new(QsiOrdering),
+            Box::new(Vf2ppOrdering),
+            Box::new(GqlOrdering),
+        ];
+        let mut counts = Vec::new();
+        for o in &orderings {
+            let p = Pipeline { filter: &filter, ordering: o.as_ref(), config: EnumConfig::find_all() };
+            let r = run_pipeline(&q, &g, &p);
+            assert!(!r.unsolved());
+            counts.push(r.enum_result.match_count);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "match counts differ: {counts:?}");
+    }
+
+    #[test]
+    fn total_time_is_sum_of_phases() {
+        let (q, g) = small_case();
+        let filter = LdfFilter;
+        let p = Pipeline { filter: &filter, ordering: &RiOrdering, config: EnumConfig::find_all() };
+        let r = run_pipeline(&q, &g, &p);
+        assert_eq!(r.total_time(), r.filter_time + r.order_time + r.enum_time);
+        assert!(r.candidate_total > 0);
+    }
+
+    #[test]
+    fn run_with_candidates_reuses_sets() {
+        let (q, g) = small_case();
+        let cand = crate::filter::CandidateFilter::filter(&LdfFilter, &q, &g);
+        let a = run_with_candidates(&q, &g, &cand, &RiOrdering, EnumConfig::find_all());
+        let b = run_with_candidates(&q, &g, &cand, &GqlOrdering, EnumConfig::find_all());
+        assert_eq!(a.enum_result.match_count, b.enum_result.match_count);
+        assert_eq!(a.filter_time, Duration::ZERO);
+    }
+}

@@ -1,0 +1,160 @@
+//! Failure injection and limit-interplay tests for the enumeration engine:
+//! the paper's evaluation protocol (match caps, time limits, unsolved
+//! accounting) depends on these behaviours being exact.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rlqvo_graph::GraphBuilder;
+use rlqvo_matching::order::{OrderingMethod, RiOrdering};
+use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter, LdfFilter};
+
+/// A dense labeled host graph with plenty of matches.
+fn host(n: u32, labels: u32) -> rlqvo_graph::Graph {
+    let mut b = GraphBuilder::new(labels);
+    for i in 0..n {
+        b.add_vertex(i % labels);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n.min(i + 6) {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+fn query(labels: u32) -> rlqvo_graph::Graph {
+    let mut b = GraphBuilder::new(labels);
+    let a = b.add_vertex(0);
+    let c = b.add_vertex(1);
+    let d = b.add_vertex(2);
+    b.add_edge(a, c);
+    b.add_edge(c, d);
+    b.build()
+}
+
+#[test]
+fn match_cap_is_exact() {
+    let g = host(40, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let all = enumerate(&q, &g, &cand, &order, EnumConfig::find_all()).match_count;
+    assert!(all > 10, "need enough matches for the test ({all})");
+    for cap in [1u64, 2, 5, all - 1, all, all + 10] {
+        let res = enumerate(&q, &g, &cand, &order, EnumConfig { max_matches: cap, ..EnumConfig::find_all() });
+        assert_eq!(res.match_count, cap.min(all), "cap {cap}");
+    }
+}
+
+#[test]
+fn enumeration_count_monotone_in_match_cap() {
+    let g = host(40, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let mut last = 0u64;
+    for cap in [1u64, 4, 16, 64, 256] {
+        let res = enumerate(&q, &g, &cand, &order, EnumConfig { max_matches: cap, ..EnumConfig::find_all() });
+        assert!(res.enumerations >= last, "#enum must grow with the cap");
+        last = res.enumerations;
+    }
+}
+
+#[test]
+fn budget_truncates_consistently() {
+    let g = host(60, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let full = enumerate(&q, &g, &cand, &order, EnumConfig::find_all());
+    let half = enumerate(&q, &g, &cand, &order, EnumConfig::budgeted(full.enumerations / 2));
+    assert!(half.budget_exhausted);
+    assert!(half.enumerations <= full.enumerations / 2);
+    assert!(half.match_count <= full.match_count);
+    // A budget beyond the natural cost changes nothing and is not flagged.
+    let loose = enumerate(&q, &g, &cand, &order, EnumConfig::budgeted(full.enumerations * 2));
+    assert!(!loose.budget_exhausted);
+    assert_eq!(loose.match_count, full.match_count);
+}
+
+#[test]
+fn zero_time_limit_times_out_without_panicking() {
+    let g = host(200, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let config = EnumConfig {
+        max_matches: u64::MAX,
+        time_limit: Duration::ZERO,
+        max_enumerations: u64::MAX,
+        store_matches: false,
+    };
+    let res = enumerate(&q, &g, &cand, &order, config);
+    // Timeout checks are amortized every 1024 calls, so tiny runs may
+    // finish first; either way the engine must terminate cleanly.
+    assert!(res.timed_out || res.enumerations < 2048);
+}
+
+#[test]
+fn stored_matches_respect_cap() {
+    let g = host(40, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let res = enumerate(
+        &q,
+        &g,
+        &cand,
+        &order,
+        EnumConfig { max_matches: 7, store_matches: true, ..EnumConfig::find_all() },
+    );
+    assert_eq!(res.matches.len(), 7);
+    for m in &res.matches {
+        // Valid embeddings even under truncation.
+        for (u, &v) in m.iter().enumerate() {
+            assert_eq!(q.label(u as u32), g.label(v));
+        }
+        assert!(g.has_edge(m[0], m[1]) && g.has_edge(m[1], m[2]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The first `k` matches under a cap are a prefix of the uncapped
+    /// match stream (deterministic enumeration order).
+    #[test]
+    fn capped_matches_are_a_prefix(cap in 1u64..20) {
+        let g = host(30, 3);
+        let q = query(3);
+        let cand = GqlFilter::default().filter(&q, &g);
+        let order = RiOrdering.order(&q, &g, &cand);
+        let mut full_cfg = EnumConfig::find_all();
+        full_cfg.store_matches = true;
+        let full = enumerate(&q, &g, &cand, &order, full_cfg);
+        let mut capped_cfg = EnumConfig { max_matches: cap, ..EnumConfig::find_all() };
+        capped_cfg.store_matches = true;
+        let capped = enumerate(&q, &g, &cand, &order, capped_cfg);
+        let k = capped.matches.len();
+        prop_assert!(k as u64 <= cap);
+        prop_assert_eq!(&capped.matches[..], &full.matches[..k]);
+    }
+
+    /// Unsatisfiable label demands yield zero matches and zero work.
+    #[test]
+    fn impossible_label_is_free(extra in 0u32..4) {
+        let g = host(30, 3);
+        let mut b = GraphBuilder::new(5);
+        let a = b.add_vertex(4); // label absent from host
+        let c = b.add_vertex(extra % 3);
+        b.add_edge(a, c);
+        let q = b.build();
+        let cand = LdfFilter.filter(&q, &g);
+        prop_assert!(cand.any_empty());
+        let order = RiOrdering.order(&q, &g, &cand);
+        let res = enumerate(&q, &g, &cand, &order, EnumConfig::find_all());
+        prop_assert_eq!(res.match_count, 0);
+        prop_assert_eq!(res.enumerations, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Correctness oracle: the full pipeline must agree with brute force on
+//! random graphs, for every filter and every ordering method.
+
+use proptest::prelude::*;
+use rlqvo_graph::{Graph, GraphBuilder};
+use rlqvo_matching::naive;
+use rlqvo_matching::order::{
+    CflOrdering, GqlOrdering, OptimalOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
+};
+use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter};
+
+/// Random connected-ish labeled graph.
+fn arb_graph(max_n: usize, labels: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let label_vec = proptest::collection::vec(0..labels, n);
+        // A random spanning-tree-ish backbone plus extra edges keeps most
+        // instances connected without forcing it.
+        let backbone = proptest::collection::vec(0..n, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n), 0..n);
+        (label_vec, backbone, extra).prop_map(move |(lv, bb, ex)| {
+            let mut b = GraphBuilder::new(labels);
+            for l in lv {
+                b.add_vertex(l);
+            }
+            for (i, anchor) in bb.iter().enumerate() {
+                let u = (i + 1) as u32;
+                let v = (*anchor % (i + 1)) as u32;
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            for (u, v) in ex {
+                if u != v {
+                    b.add_edge(u as u32, v as u32);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Small connected query extracted from the data graph itself, so matches
+/// are likely to exist (all-empty cases are worthless tests).
+fn query_of(g: &Graph, seed: u64, size: usize) -> Option<Graph> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rlqvo_graph::extract_connected_subgraph(g, size.min(g.num_vertices()), &mut rng).ok().map(|(q, _)| q)
+}
+
+fn all_orderings() -> Vec<Box<dyn OrderingMethod>> {
+    vec![
+        Box::new(RiOrdering),
+        Box::new(QsiOrdering),
+        Box::new(Vf2ppOrdering),
+        Box::new(GqlOrdering),
+        Box::new(CflOrdering),
+        Box::new(VeqOrdering),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every (filter, ordering) pair finds exactly the brute-force match set.
+    #[test]
+    fn pipeline_agrees_with_brute_force(g in arb_graph(9, 3), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let expected = naive::all_matches(&q, &g);
+
+        let filters: Vec<Box<dyn CandidateFilter>> =
+            vec![Box::new(LdfFilter), Box::new(NlfFilter), Box::new(GqlFilter::default())];
+        for f in &filters {
+            let cand = f.filter(&q, &g);
+            for o in all_orderings() {
+                let order = o.order(&q, &g, &cand);
+                let mut cfg = EnumConfig::find_all();
+                cfg.store_matches = true;
+                let res = enumerate(&q, &g, &cand, &order, cfg);
+                let mut got = res.matches.clone();
+                got.sort();
+                prop_assert_eq!(
+                    &got, &expected,
+                    "filter {} ordering {} disagrees with brute force", f.name(), o.name()
+                );
+            }
+        }
+    }
+
+    /// Filters are complete: no vertex participating in a match is pruned.
+    #[test]
+    fn filters_are_complete(g in arb_graph(9, 3), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let expected = naive::all_matches(&q, &g);
+        let filters: Vec<Box<dyn CandidateFilter>> =
+            vec![Box::new(LdfFilter), Box::new(NlfFilter), Box::new(GqlFilter::default())];
+        for f in &filters {
+            let cand = f.filter(&q, &g);
+            for m in &expected {
+                for (u, &v) in m.iter().enumerate() {
+                    prop_assert!(
+                        cand.contains(u as u32, v),
+                        "{} pruned {v} from C({u}) though it appears in a match", f.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// `#enum` is ordering-dependent but the match count never is.
+    #[test]
+    fn match_count_is_order_invariant(g in arb_graph(9, 2), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 5) else { return Ok(()) };
+        let cand = GqlFilter::default().filter(&q, &g);
+        let mut counts = Vec::new();
+        for o in all_orderings() {
+            let order = o.order(&q, &g, &cand);
+            let res = enumerate(&q, &g, &cand, &order, EnumConfig::find_all());
+            counts.push(res.match_count);
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    /// The exhaustive optimal order is at least as good as every heuristic.
+    #[test]
+    fn optimal_lower_bounds_heuristics(g in arb_graph(8, 2), seed in 0u64..200) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cand = LdfFilter.filter(&q, &g);
+        let (_, opt_cost) = OptimalOrdering::default().order_with_cost(&q, &g, &cand);
+        for o in all_orderings() {
+            let order = o.order(&q, &g, &cand);
+            if !rlqvo_matching::connected_prefix_ok(&q, &order) {
+                continue; // optimal only sweeps connected orders
+            }
+            let res = enumerate(&q, &g, &cand, &order, EnumConfig::find_all());
+            prop_assert!(
+                opt_cost <= res.enumerations,
+                "Opt {} must be <= {} ({})", opt_cost, res.enumerations, o.name()
+            );
+        }
+    }
+}

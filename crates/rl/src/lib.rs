@@ -1,0 +1,30 @@
+//! # rlqvo-rl
+//!
+//! Reinforcement-learning substrate for RL-QVO: categorical policies,
+//! trajectories, discounted returns, and the PPO clipped-surrogate
+//! objective (paper Eq. 6–7) expressed as tape operations.
+//!
+//! The paper's §III-A argues value-function methods (Q-learning,
+//! actor-critic) fail to converge because enumeration counts vary across
+//! orders by orders of magnitude, and chooses pure policy search trained
+//! with PPO. This crate therefore provides:
+//!
+//! * [`policy`] — masked categorical distributions: sampling (training),
+//!   argmax (evaluation), log-probs and entropy.
+//! * [`trajectory`] — per-episode step records with rewards and the
+//!   sampling policy's log-probs.
+//! * [`returns`] — decayed reward aggregation (paper Eq. 2) and batch
+//!   whitening.
+//! * [`ppo`] — the clipped surrogate built on a [`rlqvo_tensor::Tape`],
+//!   plus a REINFORCE objective kept as the paper's §III-H future-work
+//!   hook and as a test baseline.
+
+pub mod policy;
+pub mod ppo;
+pub mod returns;
+pub mod trajectory;
+
+pub use policy::Categorical;
+pub use ppo::{ppo_step_objective, reinforce_step_objective, PpoConfig};
+pub use returns::{decayed_episode_return, discounted_returns, whiten};
+pub use trajectory::{Step, Trajectory};

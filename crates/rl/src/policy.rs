@@ -1,0 +1,119 @@
+//! Masked categorical action distributions.
+
+use rand::Rng;
+
+/// A categorical distribution over `n` actions, some of which may be
+/// masked out (probability exactly zero).
+///
+/// RL-QVO samples actions from the masked softmax during training
+/// ("instead of directly selecting the vertex with greatest probability …
+/// to allow more exploration", §III-C) and takes the argmax during
+/// evaluation.
+#[derive(Clone, Debug)]
+pub struct Categorical {
+    probs: Vec<f32>,
+}
+
+impl Categorical {
+    /// Wraps probabilities that must already sum to ~1 over unmasked
+    /// entries (as produced by a masked softmax).
+    ///
+    /// # Panics
+    /// If probabilities are negative or sum to something far from 1.
+    pub fn new(probs: Vec<f32>) -> Self {
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "probabilities sum to {sum}");
+        Categorical { probs }
+    }
+
+    /// The probability vector.
+    pub fn probs(&self) -> &[f32] {
+        &self.probs
+    }
+
+    /// Samples an action index proportionally to probability.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f32 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        // Floating-point slack: fall back to the last positive entry.
+        self.probs.iter().rposition(|&p| p > 0.0).expect("a positive-probability action exists")
+    }
+
+    /// Index of the most probable action (evaluation-time greedy choice).
+    pub fn argmax(&self) -> usize {
+        self.probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("non-empty distribution")
+    }
+
+    /// `ln p(a)`, clamped away from `-inf` for masked/zero entries.
+    pub fn log_prob(&self, action: usize) -> f32 {
+        self.probs[action].max(1e-8).ln()
+    }
+
+    /// Shannon entropy `H(p) = -Σ p ln p` — the paper's entropy reward
+    /// `r_{h,t} = H(P_{πθ}(φ_t, N(φ_t)))`.
+    pub fn entropy(&self) -> f32 {
+        -self.probs.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_respects_mask_and_distribution() {
+        let d = Categorical::new(vec![0.0, 0.3, 0.7, 0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[3], 0);
+        let frac2 = counts[2] as f32 / 10_000.0;
+        assert!((frac2 - 0.7).abs() < 0.03, "frac2 = {frac2}");
+    }
+
+    #[test]
+    fn argmax_and_log_prob() {
+        let d = Categorical::new(vec![0.1, 0.6, 0.3]);
+        assert_eq!(d.argmax(), 1);
+        assert!((d.log_prob(1) - 0.6f32.ln()).abs() < 1e-6);
+        assert!(d.log_prob(0) < d.log_prob(2));
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let peaked = Categorical::new(vec![1.0, 0.0]);
+        assert_eq!(peaked.entropy(), 0.0);
+        let uniform = Categorical::new(vec![0.25; 4]);
+        assert!((uniform.entropy() - 4.0f32.ln()).abs() < 1e-5);
+        assert!(uniform.entropy() > Categorical::new(vec![0.7, 0.1, 0.1, 0.1]).entropy());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn rejects_unnormalized() {
+        Categorical::new(vec![0.5, 0.2]);
+    }
+
+    #[test]
+    fn zero_prob_log_is_clamped() {
+        let d = Categorical::new(vec![1.0, 0.0]);
+        assert!(d.log_prob(1).is_finite());
+    }
+}

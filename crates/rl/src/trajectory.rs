@@ -1,0 +1,85 @@
+//! Episode records consumed by the PPO trainer.
+
+/// One decision step of an ordering episode.
+#[derive(Clone, Debug)]
+pub struct Step<S> {
+    /// Whatever the agent needs to re-run the policy on this state
+    /// (RL-QVO stores the feature matrix + action mask).
+    pub state: S,
+    /// The action index that was taken.
+    pub action: usize,
+    /// `ln π_{θ'}(a|s)` under the *sampling* policy (PPO's denominator).
+    pub logp_old: f32,
+    /// Step reward `R_t` (paper Eq. 1: `r_enum + β_val r_val + β_h r_h`).
+    pub reward: f32,
+}
+
+/// A full episode: the sequence of steps that produced one matching order.
+#[derive(Clone, Debug, Default)]
+pub struct Trajectory<S> {
+    /// Steps in decision order (`t = 1..|V(q)|`, minus `|AS|=1`
+    /// short-circuits which involve no decision).
+    pub steps: Vec<Step<S>>,
+}
+
+impl<S> Trajectory<S> {
+    /// Empty trajectory.
+    pub fn new() -> Self {
+        Trajectory { steps: Vec::new() }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, state: S, action: usize, logp_old: f32, reward: f32) {
+        self.steps.push(Step { state, action, logp_old, reward });
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no decision was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The reward sequence.
+    pub fn rewards(&self) -> Vec<f32> {
+        self.steps.iter().map(|s| s.reward).collect()
+    }
+
+    /// Adds `delta` to every step reward — used to inject the shared,
+    /// episode-level enumeration reward after the order is evaluated
+    /// ("all rewards r_enum,t at steps t share the same value", §III-C).
+    pub fn add_shared_reward(&mut self, delta: f32) {
+        for s in &mut self.steps {
+            s.reward += delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut t: Trajectory<u32> = Trajectory::new();
+        assert!(t.is_empty());
+        t.push(7, 2, -0.5, 1.0);
+        t.push(8, 0, -1.2, -0.25);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rewards(), vec![1.0, -0.25]);
+        assert_eq!(t.steps[0].state, 7);
+        assert_eq!(t.steps[1].action, 0);
+    }
+
+    #[test]
+    fn shared_reward_is_broadcast() {
+        let mut t: Trajectory<()> = Trajectory::new();
+        t.push((), 0, 0.0, 0.1);
+        t.push((), 1, 0.0, 0.2);
+        t.add_shared_reward(1.0);
+        assert_eq!(t.rewards(), vec![1.1, 1.2]);
+    }
+}

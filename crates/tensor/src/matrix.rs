@@ -1,0 +1,335 @@
+//! Dense row-major `f32` matrices.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32`.
+///
+/// All RL-QVO tensors are rank ≤ 2 (node-feature matrices, weights, score
+/// vectors), so a matrix type covers the whole workload; column vectors are
+/// `n×1` matrices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// All-ones matrix.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds from a flat row-major vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape {rows}x{cols} needs {} values", rows * cols);
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from row slices (test convenience).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds element-wise from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot uniform initialization: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))` — the standard GCN/MLP init.
+    pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single element of a 1×1 matrix.
+    pub fn scalar(&self) -> f32 {
+        assert_eq!((self.rows, self.cols), (1, 1), "scalar() needs a 1x1 matrix");
+        self.data[0]
+    }
+
+    /// Matrix product `self @ rhs`.
+    ///
+    /// Inner loop is written `ikj` so the compiler vectorizes over
+    /// contiguous rows of both output and `rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul {:?} @ {:?}", self.shape(), rhs.shape());
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // adjacency matrices are sparse in practice
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise sum (shapes must match).
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
+        self.zip_map(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
+        self.zip_map(rhs, |a, b| a - b)
+    }
+
+    /// Hadamard (element-wise) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        self.zip_map(rhs, |a, b| a * b)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Element-wise zip-map.
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place element-wise accumulate: `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Appends `rhs` below `self` (column counts must match).
+    pub fn vstack(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "vstack column mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+    }
+
+    /// Appends `rhs` to the right of `self` (row counts must match).
+    pub fn hstack(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "hstack row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.data[r * out.cols..r * out.cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * out.cols + self.cols..(r + 1) * out.cols].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Storage footprint in bytes (paper Table IV's "Model Space" counts
+    /// parameter bytes).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Largest absolute element difference to `rhs` (test helper).
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(Matrix::zeros(2, 3).sum(), 0.0);
+        assert_eq!(Matrix::ones(2, 3).sum(), 6.0);
+        assert_eq!(Matrix::full(2, 2, 0.5).sum(), 2.0);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let id = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b), Matrix::from_rows(&[&[4.0, 2.0]]));
+        assert_eq!(a.sub(&b), Matrix::from_rows(&[&[-2.0, -6.0]]));
+        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(a.scale(2.0), Matrix::from_rows(&[&[2.0, -4.0]]));
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, a.add(&b));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.vstack(&b), Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        assert_eq!(a.hstack(&b), Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::xavier_uniform(64, 64, &mut rng);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(m.data().iter().all(|&x| x.abs() <= a));
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn scalar_accessor() {
+        assert_eq!(Matrix::full(1, 1, 3.5).scalar(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn scalar_rejects_non_1x1() {
+        Matrix::zeros(2, 1).scalar();
+    }
+
+    #[test]
+    fn storage_bytes_counts_parameters() {
+        assert_eq!(Matrix::zeros(8, 4).storage_bytes(), 128);
+    }
+}

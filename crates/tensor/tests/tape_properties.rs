@@ -1,0 +1,129 @@
+//! Property-based tests of the autograd tape: algebraic identities the
+//! gradients must satisfy for *any* input, complementing the pointwise
+//! finite-difference checks.
+
+use proptest::prelude::*;
+use rlqvo_tensor::{Matrix, Tape};
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// d/da sum(a ⊙ b) = b and symmetrically.
+    #[test]
+    fn hadamard_sum_gradient_is_the_other_operand(a in arb_matrix(3, 4), b in arb_matrix(3, 4)) {
+        let t = Tape::new();
+        let av = t.leaf(a.clone());
+        let bv = t.leaf(b.clone());
+        let loss = t.sum(t.mul(av, bv));
+        let grads = t.backward(loss);
+        prop_assert!(grads.get(av).unwrap().max_abs_diff(&b) < 1e-5);
+        prop_assert!(grads.get(bv).unwrap().max_abs_diff(&a) < 1e-5);
+    }
+
+    /// Gradients are linear: backward through sum(x·α) = α·backward(sum(x)).
+    #[test]
+    fn scale_commutes_with_backward(a in arb_matrix(2, 5), alpha in -3.0f32..3.0) {
+        let t1 = Tape::new();
+        let v1 = t1.leaf(a.clone());
+        let g1 = t1.backward(t1.sum(t1.scale(v1, alpha)));
+        let t2 = Tape::new();
+        let v2 = t2.leaf(a.clone());
+        let g2 = t2.backward(t2.sum(v2));
+        let lhs = g1.get(v1).unwrap();
+        let rhs = g2.get(v2).unwrap().scale(alpha);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    /// Masked softmax output is a valid distribution over the mask for
+    /// any scores and any non-empty mask.
+    #[test]
+    fn masked_softmax_always_a_distribution(
+        scores in arb_matrix(6, 1),
+        mask_bits in proptest::collection::vec(any::<bool>(), 6),
+    ) {
+        let mut mask = mask_bits;
+        if !mask.iter().any(|&m| m) {
+            mask[0] = true;
+        }
+        let t = Tape::new();
+        let v = t.leaf(scores);
+        let p = t.value(t.masked_softmax_col(v, &mask));
+        let mut sum = 0.0;
+        for i in 0..6 {
+            let pi = p.get(i, 0);
+            prop_assert!(pi >= 0.0);
+            if !mask[i] {
+                prop_assert_eq!(pi, 0.0);
+            }
+            sum += pi;
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// Softmax is shift-invariant: adding a constant to all scores leaves
+    /// the distribution unchanged.
+    #[test]
+    fn masked_softmax_shift_invariant(scores in arb_matrix(5, 1), shift in -5.0f32..5.0) {
+        let mask = [true; 5];
+        let t = Tape::new();
+        let v = t.leaf(scores.clone());
+        let p1 = t.value(t.masked_softmax_col(v, &mask));
+        let t2 = Tape::new();
+        let shifted = t2.leaf(scores.map(|x| x + shift));
+        let p2 = t2.value(t2.masked_softmax_col(shifted, &mask));
+        prop_assert!(p1.max_abs_diff(&p2) < 1e-4);
+    }
+
+    /// min(a, b) + max-like complement: min(a,b) ≤ both, and gradient mass
+    /// goes to exactly one operand per element.
+    #[test]
+    fn min_partitions_gradient(a in arb_matrix(2, 3), b in arb_matrix(2, 3)) {
+        let t = Tape::new();
+        let av = t.leaf(a.clone());
+        let bv = t.leaf(b.clone());
+        let m = t.min(av, bv);
+        let mv = t.value(m);
+        for r in 0..2 {
+            for c in 0..3 {
+                prop_assert!(mv.get(r, c) <= a.get(r, c) + 1e-6);
+                prop_assert!(mv.get(r, c) <= b.get(r, c) + 1e-6);
+            }
+        }
+        let grads = t.backward(t.sum(m));
+        let ga = grads.get(av).unwrap();
+        let gb = grads.get(bv).unwrap();
+        for i in 0..6 {
+            let s = ga.data()[i] + gb.data()[i];
+            prop_assert!((s - 1.0).abs() < 1e-6, "gradient must go to exactly one side");
+        }
+    }
+
+    /// relu(x) + relu(-x) = |x| — composite op identity through the tape.
+    #[test]
+    fn relu_decomposition_of_abs(a in arb_matrix(3, 3)) {
+        let t = Tape::new();
+        let v = t.leaf(a.clone());
+        let pos = t.relu(v);
+        let neg = t.relu(t.scale(v, -1.0));
+        let abs = t.value(t.add(pos, neg));
+        let expect = a.map(f32::abs);
+        prop_assert!(abs.max_abs_diff(&expect) < 1e-6);
+    }
+
+    /// Matmul with the identity is a no-op in value and passes gradients
+    /// through unchanged.
+    #[test]
+    fn identity_matmul_gradient_passthrough(a in arb_matrix(3, 3)) {
+        let id = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let t = Tape::new();
+        let av = t.leaf(a.clone());
+        let iv = t.leaf(id);
+        let y = t.matmul(av, iv);
+        prop_assert!(t.value(y).max_abs_diff(&a) < 1e-6);
+        let grads = t.backward(t.sum(y));
+        prop_assert!(grads.get(av).unwrap().max_abs_diff(&Matrix::ones(3, 3)) < 1e-5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the RL-QVO workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use rlqvo_suite::...`. See the individual crates
+//! for the substantive APIs:
+//!
+//! * [`graph`] — CSR labeled graph substrate.
+//! * [`datasets`] — synthetic analogs of the six paper datasets.
+//! * [`matching`] — filtering / ordering / enumeration engine.
+//! * [`tensor`] — dense matrices + tape autograd.
+//! * [`gnn`] — graph neural network layers.
+//! * [`rl`] — PPO and friends.
+//! * [`core`] — the RL-QVO model itself.
+
+pub use rlqvo_core as core;
+pub use rlqvo_datasets as datasets;
+pub use rlqvo_gnn as gnn;
+pub use rlqvo_graph as graph;
+pub use rlqvo_matching as matching;
+pub use rlqvo_rl as rl;
+pub use rlqvo_tensor as tensor;

@@ -1,0 +1,137 @@
+//! `rlqvo` — command-line subgraph matching.
+//!
+//! ```text
+//! rlqvo match  --data G.graph --query q.graph [--method hybrid|rlqvo|...]
+//!              [--model m.model] [--max-matches N] [--time-limit-ms T]
+//! rlqvo train  --data G.graph --size K --queries N --epochs E --out m.model
+//! rlqvo stats  --data G.graph
+//! ```
+//!
+//! Graphs use the `t/v/e` text format of the in-memory study
+//! (`rlqvo_graph::io`). `match` prints per-phase timings, `#enum` and the
+//! match count — the numbers the paper reports.
+
+use std::io::BufReader;
+use std::time::Duration;
+
+use rlqvo_suite::core::{RlQvo, RlQvoConfig};
+use rlqvo_suite::datasets::{build_query_set, SplitQuerySet};
+use rlqvo_suite::graph::{io::read_graph, Graph, GraphStats};
+use rlqvo_suite::matching::order::{
+    CflOrdering, GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
+};
+use rlqvo_suite::matching::{run_pipeline, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter, Pipeline};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("match") => cmd_match(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        _ => {
+            eprintln!("usage: rlqvo <match|train|stats> [--flag value]...");
+            eprintln!("  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T]");
+            eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
+            eprintln!("  stats --data G");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load(path: &str, universe: Option<u32>) -> Result<Graph, Box<dyn std::error::Error>> {
+    let file = std::fs::File::open(path)?;
+    Ok(read_graph(BufReader::new(file), universe)?)
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let data = flag(args, "--data").ok_or("--data is required")?;
+    let g = load(&data, None)?;
+    println!("{}", GraphStats::of(&g));
+    Ok(())
+}
+
+fn cmd_match(args: &[String]) -> CliResult {
+    let data = flag(args, "--data").ok_or("--data is required")?;
+    let query = flag(args, "--query").ok_or("--query is required")?;
+    let method = flag(args, "--method").unwrap_or_else(|| "hybrid".to_string());
+    let g = load(&data, None)?;
+    let q = load(&query, Some(g.num_labels()))?;
+
+    let config = EnumConfig {
+        max_matches: flag(args, "--max-matches").and_then(|v| v.parse().ok()).unwrap_or(100_000),
+        time_limit: Duration::from_millis(
+            flag(args, "--time-limit-ms").and_then(|v| v.parse().ok()).unwrap_or(500_000),
+        ),
+        ..EnumConfig::default()
+    };
+
+    // The learned model must outlive the borrowed ordering.
+    let model;
+    let learned_ordering;
+    let (filter, ordering): (Box<dyn CandidateFilter>, &dyn OrderingMethod) = match method.as_str() {
+        "hybrid" => (Box::new(GqlFilter::default()), &RiOrdering),
+        "ri" => (Box::new(LdfFilter), &RiOrdering),
+        "qsi" => (Box::new(LdfFilter), &QsiOrdering),
+        "vf2pp" => (Box::new(LdfFilter), &Vf2ppOrdering),
+        "gql" => (Box::new(GqlFilter::default()), &GqlOrdering),
+        "cfl" => (Box::new(NlfFilter), &CflOrdering),
+        "veq" => (Box::new(NlfFilter), &VeqOrdering),
+        "rlqvo" => {
+            let path = flag(args, "--model").ok_or("--method rlqvo needs --model")?;
+            model = RlQvo::load(&path, RlQvoConfig::harness())?;
+            learned_ordering = model.ordering();
+            (Box::new(GqlFilter::default()), &learned_ordering)
+        }
+        other => return Err(format!("unknown method {other:?}").into()),
+    };
+
+    let pipeline = Pipeline { filter: filter.as_ref(), ordering, config };
+    let r = run_pipeline(&q, &g, &pipeline);
+    println!("method      : {} ({} filter + {} ordering)", method, filter.name(), ordering.name());
+    println!("order       : {:?}", r.order);
+    println!("matches     : {}{}", r.enum_result.match_count, if r.unsolved() { "  [UNSOLVED: time limit]" } else { "" });
+    println!("#enum       : {}", r.enum_result.enumerations);
+    println!(
+        "time        : filter {:?} + order {:?} + enum {:?} = {:?}",
+        r.filter_time,
+        r.order_time,
+        r.enum_time,
+        r.total_time()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> CliResult {
+    let data = flag(args, "--data").ok_or("--data is required")?;
+    let out = flag(args, "--out").ok_or("--out is required")?;
+    let size: usize = flag(args, "--size").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let count: usize = flag(args, "--queries").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let epochs: usize = flag(args, "--epochs").and_then(|v| v.parse().ok()).unwrap_or(40);
+
+    let g = load(&data, None)?;
+    let split = SplitQuerySet::from(build_query_set(&g, size, count, 0xC11));
+    let mut config = RlQvoConfig::harness();
+    config.epochs = epochs;
+    let mut model = RlQvo::new(config);
+    let report = model.train(&split.train, &g);
+    println!(
+        "trained {} epochs on {} queries in {:?}; final advantage over RI {:+.3}",
+        epochs,
+        split.train.len(),
+        report.elapsed,
+        report.final_enum_advantage()
+    );
+    model.save(&out)?;
+    println!("saved {out}");
+    Ok(())
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: datasets → filtering → ordering →
+//! enumeration → RL-QVO training → persistence, exercised through the
+//! public APIs only.
+
+use rlqvo_suite::core::{RlQvo, RlQvoConfig};
+use rlqvo_suite::datasets::{build_query_set, Dataset, SplitQuerySet};
+use rlqvo_suite::matching::order::{GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering};
+use rlqvo_suite::matching::{
+    connected_prefix_ok, run_pipeline, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter, Pipeline,
+};
+
+/// The full Hybrid pipeline over a real(istic) workload returns consistent
+/// match counts across all orderings — Algorithm 1 end to end.
+#[test]
+fn pipelines_agree_across_orderings_on_dataset_analog() {
+    let g = Dataset::Yeast.load_scaled(700);
+    let set = build_query_set(&g, 7, 6, 3);
+    let filter = GqlFilter::default();
+    let orderings: Vec<Box<dyn OrderingMethod>> =
+        vec![Box::new(RiOrdering), Box::new(QsiOrdering), Box::new(Vf2ppOrdering), Box::new(GqlOrdering), Box::new(VeqOrdering)];
+    for q in &set.queries {
+        let mut counts = Vec::new();
+        for o in &orderings {
+            let p = Pipeline { filter: &filter, ordering: o.as_ref(), config: EnumConfig::find_all() };
+            let r = run_pipeline(q, &g, &p);
+            assert!(connected_prefix_ok(q, &r.order), "{} produced a disconnected order", o.name());
+            counts.push(r.enum_result.match_count);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}
+
+/// Filters only shrink candidate sets, never grow them, and stronger
+/// filters are subsets of weaker ones.
+#[test]
+fn filter_strength_ordering_holds() {
+    let g = Dataset::Dblp.load_scaled(2_000);
+    let set = build_query_set(&g, 8, 4, 9);
+    for q in &set.queries {
+        let ldf = LdfFilter.filter(q, &g);
+        let nlf = NlfFilter.filter(q, &g);
+        let gql = GqlFilter::default().filter(q, &g);
+        for u in q.vertices() {
+            assert!(nlf.len_of(u) <= ldf.len_of(u), "NLF ⊆ LDF");
+            assert!(gql.len_of(u) <= nlf.len_of(u), "GQL ⊆ NLF");
+            for &v in gql.of(u) {
+                assert!(ldf.contains(u, v), "GQL candidate must survive LDF");
+            }
+        }
+    }
+}
+
+/// Training on one dataset, persisting, reloading and matching — the
+/// complete user journey through every crate.
+#[test]
+fn train_save_load_match_journey() {
+    let g = Dataset::Citeseer.load_scaled(1_000);
+    let split = SplitQuerySet::from(build_query_set(&g, 6, 8, 21));
+    let mut cfg = RlQvoConfig::fast();
+    cfg.epochs = 3;
+    let mut model = RlQvo::new(cfg);
+    let report = model.train(&split.train, &g);
+    assert_eq!(report.epochs.len(), 3);
+
+    let path = std::env::temp_dir().join(format!("rlqvo-e2e-{}.model", std::process::id()));
+    model.save(&path).unwrap();
+    let loaded = RlQvo::load(&path, cfg).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let filter = GqlFilter::default();
+    for q in &split.eval {
+        let learned = loaded.ordering();
+        let p = Pipeline { filter: &filter, ordering: &learned, config: EnumConfig::default() };
+        let r = run_pipeline(q, &g, &p);
+        assert!(connected_prefix_ok(q, &r.order));
+        // Learned order and RI find the same matches.
+        let ri = Pipeline { filter: &filter, ordering: &RiOrdering, config: EnumConfig::default() };
+        let r2 = run_pipeline(q, &g, &ri);
+        assert_eq!(r.enum_result.match_count, r2.enum_result.match_count);
+    }
+}
+
+/// The unsolved-query machinery: a microscopic time limit forces timeouts
+/// and the pipeline reports them without panicking.
+#[test]
+fn time_limit_flags_unsolved_queries() {
+    let g = Dataset::Eu2005.load_scaled(2_000);
+    let set = build_query_set(&g, 12, 2, 5);
+    let filter = GqlFilter::default();
+    let config = EnumConfig {
+        max_matches: u64::MAX,
+        time_limit: std::time::Duration::from_nanos(1),
+        ..EnumConfig::find_all()
+    };
+    let mut saw_timeout = false;
+    for q in &set.queries {
+        let p = Pipeline { filter: &filter, ordering: &RiOrdering, config };
+        let r = run_pipeline(q, &g, &p);
+        saw_timeout |= r.unsolved();
+    }
+    assert!(saw_timeout, "nanosecond limit must time out on a dense analog");
+}
+
+/// Every dataset analog loads, samples queries at its Table III sizes and
+/// matches at least one query without error (smoke across all analogs).
+#[test]
+fn all_dataset_analogs_are_matchable() {
+    for dataset in rlqvo_suite::datasets::ALL_DATASETS {
+        let g = dataset.load_scaled(1_500);
+        let size = *dataset.query_sizes().first().unwrap();
+        let set = build_query_set(&g, size, 2, 8);
+        let filter = LdfFilter;
+        for q in &set.queries {
+            let p = Pipeline { filter: &filter, ordering: &RiOrdering, config: EnumConfig::default() };
+            let r = run_pipeline(q, &g, &p);
+            // The query is an extracted subgraph, so at least one match
+            // (its own embedding) must exist.
+            assert!(r.enum_result.match_count >= 1, "{}: no match found", dataset.name());
+        }
+    }
+}
+
+/// Order inference stays within the paper's 100 ms bound (§IV-F) at the
+/// paper's architecture, on the biggest query size.
+#[test]
+fn order_inference_under_100ms() {
+    let g = Dataset::Youtube.load_scaled(3_000);
+    let set = build_query_set(&g, 32, 1, 2);
+    let model = RlQvo::new(RlQvoConfig::default());
+    let q = &set.queries[0];
+    let start = std::time::Instant::now();
+    let order = model.order_query(q, &g);
+    let elapsed = start.elapsed();
+    assert_eq!(order.len(), 32);
+    assert!(elapsed.as_millis() < 100, "inference took {elapsed:?}");
+}

@@ -1,0 +1,41 @@
+//! Property-based integration tests on the learned-ordering path.
+
+use proptest::prelude::*;
+use rlqvo_suite::core::{RlQvo, RlQvoConfig};
+use rlqvo_suite::datasets::{build_query_set, Dataset};
+use rlqvo_suite::matching::{connected_prefix_ok, CandidateFilter, LdfFilter, OrderingMethod};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An untrained policy must still always produce valid connected
+    /// permutations, whatever the query shape or seed.
+    #[test]
+    fn untrained_policy_orders_are_always_valid(seed in 0u64..500, size in 4usize..12) {
+        let g = Dataset::Wordnet.load_scaled(800);
+        let set = build_query_set(&g, size, 1, seed);
+        let q = &set.queries[0];
+        let mut cfg = RlQvoConfig::fast();
+        cfg.seed = seed;
+        let model = RlQvo::new(cfg);
+        let cand = LdfFilter.filter(q, &g);
+        let order = model.ordering().order(q, &g, &cand);
+        prop_assert_eq!(order.len(), size);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..size as u32).collect::<Vec<_>>());
+        prop_assert!(connected_prefix_ok(q, &order));
+    }
+
+    /// Sampling mode also always yields valid connected permutations.
+    #[test]
+    fn sampling_orders_are_always_valid(seed in 0u64..200) {
+        let g = Dataset::Citeseer.load_scaled(600);
+        let set = build_query_set(&g, 8, 1, seed);
+        let q = &set.queries[0];
+        let model = RlQvo::new(RlQvoConfig::fast());
+        let ordering = model.ordering().sampling(seed);
+        let order = ordering.run_episode(q, &g);
+        prop_assert!(connected_prefix_ok(q, &order));
+    }
+}

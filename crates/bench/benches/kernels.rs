@@ -7,8 +7,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rlqvo_core::{RlQvo, RlQvoConfig};
 use rlqvo_datasets::{build_query_set, Dataset};
 use rlqvo_gnn::GraphTensors;
+use rlqvo_graph::{intersect_in_place, intersect_into, GraphBuilder};
 use rlqvo_matching::order::{GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering};
-use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter};
+use rlqvo_matching::{
+    enumerate, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter,
+};
 use rlqvo_tensor::{Matrix, Tape};
 
 fn bench_filters(c: &mut Criterion) {
@@ -34,9 +37,7 @@ fn bench_orderings(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("ordering");
     for (name, m) in &methods {
-        group.bench_with_input(BenchmarkId::from_parameter(name), m, |b, m| {
-            b.iter(|| m.order(&q, &g, &cand))
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(name), m, |b, m| b.iter(|| m.order(&q, &g, &cand)));
     }
     group.finish();
 }
@@ -47,9 +48,151 @@ fn bench_enumeration(c: &mut Criterion) {
     let cand = GqlFilter::default().filter(&q, &g);
     let order = RiOrdering.order(&q, &g, &cand);
     let config = EnumConfig { max_matches: 1_000, ..EnumConfig::default() };
-    c.bench_function("enumerate/first-1k-matches", |b| {
-        b.iter(|| enumerate(&q, &g, &cand, &order, config))
+    c.bench_function("enumerate/first-1k-matches", |b| b.iter(|| enumerate(&q, &g, &cand, &order, config)));
+}
+
+fn bench_intersect_kernels(c: &mut Criterion) {
+    // Similar sizes → linear merge regime.
+    let a: Vec<u32> = (0..40_000).filter(|x| x % 3 != 0).collect();
+    let b: Vec<u32> = (0..40_000).filter(|x| x % 5 != 0).collect();
+    // Heavily skewed → galloping regime.
+    let small: Vec<u32> = (0..40_000).step_by(700).collect();
+    let mut group = c.benchmark_group("intersect");
+    let mut out: Vec<u32> = Vec::with_capacity(a.len());
+    group.bench_function("merge-similar-27k-32k", |bch| bch.iter(|| intersect_into(&mut out, &a, &b)));
+    group.bench_function("gallop-skewed-58-32k", |bch| bch.iter(|| intersect_into(&mut out, &small, &b)));
+    group.bench_function("in-place-similar", |bch| {
+        bch.iter(|| {
+            out.clear();
+            out.extend_from_slice(&a);
+            intersect_in_place(&mut out, &b);
+        })
     });
+    group.finish();
+}
+
+/// A dense banded host with few labels: candidate sets are large and the
+/// probe path pays a membership test plus `has_edge` binary searches per
+/// scanned neighbour — the regime the CandidateSpace engine exists for.
+fn dense_case() -> (rlqvo_graph::Graph, rlqvo_graph::Graph) {
+    let labels = 3u32;
+    let n = 500u32;
+    let mut gb = GraphBuilder::new(labels);
+    for i in 0..n {
+        gb.add_vertex(i % labels);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n.min(i + 20) {
+            gb.add_edge(i, j);
+        }
+    }
+    let g = gb.build();
+    // K4 query: every extension after the first two has 2–3 mapped
+    // backward neighbours, the multi-way-intersection regime.
+    let mut qb = GraphBuilder::new(labels);
+    let a = qb.add_vertex(0);
+    let b = qb.add_vertex(1);
+    let c = qb.add_vertex(2);
+    let d = qb.add_vertex(0);
+    qb.add_edge(a, b);
+    qb.add_edge(b, c);
+    qb.add_edge(c, d);
+    qb.add_edge(a, c);
+    qb.add_edge(a, d);
+    qb.add_edge(b, d);
+    (qb.build(), g)
+}
+
+/// Skewed-candidate case: a rare hub label (|C| ≈ 50, degree ≈ 200) and a
+/// common label (|C| ≈ 2950, low degree). Extending onto a vertex whose
+/// mapped backward neighbours are hubs forces the probe engine to scan a
+/// ~200-entry adjacency list with an O(log d) `has_edge` per entry, while
+/// the CandidateSpace engine merges two precomputed position lists.
+fn skewed_case() -> (rlqvo_graph::Graph, rlqvo_graph::Graph) {
+    let n = 3000u32;
+    let hub_every = 60u32;
+    let mut gb = GraphBuilder::new(2);
+    for i in 0..n {
+        gb.add_vertex(if i % hub_every == 0 { 0 } else { 1 });
+    }
+    for i in 0..n {
+        for j in (i + 1)..n.min(i + 8) {
+            gb.add_edge(i, j);
+        }
+    }
+    for h in (0..n).step_by(hub_every as usize) {
+        for j in (h + 1)..n.min(h + 200) {
+            gb.add_edge(h, j);
+        }
+    }
+    let g = gb.build();
+    // 4-cycle hub-common-hub-common.
+    let mut qb = GraphBuilder::new(2);
+    let a = qb.add_vertex(0);
+    let b = qb.add_vertex(1);
+    let c = qb.add_vertex(0);
+    let d = qb.add_vertex(1);
+    qb.add_edge(a, b);
+    qb.add_edge(b, c);
+    qb.add_edge(c, d);
+    qb.add_edge(a, d);
+    (qb.build(), g)
+}
+
+fn bench_candspace_build(c: &mut Criterion) {
+    let g = Dataset::Yeast.load();
+    let q = build_query_set(&g, 12, 1, 3).queries.pop().unwrap();
+    let cand = GqlFilter::default().filter(&q, &g);
+    let mut group = c.benchmark_group("candspace");
+    group.bench_function("build/yeast-q12", |b| b.iter(|| CandidateSpace::build(&q, &g, &cand)));
+    let (dq, dg) = dense_case();
+    let dcand = LdfFilter.filter(&dq, &dg);
+    group.bench_function("build/dense-band", |b| b.iter(|| CandidateSpace::build(&dq, &dg, &dcand)));
+    let (sq, sg) = skewed_case();
+    let scand = LdfFilter.filter(&sq, &sg);
+    group.bench_function("build/skewed-hub", |b| b.iter(|| CandidateSpace::build(&sq, &sg, &scand)));
+    group.finish();
+}
+
+/// Probe vs. CandidateSpace on the dense/skewed-candidate cases — the
+/// before/after numbers recorded in BENCH_enum.json.
+fn bench_enum_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    {
+        let (q, g) = dense_case();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = RiOrdering.order(&q, &g, &cand);
+        let cfg = EnumConfig::find_all();
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+            group.bench_with_input(BenchmarkId::new("dense-band-all", engine.name()), &engine, |b, &e| {
+                b.iter(|| enumerate(&q, &g, &cand, &order, cfg.with_engine(e)))
+            });
+        }
+    }
+    {
+        let (q, g) = skewed_case();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = RiOrdering.order(&q, &g, &cand);
+        let cfg = EnumConfig { max_matches: 200_000, ..EnumConfig::find_all() };
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+            group.bench_with_input(BenchmarkId::new("skewed-hub-200k", engine.name()), &engine, |b, &e| {
+                b.iter(|| enumerate(&q, &g, &cand, &order, cfg.with_engine(e)))
+            });
+        }
+    }
+    {
+        let g = Dataset::Yeast.load();
+        let q = build_query_set(&g, 12, 1, 3).queries.pop().unwrap();
+        let cand = GqlFilter::default().filter(&q, &g);
+        let order = RiOrdering.order(&q, &g, &cand);
+        let cfg = EnumConfig { max_matches: 1_000, ..EnumConfig::default() };
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+            group.bench_with_input(BenchmarkId::new("yeast-first-1k", engine.name()), &engine, |b, &e| {
+                b.iter(|| enumerate(&q, &g, &cand, &order, cfg.with_engine(e)))
+            });
+        }
+    }
+    group.finish();
 }
 
 fn bench_gcn_forward(c: &mut Criterion) {
@@ -65,9 +208,7 @@ fn bench_gcn_forward(c: &mut Criterion) {
             b.iter(|| model.policy().forward(&gt, &feats, &mask))
         });
         // Full order inference (the paper's ≤100 ms claim).
-        group.bench_with_input(BenchmarkId::new("order-inference", n), &n, |b, _| {
-            b.iter(|| model.order_query(&q, &g))
-        });
+        group.bench_with_input(BenchmarkId::new("order-inference", n), &n, |b, _| b.iter(|| model.order_query(&q, &g)));
     }
     group.finish();
 }
@@ -94,6 +235,6 @@ fn bench_autograd(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_filters, bench_orderings, bench_enumeration, bench_gcn_forward, bench_autograd
+    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_gcn_forward, bench_autograd
 }
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! Paper expectation: RL-QVO generally fastest, up to two orders of
 //! magnitude over VEQ/Hybrid on citeseer/dblp.
 
-use rlqvo_bench::{baseline_methods, rlqvo_method, run_method, train_model_for, Scale};
 use rlqvo_bench::models::split_queries;
+use rlqvo_bench::{baseline_methods, rlqvo_method, run_method, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::ALL_DATASETS;
 

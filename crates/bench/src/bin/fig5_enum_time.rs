@@ -29,7 +29,8 @@ fn main() {
         for &size in dataset.query_sizes() {
             let split = split_queries(&g, dataset, size, &scale);
             let (model, _) = train_model_for(&g, dataset, size, &scale, RlQvoConfig::harness(), true);
-            let mut stats = vec![run_method(&g, &split.eval, &rlqvo_method(&model), scale.enum_config(), scale.threads)];
+            let mut stats =
+                vec![run_method(&g, &split.eval, &rlqvo_method(&model), scale.enum_config(), scale.threads)];
             for m in baseline_methods() {
                 stats.push(run_method(&g, &split.eval, &m, scale.enum_config(), scale.threads));
             }

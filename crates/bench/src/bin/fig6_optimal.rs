@@ -9,7 +9,7 @@ use rlqvo_bench::{hybrid_method, rlqvo_method, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::Dataset;
 use rlqvo_matching::order::OptimalOrdering;
-use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter};
+use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, EnumEngine, GqlFilter};
 
 fn main() {
     let scale = Scale::default();
@@ -22,15 +22,15 @@ fn main() {
     // Per-permutation budget of the exhaustive sweep. Heavy dblp-analog
     // queries make the default expensive; RLQVO_OPT_BUDGET trades optimum
     // tightness for sweep time.
-    let opt_budget: u64 =
-        std::env::var("RLQVO_OPT_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000);
+    let opt_budget: u64 = std::env::var("RLQVO_OPT_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000);
 
     for dataset in [Dataset::Citeseer, Dataset::Yeast, Dataset::Dblp] {
         let g = dataset.load();
         let split = split_queries(&g, dataset, 8, &scale);
         let (model, _) = train_model_for(&g, dataset, 8, &scale, RlQvoConfig::harness(), true);
         let filter = GqlFilter::default();
-        let opt = OptimalOrdering { per_order_config: EnumConfig::budgeted(opt_budget) };
+        let opt =
+            OptimalOrdering { per_order_config: EnumConfig::budgeted(opt_budget).with_engine(EnumEngine::from_env()) };
         let hybrid = hybrid_method();
         let rlqvo = rlqvo_method(&model);
 

@@ -93,14 +93,10 @@ fn main() {
     );
     let dataset = Dataset::Eu2005;
     let g = dataset.load();
-    let train_size: usize =
-        std::env::var("RLQVO_ABLATION_TRAIN_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
+    let train_size: usize = std::env::var("RLQVO_ABLATION_TRAIN_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
     let train_split = split_queries(&g, dataset, train_size, &scale);
 
-    println!(
-        "{:<10} {:>6} {:>12} {:>12} {:>10}",
-        "variant", "Qset", "query(s)", "enum(s)", "unsolved"
-    );
+    println!("{:<10} {:>6} {:>12} {:>12} {:>10}", "variant", "Qset", "query(s)", "enum(s)", "unsolved");
     for v in VARIANTS {
         let mut config = (v.build)(RlQvoConfig::harness());
         config.epochs = scale.train_epochs;

@@ -24,10 +24,7 @@ fn main() {
         "paper: 100 epochs full vs 100 pre + 10 incremental vs pretrained-only",
     );
 
-    println!(
-        "{:<10} {:<12} {:>12} {:>12} {:>12}",
-        "dataset", "method", "query(s)", "enum(s)", "train(s)"
-    );
+    println!("{:<10} {:<12} {:>12} {:>12} {:>12}", "dataset", "method", "query(s)", "enum(s)", "train(s)");
     for dataset in [Dataset::Dblp, Dataset::Eu2005, Dataset::Youtube] {
         let g = dataset.load();
         let size = dataset.default_query_size();

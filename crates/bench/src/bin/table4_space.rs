@@ -11,10 +11,7 @@ use rlqvo_datasets::ALL_DATASETS;
 
 fn main() {
     let scale = Scale::default();
-    scale.banner(
-        "Table IV — space evaluation",
-        "graph space grows with the dataset; model space fixed at 186.2 kB",
-    );
+    scale.banner("Table IV — space evaluation", "graph space grows with the dataset; model space fixed at 186.2 kB");
 
     let model = RlQvo::new(RlQvoConfig::default());
     let model_kb = model.storage_bytes() as f64 / 1024.0;
@@ -30,13 +27,7 @@ fn main() {
             "wordnet" => "3.5 MB",
             _ => "437.6 MB",
         };
-        println!(
-            "{:<10} {:>12.1} kB {:>12.1} kB {:>16}",
-            d.name(),
-            g.storage_bytes() as f64 / 1024.0,
-            model_kb,
-            paper
-        );
+        println!("{:<10} {:>12.1} kB {:>12.1} kB {:>16}", d.name(), g.storage_bytes() as f64 / 1024.0, model_kb, paper);
     }
     println!();
     println!(

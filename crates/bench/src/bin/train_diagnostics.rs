@@ -11,10 +11,7 @@ use rlqvo_datasets::Dataset;
 
 fn main() {
     let scale = Scale::default();
-    let dataset = std::env::args()
-        .nth(1)
-        .and_then(|n| Dataset::from_name(&n))
-        .unwrap_or(Dataset::Dblp);
+    let dataset = std::env::args().nth(1).and_then(|n| Dataset::from_name(&n)).unwrap_or(Dataset::Dblp);
     scale.banner("training diagnostics", "not a paper figure");
 
     let g = dataset.load();

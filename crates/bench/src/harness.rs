@@ -1,9 +1,9 @@
 //! Query-parallel method evaluation with paper-style aggregates.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use rlqvo_graph::Graph;
 use rlqvo_matching::{run_pipeline, EnumConfig, Pipeline, PipelineResult};
 
@@ -82,13 +82,19 @@ fn percentile_secs(times: &[Duration], p: f64) -> f64 {
 /// Runs `method` over every query (in parallel across `threads` workers)
 /// and aggregates. Unsolved queries are clamped to the time limit, as the
 /// paper does.
-pub fn run_method(g: &Graph, queries: &[Graph], method: &BenchMethod<'_>, config: EnumConfig, threads: usize) -> RunStats {
+pub fn run_method(
+    g: &Graph,
+    queries: &[Graph],
+    method: &BenchMethod<'_>,
+    config: EnumConfig,
+    threads: usize,
+) -> RunStats {
     let results: Vec<PipelineResult> = {
         let slots: Mutex<Vec<Option<PipelineResult>>> = Mutex::new(vec![None; queries.len()]);
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads.max(1) {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= queries.len() {
                         break;
@@ -96,12 +102,11 @@ pub fn run_method(g: &Graph, queries: &[Graph], method: &BenchMethod<'_>, config
                     let pipeline =
                         Pipeline { filter: method.filter.as_ref(), ordering: method.ordering.as_ref(), config };
                     let r = run_pipeline(&queries[i], g, &pipeline);
-                    slots.lock()[i] = Some(r);
+                    slots.lock().expect("worker panicked")[i] = Some(r);
                 });
             }
-        })
-        .expect("worker panicked");
-        slots.into_inner().into_iter().map(|r| r.expect("all queries evaluated")).collect()
+        });
+        slots.into_inner().expect("worker panicked").into_iter().map(|r| r.expect("all queries evaluated")).collect()
     };
 
     let mut stats = RunStats {

@@ -49,11 +49,7 @@ pub fn hybrid_method() -> BenchMethod<'static> {
 
 /// RL-QVO: identical filter + enumeration to Hybrid, learned ordering.
 pub fn rlqvo_method(model: &RlQvo) -> BenchMethod<'_> {
-    BenchMethod {
-        name: "RL-QVO",
-        filter: Box::new(GqlFilter::default()),
-        ordering: Box::new(model.ordering()),
-    }
+    BenchMethod { name: "RL-QVO", filter: Box::new(GqlFilter::default()), ordering: Box::new(model.ordering()) }
 }
 
 #[cfg(test)]

@@ -202,11 +202,7 @@ mod tests {
     #[test]
     fn scaling_factors_divide() {
         let (q, g) = setup();
-        let fx = FeatureExtractor::new(
-            &q,
-            &g,
-            FeatureScaling { alpha_degree: 2.0, ..FeatureScaling::paper_literal() },
-        );
+        let fx = FeatureExtractor::new(&q, &g, FeatureScaling { alpha_degree: 2.0, ..FeatureScaling::paper_literal() });
         let m = fx.features_at(1, &[false; 3]);
         assert_eq!(m.get(1, 0), 1.0, "degree 2 halved");
     }

@@ -135,14 +135,10 @@ impl RlQvo {
                 if it.next() != Some("p") {
                     return Err(ModelIoError::Format(format!("expected param header, got {head:?}")));
                 }
-                let rows: usize = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ModelIoError::Format("bad rows".into()))?;
-                let cols: usize = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| ModelIoError::Format("bad cols".into()))?;
+                let rows: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or_else(|| ModelIoError::Format("bad rows".into()))?;
+                let cols: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or_else(|| ModelIoError::Format("bad cols".into()))?;
                 if (rows, cols) != slot.shape() {
                     return Err(ModelIoError::Format(format!(
                         "param {i}: file shape {rows}x{cols} vs model {:?}",
@@ -153,9 +149,7 @@ impl RlQvo {
                 for _ in 0..rows {
                     let line = next()?;
                     for tok in line.split_whitespace() {
-                        let v: f32 = tok
-                            .parse()
-                            .map_err(|_| ModelIoError::Format(format!("bad float {tok:?}")))?;
+                        let v: f32 = tok.parse().map_err(|_| ModelIoError::Format(format!("bad float {tok:?}")))?;
                         data.push(v);
                     }
                 }

@@ -137,8 +137,7 @@ mod tests {
         // orders (an untrained policy is near-uniform).
         let mut seen = std::collections::HashSet::new();
         for seed in 0..10 {
-            let ordering =
-                RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0).sampling(seed);
+            let ordering = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0).sampling(seed);
             seen.insert(ordering.run_episode(&q, &g));
         }
         assert!(seen.len() >= 2, "sampling produced a single order across seeds");

@@ -104,10 +104,7 @@ impl PolicyNetwork {
 
     /// Binds every parameter onto `t` (leaves in [`Self::params`] order).
     pub fn bind(&self, t: &Tape) -> PolicyBinding {
-        PolicyBinding {
-            layer_vars: self.layers.iter().map(|l| l.bind(t)).collect(),
-            head_vars: self.head.bind(t),
-        }
+        PolicyBinding { layer_vars: self.layers.iter().map(|l| l.bind(t)).collect(), head_vars: self.head.bind(t) }
     }
 
     /// Forward pass on an existing tape. Returns `(masked probability
@@ -129,13 +126,7 @@ impl PolicyNetwork {
             if let Some((p, rng)) = drop.as_mut() {
                 let keep = 1.0 - *p;
                 let (rows, cols) = h.shape();
-                let m = Matrix::from_fn(rows, cols, |_, _| {
-                    if rng.gen::<f32>() < keep {
-                        1.0 / keep
-                    } else {
-                        0.0
-                    }
-                });
+                let m = Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 });
                 h = t.mul_const(h, &m);
             }
         }
@@ -215,7 +206,9 @@ mod tests {
     #[test]
     fn every_gnn_kind_runs() {
         let (gt, f) = tensors_and_features();
-        for kind in [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense] {
+        for kind in
+            [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense]
+        {
             let net = PolicyNetwork::new(kind, 2, 7, 8, 3);
             let out = net.forward(&gt, &f, &[true; 4]);
             assert!(out.probs.iter().all(|p| p.is_finite()), "{}", kind.name());

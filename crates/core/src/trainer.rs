@@ -182,11 +182,8 @@ impl Trainer {
             for (m, c) in query_mean.iter_mut().zip(&query_count) {
                 *m /= (*c).max(1) as f32;
             }
-            let centered: Vec<f32> = trajectories
-                .iter()
-                .zip(&returns)
-                .map(|((qi, _), &ret)| ret - query_mean[*qi])
-                .collect();
+            let centered: Vec<f32> =
+                trajectories.iter().zip(&returns).map(|((qi, _), &ret)| ret - query_mean[*qi]).collect();
             let advantages = whiten(&centered);
 
             // ---- update --------------------------------------------------
@@ -318,9 +315,6 @@ mod tests {
         let report = model.train(&queries[..4], &g);
         let first = report.epochs.first().unwrap().mean_enum_advantage;
         let last = report.final_enum_advantage();
-        assert!(
-            last >= first - 0.5 || last > 0.0,
-            "no learning signal: first {first}, last {last}"
-        );
+        assert!(last >= first - 0.5 || last > 0.0, "no learning signal: first {first}, last {last}");
     }
 }

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rand::SeedableRng;
-use rlqvo_core::{FeatureExtractor, OrderingEnv, PolicyNetwork};
 use rlqvo_core::features::FeatureScaling;
+use rlqvo_core::{FeatureExtractor, OrderingEnv, PolicyNetwork};
 use rlqvo_gnn::{GnnKind, GraphTensors};
 use rlqvo_graph::{extract_connected_subgraph, GraphBuilder};
 

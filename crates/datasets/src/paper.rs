@@ -238,10 +238,7 @@ mod tests {
             let target = d.paper_properties().avg_degree;
             let got = g.avg_degree();
             // Duplicate-edge drops make dense graphs land slightly under.
-            assert!(
-                (got - target).abs() / target < 0.25,
-                "{d}: avg degree {got:.2} vs paper {target:.2}"
-            );
+            assert!((got - target).abs() / target < 0.25, "{d}: avg degree {got:.2} vs paper {target:.2}");
         }
     }
 

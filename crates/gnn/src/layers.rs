@@ -361,11 +361,7 @@ mod tests {
             let grads = t.backward(loss);
             for (i, v) in bound.iter().enumerate() {
                 let g = grads.get(*v);
-                assert!(
-                    g.is_some(),
-                    "{}: param {i} received no gradient",
-                    kind.name()
-                );
+                assert!(g.is_some(), "{}: param {i} received no gradient", kind.name());
             }
         }
     }

@@ -159,12 +159,12 @@ fn full_policy_pipeline_gradcheck() {
     let mut rng = StdRng::seed_from_u64(12);
     let inputs = vec![
         features(),
-        Matrix::xavier_uniform(3, 4, &mut rng),  // GCN W
-        Matrix::zeros(1, 4),                     // GCN b
-        Matrix::xavier_uniform(4, 4, &mut rng),  // MLP W1
-        Matrix::zeros(1, 4),                     // MLP b1
-        Matrix::xavier_uniform(4, 1, &mut rng),  // MLP W2
-        Matrix::zeros(1, 1),                     // MLP b2
+        Matrix::xavier_uniform(3, 4, &mut rng), // GCN W
+        Matrix::zeros(1, 4),                    // GCN b
+        Matrix::xavier_uniform(4, 4, &mut rng), // MLP W1
+        Matrix::zeros(1, 4),                    // MLP b1
+        Matrix::xavier_uniform(4, 1, &mut rng), // MLP W2
+        Matrix::zeros(1, 1),                    // MLP b2
     ];
     let mask = [true, false, true, true];
     let report = check_gradients(&inputs, 1e-3, |t, vs| {

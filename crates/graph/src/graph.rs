@@ -59,7 +59,7 @@ impl Graph {
                 return false; // self loop
             }
             for &u in adj {
-                if !self.neighbors(u).binary_search(&(v as VertexId)).is_ok() {
+                if self.neighbors(u).binary_search(&(v as VertexId)).is_err() {
                     return false; // asymmetric
                 }
             }
@@ -160,9 +160,8 @@ impl Graph {
     /// Iterator over each undirected edge exactly once, as `(u, v)` with
     /// `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.vertices().flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
-        })
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
     }
 
     /// Frequency of each unordered label pair over the edges of this graph.
@@ -231,18 +230,21 @@ impl Graph {
     /// Returns the subgraph together with the mapping `new id -> old id`.
     pub fn induced_subgraph(&self, verts: &[VertexId]) -> (Graph, Vec<VertexId>) {
         let mut builder = crate::GraphBuilder::new(self.num_labels);
-        let mut old_to_new: HashMap<VertexId, VertexId> = HashMap::with_capacity(verts.len());
+        // Dense old→new lookup: this sits on the training-episode path
+        // (subquery sampling), where hashing every neighbour probe showed
+        // up; a flat array costs one |V| fill and O(1) per probe.
+        const UNMAPPED: VertexId = VertexId::MAX;
+        let mut old_to_new = vec![UNMAPPED; self.num_vertices()];
         for (new, &old) in verts.iter().enumerate() {
-            old_to_new.insert(old, new as VertexId);
+            old_to_new[old as usize] = new as VertexId;
             builder.add_vertex(self.label(old));
             debug_assert_eq!(builder.num_vertices() - 1, new);
         }
         for (new, &old) in verts.iter().enumerate() {
             for &nb in self.neighbors(old) {
-                if let Some(&nb_new) = old_to_new.get(&nb) {
-                    if (new as VertexId) < nb_new {
-                        builder.add_edge(new as VertexId, nb_new);
-                    }
+                let nb_new = old_to_new[nb as usize];
+                if nb_new != UNMAPPED && (new as VertexId) < nb_new {
+                    builder.add_edge(new as VertexId, nb_new);
                 }
             }
         }

@@ -13,6 +13,8 @@
 //!
 //! Modules:
 //! * [`builder`] — mutable edge-list builder that freezes into a [`Graph`].
+//! * [`intersect`] — sorted-set intersection kernels (linear merge +
+//!   galloping) backing the CandidateSpace enumeration engine.
 //! * [`io`] — the `t/v/e` text format used by the in-memory study
 //!   (Sun & Luo, SIGMOD'20) whose datasets the paper evaluates on.
 //! * [`sample`] — random connected-subgraph extraction, the paper's query
@@ -21,11 +23,13 @@
 
 pub mod builder;
 pub mod graph;
+pub mod intersect;
 pub mod io;
 pub mod sample;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, VertexId};
+pub use intersect::{gallop_lower_bound, intersect_in_place, intersect_into, intersect_positions_into};
 pub use sample::{extract_connected_subgraph, SampleError};
 pub use stats::GraphStats;

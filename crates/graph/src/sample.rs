@@ -174,10 +174,7 @@ mod tests {
         let g = grid(2);
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(extract_connected_subgraph(&g, 0, &mut rng).unwrap_err(), SampleError::Empty);
-        assert!(matches!(
-            extract_connected_subgraph(&g, 100, &mut rng).unwrap_err(),
-            SampleError::TooLarge { .. }
-        ));
+        assert!(matches!(extract_connected_subgraph(&g, 100, &mut rng).unwrap_err(), SampleError::TooLarge { .. }));
     }
 
     #[test]
@@ -188,10 +185,7 @@ mod tests {
         b.add_vertex(0);
         let g = b.build();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(matches!(
-            extract_connected_subgraph(&g, 2, &mut rng).unwrap_err(),
-            SampleError::Fragmented { .. }
-        ));
+        assert!(matches!(extract_connected_subgraph(&g, 2, &mut rng).unwrap_err(), SampleError::Fragmented { .. }));
     }
 
     #[test]

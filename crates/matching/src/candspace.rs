@@ -1,0 +1,295 @@
+//! The edge-indexed candidate space — the auxiliary structure behind the
+//! intersection-based enumeration engine.
+//!
+//! After phase-1 filtering, [`CandidateSpace::build`] materializes, for
+//! every *directed* query edge `(u, u')` and every candidate `v ∈ C(u)`,
+//! the sorted list of positions (into `C(u')`) of `v`'s data-neighbours
+//! that survive in `C(u')`. This is the DAF/CFL-style auxiliary structure:
+//! with it, the enumeration-time local candidate set
+//!
+//! ```text
+//! LC(u, M) = { v ∈ C(u) : ∀ mapped backward neighbour u_b,
+//!                          (M(u_b), v) ∈ E(G) }
+//! ```
+//!
+//! becomes a multi-way intersection of precomputed sorted lists
+//! ([`rlqvo_graph::intersect`]) — no adjacency probing, no binary-search
+//! membership tests, no `has_edge` calls.
+//!
+//! Everything is stored in flat CSR-style arenas (no `Vec<Vec<_>>` on the
+//! access path):
+//!
+//! * `cand_offsets`/`cand_flat` — the candidate sets themselves;
+//! * `edge_seg`/`list_offsets`/`nbr_pos` — a two-level CSR: directed edge
+//!   → per-candidate segment → positions into the target candidate set.
+//!
+//! Lists hold candidate **positions**, not vertex ids: position lists
+//! intersect exactly like vertex lists (both are strictly ascending), and
+//! the winning position doubles as the key for the *next* depth's edge
+//! lists, so the engine never searches for "where is `v` in `C(u)`".
+
+use rlqvo_graph::{intersect_positions_into, Graph, VertexId};
+
+use crate::filter::Candidates;
+
+/// Edge-indexed candidate space (see the module docs).
+#[derive(Clone, Debug)]
+pub struct CandidateSpace {
+    num_query_vertices: usize,
+    num_data_vertices: usize,
+    /// `cand_flat[cand_offsets[u]..cand_offsets[u+1]]` = sorted `C(u)`.
+    cand_offsets: Vec<u32>,
+    cand_flat: Vec<VertexId>,
+    /// Query CSR (copied so the space is self-contained): directed edge
+    /// `e = q_offsets[u] + k` is `(u, q_targets[q_offsets[u] + k])`.
+    q_offsets: Vec<u32>,
+    q_targets: Vec<VertexId>,
+    /// Start of edge `e`'s offset segment inside `list_offsets`; the
+    /// segment holds `|C(u)| + 1` monotone offsets into `nbr_pos`.
+    edge_seg: Vec<u32>,
+    list_offsets: Vec<u32>,
+    /// Concatenated neighbour lists, as positions into the target `C(u')`.
+    nbr_pos: Vec<u32>,
+}
+
+impl CandidateSpace {
+    /// Materializes the space for `(q, g, cand)`. Cost is
+    /// `O(Σ_(u,u')∈E(q) Σ_{v∈C(u)} min(d(v), |C(u')|)·log)` via the
+    /// galloping intersection kernels; the result is reusable across
+    /// every matching order of the same query.
+    pub fn build(q: &Graph, g: &Graph, cand: &Candidates) -> Self {
+        let n_q = q.num_vertices();
+        assert_eq!(cand.num_query_vertices(), n_q, "candidates must cover the query");
+
+        let mut cand_offsets = Vec::with_capacity(n_q + 1);
+        cand_offsets.push(0u32);
+        let mut cand_flat = Vec::with_capacity(cand.total());
+        for u in q.vertices() {
+            cand_flat.extend_from_slice(cand.of(u));
+            cand_offsets.push(cand_flat.len() as u32);
+        }
+
+        let mut q_offsets = Vec::with_capacity(n_q + 1);
+        q_offsets.push(0u32);
+        let mut q_targets = Vec::new();
+        for u in q.vertices() {
+            q_targets.extend_from_slice(q.neighbors(u));
+            q_offsets.push(q_targets.len() as u32);
+        }
+
+        let mut edge_seg = Vec::with_capacity(q_targets.len());
+        let mut list_offsets = Vec::new();
+        let mut nbr_pos = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        // Dense vertex → position-in-C(u') table, maintained per directed
+        // edge (set and cleared through C(u'), never refilled wholesale).
+        // It answers membership AND rank in O(1), so the common build
+        // case is a single pass over each adjacency list; galloping from
+        // the candidate side takes over when d(v) dwarfs |C(u')|.
+        const UNMAPPED: u32 = u32::MAX;
+        let mut pos_of: Vec<u32> = vec![UNMAPPED; g.num_vertices()];
+        for u in q.vertices() {
+            for &up in q.neighbors(u) {
+                edge_seg.push(list_offsets.len() as u32);
+                let c_up = cand.of(up);
+                for (j, &w) in c_up.iter().enumerate() {
+                    pos_of[w as usize] = j as u32;
+                }
+                for &v in cand.of(u) {
+                    list_offsets.push(nbr_pos.len() as u32);
+                    let nv = g.neighbors(v);
+                    if nv.len() >= c_up.len().saturating_mul(16) {
+                        intersect_positions_into(&mut scratch, nv, c_up);
+                        nbr_pos.extend_from_slice(&scratch);
+                    } else {
+                        for &w in nv {
+                            let p = pos_of[w as usize];
+                            if p != UNMAPPED {
+                                nbr_pos.push(p);
+                            }
+                        }
+                    }
+                }
+                for &w in c_up {
+                    pos_of[w as usize] = UNMAPPED;
+                }
+            }
+        }
+        // Closing offset shared by the final edge segment.
+        list_offsets.push(nbr_pos.len() as u32);
+        debug_assert!(nbr_pos.len() <= u32::MAX as usize, "candidate space exceeds u32 arena offsets");
+
+        CandidateSpace {
+            num_query_vertices: n_q,
+            num_data_vertices: g.num_vertices(),
+            cand_offsets,
+            cand_flat,
+            q_offsets,
+            q_targets,
+            edge_seg,
+            list_offsets,
+            nbr_pos,
+        }
+    }
+
+    /// Number of query vertices covered.
+    #[inline]
+    pub fn num_query_vertices(&self) -> usize {
+        self.num_query_vertices
+    }
+
+    /// `|V(G)|` of the data graph this space was built against.
+    #[inline]
+    pub fn num_data_vertices(&self) -> usize {
+        self.num_data_vertices
+    }
+
+    /// Sorted `C(u)`.
+    #[inline]
+    pub fn cand(&self, u: VertexId) -> &[VertexId] {
+        &self.cand_flat[self.cand_offsets[u as usize] as usize..self.cand_offsets[u as usize + 1] as usize]
+    }
+
+    /// `|C(u)|`.
+    #[inline]
+    pub fn cand_len(&self, u: VertexId) -> usize {
+        (self.cand_offsets[u as usize + 1] - self.cand_offsets[u as usize]) as usize
+    }
+
+    /// The candidate at `pos` in `C(u)`.
+    #[inline]
+    pub fn cand_vertex(&self, u: VertexId, pos: u32) -> VertexId {
+        self.cand_flat[self.cand_offsets[u as usize] as usize + pos as usize]
+    }
+
+    /// True when some candidate set is empty (no match can exist).
+    pub fn any_empty(&self) -> bool {
+        self.cand_offsets.windows(2).any(|w| w[0] == w[1])
+    }
+
+    /// Directed-edge id of `(u, up)`, or `None` when the query edge does
+    /// not exist. O(log d(u)) — called once per (order, depth), never in
+    /// the per-candidate loop.
+    #[inline]
+    pub fn edge_id(&self, u: VertexId, up: VertexId) -> Option<u32> {
+        let s = self.q_offsets[u as usize] as usize;
+        let t = self.q_offsets[u as usize + 1] as usize;
+        self.q_targets[s..t].binary_search(&up).ok().map(|k| (s + k) as u32)
+    }
+
+    /// For directed edge `e = (u, u')` and the candidate at `pos` in
+    /// `C(u)`: the sorted positions (into `C(u')`) of its data-neighbours
+    /// inside `C(u')`.
+    #[inline]
+    pub fn edge_list(&self, e: u32, pos: u32) -> &[u32] {
+        let seg = self.edge_seg[e as usize] as usize + pos as usize;
+        &self.nbr_pos[self.list_offsets[seg] as usize..self.list_offsets[seg + 1] as usize]
+    }
+
+    /// Total entries across all edge lists (diagnostic; the dominant term
+    /// of [`CandidateSpace::storage_bytes`]).
+    pub fn total_edge_list_entries(&self) -> usize {
+        self.nbr_pos.len()
+    }
+
+    /// Bytes held by the flat arenas (paper Table IV-style accounting).
+    pub fn storage_bytes(&self) -> usize {
+        4 * (self.cand_offsets.len()
+            + self.cand_flat.len()
+            + self.q_offsets.len()
+            + self.q_targets.len()
+            + self.edge_seg.len()
+            + self.list_offsets.len()
+            + self.nbr_pos.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+    use rlqvo_graph::GraphBuilder;
+
+    /// q = path 0(l0)-1(l1)-2(l0); G = 5-cycle alternating labels plus a
+    /// chord, so candidate sets have >1 entry.
+    fn case() -> (Graph, Graph) {
+        let mut qb = GraphBuilder::new(2);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(1);
+        let c = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        for i in 0..6u32 {
+            gb.add_vertex(i % 2);
+        }
+        for i in 0..6u32 {
+            gb.add_edge(i, (i + 1) % 6);
+        }
+        gb.add_edge(0, 2);
+        (q, gb.build())
+    }
+
+    #[test]
+    fn edge_lists_match_adjacency_semantics() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        assert_eq!(cs.num_query_vertices(), 3);
+        assert_eq!(cs.num_data_vertices(), 6);
+        // For every directed edge and every candidate, the edge list must
+        // contain exactly the positions of adjacent candidates.
+        for u in q.vertices() {
+            for &up in q.neighbors(u) {
+                let e = cs.edge_id(u, up).expect("edge exists");
+                for (pos, &v) in cand.of(u).iter().enumerate() {
+                    let list = cs.edge_list(e, pos as u32);
+                    let expected: Vec<u32> = cand
+                        .of(up)
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &w)| g.has_edge(v, w))
+                        .map(|(j, _)| j as u32)
+                        .collect();
+                    assert_eq!(list, &expected[..], "edge ({u},{up}) cand {v}");
+                    assert!(list.windows(2).all(|w| w[0] < w[1]), "list sorted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cand_accessors_mirror_candidates() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        for u in q.vertices() {
+            assert_eq!(cs.cand(u), cand.of(u));
+            assert_eq!(cs.cand_len(u), cand.len_of(u));
+            for (i, &v) in cand.of(u).iter().enumerate() {
+                assert_eq!(cs.cand_vertex(u, i as u32), v);
+            }
+        }
+        assert!(!cs.any_empty());
+        assert!(cs.storage_bytes() > 0);
+        assert!(cs.total_edge_list_entries() > 0);
+    }
+
+    #[test]
+    fn missing_query_edge_has_no_id() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        assert!(cs.edge_id(0, 2).is_none(), "0-2 is not a query edge");
+        assert!(cs.edge_id(0, 1).is_some());
+    }
+
+    #[test]
+    fn empty_candidate_sets_are_flagged() {
+        let (q, g) = case();
+        let cand = Candidates::new(vec![vec![], vec![1], vec![2]]);
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        assert!(cs.any_empty());
+    }
+}

@@ -5,12 +5,67 @@
 //! enumeration methods which are implemented in the same way, \[so\] the
 //! enumeration time costs could directly reflect the qualities of the
 //! output matching orders").
+//!
+//! Two engines produce byte-identical results (`match_count`, `#enum`,
+//! and the match stream itself):
+//!
+//! * [`EnumEngine::CandidateSpace`] (default) — builds a
+//!   [`CandidateSpace`] and computes `LC(u, M)` as a multi-way
+//!   intersection of precomputed per-query-edge candidate lists, with
+//!   per-depth preallocated buffers (zero allocation and zero `has_edge`
+//!   calls in steady-state recursion).
+//! * [`EnumEngine::Probe`] — the original adjacency-probing path, kept as
+//!   a differential oracle: it scans the data adjacency list of the
+//!   smallest-degree mapped backward neighbour and filters by candidate
+//!   membership and edge tests.
+//!
+//! Because both engines enumerate `LC(u, M)` in ascending vertex order,
+//! their recursion trees — and therefore `#enum` (Definition II.6), the
+//! paper's order-quality metric — are identical; `tests/oracle.rs`
+//! property-checks that equivalence.
 
 use std::time::{Duration, Instant};
 
-use rlqvo_graph::{Graph, VertexId};
+use rlqvo_graph::{intersect_in_place, intersect_into, Graph, VertexId};
 
+use crate::candspace::CandidateSpace;
 use crate::filter::Candidates;
+
+/// Which enumeration implementation to run. Both report identical
+/// results; they differ only in wall-clock profile (see module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnumEngine {
+    /// Adjacency-probing reference path (the differential oracle).
+    Probe,
+    /// Intersection over a prebuilt edge-indexed candidate space.
+    #[default]
+    CandidateSpace,
+}
+
+impl EnumEngine {
+    /// Short display name ("probe" / "candspace").
+    pub fn name(&self) -> &'static str {
+        match self {
+            EnumEngine::Probe => "probe",
+            EnumEngine::CandidateSpace => "candspace",
+        }
+    }
+
+    /// Parses "probe" / "candspace" (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "probe" => Some(EnumEngine::Probe),
+            "candspace" | "cs" | "candidate-space" => Some(EnumEngine::CandidateSpace),
+            _ => None,
+        }
+    }
+
+    /// Engine selected by the `RLQVO_ENGINE` environment variable, or the
+    /// default. Lets the bench harness flip engines without recompiling.
+    pub fn from_env() -> Self {
+        std::env::var("RLQVO_ENGINE").ok().and_then(|v| EnumEngine::parse(&v)).unwrap_or_default()
+    }
+}
 
 /// Knobs of an enumeration run. The paper's defaults are
 /// `max_matches = 10^5` and a 500 s time limit; the harness scales both
@@ -26,6 +81,8 @@ pub struct EnumConfig {
     pub max_enumerations: u64,
     /// Record the matches themselves (tests/oracles) or just count them.
     pub store_matches: bool,
+    /// Which enumeration implementation to run.
+    pub engine: EnumEngine,
 }
 
 impl Default for EnumConfig {
@@ -35,6 +92,7 @@ impl Default for EnumConfig {
             time_limit: Duration::from_secs(500),
             max_enumerations: u64::MAX,
             store_matches: false,
+            engine: EnumEngine::default(),
         }
     }
 }
@@ -53,7 +111,13 @@ impl EnumConfig {
             time_limit: Duration::from_secs(u64::MAX / 4),
             max_enumerations,
             store_matches: false,
+            engine: EnumEngine::default(),
         }
+    }
+
+    /// The same configuration pinned to `engine`.
+    pub fn with_engine(self, engine: EnumEngine) -> Self {
+        EnumConfig { engine, ..self }
     }
 }
 
@@ -76,58 +140,65 @@ pub struct EnumResult {
     pub matches: Vec<Vec<VertexId>>,
 }
 
-struct Ctx<'a> {
-    g: &'a Graph,
-    cand: &'a Candidates,
-    order: &'a [VertexId],
-    /// Backward neighbours of `order[i]` among `order[..i]` (paper
-    /// Definition II.4), precomputed per position.
-    backward: Vec<Vec<VertexId>>,
-    config: EnumConfig,
-    start: Instant,
-    deadline_hit: bool,
-    budget_hit: bool,
-    enumerations: u64,
-    match_count: u64,
-    mapping: Vec<VertexId>,
-    used: Vec<bool>,
-    matches: Vec<Vec<VertexId>>,
-    scratch: Vec<VertexId>,
+impl EnumResult {
+    fn empty(elapsed: Duration) -> Self {
+        EnumResult {
+            match_count: 0,
+            enumerations: 0,
+            elapsed,
+            timed_out: false,
+            budget_exhausted: false,
+            matches: Vec::new(),
+        }
+    }
 }
 
-/// Runs Algorithm 2: recursively extends partial mappings along `order`.
+/// Runs Algorithm 2 with the engine selected in `config` (building the
+/// candidate space internally for [`EnumEngine::CandidateSpace`]; use
+/// [`enumerate_in_space`] to amortize one build over several orders).
 ///
 /// `order` must be a permutation of the query vertices. Orders whose prefix
 /// is disconnected are legal (the local candidate set falls back to the
 /// full `C(u)` — the Cartesian-product case the paper's connectivity
 /// constraint exists to avoid).
 pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], config: EnumConfig) -> EnumResult {
+    match config.engine {
+        EnumEngine::Probe => enumerate_probe(q, g, cand, order, config),
+        EnumEngine::CandidateSpace => {
+            assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
+            let start = Instant::now();
+            if cand.any_empty() {
+                // Complete candidate sets: an empty set proves no match.
+                return EnumResult::empty(start.elapsed());
+            }
+            let cs = CandidateSpace::build(q, g, cand);
+            enumerate_in_space_from(q, &cs, order, config, start)
+        }
+    }
+}
+
+/// The probe-based reference engine (the seed implementation). Scans a
+/// mapped backward neighbour's adjacency list and filters with candidate
+/// membership + `has_edge` tests. Kept as the differential oracle for the
+/// CandidateSpace engine.
+pub fn enumerate_probe(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], config: EnumConfig) -> EnumResult {
     assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
     debug_assert!(is_permutation(order));
 
     let start = Instant::now();
     if cand.any_empty() {
         // Complete candidate sets: an empty set proves there is no match.
-        return EnumResult {
-            match_count: 0,
-            enumerations: 0,
-            elapsed: start.elapsed(),
-            timed_out: false,
-            budget_exhausted: false,
-            matches: Vec::new(),
-        };
+        return EnumResult::empty(start.elapsed());
     }
 
     let backward = order
         .iter()
         .enumerate()
-        .map(|(i, &u)| {
-            order[..i].iter().copied().filter(|&p| q.has_edge(p, u)).collect::<Vec<_>>()
-        })
+        .map(|(i, &u)| order[..i].iter().copied().filter(|&p| q.has_edge(p, u)).collect::<Vec<_>>())
         .collect();
 
     let n = q.num_vertices();
-    let mut ctx = Ctx {
+    let mut ctx = ProbeCtx {
         g,
         cand,
         order,
@@ -143,7 +214,70 @@ pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], co
         matches: Vec::new(),
         scratch: Vec::new(),
     };
-    recurse(&mut ctx, 0);
+    probe_recurse(&mut ctx, 0);
+    EnumResult {
+        match_count: ctx.match_count,
+        enumerations: ctx.enumerations,
+        elapsed: start.elapsed(),
+        timed_out: ctx.deadline_hit,
+        budget_exhausted: ctx.budget_hit,
+        matches: ctx.matches,
+    }
+}
+
+/// Runs the CandidateSpace engine against a prebuilt space. The space
+/// depends only on `(q, G, C)` — not on the order — so harnesses that
+/// compare many orders on identical candidate sets (Fig. 5/6) build it
+/// once. `config.engine` is ignored (the space *is* the engine choice).
+pub fn enumerate_in_space(q: &Graph, cs: &CandidateSpace, order: &[VertexId], config: EnumConfig) -> EnumResult {
+    let start = Instant::now();
+    if cs.any_empty() {
+        return EnumResult::empty(start.elapsed());
+    }
+    enumerate_in_space_from(q, cs, order, config, start)
+}
+
+fn enumerate_in_space_from(
+    q: &Graph,
+    cs: &CandidateSpace,
+    order: &[VertexId],
+    config: EnumConfig,
+    start: Instant,
+) -> EnumResult {
+    assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
+    assert_eq!(cs.num_query_vertices(), q.num_vertices(), "space/query mismatch");
+    debug_assert!(is_permutation(order));
+
+    // Backward neighbours of order[i] among order[..i] (Definition II.4),
+    // as (order position j, directed edge id of order[j] -> order[i]).
+    let backward: Vec<Vec<(usize, u32)>> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| order[..i].iter().enumerate().filter_map(|(j, &p)| cs.edge_id(p, u).map(|e| (j, e))).collect())
+        .collect();
+
+    let n = q.num_vertices();
+    let mut ctx = SpaceCtx {
+        cs,
+        order,
+        backward,
+        config,
+        start,
+        deadline_hit: false,
+        budget_hit: false,
+        enumerations: 0,
+        match_count: 0,
+        mapping: vec![VertexId::MAX; n],
+        chosen_pos: vec![0u32; n],
+        used: vec![false; cs.num_data_vertices()],
+        matches: Vec::new(),
+        // Per-depth buffers: steady-state recursion reuses these and
+        // performs no allocation (capacity grows to the high-water mark
+        // of |LC| during the first descents).
+        bufs: vec![Vec::new(); n],
+        lists: vec![Vec::new(); n],
+    };
+    space_recurse(&mut ctx, 0);
     EnumResult {
         match_count: ctx.match_count,
         enumerations: ctx.enumerations,
@@ -162,8 +296,40 @@ fn is_permutation(order: &[VertexId]) -> bool {
     })
 }
 
+// ---------------------------------------------------------------------------
+// CandidateSpace engine
+// ---------------------------------------------------------------------------
+
+struct SpaceCtx<'a> {
+    cs: &'a CandidateSpace,
+    order: &'a [VertexId],
+    /// Per depth: (mapped order position, directed edge id) of every
+    /// backward neighbour.
+    backward: Vec<Vec<(usize, u32)>>,
+    config: EnumConfig,
+    start: Instant,
+    deadline_hit: bool,
+    budget_hit: bool,
+    enumerations: u64,
+    match_count: u64,
+    /// Query vertex id → mapped data vertex.
+    mapping: Vec<VertexId>,
+    /// Order position → chosen position inside `C(order[pos])`. This is
+    /// the key that makes the engine allocation- and search-free: LC is
+    /// computed in position space, so the chosen element *is* the index
+    /// needed to look up the next depth's edge lists.
+    chosen_pos: Vec<u32>,
+    used: Vec<bool>,
+    matches: Vec<Vec<VertexId>>,
+    /// Per-depth LC buffers (positions into `C(order[depth])`).
+    bufs: Vec<Vec<u32>>,
+    /// Per-depth scratch of `(edge id, chosen pos)` handles, sorted by
+    /// list length so the intersection starts from the smallest list.
+    lists: Vec<Vec<(u32, u32)>>,
+}
+
 /// Returns true when enumeration should stop (caps reached).
-fn recurse(ctx: &mut Ctx<'_>, depth: usize) -> bool {
+fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
     ctx.enumerations += 1;
     if ctx.enumerations >= ctx.config.max_enumerations {
         ctx.budget_hit = true;
@@ -171,6 +337,121 @@ fn recurse(ctx: &mut Ctx<'_>, depth: usize) -> bool {
     }
     // Time checks are amortized: Instant::now() every call would dominate
     // the cost of shallow recursions.
+    if ctx.enumerations & 0x3FF == 0 && ctx.start.elapsed() > ctx.config.time_limit {
+        ctx.deadline_hit = true;
+        return true;
+    }
+    if depth == ctx.order.len() {
+        ctx.match_count += 1;
+        if ctx.config.store_matches {
+            ctx.matches.push(ctx.mapping.clone());
+        }
+        return ctx.match_count >= ctx.config.max_matches;
+    }
+
+    let u = ctx.order[depth];
+    // `cs` is a copy of the shared reference, so slices borrowed from it
+    // are independent of the `&mut ctx` the recursion needs.
+    let cs = ctx.cs;
+    // LC(u, M) in position space. The 0- and 1-backward-edge cases (the
+    // first vertex and every tree-like extension) iterate precomputed
+    // data directly — no buffer copy at all; only genuine multi-way
+    // intersections materialize into this depth's reusable buffer.
+    match ctx.backward[depth].len() {
+        0 => {
+            // Disconnected prefix (or the first vertex): full candidate set.
+            for pos in 0..cs.cand_len(u) as u32 {
+                if try_extend(ctx, depth, u, pos) {
+                    return true;
+                }
+            }
+        }
+        1 => {
+            let (j, e) = ctx.backward[depth][0];
+            for &pos in cs.edge_list(e, ctx.chosen_pos[j]) {
+                if try_extend(ctx, depth, u, pos) {
+                    return true;
+                }
+            }
+        }
+        _ => {
+            let mut buf = std::mem::take(&mut ctx.bufs[depth]);
+            let mut lists = std::mem::take(&mut ctx.lists[depth]);
+            lists.clear();
+            for &(j, e) in &ctx.backward[depth] {
+                lists.push((e, ctx.chosen_pos[j]));
+            }
+            // Smallest lists first: the accumulator never grows past them.
+            lists.sort_unstable_by_key(|&(e, pos)| cs.edge_list(e, pos).len());
+            intersect_into(&mut buf, cs.edge_list(lists[0].0, lists[0].1), cs.edge_list(lists[1].0, lists[1].1));
+            for &(e, pos) in &lists[2..] {
+                if buf.is_empty() {
+                    break;
+                }
+                intersect_in_place(&mut buf, cs.edge_list(e, pos));
+            }
+            ctx.lists[depth] = lists;
+            let mut stop = false;
+            for &pos in &buf {
+                if try_extend(ctx, depth, u, pos) {
+                    stop = true;
+                    break;
+                }
+            }
+            ctx.bufs[depth] = buf;
+            return stop;
+        }
+    }
+    false
+}
+
+/// Maps `u` to the candidate at `pos`, recurses, and unwinds. Returns
+/// true when enumeration should stop.
+#[inline]
+fn try_extend(ctx: &mut SpaceCtx<'_>, depth: usize, u: VertexId, pos: u32) -> bool {
+    let v = ctx.cs.cand_vertex(u, pos);
+    if ctx.used[v as usize] {
+        return false;
+    }
+    ctx.mapping[u as usize] = v;
+    ctx.used[v as usize] = true;
+    ctx.chosen_pos[depth] = pos;
+    let stop = space_recurse(ctx, depth + 1);
+    ctx.used[v as usize] = false;
+    ctx.mapping[u as usize] = VertexId::MAX;
+    stop
+}
+
+// ---------------------------------------------------------------------------
+// Probe engine (reference oracle — the seed implementation)
+// ---------------------------------------------------------------------------
+
+struct ProbeCtx<'a> {
+    g: &'a Graph,
+    cand: &'a Candidates,
+    order: &'a [VertexId],
+    /// Backward neighbours of `order[i]` among `order[..i]` (paper
+    /// Definition II.4), precomputed per position.
+    backward: Vec<Vec<VertexId>>,
+    config: EnumConfig,
+    start: Instant,
+    deadline_hit: bool,
+    budget_hit: bool,
+    enumerations: u64,
+    match_count: u64,
+    mapping: Vec<VertexId>,
+    used: Vec<bool>,
+    matches: Vec<Vec<VertexId>>,
+    scratch: Vec<VertexId>,
+}
+
+/// Returns true when enumeration should stop (caps reached).
+fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
+    ctx.enumerations += 1;
+    if ctx.enumerations >= ctx.config.max_enumerations {
+        ctx.budget_hit = true;
+        return true;
+    }
     if ctx.enumerations & 0x3FF == 0 && ctx.start.elapsed() > ctx.config.time_limit {
         ctx.deadline_hit = true;
         return true;
@@ -193,7 +474,7 @@ fn recurse(ctx: &mut Ctx<'_>, depth: usize) -> bool {
         }
         ctx.mapping[u as usize] = v;
         ctx.used[v as usize] = true;
-        let stop = recurse(ctx, depth + 1);
+        let stop = probe_recurse(ctx, depth + 1);
         ctx.used[v as usize] = false;
         ctx.mapping[u as usize] = VertexId::MAX;
         if stop {
@@ -211,7 +492,7 @@ fn recurse(ctx: &mut Ctx<'_>, depth: usize) -> bool {
 /// list of the mapped backward neighbour with the smallest degree and keep
 /// vertices that (a) are in `C(u)` and (b) are adjacent to all remaining
 /// mapped backward neighbours.
-fn compute_local_candidates(ctx: &mut Ctx<'_>, u: VertexId, depth: usize) -> Vec<VertexId> {
+fn compute_local_candidates(ctx: &mut ProbeCtx<'_>, u: VertexId, depth: usize) -> Vec<VertexId> {
     let mut out = std::mem::take(&mut ctx.scratch);
     out.clear();
     let depth_backward = &ctx.backward[depth];
@@ -248,6 +529,10 @@ mod tests {
     use crate::filter::{CandidateFilter, LdfFilter};
     use rlqvo_graph::GraphBuilder;
 
+    fn engines() -> [EnumEngine; 2] {
+        [EnumEngine::Probe, EnumEngine::CandidateSpace]
+    }
+
     /// q = triangle with labels 0-1-2; G = two disjoint triangles with the
     /// same labels.
     fn two_triangles() -> (Graph, Graph) {
@@ -275,15 +560,17 @@ mod tests {
     fn finds_all_matches_in_two_triangles() {
         let (q, g) = two_triangles();
         let cand = LdfFilter.filter(&q, &g);
-        let mut cfg = EnumConfig::find_all();
-        cfg.store_matches = true;
-        let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
-        assert_eq!(res.match_count, 2);
-        assert!(!res.timed_out);
-        assert_eq!(res.matches.len(), 2);
-        for m in &res.matches {
-            for (u, &v) in m.iter().enumerate() {
-                assert_eq!(q.label(u as u32), g.label(v));
+        for engine in engines() {
+            let mut cfg = EnumConfig::find_all().with_engine(engine);
+            cfg.store_matches = true;
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+            assert_eq!(res.match_count, 2, "{}", engine.name());
+            assert!(!res.timed_out);
+            assert_eq!(res.matches.len(), 2);
+            for m in &res.matches {
+                for (u, &v) in m.iter().enumerate() {
+                    assert_eq!(q.label(u as u32), g.label(v));
+                }
             }
         }
     }
@@ -292,9 +579,11 @@ mod tests {
     fn match_count_independent_of_order() {
         let (q, g) = two_triangles();
         let cand = LdfFilter.filter(&q, &g);
-        for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0]] {
-            let res = enumerate(&q, &g, &cand, &order, EnumConfig::find_all());
-            assert_eq!(res.match_count, 2, "order {order:?}");
+        for engine in engines() {
+            for order in [[0, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0]] {
+                let res = enumerate(&q, &g, &cand, &order, EnumConfig::find_all().with_engine(engine));
+                assert_eq!(res.match_count, 2, "order {order:?} engine {}", engine.name());
+            }
         }
     }
 
@@ -302,36 +591,44 @@ mod tests {
     fn max_matches_caps_results() {
         let (q, g) = two_triangles();
         let cand = LdfFilter.filter(&q, &g);
-        let cfg = EnumConfig { max_matches: 1, ..EnumConfig::find_all() };
-        let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
-        assert_eq!(res.match_count, 1);
+        for engine in engines() {
+            let cfg = EnumConfig { max_matches: 1, ..EnumConfig::find_all() }.with_engine(engine);
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+            assert_eq!(res.match_count, 1, "{}", engine.name());
+        }
     }
 
     #[test]
     fn budget_exhaustion_is_flagged() {
         let (q, g) = two_triangles();
         let cand = LdfFilter.filter(&q, &g);
-        let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::budgeted(2));
-        assert!(res.budget_exhausted);
-        assert!(res.enumerations <= 2);
+        for engine in engines() {
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::budgeted(2).with_engine(engine));
+            assert!(res.budget_exhausted, "{}", engine.name());
+            assert!(res.enumerations <= 2);
+        }
     }
 
     #[test]
     fn empty_candidates_short_circuit() {
         let (q, g) = two_triangles();
         let cand = Candidates::new(vec![vec![], vec![1], vec![2]]);
-        let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all());
-        assert_eq!(res.match_count, 0);
-        assert_eq!(res.enumerations, 0);
+        for engine in engines() {
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all().with_engine(engine));
+            assert_eq!(res.match_count, 0, "{}", engine.name());
+            assert_eq!(res.enumerations, 0);
+        }
     }
 
     #[test]
     fn enumerations_counts_recursive_calls() {
         let (q, g) = two_triangles();
         let cand = LdfFilter.filter(&q, &g);
-        let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all());
-        // Root + 2 first-level (two label-0 vertices) + 2 second + 2 third.
-        assert_eq!(res.enumerations, 7);
+        for engine in engines() {
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all().with_engine(engine));
+            // Root + 2 first-level (two label-0 vertices) + 2 second + 2 third.
+            assert_eq!(res.enumerations, 7, "{}", engine.name());
+        }
     }
 
     #[test]
@@ -348,13 +645,15 @@ mod tests {
         gb.add_edge(x, y);
         let g = gb.build();
         let cand = LdfFilter.filter(&q, &g);
-        let mut cfg = EnumConfig::find_all();
-        cfg.store_matches = true;
-        let res = enumerate(&q, &g, &cand, &[0, 1], cfg);
-        // (0,1) and (1,0) — but never (0,0) or (1,1).
-        assert_eq!(res.match_count, 2);
-        for m in &res.matches {
-            assert_ne!(m[0], m[1]);
+        for engine in engines() {
+            let mut cfg = EnumConfig::find_all().with_engine(engine);
+            cfg.store_matches = true;
+            let res = enumerate(&q, &g, &cand, &[0, 1], cfg);
+            // (0,1) and (1,0) — but never (0,0) or (1,1).
+            assert_eq!(res.match_count, 2, "{}", engine.name());
+            for m in &res.matches {
+                assert_ne!(m[0], m[1]);
+            }
         }
     }
 
@@ -376,10 +675,50 @@ mod tests {
         gb.add_edge(y, z);
         let g = gb.build();
         let cand = LdfFilter.filter(&q, &g);
-        let res_conn = enumerate(&q, &g, &cand, &[0, 1, 2], EnumConfig::find_all());
-        let res_disc = enumerate(&q, &g, &cand, &[0, 2, 1], EnumConfig::find_all());
-        assert_eq!(res_conn.match_count, res_disc.match_count);
-        assert_eq!(res_conn.match_count, 2); // the path and its reverse
+        for engine in engines() {
+            let cfg = EnumConfig::find_all().with_engine(engine);
+            let res_conn = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+            let res_disc = enumerate(&q, &g, &cand, &[0, 2, 1], cfg);
+            assert_eq!(res_conn.match_count, res_disc.match_count, "{}", engine.name());
+            assert_eq!(res_conn.match_count, 2); // the path and its reverse
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_the_match_stream() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let mut cfg = EnumConfig::find_all();
+        cfg.store_matches = true;
+        for order in [[0u32, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            let a = enumerate(&q, &g, &cand, &order, cfg.with_engine(EnumEngine::Probe));
+            let b = enumerate(&q, &g, &cand, &order, cfg.with_engine(EnumEngine::CandidateSpace));
+            assert_eq!(a.match_count, b.match_count);
+            assert_eq!(a.enumerations, b.enumerations, "identical recursion trees");
+            assert_eq!(a.matches, b.matches, "identical match stream");
+        }
+    }
+
+    #[test]
+    fn prebuilt_space_is_reusable_across_orders() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        for order in [[0u32, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let via_space = enumerate_in_space(&q, &cs, &order, EnumConfig::find_all());
+            let via_probe = enumerate(&q, &g, &cand, &order, EnumConfig::find_all().with_engine(EnumEngine::Probe));
+            assert_eq!(via_space.match_count, via_probe.match_count);
+            assert_eq!(via_space.enumerations, via_probe.enumerations);
+        }
+    }
+
+    #[test]
+    fn engine_parsing() {
+        assert_eq!(EnumEngine::parse("probe"), Some(EnumEngine::Probe));
+        assert_eq!(EnumEngine::parse("CANDSPACE"), Some(EnumEngine::CandidateSpace));
+        assert_eq!(EnumEngine::parse("cs"), Some(EnumEngine::CandidateSpace));
+        assert_eq!(EnumEngine::parse("nope"), None);
+        assert_eq!(EnumEngine::default().name(), "candspace");
     }
 
     #[test]

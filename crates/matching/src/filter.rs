@@ -10,18 +10,34 @@ use rlqvo_graph::{Graph, VertexId};
 
 use crate::bipartite::has_left_saturating_matching;
 
-/// Per-query-vertex candidate sets. Each set is sorted ascending, which the
-/// enumeration engine exploits for binary-search membership tests.
+/// Per-query-vertex candidate sets. Each set is sorted ascending (the
+/// enumeration engines rely on that for intersection), and membership is
+/// answered by a dense per-query-vertex bitmap — O(1) instead of the
+/// binary search the seed engine used, which matters both in the probe
+/// enumeration path and in GQL's global-refinement inner loop.
 #[derive(Clone, Debug)]
 pub struct Candidates {
     sets: Vec<Vec<VertexId>>,
+    /// One bitmap row per query vertex, `words_per_row` u64 words each,
+    /// sized to the largest candidate id seen (`universe`).
+    bits: Vec<u64>,
+    words_per_row: usize,
 }
 
 impl Candidates {
     /// Wraps raw candidate sets (each must be sorted).
     pub fn new(sets: Vec<Vec<VertexId>>) -> Self {
         debug_assert!(sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
-        Candidates { sets }
+        let universe = sets.iter().filter_map(|s| s.last()).map(|&v| v as usize + 1).max().unwrap_or(0);
+        let words_per_row = universe.div_ceil(64);
+        let mut bits = vec![0u64; sets.len() * words_per_row];
+        for (u, set) in sets.iter().enumerate() {
+            let row = &mut bits[u * words_per_row..(u + 1) * words_per_row];
+            for &v in set {
+                row[v as usize / 64] |= 1u64 << (v % 64);
+            }
+        }
+        Candidates { sets, bits, words_per_row }
     }
 
     /// Candidate set `C(u)`.
@@ -36,10 +52,11 @@ impl Candidates {
         self.sets[u as usize].len()
     }
 
-    /// True when `v ∈ C(u)` (binary search).
+    /// True when `v ∈ C(u)` (bitmap test).
     #[inline]
     pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
-        self.sets[u as usize].binary_search(&v).is_ok()
+        let word = v as usize / 64;
+        word < self.words_per_row && self.bits[u as usize * self.words_per_row + word] & (1u64 << (v % 64)) != 0
     }
 
     /// Number of query vertices covered.
@@ -108,15 +125,22 @@ impl CandidateFilter for NlfFilter {
     }
 
     fn filter(&self, q: &Graph, g: &Graph) -> Candidates {
+        // One scratch counting buffer + touched list for the whole filter
+        // run: the dominance check is called once per (query vertex, data
+        // candidate) pair, and a fresh `Vec` per call used to dominate the
+        // filter's profile on label-skewed data graphs.
+        let mut counts = vec![0u32; g.num_labels().max(q.num_labels()) as usize];
+        let mut touched: Vec<u32> = Vec::new();
         let sets = q
             .vertices()
             .map(|u| {
                 let du = q.degree(u);
                 let nlf_u = q.neighbor_label_frequency(u);
+                let required = nlf_u.iter().filter(|&&need| need > 0).count();
                 g.vertices_with_label(q.label(u))
                     .iter()
                     .copied()
-                    .filter(|&v| g.degree(v) >= du && nlf_dominates(g, v, &nlf_u))
+                    .filter(|&v| g.degree(v) >= du && nlf_dominates(g, v, &nlf_u, required, &mut counts, &mut touched))
                     .collect()
             })
             .collect();
@@ -125,19 +149,43 @@ impl CandidateFilter for NlfFilter {
 }
 
 /// True when `v`'s neighbour-label counts dominate the query vector
-/// `nlf_u`, computed without materialising `v`'s full NLF vector.
-fn nlf_dominates(g: &Graph, v: VertexId, nlf_u: &[u32]) -> bool {
-    // Count v's neighbour labels once into a scratch vector.
-    // Query NLF vectors are short (≤ |L|); data degree can be large, so a
-    // single pass over N(v) with an accumulation array is the right shape.
-    let mut counts = vec![0u32; nlf_u.len()];
-    for &w in g.neighbors(v) {
-        let l = g.label(w) as usize;
-        if l < counts.len() {
+/// `nlf_u` (which has `required` non-zero entries). Scans `N(v)` into the
+/// caller's zeroed scratch `counts`, **stopping as soon as every demanded
+/// label has reached its quota** — on dominating candidates (the common
+/// case after the label/degree pre-filter) this touches only a prefix of
+/// the adjacency list. `counts` is re-zeroed through `touched` before
+/// returning, so the caller's buffer stays all-zero without a full clear.
+fn nlf_dominates(
+    g: &Graph,
+    v: VertexId,
+    nlf_u: &[u32],
+    required: usize,
+    counts: &mut [u32],
+    touched: &mut Vec<u32>,
+) -> bool {
+    let mut satisfied = 0usize;
+    let mut dominates = required == 0;
+    if !dominates {
+        for &w in g.neighbors(v) {
+            let l = g.label(w) as usize;
+            if counts[l] == 0 {
+                touched.push(l as u32);
+            }
             counts[l] += 1;
+            if l < nlf_u.len() && counts[l] == nlf_u[l] {
+                satisfied += 1;
+                if satisfied == required {
+                    dominates = true;
+                    break;
+                }
+            }
         }
     }
-    nlf_u.iter().zip(&counts).all(|(&need, &have)| have >= need)
+    for &l in touched.iter() {
+        counts[l as usize] = 0;
+    }
+    touched.clear();
+    dominates
 }
 
 /// GraphQL's candidate filter (the one `Hybrid` uses): NLF-style local
@@ -170,12 +218,8 @@ impl CandidateFilter for GqlFilter {
             let mut new_sets: Vec<Vec<VertexId>> = Vec::with_capacity(q.num_vertices());
             for u in q.vertices() {
                 let qu_neighbors = q.neighbors(u);
-                let kept: Vec<VertexId> = cand
-                    .of(u)
-                    .iter()
-                    .copied()
-                    .filter(|&v| semi_perfect_ok(q, g, &cand, qu_neighbors, v))
-                    .collect();
+                let kept: Vec<VertexId> =
+                    cand.of(u).iter().copied().filter(|&v| semi_perfect_ok(q, g, &cand, qu_neighbors, v)).collect();
                 if kept.len() != cand.len_of(u) {
                     changed = true;
                 }

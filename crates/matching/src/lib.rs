@@ -15,9 +15,12 @@
 //!    the same trait from the `rlqvo-core` crate.
 //! 3. **Enumeration** ([`enumerate()`]) — the recursive procedure of the
 //!    paper's Algorithm 2, with `#enum` counting, match caps, time limits
-//!    and enumeration budgets. Every ordering method is evaluated through
-//!    this single implementation, exactly as the paper requires for a fair
-//!    comparison.
+//!    and enumeration budgets. Two engines share the exact recursion
+//!    semantics (selected by [`enumerate::EnumEngine`]): the default
+//!    intersection-based engine over an edge-indexed [`CandidateSpace`]
+//!    ([`candspace`]), and the original adjacency-probing path kept as a
+//!    differential oracle. Every ordering method is evaluated through the
+//!    same engine, exactly as the paper requires for a fair comparison.
 //!
 //! [`pipeline`] wires the three phases together and times each one, so the
 //! harness can report `t = t_filter + t_order + t_enum` (paper §IV-B).
@@ -25,6 +28,7 @@
 //! tests.
 
 pub mod bipartite;
+pub mod candspace;
 pub mod enumerate;
 pub mod filter;
 pub mod naive;
@@ -32,7 +36,8 @@ pub mod nec;
 pub mod order;
 pub mod pipeline;
 
-pub use enumerate::{enumerate, EnumConfig, EnumResult};
+pub use candspace::CandidateSpace;
+pub use enumerate::{enumerate, enumerate_in_space, enumerate_probe, EnumConfig, EnumEngine, EnumResult};
 pub use filter::{CandidateFilter, Candidates, GqlFilter, LdfFilter, NlfFilter};
-pub use order::{OrderingMethod, connected_prefix_ok};
+pub use order::{connected_prefix_ok, OrderingMethod};
 pub use pipeline::{run_pipeline, Pipeline, PipelineResult};

@@ -38,9 +38,7 @@ fn recurse(
         // Edge preservation against all previously mapped query vertices
         // (both directions: induced is NOT required — subgraph isomorphism
         // per Definition II.1 only demands query edges map to data edges).
-        let consistent = (0..u).all(|p| {
-            !q.has_edge(p as VertexId, u as VertexId) || g.has_edge(mapping[p], v)
-        });
+        let consistent = (0..u).all(|p| !q.has_edge(p as VertexId, u as VertexId) || g.has_edge(mapping[p], v));
         if !consistent {
             continue;
         }

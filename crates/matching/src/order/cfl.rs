@@ -139,7 +139,7 @@ mod tests {
             vec![0],          // root: forced as start (|C|/d smallest)
             vec![0, 1, 2, 3], // leg A is expensive
             vec![0, 1, 2, 3],
-            vec![0],          // leg B is cheap
+            vec![0], // leg B is cheap
             vec![0],
         ]);
         let order = CflOrdering.order(&q, &g, &cand);

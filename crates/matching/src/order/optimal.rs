@@ -11,23 +11,18 @@
 
 use rlqvo_graph::{Graph, VertexId};
 
-use crate::enumerate::{enumerate, EnumConfig};
+use crate::candspace::CandidateSpace;
+use crate::enumerate::{enumerate, enumerate_in_space, EnumConfig, EnumEngine};
 use crate::filter::Candidates;
 use crate::order::OrderingMethod;
 
 /// Brute-force minimum-`#enum` order. `per_order_config` bounds each
 /// candidate evaluation (budget/time) so a pathological permutation cannot
 /// stall the sweep.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct OptimalOrdering {
     /// Enumeration knobs applied to every evaluated permutation.
     pub per_order_config: EnumConfig,
-}
-
-impl Default for OptimalOrdering {
-    fn default() -> Self {
-        OptimalOrdering { per_order_config: EnumConfig::default() }
-    }
 }
 
 impl OptimalOrdering {
@@ -36,12 +31,20 @@ impl OptimalOrdering {
     pub fn order_with_cost(&self, q: &Graph, g: &Graph, cand: &Candidates) -> (Vec<VertexId>, u64) {
         let n = q.num_vertices();
         assert!(n > 0, "empty query has no order");
+        // The candidate space is order-independent, so the O(n!) sweep
+        // builds it exactly once and reuses it for every permutation
+        // (rebuilding per permutation would dwarf the enumeration cost on
+        // build-dominated workloads).
+        let space = match self.per_order_config.engine {
+            EnumEngine::CandidateSpace if !cand.any_empty() => Some(CandidateSpace::build(q, g, cand)),
+            _ => None,
+        };
         let mut best_order: Option<Vec<VertexId>> = None;
         let mut best_cost = u64::MAX;
         let mut prefix: Vec<VertexId> = Vec::with_capacity(n);
         let mut used = vec![false; n];
         let connected = q.is_connected();
-        self.explore(q, g, cand, &mut prefix, &mut used, connected, &mut best_order, &mut best_cost);
+        self.explore(q, g, cand, space.as_ref(), &mut prefix, &mut used, connected, &mut best_order, &mut best_cost);
         (best_order.expect("at least one permutation exists"), best_cost)
     }
 
@@ -51,6 +54,7 @@ impl OptimalOrdering {
         q: &Graph,
         g: &Graph,
         cand: &Candidates,
+        space: Option<&CandidateSpace>,
         prefix: &mut Vec<VertexId>,
         used: &mut Vec<bool>,
         connected: bool,
@@ -59,7 +63,10 @@ impl OptimalOrdering {
     ) {
         let n = q.num_vertices();
         if prefix.len() == n {
-            let res = enumerate(q, g, cand, prefix, self.per_order_config);
+            let res = match space {
+                Some(cs) => enumerate_in_space(q, cs, prefix, self.per_order_config),
+                None => enumerate(q, g, cand, prefix, self.per_order_config),
+            };
             if res.enumerations < *best_cost {
                 *best_cost = res.enumerations;
                 *best_order = Some(prefix.clone());
@@ -77,7 +84,7 @@ impl OptimalOrdering {
             }
             prefix.push(u);
             used[u as usize] = true;
-            self.explore(q, g, cand, prefix, used, connected, best_order, best_cost);
+            self.explore(q, g, cand, space, prefix, used, connected, best_order, best_cost);
             used[u as usize] = false;
             prefix.pop();
         }

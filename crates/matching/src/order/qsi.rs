@@ -44,11 +44,8 @@ impl OrderingMethod for QsiOrdering {
         let mut in_order = vec![false; n];
         match seed {
             Some((u, v)) => {
-                let (first, second) = if g.label_frequency(q.label(u)) <= g.label_frequency(q.label(v)) {
-                    (u, v)
-                } else {
-                    (v, u)
-                };
+                let (first, second) =
+                    if g.label_frequency(q.label(u)) <= g.label_frequency(q.label(v)) { (u, v) } else { (v, u) };
                 order.push(first);
                 order.push(second);
                 in_order[first as usize] = true;
@@ -70,7 +67,7 @@ impl OrderingMethod for QsiOrdering {
                     }
                     let w = weight(t, nb);
                     let cand_entry = (w, nb, t);
-                    if best.map_or(true, |b| cand_entry < (b.0, b.1, b.2)) {
+                    if best.is_none_or(|b| cand_entry < (b.0, b.1, b.2)) {
                         best = Some(cand_entry);
                     }
                 }

@@ -29,10 +29,8 @@ impl OrderingMethod for RiOrdering {
         let mut order: Vec<VertexId> = Vec::with_capacity(n);
         let mut in_order = vec![false; n];
 
-        let first = q
-            .vertices()
-            .max_by(|&a, &b| q.degree(a).cmp(&q.degree(b)).then(b.cmp(&a)))
-            .expect("non-empty query");
+        let first =
+            q.vertices().max_by(|&a, &b| q.degree(a).cmp(&q.degree(b)).then(b.cmp(&a))).expect("non-empty query");
         order.push(first);
         in_order[first as usize] = true;
 
@@ -41,9 +39,8 @@ impl OrderingMethod for RiOrdering {
                 .vertices()
                 .filter(|&u| !in_order[u as usize])
                 .max_by(|&a, &b| {
-                    score(q, &order, &in_order, a)
-                        .cmp(&score(q, &order, &in_order, b))
-                        .then(b.cmp(&a)) // lower id wins the final tie
+                    score(q, &order, &in_order, a).cmp(&score(q, &order, &in_order, b)).then(b.cmp(&a))
+                    // lower id wins the final tie
                 })
                 .expect("unordered vertex exists");
             order.push(next);
@@ -62,9 +59,7 @@ fn score(q: &Graph, order: &[VertexId], in_order: &[bool], u: VertexId) -> (usiz
     // neighbour of both u' and u (paper §II-C tie-break (1)).
     let uneig = order
         .iter()
-        .filter(|&&prev| {
-            q.neighbors(prev).iter().any(|&mid| !in_order[mid as usize] && q.has_edge(u, mid))
-        })
+        .filter(|&&prev| q.neighbors(prev).iter().any(|&mid| !in_order[mid as usize] && q.has_edge(u, mid)))
         .count();
 
     // |u_unv| = neighbours of u that are unordered and not adjacent to any
@@ -72,9 +67,7 @@ fn score(q: &Graph, order: &[VertexId], in_order: &[bool], u: VertexId) -> (usiz
     let uunv = q
         .neighbors(u)
         .iter()
-        .filter(|&&nb| {
-            !in_order[nb as usize] && !q.neighbors(nb).iter().any(|&x| in_order[x as usize])
-        })
+        .filter(|&&nb| !in_order[nb as usize] && !q.neighbors(nb).iter().any(|&x| in_order[x as usize]))
         .count();
 
     (backward, uneig, uunv)

@@ -28,15 +28,11 @@ impl OrderingMethod for Vf2ppOrdering {
         let mut visited = vec![false; n];
 
         // Outer loop handles disconnected queries: restart BFS per component.
-        loop {
-            let root = match q
-                .vertices()
-                .filter(|&u| !visited[u as usize])
-                .min_by(|&a, &b| rarity(a).cmp(&rarity(b)).then(q.degree(b).cmp(&q.degree(a))).then(a.cmp(&b)))
-            {
-                Some(r) => r,
-                None => break,
-            };
+        while let Some(root) = q
+            .vertices()
+            .filter(|&u| !visited[u as usize])
+            .min_by(|&a, &b| rarity(a).cmp(&rarity(b)).then(q.degree(b).cmp(&q.degree(a))).then(a.cmp(&b)))
+        {
             visited[root as usize] = true;
             let mut level = vec![root];
             while !level.is_empty() {
@@ -50,9 +46,7 @@ impl OrderingMethod for Vf2ppOrdering {
                         }
                     }
                 }
-                next.sort_by(|&a, &b| {
-                    rarity(a).cmp(&rarity(b)).then(q.degree(b).cmp(&q.degree(a))).then(a.cmp(&b))
-                });
+                next.sort_by(|&a, &b| rarity(a).cmp(&rarity(b)).then(q.degree(b).cmp(&q.degree(a))).then(a.cmp(&b)));
                 level = next;
             }
         }

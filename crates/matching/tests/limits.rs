@@ -88,7 +88,7 @@ fn zero_time_limit_times_out_without_panicking() {
         max_matches: u64::MAX,
         time_limit: Duration::ZERO,
         max_enumerations: u64::MAX,
-        store_matches: false,
+        ..EnumConfig::find_all()
     };
     let res = enumerate(&q, &g, &cand, &order, config);
     // Timeout checks are amortized every 1024 calls, so tiny runs may
@@ -102,13 +102,8 @@ fn stored_matches_respect_cap() {
     let q = query(3);
     let cand = LdfFilter.filter(&q, &g);
     let order = RiOrdering.order(&q, &g, &cand);
-    let res = enumerate(
-        &q,
-        &g,
-        &cand,
-        &order,
-        EnumConfig { max_matches: 7, store_matches: true, ..EnumConfig::find_all() },
-    );
+    let res =
+        enumerate(&q, &g, &cand, &order, EnumConfig { max_matches: 7, store_matches: true, ..EnumConfig::find_all() });
     assert_eq!(res.matches.len(), 7);
     for m in &res.matches {
         // Valid embeddings even under truncation.

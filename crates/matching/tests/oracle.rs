@@ -7,7 +7,10 @@ use rlqvo_matching::naive;
 use rlqvo_matching::order::{
     CflOrdering, GqlOrdering, OptimalOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
 };
-use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter};
+use rlqvo_matching::{
+    enumerate, enumerate_in_space, enumerate_probe, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter,
+    LdfFilter, NlfFilter,
+};
 
 /// Random connected-ish labeled graph.
 fn arb_graph(max_n: usize, labels: u32) -> impl Strategy<Value = Graph> {
@@ -118,6 +121,68 @@ proptest! {
             counts.push(res.match_count);
         }
         prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    /// Differential engine equivalence: the CandidateSpace engine and the
+    /// seed probe engine must report identical `match_count` AND identical
+    /// `#enum` (same recursion tree, not merely the same answer) for every
+    /// filter, every ordering method, and random query/data graphs. This
+    /// is the contract that keeps all paper figures comparable across
+    /// engines.
+    #[test]
+    fn engines_are_differentially_identical(g in arb_graph(9, 3), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let filters: Vec<Box<dyn CandidateFilter>> =
+            vec![Box::new(LdfFilter), Box::new(NlfFilter), Box::new(GqlFilter::default())];
+        for f in &filters {
+            let cand = f.filter(&q, &g);
+            let cs = CandidateSpace::build(&q, &g, &cand);
+            for o in all_orderings() {
+                let order = o.order(&q, &g, &cand);
+                let mut cfg = EnumConfig::find_all();
+                cfg.store_matches = true;
+                let probe = enumerate_probe(&q, &g, &cand, &order, cfg);
+                let space = enumerate(&q, &g, &cand, &order, cfg.with_engine(EnumEngine::CandidateSpace));
+                prop_assert_eq!(
+                    probe.match_count, space.match_count,
+                    "match_count diverges: filter {} ordering {}", f.name(), o.name()
+                );
+                prop_assert_eq!(
+                    probe.enumerations, space.enumerations,
+                    "#enum diverges: filter {} ordering {}", f.name(), o.name()
+                );
+                prop_assert_eq!(
+                    &probe.matches, &space.matches,
+                    "match stream diverges: filter {} ordering {}", f.name(), o.name()
+                );
+                // The prebuilt-space entry point must agree too (it is the
+                // path harnesses use to amortize the build across orders).
+                let reused = enumerate_in_space(&q, &cs, &order, cfg);
+                prop_assert_eq!(reused.match_count, probe.match_count);
+                prop_assert_eq!(reused.enumerations, probe.enumerations);
+            }
+        }
+    }
+
+    /// Engine equivalence must also hold under match caps and enumeration
+    /// budgets: truncation happens at the same point of the identical
+    /// recursion tree.
+    #[test]
+    fn engines_truncate_identically(g in arb_graph(9, 2), seed in 0u64..500, cap in 1u64..40) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cand = NlfFilter.filter(&q, &g);
+        for o in all_orderings() {
+            let order = o.order(&q, &g, &cand);
+            let capped = EnumConfig { max_matches: cap, ..EnumConfig::find_all() };
+            let budgeted = EnumConfig::budgeted(4 * cap);
+            for cfg in [capped, budgeted] {
+                let probe = enumerate_probe(&q, &g, &cand, &order, cfg);
+                let space = enumerate(&q, &g, &cand, &order, cfg.with_engine(EnumEngine::CandidateSpace));
+                prop_assert_eq!(probe.match_count, space.match_count, "ordering {}", o.name());
+                prop_assert_eq!(probe.enumerations, space.enumerations, "ordering {}", o.name());
+                prop_assert_eq!(probe.budget_exhausted, space.budget_exhausted, "ordering {}", o.name());
+            }
+        }
     }
 
     /// The exhaustive optimal order is at least as good as every heuristic.

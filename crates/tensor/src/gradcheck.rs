@@ -85,7 +85,7 @@ mod tests {
     fn activations() {
         let x = Matrix::from_rows(&[&[0.5, -1.2, 2.0, -0.1]]);
         for op in ["relu", "leaky", "tanh", "sigmoid", "exp"] {
-            let report = check_gradients(&[x.clone()], 1e-3, |t, vs| {
+            let report = check_gradients(std::slice::from_ref(&x), 1e-3, |t, vs| {
                 let y = match op {
                     "relu" => t.relu(vs[0]),
                     "leaky" => t.leaky_relu(vs[0], 0.2),

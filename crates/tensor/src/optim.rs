@@ -108,12 +108,7 @@ impl Sgd {
 /// Global-norm gradient clipping (stabilizes PPO on spiky enumeration
 /// rewards). Returns the pre-clip norm.
 pub fn clip_global_norm(grads: &mut [Option<Matrix>], max_norm: f32) -> f32 {
-    let total: f32 = grads
-        .iter()
-        .flatten()
-        .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
-        .sum::<f32>()
-        .sqrt();
+    let total: f32 = grads.iter().flatten().map(|g| g.data().iter().map(|x| x * x).sum::<f32>()).sum::<f32>().sqrt();
     if total > max_norm && total > 0.0 {
         let scale = max_norm / total;
         for g in grads.iter_mut().flatten() {
@@ -164,12 +159,8 @@ mod tests {
         let mut grads = vec![Some(Matrix::full(1, 2, 3.0)), Some(Matrix::full(1, 2, 4.0))];
         let norm = clip_global_norm(&mut grads, 1.0);
         assert!((norm - (9.0f32 * 2.0 + 16.0 * 2.0).sqrt()).abs() < 1e-5);
-        let new_norm: f32 = grads
-            .iter()
-            .flatten()
-            .map(|g| g.data().iter().map(|x| x * x).sum::<f32>())
-            .sum::<f32>()
-            .sqrt();
+        let new_norm: f32 =
+            grads.iter().flatten().map(|g| g.data().iter().map(|x| x * x).sum::<f32>()).sum::<f32>().sqrt();
         assert!((new_norm - 1.0).abs() < 1e-5);
     }
 

@@ -314,13 +314,7 @@ impl Tape {
         assert_eq!(a.cols, 1, "masked_softmax_col expects an n×1 score vector");
         assert_eq!(a.rows, mask.len(), "mask length mismatch");
         let av = self.val(a);
-        let max = av
-            .data()
-            .iter()
-            .zip(mask)
-            .filter(|(_, &m)| m)
-            .map(|(&x, _)| x)
-            .fold(f32::NEG_INFINITY, f32::max);
+        let max = av.data().iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x).fold(f32::NEG_INFINITY, f32::max);
         assert!(max.is_finite(), "mask must keep at least one entry");
         let mut probs = Matrix::zeros(a.rows, 1);
         let mut denom = 0.0;
@@ -341,11 +335,10 @@ impl Tape {
             probs,
             Some(Box::new(move |g, store| {
                 // Softmax Jacobian: dx_i = p_i (g_i - Σ_j g_j p_j).
-                let dot: f32 =
-                    (0..saved.rows()).map(|j| g.get(j, 0) * saved.get(j, 0)).sum();
+                let dot: f32 = (0..saved.rows()).map(|j| g.get(j, 0) * saved.get(j, 0)).sum();
                 let mut out = Matrix::zeros(saved.rows(), 1);
-                for i in 0..saved.rows() {
-                    if mask_owned[i] {
+                for (i, &keep) in mask_owned.iter().enumerate().take(saved.rows()) {
+                    if keep {
                         out.set(i, 0, saved.get(i, 0) * (g.get(i, 0) - dot));
                     }
                 }
@@ -366,13 +359,10 @@ impl Tape {
             if !row_mask.iter().any(|&m| m) {
                 continue;
             }
-            let max = (0..a.cols)
-                .filter(|&c| row_mask[c])
-                .map(|c| av.get(r, c))
-                .fold(f32::NEG_INFINITY, f32::max);
+            let max = (0..a.cols).filter(|&c| row_mask[c]).map(|c| av.get(r, c)).fold(f32::NEG_INFINITY, f32::max);
             let mut denom = 0.0;
-            for c in 0..a.cols {
-                if row_mask[c] {
+            for (c, &keep) in row_mask.iter().enumerate().take(a.cols) {
+                if keep {
                     let e = (av.get(r, c) - max).exp();
                     probs.set(r, c, e);
                     denom += e;
@@ -480,20 +470,30 @@ impl Tape {
         self.push(
             out,
             Some(Box::new(move |g, store| {
-                let ga = Matrix::from_fn(av.rows(), av.cols(), |r, c| {
-                    if av.get(r, c) <= bv.get(r, c) {
-                        g.get(r, c)
-                    } else {
-                        0.0
-                    }
-                });
-                let gb = Matrix::from_fn(av.rows(), av.cols(), |r, c| {
-                    if av.get(r, c) <= bv.get(r, c) {
-                        0.0
-                    } else {
-                        g.get(r, c)
-                    }
-                });
+                let ga =
+                    Matrix::from_fn(
+                        av.rows(),
+                        av.cols(),
+                        |r, c| {
+                            if av.get(r, c) <= bv.get(r, c) {
+                                g.get(r, c)
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
+                let gb =
+                    Matrix::from_fn(
+                        av.rows(),
+                        av.cols(),
+                        |r, c| {
+                            if av.get(r, c) <= bv.get(r, c) {
+                                0.0
+                            } else {
+                                g.get(r, c)
+                            }
+                        },
+                    );
                 store.accumulate(ai, ga);
                 store.accumulate(bi, gb);
             })),
@@ -509,10 +509,7 @@ impl Tape {
         self.push(
             out,
             Some(Box::new(move |g, store| {
-                store.accumulate(
-                    ai,
-                    g.zip_map(&av, |gi, x| if x > lo && x < hi { gi } else { 0.0 }),
-                );
+                store.accumulate(ai, g.zip_map(&av, |gi, x| if x > lo && x < hi { gi } else { 0.0 }));
             })),
         )
     }

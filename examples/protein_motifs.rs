@@ -10,8 +10,8 @@
 //! cargo run --release --example protein_motifs
 //! ```
 
-use rlqvo_suite::graph::GraphBuilder;
 use rlqvo_suite::datasets::Dataset;
+use rlqvo_suite::graph::GraphBuilder;
 use rlqvo_suite::matching::order::{GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering};
 use rlqvo_suite::matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter};
 
@@ -49,12 +49,8 @@ fn main() {
     let star = b.build();
 
     let filter = GqlFilter::default();
-    let orderings: Vec<Box<dyn OrderingMethod>> = vec![
-        Box::new(RiOrdering),
-        Box::new(QsiOrdering),
-        Box::new(GqlOrdering),
-        Box::new(VeqOrdering),
-    ];
+    let orderings: Vec<Box<dyn OrderingMethod>> =
+        vec![Box::new(RiOrdering), Box::new(QsiOrdering), Box::new(GqlOrdering), Box::new(VeqOrdering)];
 
     for (name, motif) in [("bridge", &bridge), ("triangle", &triangle), ("star", &star)] {
         let cand = filter.filter(motif, &g);
@@ -62,13 +58,7 @@ fn main() {
         for o in &orderings {
             let order = o.order(motif, &g, &cand);
             let res = enumerate(motif, &g, &cand, &order, EnumConfig::find_all());
-            println!(
-                "  {:<6} order {:?}: {} embeddings, #enum {}",
-                o.name(),
-                order,
-                res.match_count,
-                res.enumerations
-            );
+            println!("  {:<6} order {:?}: {} embeddings, #enum {}", o.name(), order, res.match_count, res.enumerations);
         }
         println!();
     }

@@ -21,16 +21,17 @@ fn main() {
     config.epochs = 12;
     let mut model = RlQvo::new(config);
     let report = model.train(&split.train, &g);
-    println!(
-        "trained in {:?}; last-epoch advantage over RI: {:+.3}",
-        report.elapsed,
-        report.final_enum_advantage()
-    );
+    println!("trained in {:?}; last-epoch advantage over RI: {:+.3}", report.elapsed, report.final_enum_advantage());
 
     let path = std::env::temp_dir().join("rlqvo-dblp-demo.model");
     model.save(&path).expect("save model");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("saved {} ({} kB on disk; {} kB of parameters)", path.display(), bytes / 1024, model.storage_bytes() / 1024);
+    println!(
+        "saved {} ({} kB on disk; {} kB of parameters)",
+        path.display(),
+        bytes / 1024,
+        model.storage_bytes() / 1024
+    );
 
     let loaded = RlQvo::load(&path, RlQvoConfig::harness()).expect("load model");
     for q in &split.eval {

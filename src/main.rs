@@ -3,6 +3,7 @@
 //! ```text
 //! rlqvo match  --data G.graph --query q.graph [--method hybrid|rlqvo|...]
 //!              [--model m.model] [--max-matches N] [--time-limit-ms T]
+//!              [--engine candspace|probe]
 //! rlqvo train  --data G.graph --size K --queries N --epochs E --out m.model
 //! rlqvo stats  --data G.graph
 //! ```
@@ -20,7 +21,9 @@ use rlqvo_suite::graph::{io::read_graph, Graph, GraphStats};
 use rlqvo_suite::matching::order::{
     CflOrdering, GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
 };
-use rlqvo_suite::matching::{run_pipeline, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter, Pipeline};
+use rlqvo_suite::matching::{
+    run_pipeline, CandidateFilter, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter, Pipeline,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +33,9 @@ fn main() {
         Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!("usage: rlqvo <match|train|stats> [--flag value]...");
-            eprintln!("  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T]");
+            eprintln!(
+                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe]"
+            );
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
             std::process::exit(2);
@@ -67,11 +72,16 @@ fn cmd_match(args: &[String]) -> CliResult {
     let g = load(&data, None)?;
     let q = load(&query, Some(g.num_labels()))?;
 
+    let engine = match flag(args, "--engine") {
+        None => EnumEngine::default(),
+        Some(v) => EnumEngine::parse(&v).ok_or_else(|| format!("unknown engine {v:?} (probe|candspace)"))?,
+    };
     let config = EnumConfig {
         max_matches: flag(args, "--max-matches").and_then(|v| v.parse().ok()).unwrap_or(100_000),
         time_limit: Duration::from_millis(
             flag(args, "--time-limit-ms").and_then(|v| v.parse().ok()).unwrap_or(500_000),
         ),
+        engine,
         ..EnumConfig::default()
     };
 
@@ -98,8 +108,13 @@ fn cmd_match(args: &[String]) -> CliResult {
     let pipeline = Pipeline { filter: filter.as_ref(), ordering, config };
     let r = run_pipeline(&q, &g, &pipeline);
     println!("method      : {} ({} filter + {} ordering)", method, filter.name(), ordering.name());
+    println!("engine      : {}", config.engine.name());
     println!("order       : {:?}", r.order);
-    println!("matches     : {}{}", r.enum_result.match_count, if r.unsolved() { "  [UNSOLVED: time limit]" } else { "" });
+    println!(
+        "matches     : {}{}",
+        r.enum_result.match_count,
+        if r.unsolved() { "  [UNSOLVED: time limit]" } else { "" }
+    );
     println!("#enum       : {}", r.enum_result.enumerations);
     println!(
         "time        : filter {:?} + order {:?} + enum {:?} = {:?}",

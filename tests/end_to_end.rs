@@ -16,8 +16,13 @@ fn pipelines_agree_across_orderings_on_dataset_analog() {
     let g = Dataset::Yeast.load_scaled(700);
     let set = build_query_set(&g, 7, 6, 3);
     let filter = GqlFilter::default();
-    let orderings: Vec<Box<dyn OrderingMethod>> =
-        vec![Box::new(RiOrdering), Box::new(QsiOrdering), Box::new(Vf2ppOrdering), Box::new(GqlOrdering), Box::new(VeqOrdering)];
+    let orderings: Vec<Box<dyn OrderingMethod>> = vec![
+        Box::new(RiOrdering),
+        Box::new(QsiOrdering),
+        Box::new(Vf2ppOrdering),
+        Box::new(GqlOrdering),
+        Box::new(VeqOrdering),
+    ];
     for q in &set.queries {
         let mut counts = Vec::new();
         for o in &orderings {
@@ -87,11 +92,8 @@ fn time_limit_flags_unsolved_queries() {
     let g = Dataset::Eu2005.load_scaled(2_000);
     let set = build_query_set(&g, 12, 2, 5);
     let filter = GqlFilter::default();
-    let config = EnumConfig {
-        max_matches: u64::MAX,
-        time_limit: std::time::Duration::from_nanos(1),
-        ..EnumConfig::find_all()
-    };
+    let config =
+        EnumConfig { max_matches: u64::MAX, time_limit: std::time::Duration::from_nanos(1), ..EnumConfig::find_all() };
     let mut saw_timeout = false;
     for q in &set.queries {
         let p = Pipeline { filter: &filter, ordering: &RiOrdering, config };

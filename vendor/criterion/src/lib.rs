@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's bench
+//! target uses: `Criterion` with `sample_size`/`measurement_time`/
+//! `warm_up_time`, `bench_function`, `benchmark_group` +
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Methodology (simplified but honest): each benchmark is warmed up for
+//! the configured warm-up time (calibrating an iterations-per-sample batch
+//! size on the way), then `sample_size` batches are timed. The report
+//! prints median, mean, and min ns/iter on stdout. No statistical
+//! outlier analysis, plots, or baseline comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function/group name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only id (used inside groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled by `iter`: per-sample mean ns/iter.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing per-sample results for the caller's report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for the configured time, counting iterations to
+        // calibrate the batch size so one sample ~= warm-up time / samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed().as_nanos().max(1) as f64;
+        let per_iter_ns = warm_elapsed / warm_iters as f64;
+        let sample_budget_ns = self.config.measurement_time.as_nanos() as f64 / self.config.sample_size.max(1) as f64;
+        let batch = ((sample_budget_ns / per_iter_ns).round() as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { sample_size: 20, measurement_time: Duration::from_secs(2), warm_up_time: Duration::from_millis(300) }
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("bench {id:<48} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let min = sorted[0];
+    println!("bench {id:<48} median {median:>12.1} ns/iter  mean {mean:>12.1}  min {min:>12.1}");
+}
+
+/// The benchmark harness (builder-style configuration, as in criterion).
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Warm-up (and batch-calibration) time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { config: &self.config, samples: Vec::new() };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { config: &self.config, name: name.into() }
+    }
+}
+
+/// A named benchmark group (`group/benchmark` ids in the report).
+pub struct BenchmarkGroup<'a> {
+    config: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { config: self.config, samples: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b.samples);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { config: self.config, samples: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b.samples);
+        self
+    }
+
+    /// Ends the group (report lines were already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Entry point: runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("plain", |b| b.iter(|| black_box(2) * 2));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| b.iter(|| n * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`, [`strategy::Strategy`] with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`] and [`prelude::any`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **No shrinking.** A failing case reports its case index and the seed
+//!   that reproduces it, not a minimized input.
+//! * **Fixed seeding.** Case `i` of every test derives its RNG from `i`, so
+//!   runs are deterministic and a reported case index is always
+//!   reproducible.
+//! * Fewer strategies — only what the workspace imports.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Supported grammar (the subset real proptest
+/// documents and this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     /// docs
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0..4u32, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{} (deterministic; rerun reproduces it): {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!{ cfg = $cfg; $($rest)* }
+    };
+    (cfg = $cfg:expr;) => {};
+}
+
+/// Fails the enclosing property (with an optional formatted message)
+/// without panicking, so the runner can attach case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, "assertion failed: {:?} != {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, "{} (left: {:?}, right: {:?})", format!($($fmt)*), lhs, rhs);
+    }};
+}
+
+/// `prop_assert!(a != b)` with both values in the failure message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: both sides are {:?}", lhs);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1usize..=8, (a, b) in (0u32..5, 0u32..5), f in -1.0f32..1.0) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_any(bits in crate::collection::vec(any::<bool>(), 6), v in crate::collection::vec(0u32..3, 0..5)) {
+            prop_assert_eq!(bits.len(), 6);
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn map_and_flat_map(v in (2usize..6).prop_flat_map(|n| crate::collection::vec(0u64..10, n)).prop_map(|v| v.len())) {
+            prop_assert!((2..6).contains(&v));
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(x in 0u32..10) {
+            if x > 100 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failures_panic_with_case_context() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

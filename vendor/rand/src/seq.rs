@@ -1,0 +1,84 @@
+//! Sequence helpers (subset of `rand::seq`).
+
+use crate::RngCore;
+
+/// In-place shuffling of slices.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Index sampling without replacement (subset of `rand::seq::index`).
+pub mod index {
+    use crate::RngCore;
+
+    /// Sampled indices, iterable in selection order.
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True when nothing was sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// `amount` distinct indices drawn uniformly from `0..length`, via a
+    /// partial Fisher–Yates pass (O(length) memory — the workspace only
+    /// samples from minibatch-sized pools).
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        let amount = amount.min(length);
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn sample_is_distinct_and_in_range() {
+            let mut rng = StdRng::seed_from_u64(5);
+            let picked: Vec<usize> = super::sample(&mut rng, 100, 10).into_iter().collect();
+            assert_eq!(picked.len(), 10);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicates in {picked:?}");
+            assert!(picked.iter().all(|&i| i < 100));
+        }
+
+        #[test]
+        fn sample_clamps_amount() {
+            let mut rng = StdRng::seed_from_u64(5);
+            assert_eq!(super::sample(&mut rng, 3, 10).len(), 3);
+        }
+    }
+}

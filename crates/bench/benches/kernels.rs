@@ -10,7 +10,8 @@ use rlqvo_gnn::GraphTensors;
 use rlqvo_graph::{intersect_in_place, intersect_into, GraphBuilder};
 use rlqvo_matching::order::{GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering};
 use rlqvo_matching::{
-    enumerate, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter,
+    enumerate, enumerate_in_space, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter, LdfFilter,
+    NlfFilter,
 };
 use rlqvo_tensor::{Matrix, Tape};
 
@@ -186,11 +187,25 @@ fn bench_enum_engines(c: &mut Criterion) {
         let cand = GqlFilter::default().filter(&q, &g);
         let order = RiOrdering.order(&q, &g, &cand);
         let cfg = EnumConfig { max_matches: 1_000, ..EnumConfig::default() };
-        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+        // `auto` is the cost model's headline case: this small workload is
+        // build-dominated, so Auto should track whichever side wins.
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
             group.bench_with_input(BenchmarkId::new("yeast-first-1k", engine.name()), &engine, |b, &e| {
                 b.iter(|| enumerate(&q, &g, &cand, &order, cfg.with_engine(e)))
             });
         }
+        // The build-once/enumerate-many contract: what each *additional*
+        // order costs once the space is amortized across the harness.
+        let space = CandidateSpace::build(&q, &g, &cand);
+        group.bench_function("yeast-first-1k/amortized", |b| b.iter(|| enumerate_in_space(&q, &space, &order, cfg)));
+    }
+    {
+        let (q, g) = dense_case();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = RiOrdering.order(&q, &g, &cand);
+        let space = CandidateSpace::build(&q, &g, &cand);
+        let cfg = EnumConfig::find_all();
+        group.bench_function("dense-band-all/amortized", |b| b.iter(|| enumerate_in_space(&q, &space, &order, cfg)));
     }
     group.finish();
 }

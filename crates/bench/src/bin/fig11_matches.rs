@@ -5,7 +5,7 @@
 //! advantage appears and grows beyond ~10⁶ matches (large search spaces).
 
 use rlqvo_bench::models::split_queries;
-use rlqvo_bench::{hybrid_method, rlqvo_method, run_method, train_model_for, Scale};
+use rlqvo_bench::{hybrid_method, rlqvo_method, run_methods_shared, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::Dataset;
 use rlqvo_matching::EnumConfig;
@@ -28,8 +28,10 @@ fn main() {
     println!("{:<8} {:>12} {:>12} {:>10} {:>10}", "matches", "RL-QVO(s)", "Hybrid(s)", "unsRL", "unsHY");
     for (label, cap) in caps {
         let config = EnumConfig { max_matches: cap, ..scale.enum_config() };
-        let rl = run_method(&g, &split.eval, &rlqvo_method(&model), config, scale.threads);
-        let hy = run_method(&g, &split.eval, &hybrid_method(), config, scale.threads);
+        // RL-QVO and Hybrid share the GQL filter: one build per query.
+        let methods = vec![rlqvo_method(&model), hybrid_method()];
+        let mut stats = run_methods_shared(&g, &split.eval, &methods, config, scale.threads).into_iter();
+        let (rl, hy) = (stats.next().expect("RL-QVO stats"), stats.next().expect("Hybrid stats"));
         println!(
             "{:<8} {:>12.5} {:>12.5} {:>10} {:>10}",
             label,

@@ -5,7 +5,7 @@
 //! magnitude over VEQ/Hybrid on citeseer/dblp.
 
 use rlqvo_bench::models::split_queries;
-use rlqvo_bench::{baseline_methods, rlqvo_method, run_method, train_model_for, Scale};
+use rlqvo_bench::{baseline_methods, rlqvo_method, run_methods_shared, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::ALL_DATASETS;
 
@@ -27,14 +27,15 @@ fn main() {
         let split = split_queries(&g, dataset, size, &scale);
         let (model, _) = train_model_for(&g, dataset, size, &scale, RlQvoConfig::harness(), true);
 
-        let mut row: Vec<(String, f64, usize)> = Vec::new();
-        let rl = rlqvo_method(&model);
-        let stats = run_method(&g, &split.eval, &rl, scale.enum_config(), scale.threads);
-        row.push((stats.name.clone(), stats.mean_total_secs(), stats.unsolved));
-        for m in baseline_methods() {
-            let s = run_method(&g, &split.eval, &m, scale.enum_config(), scale.threads);
-            row.push((s.name.clone(), s.mean_total_secs(), s.unsolved));
-        }
+        // One filtering pass + one CandidateSpace build per (query, filter
+        // group), shared by all eight compared orders.
+        let mut methods = vec![rlqvo_method(&model)];
+        methods.extend(baseline_methods());
+        let row: Vec<(String, f64, usize)> =
+            run_methods_shared(&g, &split.eval, &methods, scale.enum_config(), scale.threads)
+                .into_iter()
+                .map(|s| (s.name.clone(), s.mean_total_secs(), s.unsolved))
+                .collect();
 
         print!("{:<10} {:>6}", dataset.name(), format!("Q{size}"));
         print!(" |");

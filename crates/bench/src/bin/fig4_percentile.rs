@@ -6,7 +6,7 @@
 //! queries on youtube/wordnet/eu2005.
 
 use rlqvo_bench::models::split_queries;
-use rlqvo_bench::{baseline_methods, rlqvo_method, run_method, train_model_for, Scale};
+use rlqvo_bench::{baseline_methods, rlqvo_method, run_methods_shared, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::ALL_DATASETS;
 use rlqvo_matching::EnumConfig;
@@ -37,10 +37,9 @@ fn main() {
         }
         println!(" {:>9}", "unsolved");
 
-        let mut all = vec![run_method(&g, &split.eval, &rlqvo_method(&model), config, scale.threads)];
-        for m in baseline_methods() {
-            all.push(run_method(&g, &split.eval, &m, config, scale.threads));
-        }
+        let mut methods = vec![rlqvo_method(&model)];
+        methods.extend(baseline_methods());
+        let all = run_methods_shared(&g, &split.eval, &methods, config, scale.threads);
         for name in shown {
             let Some(stats) = all.iter().find(|s| s.name == name) else { continue };
             print!("{:<8}", stats.name);

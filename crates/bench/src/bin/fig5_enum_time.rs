@@ -6,7 +6,7 @@
 //! size (larger search spaces reward better orders).
 
 use rlqvo_bench::models::split_queries;
-use rlqvo_bench::{baseline_methods, rlqvo_method, run_method, train_model_for, Scale};
+use rlqvo_bench::{baseline_methods, rlqvo_method, run_methods_shared, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::ALL_DATASETS;
 
@@ -29,11 +29,12 @@ fn main() {
         for &size in dataset.query_sizes() {
             let split = split_queries(&g, dataset, size, &scale);
             let (model, _) = train_model_for(&g, dataset, size, &scale, RlQvoConfig::harness(), true);
-            let mut stats =
-                vec![run_method(&g, &split.eval, &rlqvo_method(&model), scale.enum_config(), scale.threads)];
-            for m in baseline_methods() {
-                stats.push(run_method(&g, &split.eval, &m, scale.enum_config(), scale.threads));
-            }
+            // Build-once/enumerate-many: all seven orders per filter group
+            // share one filtering pass and one CandidateSpace build per
+            // (query, data) pair.
+            let mut methods = vec![rlqvo_method(&model)];
+            methods.extend(baseline_methods());
+            let stats = run_methods_shared(&g, &split.eval, &methods, scale.enum_config(), scale.threads);
             print!("{:<6}", format!("Q{size}"));
             for name in order {
                 let s = stats.iter().find(|s| s.name == name).expect("method present");

@@ -9,7 +9,9 @@ use rlqvo_bench::{hybrid_method, rlqvo_method, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::Dataset;
 use rlqvo_matching::order::OptimalOrdering;
-use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, EnumEngine, GqlFilter};
+use rlqvo_matching::{
+    enumerate, enumerate_in_space, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter,
+};
 
 fn main() {
     let scale = Scale::default();
@@ -29,8 +31,8 @@ fn main() {
         let split = split_queries(&g, dataset, 8, &scale);
         let (model, _) = train_model_for(&g, dataset, 8, &scale, RlQvoConfig::harness(), true);
         let filter = GqlFilter::default();
-        let opt =
-            OptimalOrdering { per_order_config: EnumConfig::budgeted(opt_budget).with_engine(EnumEngine::from_env()) };
+        let engine = EnumEngine::from_env();
+        let opt = OptimalOrdering { per_order_config: EnumConfig::budgeted(opt_budget).with_engine(engine) };
         let hybrid = hybrid_method();
         let rlqvo = rlqvo_method(&model);
 
@@ -41,11 +43,23 @@ fn main() {
         let mut n = 0usize;
         for (i, q) in split.eval.iter().take(num_queries).enumerate() {
             let cand = filter.filter(q, &g);
-            let (_, opt_cost) = opt.order_with_cost(q, &g, &cand);
+            // Exactly one CandidateSpace build per (query, data) pair: the
+            // exhaustive Opt sweep and both compared orders all enumerate
+            // in the same prebuilt space.
+            let space = match engine {
+                EnumEngine::Probe => None,
+                _ if cand.any_empty() => None,
+                _ => Some(CandidateSpace::build(q, &g, &cand)),
+            };
+            let (_, opt_cost) = opt.order_with_cost_in_space(q, &g, &cand, space.as_ref());
             let rl_order = rlqvo.ordering.order(q, &g, &cand);
             let hy_order = hybrid.ordering.order(q, &g, &cand);
-            let rl_cost = enumerate(q, &g, &cand, &rl_order, config).enumerations;
-            let hy_cost = enumerate(q, &g, &cand, &hy_order, config).enumerations;
+            let cost = |order: &[u32]| match &space {
+                Some(cs) => enumerate_in_space(q, cs, order, config).enumerations,
+                None => enumerate(q, &g, &cand, order, config.with_engine(EnumEngine::Probe)).enumerations,
+            };
+            let rl_cost = cost(&rl_order);
+            let hy_cost = cost(&hy_order);
             let rl_ratio = (rl_cost + 1) as f64 / (opt_cost + 1) as f64;
             let hy_ratio = (hy_cost + 1) as f64 / (opt_cost + 1) as f64;
             geo_rl += rl_ratio.ln();

@@ -14,7 +14,7 @@
 //! sizes. Override with RLQVO_ABLATION_TRAIN_SIZE.
 
 use rlqvo_bench::models::split_queries;
-use rlqvo_bench::{run_method, BenchMethod, Scale};
+use rlqvo_bench::{run_methods_shared, BenchMethod, Scale};
 use rlqvo_core::{RlQvo, RlQvoConfig};
 use rlqvo_datasets::Dataset;
 use rlqvo_gnn::GnnKind;
@@ -96,23 +96,37 @@ fn main() {
     let train_size: usize = std::env::var("RLQVO_ABLATION_TRAIN_SIZE").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
     let train_split = split_queries(&g, dataset, train_size, &scale);
 
+    // Train every variant up front so evaluation can batch all nine
+    // orders per query set: they share the GQL filter, so the amortized
+    // runner performs exactly one filtering pass and one CandidateSpace
+    // build per (query, data) pair across the whole ablation.
+    let models: Vec<(&'static str, RlQvo)> = VARIANTS
+        .iter()
+        .map(|v| {
+            let mut config = (v.build)(RlQvoConfig::harness());
+            config.epochs = scale.train_epochs;
+            let mut model = RlQvo::new(config);
+            model.train(&train_split.train, &g);
+            (v.name, model)
+        })
+        .collect();
+
     println!("{:<10} {:>6} {:>12} {:>12} {:>10}", "variant", "Qset", "query(s)", "enum(s)", "unsolved");
-    for v in VARIANTS {
-        let mut config = (v.build)(RlQvoConfig::harness());
-        config.epochs = scale.train_epochs;
-        let mut model = RlQvo::new(config);
-        model.train(&train_split.train, &g);
-        for &size in dataset.query_sizes() {
-            let split = split_queries(&g, dataset, size, &scale);
-            let method = BenchMethod {
-                name: "RL-QVO",
+    for &size in dataset.query_sizes() {
+        let split = split_queries(&g, dataset, size, &scale);
+        let methods: Vec<BenchMethod<'_>> = models
+            .iter()
+            .map(|(name, model)| BenchMethod {
+                name,
                 filter: Box::new(GqlFilter::default()),
                 ordering: Box::new(model.ordering()),
-            };
-            let stats = run_method(&g, &split.eval, &method, scale.enum_config(), scale.threads);
+            })
+            .collect();
+        let all_stats = run_methods_shared(&g, &split.eval, &methods, scale.enum_config(), scale.threads);
+        for stats in &all_stats {
             println!(
                 "{:<10} {:>6} {:>12.5} {:>12.5} {:>10}",
-                v.name,
+                stats.name,
                 format!("Q{size}"),
                 stats.mean_total_secs(),
                 stats.mean_enum_secs(),

@@ -56,8 +56,8 @@ impl Scale {
             time_limit: self.time_limit,
             max_enumerations: u64::MAX,
             store_matches: false,
-            // `RLQVO_ENGINE=probe|candspace` flips the enumeration engine
-            // for every figure binary without recompiling.
+            // `RLQVO_ENGINE=probe|candspace|auto` flips the enumeration
+            // engine for every figure binary without recompiling.
             engine: rlqvo_matching::EnumEngine::from_env(),
         }
     }

@@ -28,9 +28,44 @@
 //! the winning position doubles as the key for the *next* depth's edge
 //! lists, so the engine never searches for "where is `v` in `C(u)`".
 
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rlqvo_graph::{intersect_positions_into, Graph, VertexId};
 
 use crate::filter::Candidates;
+
+/// Process-wide count of completed [`CandidateSpace`] builds. The build is
+/// the dominant fixed cost of the intersection engine, so amortization
+/// regressions (a harness silently rebuilding per order) are caught by
+/// asserting on [`CandidateSpace::build_count`] deltas in tests.
+static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// A [`CandidateSpace::try_build`] refusal: some flat arena would need more
+/// entries than its `u32` offsets can address, so continuing would silently
+/// truncate offsets and corrupt the space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArenaOverflow {
+    /// Which arena overflowed ("cand_flat", "q_targets", "nbr_pos", …).
+    pub arena: &'static str,
+    /// Entries the build needed at the point it gave up (a lower bound on
+    /// the true requirement — the build stops at the first violation).
+    pub required: u64,
+    /// The largest entry count the `u32` offsets can address.
+    pub limit: u64,
+}
+
+impl fmt::Display for ArenaOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "candidate-space arena `{}` needs >= {} entries but u32 offsets address at most {}",
+            self.arena, self.required, self.limit
+        )
+    }
+}
+
+impl std::error::Error for ArenaOverflow {}
 
 /// Edge-indexed candidate space (see the module docs).
 #[derive(Clone, Debug)]
@@ -57,10 +92,33 @@ impl CandidateSpace {
     /// `O(Σ_(u,u')∈E(q) Σ_{v∈C(u)} min(d(v), |C(u')|)·log)` via the
     /// galloping intersection kernels; the result is reusable across
     /// every matching order of the same query.
+    ///
+    /// Panics on arena overflow — use [`CandidateSpace::try_build`] when
+    /// the input may be large enough (≥ 2³² edge-list entries) to exceed
+    /// the `u32` offset arenas.
     pub fn build(q: &Graph, g: &Graph, cand: &Candidates) -> Self {
+        Self::try_build(q, g, cand).unwrap_or_else(|e| panic!("CandidateSpace::build: {e}"))
+    }
+
+    /// Overflow-checked build: identical to [`CandidateSpace::build`] on
+    /// every input that fits, and returns [`ArenaOverflow`] instead of
+    /// silently truncating `u32` offsets when one would not.
+    pub fn try_build(q: &Graph, g: &Graph, cand: &Candidates) -> Result<Self, ArenaOverflow> {
+        Self::try_build_with_limit(q, g, cand, u32::MAX as u64)
+    }
+
+    /// [`CandidateSpace::try_build`] with an explicit arena-entry ceiling.
+    /// Exists so tests can exercise the overflow path without allocating
+    /// multi-gigabyte arenas; production callers want the `u32::MAX`
+    /// default of `try_build`.
+    #[doc(hidden)]
+    pub fn try_build_with_limit(q: &Graph, g: &Graph, cand: &Candidates, limit: u64) -> Result<Self, ArenaOverflow> {
         let n_q = q.num_vertices();
         assert_eq!(cand.num_query_vertices(), n_q, "candidates must cover the query");
 
+        if cand.total() as u64 > limit {
+            return Err(ArenaOverflow { arena: "cand_flat", required: cand.total() as u64, limit });
+        }
         let mut cand_offsets = Vec::with_capacity(n_q + 1);
         cand_offsets.push(0u32);
         let mut cand_flat = Vec::with_capacity(cand.total());
@@ -69,6 +127,9 @@ impl CandidateSpace {
             cand_offsets.push(cand_flat.len() as u32);
         }
 
+        if 2 * q.num_edges() as u64 > limit {
+            return Err(ArenaOverflow { arena: "q_targets", required: 2 * q.num_edges() as u64, limit });
+        }
         let mut q_offsets = Vec::with_capacity(n_q + 1);
         q_offsets.push(0u32);
         let mut q_targets = Vec::new();
@@ -90,12 +151,21 @@ impl CandidateSpace {
         let mut pos_of: Vec<u32> = vec![UNMAPPED; g.num_vertices()];
         for u in q.vertices() {
             for &up in q.neighbors(u) {
+                if list_offsets.len() as u64 > limit {
+                    return Err(ArenaOverflow { arena: "list_offsets", required: list_offsets.len() as u64, limit });
+                }
                 edge_seg.push(list_offsets.len() as u32);
                 let c_up = cand.of(up);
                 for (j, &w) in c_up.iter().enumerate() {
                     pos_of[w as usize] = j as u32;
                 }
                 for &v in cand.of(u) {
+                    // The offset recorded here must itself fit in u32; the
+                    // check runs before the cast so an oversized space
+                    // fails loudly instead of wrapping.
+                    if nbr_pos.len() as u64 > limit {
+                        return Err(ArenaOverflow { arena: "nbr_pos", required: nbr_pos.len() as u64, limit });
+                    }
                     list_offsets.push(nbr_pos.len() as u32);
                     let nv = g.neighbors(v);
                     if nv.len() >= c_up.len().saturating_mul(16) {
@@ -116,10 +186,13 @@ impl CandidateSpace {
             }
         }
         // Closing offset shared by the final edge segment.
+        if nbr_pos.len() as u64 > limit {
+            return Err(ArenaOverflow { arena: "nbr_pos", required: nbr_pos.len() as u64, limit });
+        }
         list_offsets.push(nbr_pos.len() as u32);
-        debug_assert!(nbr_pos.len() <= u32::MAX as usize, "candidate space exceeds u32 arena offsets");
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
 
-        CandidateSpace {
+        Ok(CandidateSpace {
             num_query_vertices: n_q,
             num_data_vertices: g.num_vertices(),
             cand_offsets,
@@ -129,7 +202,14 @@ impl CandidateSpace {
             edge_seg,
             list_offsets,
             nbr_pos,
-        }
+        })
+    }
+
+    /// Completed builds in this process so far. Monotone (other threads
+    /// may also build); tests assert on deltas around single-threaded
+    /// sections to prove a harness amortizes rather than rebuilds.
+    pub fn build_count() -> u64 {
+        BUILD_COUNT.load(Ordering::Relaxed)
     }
 
     /// Number of query vertices covered.
@@ -291,5 +371,56 @@ mod tests {
         let cand = Candidates::new(vec![vec![], vec![1], vec![2]]);
         let cs = CandidateSpace::build(&q, &g, &cand);
         assert!(cs.any_empty());
+    }
+
+    #[test]
+    fn try_build_matches_build_on_normal_input() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let checked = CandidateSpace::try_build(&q, &g, &cand).expect("fits comfortably");
+        let plain = CandidateSpace::build(&q, &g, &cand);
+        assert_eq!(checked.total_edge_list_entries(), plain.total_edge_list_entries());
+        assert_eq!(checked.storage_bytes(), plain.storage_bytes());
+        for u in q.vertices() {
+            assert_eq!(checked.cand(u), plain.cand(u));
+        }
+    }
+
+    #[test]
+    fn arena_overflow_is_a_checked_error() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        // A ceiling below what this space needs must surface as the typed
+        // error — never as truncated offsets.
+        let err = CandidateSpace::try_build_with_limit(&q, &g, &cand, 1).expect_err("must refuse");
+        assert_eq!(err.limit, 1);
+        assert!(err.required > err.limit);
+        assert!(!err.arena.is_empty());
+        let msg = err.to_string();
+        assert!(msg.contains("u32 offsets"), "{msg}");
+    }
+
+    #[test]
+    fn overflow_check_triggers_on_the_edge_list_arena() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let full = CandidateSpace::build(&q, &g, &cand);
+        let entries = full.total_edge_list_entries() as u64;
+        assert!(entries > 1, "fixture must have edge-list entries");
+        // Generous enough for the small arenas, too small for nbr_pos.
+        let err = CandidateSpace::try_build_with_limit(&q, &g, &cand, entries - 1).expect_err("must refuse");
+        assert_eq!(err.arena, "nbr_pos");
+    }
+
+    #[test]
+    fn build_count_increments_per_build() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let before = CandidateSpace::build_count();
+        let _a = CandidateSpace::build(&q, &g, &cand);
+        let _b = CandidateSpace::build(&q, &g, &cand);
+        // Other tests run concurrently in this binary, so the delta is a
+        // lower bound.
+        assert!(CandidateSpace::build_count() >= before + 2);
     }
 }

@@ -31,7 +31,7 @@ use rlqvo_graph::{intersect_in_place, intersect_into, Graph, VertexId};
 use crate::candspace::CandidateSpace;
 use crate::filter::Candidates;
 
-/// Which enumeration implementation to run. Both report identical
+/// Which enumeration implementation to run. All variants report identical
 /// results; they differ only in wall-clock profile (see module docs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EnumEngine {
@@ -40,22 +40,29 @@ pub enum EnumEngine {
     /// Intersection over a prebuilt edge-indexed candidate space.
     #[default]
     CandidateSpace,
+    /// Cost-modeled choice between the two: pays the `CandidateSpace`
+    /// build only when the estimated enumeration work can amortize it,
+    /// falling back to [`EnumEngine::Probe`] on build-dominated workloads
+    /// (small match caps over large candidate sets). See [`auto_decide`].
+    Auto,
 }
 
 impl EnumEngine {
-    /// Short display name ("probe" / "candspace").
+    /// Short display name ("probe" / "candspace" / "auto").
     pub fn name(&self) -> &'static str {
         match self {
             EnumEngine::Probe => "probe",
             EnumEngine::CandidateSpace => "candspace",
+            EnumEngine::Auto => "auto",
         }
     }
 
-    /// Parses "probe" / "candspace" (case-insensitive).
+    /// Parses "probe" / "candspace" / "auto" (case-insensitive).
     pub fn parse(s: &str) -> Option<Self> {
         match s.to_ascii_lowercase().as_str() {
             "probe" => Some(EnumEngine::Probe),
             "candspace" | "cs" | "candidate-space" => Some(EnumEngine::CandidateSpace),
+            "auto" => Some(EnumEngine::Auto),
             _ => None,
         }
     }
@@ -121,6 +128,95 @@ impl EnumConfig {
     }
 }
 
+/// Outcome of the [`EnumEngine::Auto`] cost model: the concrete engine
+/// plus the two work estimates that produced the choice (reported so
+/// harnesses and tests can audit the decision).
+#[derive(Clone, Copy, Debug)]
+pub struct AutoDecision {
+    /// The chosen engine — always [`EnumEngine::Probe`] or
+    /// [`EnumEngine::CandidateSpace`], never `Auto`.
+    pub engine: EnumEngine,
+    /// Estimated `CandidateSpace` build cost, in adjacency-entries-scanned
+    /// units: `Σ_(u,u')∈E_d(q) (|C(u')| + min(Σ_{v∈C(u)} d(v), |C(u)|·|C(u')|))`
+    /// — the exact shape of the build's inner loops.
+    pub est_build_work: u64,
+    /// Estimated enumeration work in the same units: the recursion-call
+    /// ceiling implied by `max_matches` / `max_enumerations`, times the
+    /// per-call work the probe engine would pay *over* the intersection
+    /// engine. `u64::MAX` when both caps are effectively unbounded.
+    pub est_enum_work: u64,
+}
+
+impl AutoDecision {
+    /// Re-applies the decision rule with the enumeration estimate scaled
+    /// by `factor` — harnesses amortizing one build across `n` compared
+    /// orders pass `n`, since the build must beat their combined work.
+    pub fn with_enum_scale(mut self, factor: u64) -> AutoDecision {
+        self.est_enum_work = self.est_enum_work.saturating_mul(factor);
+        self.engine = if self.est_build_work > self.est_enum_work.saturating_mul(AUTO_PROBE_MARGIN) {
+            EnumEngine::Probe
+        } else {
+            EnumEngine::CandidateSpace
+        };
+        self
+    }
+}
+
+/// Per-recursion-call work margin of the probe engine over the
+/// intersection engine, in the same adjacency-entry units as the build
+/// estimate. Probe pays a candidate-bitmap test plus an `O(log d)`
+/// `has_edge` per scanned neighbour where the intersection engine streams
+/// precomputed lists; 16 entries/call matches the measured gap on the
+/// bench kernels within a factor of two, which is all the decision needs.
+const AUTO_WORK_PER_CALL: u64 = 16;
+
+/// Caps at or above this are treated as "find everything": the search is
+/// enumeration-dominated and the build always amortizes.
+const AUTO_UNBOUNDED: u64 = u64::MAX / 4;
+
+/// Probe is only chosen when the build exceeds the enumeration estimate
+/// by this margin. The two mispredictions are asymmetric: a wrong
+/// candspace pick wastes at most one build, but a wrong probe pick pays
+/// the per-call margin over an *unbounded* dead-end search —
+/// `max_matches` caps emitted matches, not the dead-end recursion a
+/// selective query explores before giving up. The margin keeps probe for
+/// clearly build-dominated cases and absorbs moderate dead-end
+/// mis-estimates everywhere else.
+const AUTO_PROBE_MARGIN: u64 = 8;
+
+/// The [`EnumEngine::Auto`] cost model. Chooses [`EnumEngine::Probe`]
+/// when the candidate-space build would cost several times more than the
+/// entire capped enumeration can win back — the build-dominated regime
+/// (e.g. a first-k-matches workload over large candidate sets).
+/// Deterministic and `O(total candidates + |E(q)|)`, orders of magnitude
+/// below the build itself.
+///
+/// Known bias: the match-cap term is a hopeful estimate, not a ceiling —
+/// a capped query with few or no embeddings still explores its dead-end
+/// tree in full. [`AUTO_PROBE_MARGIN`] hedges that asymmetry toward the
+/// engine whose worst case (one wasted build) is bounded.
+pub fn auto_decide(q: &Graph, g: &Graph, cand: &Candidates, config: &EnumConfig) -> AutoDecision {
+    if cand.any_empty() {
+        // No enumeration will happen; never pay a build.
+        return AutoDecision { engine: EnumEngine::Probe, est_build_work: 0, est_enum_work: 0 };
+    }
+    // Σ_{v∈C(u)} d(v) per query vertex — one pass over all candidates.
+    let deg_sum: Vec<u64> = q.vertices().map(|u| cand.of(u).iter().map(|&v| g.degree(v) as u64).sum()).collect();
+    let mut est_build_work = 0u64;
+    for u in q.vertices() {
+        let c_u = cand.len_of(u) as u64;
+        for &up in q.neighbors(u) {
+            let c_up = cand.len_of(up) as u64;
+            est_build_work =
+                est_build_work.saturating_add(c_up).saturating_add(deg_sum[u as usize].min(c_u.saturating_mul(c_up)));
+        }
+    }
+
+    let call_cap = config.max_enumerations.min(config.max_matches.saturating_mul(q.num_vertices() as u64));
+    let est_enum_work = if call_cap >= AUTO_UNBOUNDED { u64::MAX } else { call_cap.saturating_mul(AUTO_WORK_PER_CALL) };
+    AutoDecision { engine: EnumEngine::CandidateSpace, est_build_work, est_enum_work }.with_enum_scale(1)
+}
+
 /// Outcome of an enumeration run.
 #[derive(Clone, Debug)]
 pub struct EnumResult {
@@ -173,6 +269,10 @@ pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], co
             }
             let cs = CandidateSpace::build(q, g, cand);
             enumerate_in_space_from(q, &cs, order, config, start)
+        }
+        EnumEngine::Auto => {
+            let choice = auto_decide(q, g, cand, &config).engine;
+            enumerate(q, g, cand, order, config.with_engine(choice))
         }
     }
 }
@@ -717,8 +817,84 @@ mod tests {
         assert_eq!(EnumEngine::parse("probe"), Some(EnumEngine::Probe));
         assert_eq!(EnumEngine::parse("CANDSPACE"), Some(EnumEngine::CandidateSpace));
         assert_eq!(EnumEngine::parse("cs"), Some(EnumEngine::CandidateSpace));
+        assert_eq!(EnumEngine::parse("auto"), Some(EnumEngine::Auto));
+        assert_eq!(EnumEngine::parse("AUTO"), Some(EnumEngine::Auto));
         assert_eq!(EnumEngine::parse("nope"), None);
         assert_eq!(EnumEngine::default().name(), "candspace");
+        assert_eq!(EnumEngine::Auto.name(), "auto");
+    }
+
+    /// One-label dense host: every vertex is a candidate of every query
+    /// vertex, so the space build scans the whole adjacency structure.
+    fn build_dominated_case() -> (Graph, Graph, Candidates) {
+        let mut gb = GraphBuilder::new(1);
+        let n = 80u32;
+        for _ in 0..n {
+            gb.add_vertex(0);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n.min(i + 10) {
+                gb.add_edge(i, j);
+            }
+        }
+        let g = gb.build();
+        let mut qb = GraphBuilder::new(1);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(0);
+        let c = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        let q = qb.build();
+        let cand = LdfFilter.filter(&q, &g);
+        (q, g, cand)
+    }
+
+    #[test]
+    fn auto_picks_probe_when_build_dominates() {
+        let (q, g, cand) = build_dominated_case();
+        // First-match-only: 3 recursion calls can never amortize a build
+        // that scans thousands of adjacency entries.
+        let cfg = EnumConfig { max_matches: 1, ..EnumConfig::find_all() }.with_engine(EnumEngine::Auto);
+        let d = auto_decide(&q, &g, &cand, &cfg);
+        assert_eq!(d.engine, EnumEngine::Probe, "build {} vs enum {}", d.est_build_work, d.est_enum_work);
+        assert!(d.est_build_work > d.est_enum_work);
+    }
+
+    #[test]
+    fn auto_picks_candspace_when_enumeration_dominates() {
+        let (q, g, cand) = build_dominated_case();
+        // Find-all on a dense one-label host: the search space dwarfs the
+        // build, so the intersection engine wins.
+        let cfg = EnumConfig::find_all().with_engine(EnumEngine::Auto);
+        let d = auto_decide(&q, &g, &cand, &cfg);
+        assert_eq!(d.engine, EnumEngine::CandidateSpace);
+        assert_eq!(d.est_enum_work, u64::MAX);
+    }
+
+    #[test]
+    fn auto_decision_never_returns_auto_and_skips_build_on_empty() {
+        let (q, g) = two_triangles();
+        let cand = Candidates::new(vec![vec![], vec![1], vec![2]]);
+        let d = auto_decide(&q, &g, &cand, &EnumConfig::find_all());
+        assert_eq!(d.engine, EnumEngine::Probe);
+        assert_eq!(d.est_build_work, 0);
+    }
+
+    #[test]
+    fn auto_engine_matches_both_engines() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let mut cfg = EnumConfig::find_all();
+        cfg.store_matches = true;
+        for order in [[0u32, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            let auto = enumerate(&q, &g, &cand, &order, cfg.with_engine(EnumEngine::Auto));
+            for other in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+                let r = enumerate(&q, &g, &cand, &order, cfg.with_engine(other));
+                assert_eq!(auto.match_count, r.match_count, "{}", other.name());
+                assert_eq!(auto.enumerations, r.enumerations, "{}", other.name());
+                assert_eq!(auto.matches, r.matches, "{}", other.name());
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use rlqvo_graph::{Graph, VertexId};
 
-use crate::bipartite::has_left_saturating_matching;
+use crate::bipartite::{has_left_saturating_matching, MatchingScratch};
 
 /// Per-query-vertex candidate sets. Each set is sorted ascending (the
 /// enumeration engines rely on that for intersection), and membership is
@@ -212,14 +212,43 @@ impl CandidateFilter for GqlFilter {
     }
 
     fn filter(&self, q: &Graph, g: &Graph) -> Candidates {
+        self.refine(q, g, false)
+    }
+}
+
+impl GqlFilter {
+    /// The retained naive reference: per-candidate `Vec<Vec<_>>` bipartite
+    /// reconstruction via [`semi_perfect_ok_reference`]. Kept solely as
+    /// the differential oracle for the scratch-based fast path
+    /// (`tests/oracle.rs` checks byte-identical surviving sets).
+    #[doc(hidden)]
+    pub fn filter_reference(&self, q: &Graph, g: &Graph) -> Candidates {
+        self.refine(q, g, true)
+    }
+
+    fn refine(&self, q: &Graph, g: &Graph, reference: bool) -> Candidates {
         let mut cand = NlfFilter.filter(q, g);
+        let mut scratch = SemiPerfectScratch::new(q.num_labels().max(g.num_labels()) as usize);
         for _ in 0..self.refinement_rounds {
             let mut changed = false;
             let mut new_sets: Vec<Vec<VertexId>> = Vec::with_capacity(q.num_vertices());
             for u in q.vertices() {
                 let qu_neighbors = q.neighbors(u);
-                let kept: Vec<VertexId> =
-                    cand.of(u).iter().copied().filter(|&v| semi_perfect_ok(q, g, &cand, qu_neighbors, v)).collect();
+                if !reference {
+                    scratch.prepare_query_vertex(q, qu_neighbors);
+                }
+                let kept: Vec<VertexId> = cand
+                    .of(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        if reference {
+                            semi_perfect_ok_reference(q, g, &cand, qu_neighbors, v)
+                        } else {
+                            scratch.semi_perfect_ok(g, &cand, qu_neighbors, v)
+                        }
+                    })
+                    .collect();
                 if kept.len() != cand.len_of(u) {
                     changed = true;
                 }
@@ -234,14 +263,121 @@ impl CandidateFilter for GqlFilter {
     }
 }
 
-fn semi_perfect_ok(q: &Graph, g: &Graph, cand: &Candidates, qu_neighbors: &[VertexId], v: VertexId) -> bool {
+/// Reusable state for GraphQL's semi-perfect matching check. The left side
+/// of every bipartite instance for a query vertex `u` is the fixed `N(u)`,
+/// so its label grouping is built **once per query vertex** and only the
+/// right side (`N(v)`) varies per candidate; the CSR rows and the
+/// augmenting-path matcher state are flat buffers cleared, not
+/// reallocated, between candidates.
+struct SemiPerfectScratch {
+    /// Label → slice of `group_left` (counting sort of left indices by
+    /// query-neighbour label), rebuilt per query vertex.
+    group_off: Vec<u32>,
+    group_left: Vec<u32>,
+    /// `(left index, right index)` edges found while scanning `N(v)`.
+    pairs: Vec<(u32, u32)>,
+    /// CSR bipartite adjacency assembled from `pairs` by counting sort.
+    row_off: Vec<u32>,
+    row_adj: Vec<u32>,
+    /// Scatter cursor for both counting sorts (reused, never reallocated).
+    cursor: Vec<u32>,
+    matcher: MatchingScratch,
+}
+
+impl SemiPerfectScratch {
+    fn new(num_labels: usize) -> Self {
+        SemiPerfectScratch {
+            group_off: vec![0; num_labels + 1],
+            group_left: Vec::new(),
+            pairs: Vec::new(),
+            row_off: Vec::new(),
+            row_adj: Vec::new(),
+            cursor: Vec::new(),
+            matcher: MatchingScratch::default(),
+        }
+    }
+
+    /// Groups the left side `N(u)` by label (counting sort). Amortized
+    /// over all of `u`'s candidates.
+    fn prepare_query_vertex(&mut self, q: &Graph, qu_neighbors: &[VertexId]) {
+        self.group_off.fill(0);
+        for &uq in qu_neighbors {
+            self.group_off[q.label(uq) as usize + 1] += 1;
+        }
+        for i in 1..self.group_off.len() {
+            self.group_off[i] += self.group_off[i - 1];
+        }
+        self.group_left.clear();
+        self.group_left.resize(qu_neighbors.len(), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.group_off);
+        for (li, &uq) in qu_neighbors.iter().enumerate() {
+            let l = q.label(uq) as usize;
+            self.group_left[self.cursor[l] as usize] = li as u32;
+            self.cursor[l] += 1;
+        }
+    }
+
+    /// True when the bipartite graph between `N(u)` and `N(v)` has a
+    /// matching saturating `N(u)`. Must be preceded by
+    /// [`SemiPerfectScratch::prepare_query_vertex`] for the same `u`.
+    fn semi_perfect_ok(&mut self, g: &Graph, cand: &Candidates, qu_neighbors: &[VertexId], v: VertexId) -> bool {
+        let gv_neighbors = g.neighbors(v);
+        let left_count = qu_neighbors.len();
+        if left_count > gv_neighbors.len() {
+            return false; // pigeonhole: saturation is impossible
+        }
+        // Scan N(v) once; the label grouping routes each data neighbour to
+        // exactly the left vertices it can serve, so label-mismatched
+        // pairs are never even tested against the candidate bitmaps.
+        self.pairs.clear();
+        for (ri, &vg) in gv_neighbors.iter().enumerate() {
+            let l = g.label(vg) as usize;
+            for &li in &self.group_left[self.group_off[l] as usize..self.group_off[l + 1] as usize] {
+                if cand.contains(qu_neighbors[li as usize], vg) {
+                    self.pairs.push((li, ri as u32));
+                }
+            }
+        }
+        if self.pairs.len() < left_count {
+            return false; // some left vertex has no edge at all
+        }
+        // Counting-sort the edge list into CSR rows.
+        self.row_off.clear();
+        self.row_off.resize(left_count + 1, 0);
+        for &(li, _) in &self.pairs {
+            self.row_off[li as usize + 1] += 1;
+        }
+        for i in 1..self.row_off.len() {
+            // Hall-style quick reject without materializing the rows.
+            if self.row_off[i] == 0 {
+                return false;
+            }
+            self.row_off[i] += self.row_off[i - 1];
+        }
+        self.row_adj.clear();
+        self.row_adj.resize(self.pairs.len(), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.row_off);
+        for &(li, ri) in &self.pairs {
+            self.row_adj[self.cursor[li as usize] as usize] = ri;
+            self.cursor[li as usize] += 1;
+        }
+        self.matcher.has_left_saturating_matching(&self.row_off, &self.row_adj, gv_neighbors.len())
+    }
+}
+
+/// The original per-candidate reconstruction (left = `N(u)`, right =
+/// `N(v)`, fresh `Vec<Vec<_>>` per call). Retained as the naive
+/// differential reference for [`SemiPerfectScratch::semi_perfect_ok`].
+fn semi_perfect_ok_reference(q: &Graph, g: &Graph, cand: &Candidates, qu_neighbors: &[VertexId], v: VertexId) -> bool {
     let gv_neighbors = g.neighbors(v);
     // Build the bipartite graph: left = N(u) in q, right = N(v) in G.
     let mut adj: Vec<Vec<usize>> = Vec::with_capacity(qu_neighbors.len());
     for &uq in qu_neighbors {
         let mut row = Vec::new();
         for (ri, &vg) in gv_neighbors.iter().enumerate() {
-            // Cheap label pre-check before the binary search.
+            // Cheap label pre-check before the bitmap test.
             if g.label(vg) == q.label(uq) && cand.contains(uq, vg) {
                 row.push(ri);
             }
@@ -404,5 +540,50 @@ mod tests {
         assert_eq!(LdfFilter.name(), "LDF");
         assert_eq!(NlfFilter.name(), "NLF");
         assert_eq!(GqlFilter::default().name(), "GQL");
+    }
+
+    #[test]
+    fn scratch_semi_perfect_matches_reference_on_fixtures() {
+        let cases = [triangle_case()];
+        for (q, g) in cases {
+            for rounds in [1usize, 2, 4] {
+                let f = GqlFilter { refinement_rounds: rounds };
+                let fast = f.filter(&q, &g);
+                let reference = f.filter_reference(&q, &g);
+                for u in q.vertices() {
+                    assert_eq!(fast.of(u), reference.of(u), "rounds {rounds} vertex {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_state_survives_label_skew_and_isolated_query_vertices() {
+        // Query with an isolated vertex (empty left side) plus a hub:
+        // exercises the left_count == 0 and pigeonhole paths of the
+        // scratch matcher in one filter run.
+        let mut qb = GraphBuilder::new(3);
+        let hub = qb.add_vertex(0);
+        let a = qb.add_vertex(1);
+        let b = qb.add_vertex(2);
+        qb.add_edge(hub, a);
+        qb.add_edge(hub, b);
+        qb.add_vertex(1); // isolated
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(3);
+        let c = gb.add_vertex(0);
+        let x = gb.add_vertex(1);
+        let y = gb.add_vertex(2);
+        gb.add_edge(c, x);
+        gb.add_edge(c, y);
+        gb.add_vertex(1);
+        let g = gb.build();
+        let f = GqlFilter::default();
+        let fast = f.filter(&q, &g);
+        let reference = f.filter_reference(&q, &g);
+        for u in q.vertices() {
+            assert_eq!(fast.of(u), reference.of(u), "vertex {u}");
+        }
+        assert!(!fast.any_empty());
     }
 }

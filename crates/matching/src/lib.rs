@@ -36,8 +36,10 @@ pub mod nec;
 pub mod order;
 pub mod pipeline;
 
-pub use candspace::CandidateSpace;
-pub use enumerate::{enumerate, enumerate_in_space, enumerate_probe, EnumConfig, EnumEngine, EnumResult};
+pub use candspace::{ArenaOverflow, CandidateSpace};
+pub use enumerate::{
+    auto_decide, enumerate, enumerate_in_space, enumerate_probe, AutoDecision, EnumConfig, EnumEngine, EnumResult,
+};
 pub use filter::{CandidateFilter, Candidates, GqlFilter, LdfFilter, NlfFilter};
 pub use order::{connected_prefix_ok, OrderingMethod};
-pub use pipeline::{run_pipeline, Pipeline, PipelineResult};
+pub use pipeline::{run_pipeline, run_with_candidates, run_with_space, Pipeline, PipelineResult};

@@ -29,22 +29,41 @@ impl OptimalOrdering {
     /// Returns the best order *and* its `#enum`, which the spectrum
     /// analysis (Fig. 6 harness) reports directly.
     pub fn order_with_cost(&self, q: &Graph, g: &Graph, cand: &Candidates) -> (Vec<VertexId>, u64) {
-        let n = q.num_vertices();
-        assert!(n > 0, "empty query has no order");
         // The candidate space is order-independent, so the O(n!) sweep
         // builds it exactly once and reuses it for every permutation
         // (rebuilding per permutation would dwarf the enumeration cost on
-        // build-dominated workloads).
+        // build-dominated workloads). `Auto` resolves to the space here:
+        // across every permutation of the sweep the build always
+        // amortizes.
         let space = match self.per_order_config.engine {
-            EnumEngine::CandidateSpace if !cand.any_empty() => Some(CandidateSpace::build(q, g, cand)),
+            EnumEngine::CandidateSpace | EnumEngine::Auto if !cand.any_empty() => {
+                Some(CandidateSpace::build(q, g, cand))
+            }
             _ => None,
         };
+        self.order_with_cost_in_space(q, g, cand, space.as_ref())
+    }
+
+    /// The sweep against a caller-provided prebuilt space (`None` falls
+    /// back to the engine in `per_order_config`, probing per permutation).
+    /// Harnesses that also enumerate heuristic orders on the same
+    /// (query, data) pair (Fig. 6) pass the space they already built so
+    /// the whole figure performs exactly one build per pair.
+    pub fn order_with_cost_in_space(
+        &self,
+        q: &Graph,
+        g: &Graph,
+        cand: &Candidates,
+        space: Option<&CandidateSpace>,
+    ) -> (Vec<VertexId>, u64) {
+        let n = q.num_vertices();
+        assert!(n > 0, "empty query has no order");
         let mut best_order: Option<Vec<VertexId>> = None;
         let mut best_cost = u64::MAX;
         let mut prefix: Vec<VertexId> = Vec::with_capacity(n);
         let mut used = vec![false; n];
         let connected = q.is_connected();
-        self.explore(q, g, cand, space.as_ref(), &mut prefix, &mut used, connected, &mut best_order, &mut best_cost);
+        self.explore(q, g, cand, space, &mut prefix, &mut used, connected, &mut best_order, &mut best_cost);
         (best_order.expect("at least one permutation exists"), best_cost)
     }
 

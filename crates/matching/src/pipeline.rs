@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 
 use rlqvo_graph::{Graph, VertexId};
 
-use crate::enumerate::{enumerate, EnumConfig, EnumResult};
+use crate::candspace::CandidateSpace;
+use crate::enumerate::{enumerate, enumerate_in_space, EnumConfig, EnumEngine, EnumResult};
 use crate::filter::{CandidateFilter, Candidates};
 use crate::order::OrderingMethod;
 
@@ -76,7 +77,10 @@ pub fn run_pipeline(q: &Graph, g: &Graph, pipeline: &Pipeline<'_>) -> PipelineRe
 }
 
 /// Convenience: filter once, reuse candidates across several orderings
-/// (Fig. 5/6 compare orderings on identical candidate sets).
+/// (Fig. 5/6 compare orderings on identical candidate sets). The
+/// CandidateSpace engine still rebuilds its auxiliary structure per call
+/// here — when comparing several orders, prebuild once and use
+/// [`run_with_space`] instead.
 pub fn run_with_candidates(
     q: &Graph,
     g: &Graph,
@@ -89,6 +93,42 @@ pub fn run_with_candidates(
     let order_time = t1.elapsed();
     let t2 = Instant::now();
     let enum_result = enumerate(q, g, cand, &order, config);
+    let enum_time = t2.elapsed();
+    PipelineResult {
+        filter_time: Duration::ZERO,
+        order_time,
+        enum_time,
+        candidate_total: cand.total(),
+        order,
+        enum_result,
+    }
+}
+
+/// The build-once/enumerate-many entry point: phases 2 and 3 against a
+/// `CandidateSpace` prebuilt from exactly `(q, g, cand)`. Never triggers a
+/// [`CandidateSpace::build`] of its own, so a harness comparing N orders
+/// on one (query, data) pair pays the build once, not N times.
+///
+/// Engine handling: [`EnumEngine::Probe`] is honoured (the oracle path
+/// ignores the space); `CandidateSpace` and `Auto` both enumerate in the
+/// prebuilt space — with the build already paid, the Auto cost model has
+/// nothing left to trade off.
+pub fn run_with_space(
+    q: &Graph,
+    g: &Graph,
+    cand: &Candidates,
+    space: &CandidateSpace,
+    ordering: &dyn OrderingMethod,
+    config: EnumConfig,
+) -> PipelineResult {
+    let t1 = Instant::now();
+    let order = ordering.order(q, g, cand);
+    let order_time = t1.elapsed();
+    let t2 = Instant::now();
+    let enum_result = match config.engine {
+        EnumEngine::Probe => enumerate(q, g, cand, &order, config),
+        EnumEngine::CandidateSpace | EnumEngine::Auto => enumerate_in_space(q, space, &order, config),
+    };
     let enum_time = t2.elapsed();
     PipelineResult {
         filter_time: Duration::ZERO,
@@ -174,5 +214,38 @@ mod tests {
         let b = run_with_candidates(&q, &g, &cand, &GqlOrdering, EnumConfig::find_all());
         assert_eq!(a.enum_result.match_count, b.enum_result.match_count);
         assert_eq!(a.filter_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn run_with_space_agrees_with_per_call_builds() {
+        let (q, g) = small_case();
+        let cand = crate::filter::CandidateFilter::filter(&LdfFilter, &q, &g);
+        let space = CandidateSpace::build(&q, &g, &cand);
+        let orderings: Vec<Box<dyn OrderingMethod>> =
+            vec![Box::new(RiOrdering), Box::new(QsiOrdering), Box::new(Vf2ppOrdering), Box::new(GqlOrdering)];
+        for o in &orderings {
+            let shared = run_with_space(&q, &g, &cand, &space, o.as_ref(), EnumConfig::find_all());
+            let rebuilt = run_with_candidates(&q, &g, &cand, o.as_ref(), EnumConfig::find_all());
+            assert_eq!(shared.enum_result.match_count, rebuilt.enum_result.match_count, "{}", o.name());
+            assert_eq!(shared.enum_result.enumerations, rebuilt.enum_result.enumerations, "{}", o.name());
+            assert_eq!(shared.order, rebuilt.order, "{}", o.name());
+            assert_eq!(shared.filter_time, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn run_with_space_honours_the_probe_oracle_and_auto() {
+        let (q, g) = small_case();
+        let cand = crate::filter::CandidateFilter::filter(&LdfFilter, &q, &g);
+        let space = CandidateSpace::build(&q, &g, &cand);
+        let mut results = Vec::new();
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
+            let r = run_with_space(&q, &g, &cand, &space, &RiOrdering, EnumConfig::find_all().with_engine(engine));
+            results.push((engine, r));
+        }
+        for (engine, r) in &results[1..] {
+            assert_eq!(r.enum_result.match_count, results[0].1.enum_result.match_count, "{}", engine.name());
+            assert_eq!(r.enum_result.enumerations, results[0].1.enum_result.enumerations, "{}", engine.name());
+        }
     }
 }

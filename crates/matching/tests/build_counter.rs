@@ -1,0 +1,72 @@
+//! Amortization regression guard: the build-once/enumerate-many contract
+//! of `run_with_space` must never trigger a second `CandidateSpace::build`
+//! for the same (query, data) pair.
+//!
+//! This lives in its own integration-test binary on purpose: the build
+//! counter is process-global, and any other test building spaces
+//! concurrently would make exact-delta assertions flaky. Keep this file
+//! to a single `#[test]`.
+
+use rlqvo_matching::order::{GqlOrdering, QsiOrdering, RiOrdering, Vf2ppOrdering};
+use rlqvo_matching::{
+    enumerate_in_space, run_with_space, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter,
+    OrderingMethod,
+};
+
+#[test]
+fn prebuilt_space_is_built_exactly_once_across_all_orders() {
+    let mut qb = rlqvo_graph::GraphBuilder::new(2);
+    let a = qb.add_vertex(0);
+    let b = qb.add_vertex(1);
+    let c = qb.add_vertex(0);
+    let d = qb.add_vertex(1);
+    qb.add_edge(a, b);
+    qb.add_edge(b, c);
+    qb.add_edge(c, d);
+    qb.add_edge(a, d);
+    let q = qb.build();
+    let mut gb = rlqvo_graph::GraphBuilder::new(2);
+    for i in 0..30u32 {
+        gb.add_vertex(i % 2);
+    }
+    for i in 0..30u32 {
+        for j in (i + 1)..30u32.min(i + 4) {
+            gb.add_edge(i, j);
+        }
+    }
+    let g = gb.build();
+
+    let cand = GqlFilter::default().filter(&q, &g);
+    assert!(!cand.any_empty(), "fixture must have candidates");
+
+    // One explicit build…
+    let before = CandidateSpace::build_count();
+    let space = CandidateSpace::build(&q, &g, &cand);
+    assert_eq!(CandidateSpace::build_count(), before + 1);
+
+    // …then every compared order enumerates in it without rebuilding:
+    // the Fig. 5/6 pattern (N orderings, one (query, data) pair).
+    let orderings: Vec<Box<dyn OrderingMethod>> =
+        vec![Box::new(RiOrdering), Box::new(QsiOrdering), Box::new(Vf2ppOrdering), Box::new(GqlOrdering)];
+    let mut counts = Vec::new();
+    for o in &orderings {
+        let r = run_with_space(&q, &g, &cand, &space, o.as_ref(), EnumConfig::find_all());
+        counts.push(r.enum_result.match_count);
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "orders must agree: {counts:?}");
+    assert_eq!(CandidateSpace::build_count(), before + 1, "run_with_space must never rebuild");
+
+    // The raw entry point is equally clean…
+    let direct = enumerate_in_space(&q, &space, &[0, 1, 2, 3], EnumConfig::find_all());
+    assert_eq!(direct.match_count, counts[0]);
+    assert_eq!(CandidateSpace::build_count(), before + 1);
+
+    // …and the Auto engine against a prebuilt space has nothing to build.
+    let auto = run_with_space(&q, &g, &cand, &space, &RiOrdering, EnumConfig::find_all().with_engine(EnumEngine::Auto));
+    assert_eq!(auto.enum_result.match_count, counts[0]);
+    // The probe oracle never builds either.
+    let probe =
+        run_with_space(&q, &g, &cand, &space, &RiOrdering, EnumConfig::find_all().with_engine(EnumEngine::Probe));
+    assert_eq!(probe.enum_result.match_count, counts[0]);
+    assert_eq!(CandidateSpace::build_count(), before + 1, "no engine may rebuild behind run_with_space");
+}

@@ -185,6 +185,75 @@ proptest! {
         }
     }
 
+    /// The scratch-based GQL semi-perfect matching check must produce
+    /// byte-identical surviving candidate sets to the retained naive
+    /// per-candidate reconstruction, for every refinement depth, on
+    /// random labeled graphs.
+    #[test]
+    fn gql_scratch_refinement_matches_naive_reference(g in arb_graph(10, 3), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 5) else { return Ok(()) };
+        for rounds in [1usize, 2, 3] {
+            let f = GqlFilter { refinement_rounds: rounds };
+            let fast = f.filter(&q, &g);
+            let reference = f.filter_reference(&q, &g);
+            prop_assert_eq!(fast.num_query_vertices(), reference.num_query_vertices());
+            for u in q.vertices() {
+                prop_assert_eq!(
+                    fast.of(u), reference.of(u),
+                    "surviving C({}) diverges at {} rounds", u, rounds
+                );
+            }
+        }
+    }
+
+    /// `EnumEngine::Auto` must be indistinguishable from both concrete
+    /// engines: same `match_count`, same `#enum`, same match stream, for
+    /// every filter and ordering — whichever side of the cost model the
+    /// case lands on.
+    #[test]
+    fn auto_engine_is_differentially_identical(g in arb_graph(9, 3), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let filters: Vec<Box<dyn CandidateFilter>> =
+            vec![Box::new(LdfFilter), Box::new(GqlFilter::default())];
+        for f in &filters {
+            let cand = f.filter(&q, &g);
+            for o in all_orderings() {
+                let order = o.order(&q, &g, &cand);
+                // Both a capped config (the build-dominated side of the
+                // model) and find-all (the enumeration-dominated side).
+                let capped = EnumConfig { max_matches: 3, store_matches: true, ..EnumConfig::find_all() };
+                let mut find_all = EnumConfig::find_all();
+                find_all.store_matches = true;
+                for cfg in [capped, find_all] {
+                    let auto = enumerate(&q, &g, &cand, &order, cfg.with_engine(EnumEngine::Auto));
+                    let probe = enumerate_probe(&q, &g, &cand, &order, cfg);
+                    let space = enumerate(&q, &g, &cand, &order, cfg.with_engine(EnumEngine::CandidateSpace));
+                    prop_assert_eq!(auto.match_count, probe.match_count, "vs probe: {} {}", f.name(), o.name());
+                    prop_assert_eq!(auto.enumerations, probe.enumerations, "vs probe: {} {}", f.name(), o.name());
+                    prop_assert_eq!(&auto.matches, &probe.matches, "stream vs probe: {} {}", f.name(), o.name());
+                    prop_assert_eq!(auto.match_count, space.match_count, "vs space: {} {}", f.name(), o.name());
+                    prop_assert_eq!(auto.enumerations, space.enumerations, "vs space: {} {}", f.name(), o.name());
+                    prop_assert_eq!(&auto.matches, &space.matches, "stream vs space: {} {}", f.name(), o.name());
+                }
+            }
+        }
+    }
+
+    /// The checked build accepts exactly the inputs the plain build
+    /// accepts, and produces an identical space.
+    #[test]
+    fn try_build_is_equivalent_on_random_inputs(g in arb_graph(9, 3), seed in 0u64..200) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cand = NlfFilter.filter(&q, &g);
+        let checked = CandidateSpace::try_build(&q, &g, &cand).expect("small inputs always fit");
+        let plain = CandidateSpace::build(&q, &g, &cand);
+        prop_assert_eq!(checked.total_edge_list_entries(), plain.total_edge_list_entries());
+        prop_assert_eq!(checked.storage_bytes(), plain.storage_bytes());
+        for u in q.vertices() {
+            prop_assert_eq!(checked.cand(u), plain.cand(u));
+        }
+    }
+
     /// The exhaustive optimal order is at least as good as every heuristic.
     #[test]
     fn optimal_lower_bounds_heuristics(g in arb_graph(8, 2), seed in 0u64..200) {

@@ -3,7 +3,7 @@
 //! ```text
 //! rlqvo match  --data G.graph --query q.graph [--method hybrid|rlqvo|...]
 //!              [--model m.model] [--max-matches N] [--time-limit-ms T]
-//!              [--engine candspace|probe]
+//!              [--engine candspace|probe|auto]
 //! rlqvo train  --data G.graph --size K --queries N --epochs E --out m.model
 //! rlqvo stats  --data G.graph
 //! ```
@@ -34,7 +34,7 @@ fn main() {
         _ => {
             eprintln!("usage: rlqvo <match|train|stats> [--flag value]...");
             eprintln!(
-                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe]"
+                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto]"
             );
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
@@ -74,7 +74,7 @@ fn cmd_match(args: &[String]) -> CliResult {
 
     let engine = match flag(args, "--engine") {
         None => EnumEngine::default(),
-        Some(v) => EnumEngine::parse(&v).ok_or_else(|| format!("unknown engine {v:?} (probe|candspace)"))?,
+        Some(v) => EnumEngine::parse(&v).ok_or_else(|| format!("unknown engine {v:?} (probe|candspace|auto)"))?,
     };
     let config = EnumConfig {
         max_matches: flag(args, "--max-matches").and_then(|v| v.parse().ok()).unwrap_or(100_000),

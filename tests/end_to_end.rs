@@ -6,7 +6,8 @@ use rlqvo_suite::core::{RlQvo, RlQvoConfig};
 use rlqvo_suite::datasets::{build_query_set, Dataset, SplitQuerySet};
 use rlqvo_suite::matching::order::{GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering};
 use rlqvo_suite::matching::{
-    connected_prefix_ok, run_pipeline, CandidateFilter, EnumConfig, GqlFilter, LdfFilter, NlfFilter, Pipeline,
+    connected_prefix_ok, run_pipeline, run_with_space, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine,
+    GqlFilter, LdfFilter, NlfFilter, Pipeline,
 };
 
 /// The full Hybrid pipeline over a real(istic) workload returns consistent
@@ -32,6 +33,38 @@ fn pipelines_agree_across_orderings_on_dataset_analog() {
             counts.push(r.enum_result.match_count);
         }
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}
+
+/// The amortized entry point and the Auto engine, driven through the
+/// umbrella crate exactly as a downstream harness would: one space per
+/// (query, data) pair, every ordering and every engine agreeing on
+/// `match_count` and `#enum`.
+#[test]
+fn amortized_space_and_auto_engine_agree_end_to_end() {
+    let g = Dataset::Citeseer.load_scaled(800);
+    let set = build_query_set(&g, 6, 4, 17);
+    let filter = GqlFilter::default();
+    let orderings: Vec<Box<dyn OrderingMethod>> =
+        vec![Box::new(RiOrdering), Box::new(QsiOrdering), Box::new(GqlOrdering)];
+    for q in &set.queries {
+        let cand = filter.filter(q, &g);
+        if cand.any_empty() {
+            continue;
+        }
+        let space = CandidateSpace::try_build(q, &g, &cand).expect("analog workloads fit u32 arenas");
+        for o in &orderings {
+            let mut per_engine = Vec::new();
+            for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
+                let r = run_with_space(q, &g, &cand, &space, o.as_ref(), EnumConfig::find_all().with_engine(engine));
+                per_engine.push((engine, r));
+            }
+            let (_, first) = &per_engine[0];
+            for (engine, r) in &per_engine[1..] {
+                assert_eq!(r.enum_result.match_count, first.enum_result.match_count, "{}", engine.name());
+                assert_eq!(r.enum_result.enumerations, first.enum_result.enumerations, "{}", engine.name());
+            }
+        }
     }
 }
 

@@ -10,8 +10,8 @@ use rlqvo_gnn::GraphTensors;
 use rlqvo_graph::{intersect_in_place, intersect_into, GraphBuilder};
 use rlqvo_matching::order::{GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering};
 use rlqvo_matching::{
-    enumerate, enumerate_in_space, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter, LdfFilter,
-    NlfFilter,
+    enumerate, enumerate_in_space, run_with_entry, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter,
+    LdfFilter, NlfFilter, SpaceCache,
 };
 use rlqvo_tensor::{Matrix, Tape};
 
@@ -210,6 +210,36 @@ fn bench_enum_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cross-round amortization contract: what one round of a repeated
+/// query costs uncached (filter + build + enumerate, a fresh `SpaceCache`
+/// per iteration = every round is round 1) versus served from a warm
+/// cache (rounds 2+ of a sweep: lookup + enumerate only). The gap is the
+/// per-round saving of Fig. 11-style cap sweeps and repeated-query
+/// serving.
+fn bench_space_cache(c: &mut Criterion) {
+    let g = Dataset::Yeast.load();
+    let q = build_query_set(&g, 12, 1, 3).queries.pop().unwrap();
+    let filter = GqlFilter::default();
+    let cfg = EnumConfig { max_matches: 1_000, ..EnumConfig::default() };
+    let mut group = c.benchmark_group("spacecache");
+    group.bench_function("yeast-first-1k/round1-uncached", |b| {
+        b.iter(|| {
+            let cache = SpaceCache::new();
+            let (entry, _) = cache.entry_for(&q, &g, &filter);
+            run_with_entry(&q, &g, &entry, &RiOrdering, cfg)
+        })
+    });
+    let warm = SpaceCache::new();
+    warm.entry_for(&q, &g, &filter).0.space(&q, &g); // pay round 1 once
+    group.bench_function("yeast-first-1k/round2-cached", |b| {
+        b.iter(|| {
+            let (entry, _) = warm.entry_for(&q, &g, &filter);
+            run_with_entry(&q, &g, &entry, &RiOrdering, cfg)
+        })
+    });
+    group.finish();
+}
+
 fn bench_gcn_forward(c: &mut Criterion) {
     let g = Dataset::Yeast.load();
     let mut group = c.benchmark_group("policy");
@@ -250,6 +280,6 @@ fn bench_autograd(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_gcn_forward, bench_autograd
+    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_space_cache, bench_gcn_forward, bench_autograd
 }
 criterion_main!(benches);

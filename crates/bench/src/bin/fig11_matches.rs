@@ -5,10 +5,10 @@
 //! advantage appears and grows beyond ~10⁶ matches (large search spaces).
 
 use rlqvo_bench::models::split_queries;
-use rlqvo_bench::{hybrid_method, rlqvo_method, run_methods_shared, train_model_for, Scale};
+use rlqvo_bench::{hybrid_method, rlqvo_method, run_methods_cached, run_methods_shared, train_model_for, Scale};
 use rlqvo_core::RlQvoConfig;
 use rlqvo_datasets::Dataset;
-use rlqvo_matching::EnumConfig;
+use rlqvo_matching::{EnumConfig, SpaceCache};
 
 fn main() {
     let scale = Scale::default();
@@ -25,12 +25,22 @@ fn main() {
     let caps: [(&str, u64); 5] =
         [("1e3", 1_000), ("1e4", 10_000), ("1e5", 100_000), ("1e6", 1_000_000), ("ALL", u64::MAX)];
 
+    // The cap sweep replays the same eval queries once per cap; the cache
+    // makes the whole sweep pay exactly one filter pass and one space
+    // build per (query, filter) key instead of one per cap
+    // (RLQVO_SPACE_CACHE=0 restores per-round filtering).
+    let cache = SpaceCache::new();
     println!("{:<8} {:>12} {:>12} {:>10} {:>10}", "matches", "RL-QVO(s)", "Hybrid(s)", "unsRL", "unsHY");
     for (label, cap) in caps {
         let config = EnumConfig { max_matches: cap, ..scale.enum_config() };
         // RL-QVO and Hybrid share the GQL filter: one build per query.
         let methods = vec![rlqvo_method(&model), hybrid_method()];
-        let mut stats = run_methods_shared(&g, &split.eval, &methods, config, scale.threads).into_iter();
+        let mut stats = if scale.space_cache {
+            run_methods_cached(&g, &split.eval, &methods, config, scale.threads, &cache)
+        } else {
+            run_methods_shared(&g, &split.eval, &methods, config, scale.threads)
+        }
+        .into_iter();
         let (rl, hy) = (stats.next().expect("RL-QVO stats"), stats.next().expect("Hybrid stats"));
         println!(
             "{:<8} {:>12.5} {:>12.5} {:>10} {:>10}",
@@ -42,5 +52,13 @@ fn main() {
         );
     }
     println!();
+    if scale.space_cache {
+        println!(
+            "space cache   : {} filter+build misses, {} cross-round hits over {} caps",
+            cache.misses(),
+            cache.hits(),
+            caps.len()
+        );
+    }
     println!("paper shape: curves overlap at 10^3–10^6 then separate, RL-QVO below Hybrid.");
 }

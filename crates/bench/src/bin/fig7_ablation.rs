@@ -14,11 +14,11 @@
 //! sizes. Override with RLQVO_ABLATION_TRAIN_SIZE.
 
 use rlqvo_bench::models::split_queries;
-use rlqvo_bench::{run_methods_shared, BenchMethod, Scale};
+use rlqvo_bench::{run_methods_cached, run_methods_shared, BenchMethod, Scale};
 use rlqvo_core::{RlQvo, RlQvoConfig};
 use rlqvo_datasets::Dataset;
 use rlqvo_gnn::GnnKind;
-use rlqvo_matching::GqlFilter;
+use rlqvo_matching::{GqlFilter, SpaceCache};
 
 struct Variant {
     name: &'static str,
@@ -111,6 +111,11 @@ fn main() {
         })
         .collect();
 
+    // Within a size, one cache entry per query serves all nine variants
+    // (they share the GQL filter). Sizes never share queries, so the
+    // cache is cleared between sizes — peak memory stays one size's
+    // worth of candidate spaces instead of the whole sweep's.
+    let cache = SpaceCache::new();
     println!("{:<10} {:>6} {:>12} {:>12} {:>10}", "variant", "Qset", "query(s)", "enum(s)", "unsolved");
     for &size in dataset.query_sizes() {
         let split = split_queries(&g, dataset, size, &scale);
@@ -122,7 +127,13 @@ fn main() {
                 ordering: Box::new(model.ordering()),
             })
             .collect();
-        let all_stats = run_methods_shared(&g, &split.eval, &methods, scale.enum_config(), scale.threads);
+        let all_stats = if scale.space_cache {
+            let stats = run_methods_cached(&g, &split.eval, &methods, scale.enum_config(), scale.threads, &cache);
+            cache.clear();
+            stats
+        } else {
+            run_methods_shared(&g, &split.eval, &methods, scale.enum_config(), scale.threads)
+        };
         for stats in &all_stats {
             println!(
                 "{:<10} {:>6} {:>12.5} {:>12.5} {:>10}",

@@ -21,6 +21,11 @@ pub struct Scale {
     pub max_matches: u64,
     /// Worker threads for query-parallel evaluation.
     pub threads: usize,
+    /// Reuse filtered candidates + built spaces across rounds of a sweep
+    /// through a `SpaceCache` (`RLQVO_SPACE_CACHE=0|off` to disable and
+    /// re-filter per round, e.g. to time the unamortized baseline; parsed
+    /// by `SpaceCache::env_enabled`, same vocabulary as the CLI flag).
+    pub space_cache: bool,
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -40,6 +45,7 @@ impl Default for Scale {
             time_limit: Duration::from_millis(env_u64("RLQVO_TIME_LIMIT_MS", 1_000)),
             max_matches: env_u64("RLQVO_MAX_MATCHES", 100_000),
             threads: env_usize("RLQVO_THREADS", num_threads_default()),
+            space_cache: rlqvo_matching::SpaceCache::env_enabled(true),
         }
     }
 }
@@ -67,8 +73,13 @@ impl Scale {
         println!("== {experiment} ==");
         println!("paper setting : {paper_setting}");
         println!(
-            "harness scale : {} queries/set (50% train), {} epochs, {:?} limit, {} match cap, {} threads",
-            self.queries_per_set, self.train_epochs, self.time_limit, self.max_matches, self.threads
+            "harness scale : {} queries/set (50% train), {} epochs, {:?} limit, {} match cap, {} threads, space cache {}",
+            self.queries_per_set,
+            self.train_epochs,
+            self.time_limit,
+            self.max_matches,
+            self.threads,
+            if self.space_cache { "on" } else { "off" }
         );
         println!();
     }

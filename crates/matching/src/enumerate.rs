@@ -24,12 +24,83 @@
 //! paper's order-quality metric — are identical; `tests/oracle.rs`
 //! property-checks that equivalence.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use rlqvo_graph::{intersect_in_place, intersect_into, Graph, VertexId};
 
 use crate::candspace::CandidateSpace;
 use crate::filter::Candidates;
+
+/// Process-wide count of completed [`QueryAdjBits`] builds — the probe
+/// engine's analogue of [`CandidateSpace::build_count`]. Harness
+/// regressions (rebuilding the precomputation per order instead of per
+/// query) are caught by asserting on deltas in single-test binaries.
+static ADJ_BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Order-independent query-adjacency precomputation for the probe engine:
+/// one dense bitmap row per query vertex. Computing a matching order's
+/// backward-neighbour sets (paper Definition II.4) through it is `O(n²)`
+/// bit tests instead of `O(n²)` binary-searched [`Graph::has_edge`]
+/// probes, and — because the bitmap depends only on the query, never on
+/// the order — one build serves every order of a 30+-method fleet.
+#[derive(Clone, Debug)]
+pub struct QueryAdjBits {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl QueryAdjBits {
+    /// Materializes the adjacency bitmap of `q`.
+    pub fn build(q: &Graph) -> Self {
+        let n = q.num_vertices();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for u in q.vertices() {
+            let row = &mut bits[u as usize * words_per_row..(u as usize + 1) * words_per_row];
+            for &v in q.neighbors(u) {
+                row[v as usize / 64] |= 1u64 << (v % 64);
+            }
+        }
+        ADJ_BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
+        QueryAdjBits { n, words_per_row, bits }
+    }
+
+    /// True when `(u, v) ∈ E(q)`; false for any out-of-range `v` (same
+    /// guard discipline as [`Candidates::contains`] — never a silent read
+    /// of a neighbouring row).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let word = v as usize / 64;
+        word < self.words_per_row && self.bits[u as usize * self.words_per_row + word] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Number of query vertices covered.
+    #[inline]
+    pub fn num_query_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Backward-neighbour sets of `order` (backward\[i\] = neighbours of
+    /// `order[i]` among `order[..i]`), the per-order input of the probe
+    /// recursion.
+    pub fn backward_sets(&self, order: &[VertexId]) -> Vec<Vec<VertexId>> {
+        order
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| order[..i].iter().copied().filter(|&p| self.has_edge(p, u)).collect())
+            .collect()
+    }
+
+    /// Completed builds in this process so far. Monotone (other threads
+    /// may also build); tests assert on deltas around single-threaded
+    /// sections to prove a harness shares one precomputation per query
+    /// rather than rebuilding per order.
+    pub fn build_count() -> u64 {
+        ADJ_BUILD_COUNT.load(Ordering::Relaxed)
+    }
+}
 
 /// Which enumeration implementation to run. All variants report identical
 /// results; they differ only in wall-clock profile (see module docs).
@@ -283,21 +354,51 @@ pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], co
 /// CandidateSpace engine.
 pub fn enumerate_probe(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], config: EnumConfig) -> EnumResult {
     assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
-    debug_assert!(is_permutation(order));
-
     let start = Instant::now();
     if cand.any_empty() {
         // Complete candidate sets: an empty set proves there is no match.
         return EnumResult::empty(start.elapsed());
     }
-
     let backward = order
         .iter()
         .enumerate()
         .map(|(i, &u)| order[..i].iter().copied().filter(|&p| q.has_edge(p, u)).collect::<Vec<_>>())
         .collect();
+    probe_with_backward(g, cand, order, backward, config, start)
+}
 
-    let n = q.num_vertices();
+/// [`enumerate_probe`] with the backward-neighbour sets derived from a
+/// prebuilt [`QueryAdjBits`] — the probe-engine face of the
+/// build-once/enumerate-many contract. `adj` depends only on the query,
+/// so one precomputation serves every order a harness compares; nothing
+/// here touches [`Graph::has_edge`] before recursion starts.
+pub fn enumerate_probe_prepared(
+    q: &Graph,
+    g: &Graph,
+    cand: &Candidates,
+    adj: &QueryAdjBits,
+    order: &[VertexId],
+    config: EnumConfig,
+) -> EnumResult {
+    assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
+    assert_eq!(adj.num_query_vertices(), q.num_vertices(), "adjacency/query mismatch");
+    let start = Instant::now();
+    if cand.any_empty() {
+        return EnumResult::empty(start.elapsed());
+    }
+    probe_with_backward(g, cand, order, adj.backward_sets(order), config, start)
+}
+
+fn probe_with_backward(
+    g: &Graph,
+    cand: &Candidates,
+    order: &[VertexId],
+    backward: Vec<Vec<VertexId>>,
+    config: EnumConfig,
+    start: Instant,
+) -> EnumResult {
+    debug_assert!(is_permutation(order));
+    let n = order.len();
     let mut ctx = ProbeCtx {
         g,
         cand,
@@ -895,6 +996,49 @@ mod tests {
                 assert_eq!(auto.matches, r.matches, "{}", other.name());
             }
         }
+    }
+
+    #[test]
+    fn prepared_probe_is_identical_to_plain_probe() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let adj = QueryAdjBits::build(&q);
+        assert_eq!(adj.num_query_vertices(), 3);
+        // The bitmap answers exactly the query's edge relation.
+        for u in q.vertices() {
+            for v in q.vertices() {
+                assert_eq!(adj.has_edge(u, v), q.has_edge(u, v), "({u},{v})");
+            }
+        }
+        let mut cfg = EnumConfig::find_all().with_engine(EnumEngine::Probe);
+        cfg.store_matches = true;
+        for order in [[0u32, 1, 2], [2, 1, 0], [1, 0, 2]] {
+            let plain = enumerate_probe(&q, &g, &cand, &order, cfg);
+            let prepared = enumerate_probe_prepared(&q, &g, &cand, &adj, &order, cfg);
+            assert_eq!(plain.match_count, prepared.match_count);
+            assert_eq!(plain.enumerations, prepared.enumerations);
+            assert_eq!(plain.matches, prepared.matches);
+        }
+    }
+
+    #[test]
+    fn prepared_probe_short_circuits_empty_candidates() {
+        let (q, g) = two_triangles();
+        let cand = Candidates::new(vec![vec![], vec![1], vec![2]]);
+        let adj = QueryAdjBits::build(&q);
+        let res = enumerate_probe_prepared(&q, &g, &cand, &adj, &[0, 1, 2], EnumConfig::find_all());
+        assert_eq!(res.match_count, 0);
+        assert_eq!(res.enumerations, 0);
+    }
+
+    #[test]
+    fn adj_build_count_increments_per_build() {
+        let (q, _) = two_triangles();
+        let before = QueryAdjBits::build_count();
+        let _a = QueryAdjBits::build(&q);
+        let _b = QueryAdjBits::build(&q);
+        // Other tests run concurrently in this binary: delta is a lower bound.
+        assert!(QueryAdjBits::build_count() >= before + 2);
     }
 
     #[test]

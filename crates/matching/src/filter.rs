@@ -74,6 +74,40 @@ impl Candidates {
     pub fn total(&self) -> usize {
         self.sets.iter().map(|s| s.len()).sum()
     }
+
+    /// In-place refinement shrink: removes every `(u, v)` pair in `doomed`
+    /// from `C(u)`, mutating the existing bitmap rows and compacting the
+    /// touched sorted sets — no reallocation of either structure. This is
+    /// what a GQL refinement round applies at its end (removals are
+    /// buffered by the caller so all of the round's checks see the
+    /// unmodified start-of-round state, exactly like a rebuild would).
+    ///
+    /// Pairs whose `v` is not currently in `C(u)` are ignored; duplicate
+    /// pairs are harmless. The surviving sets are byte-identical to a
+    /// [`Candidates::new`] rebuild from the survivors (property-tested
+    /// against the retained rebuild reference in `tests/oracle.rs`).
+    pub fn shrink(&mut self, doomed: &[(VertexId, VertexId)]) {
+        let Candidates { sets, bits, words_per_row } = self;
+        let wpr = *words_per_row;
+        for &(u, v) in doomed {
+            let word = v as usize / 64;
+            if word < wpr {
+                bits[u as usize * wpr + word] &= !(1u64 << (v % 64));
+            }
+        }
+        // Compact each touched row by its own (just-cleared) bitmap; rows
+        // not named in `doomed` are left untouched.
+        let mut touched: Vec<VertexId> = doomed.iter().map(|&(u, _)| u).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for u in touched {
+            let row = &bits[u as usize * wpr..(u as usize + 1) * wpr];
+            sets[u as usize].retain(|&v| {
+                let word = v as usize / 64;
+                word < wpr && row[word] & (1u64 << (v % 64)) != 0
+            });
+        }
+    }
 }
 
 /// Phase-1 strategy: builds complete candidate sets for all query vertices.
@@ -85,6 +119,15 @@ pub trait CandidateFilter: Send + Sync {
     fn name(&self) -> &'static str;
     /// Builds `C(u)` for every `u ∈ V(q)`.
     fn filter(&self, q: &Graph, g: &Graph) -> Candidates;
+    /// Cache identity of this filter's *semantics*: two filters with equal
+    /// `cache_key` must produce identical candidate sets on every input.
+    /// The default (the display name) is right for parameterless filters;
+    /// parameterized filters must fold their knobs in (see
+    /// [`GqlFilter::cache_key`]) so a `SpaceCache` never serves one
+    /// configuration's candidates to another.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// Label-and-degree filter: `v ∈ C(u)` iff `f_l(v) = f_l(u)` and
@@ -212,42 +255,60 @@ impl CandidateFilter for GqlFilter {
     }
 
     fn filter(&self, q: &Graph, g: &Graph) -> Candidates {
-        self.refine(q, g, false)
+        let mut cand = NlfFilter.filter(q, g);
+        let mut scratch = SemiPerfectScratch::new(q.num_labels().max(g.num_labels()) as usize);
+        // Removals are buffered and applied only at the end of each round
+        // ([`Candidates::shrink`]), so every check within a round sees the
+        // unmodified start-of-round sets — identical semantics to the
+        // retained rebuild reference, without the per-round bitmap and
+        // set-vector reallocation `Candidates::new` pays.
+        let mut doomed: Vec<(VertexId, VertexId)> = Vec::new();
+        for _ in 0..self.refinement_rounds {
+            doomed.clear();
+            for u in q.vertices() {
+                let qu_neighbors = q.neighbors(u);
+                scratch.prepare_query_vertex(q, qu_neighbors);
+                for &v in cand.of(u) {
+                    if !scratch.semi_perfect_ok(g, &cand, qu_neighbors, v) {
+                        doomed.push((u, v));
+                    }
+                }
+            }
+            if doomed.is_empty() {
+                break;
+            }
+            cand.shrink(&doomed);
+        }
+        cand
+    }
+
+    /// Folds `refinement_rounds` into the identity: `GQL/r1` and `GQL/r2`
+    /// produce different candidate sets and must never share a cache entry.
+    fn cache_key(&self) -> String {
+        format!("GQL/r{}", self.refinement_rounds)
     }
 }
 
 impl GqlFilter {
-    /// The retained naive reference: per-candidate `Vec<Vec<_>>` bipartite
-    /// reconstruction via [`semi_perfect_ok_reference`]. Kept solely as
-    /// the differential oracle for the scratch-based fast path
+    /// The retained naive reference: rebuild-from-scratch candidate sets
+    /// each round (fresh `Candidates::new`) with per-candidate
+    /// `Vec<Vec<_>>` bipartite reconstruction via
+    /// [`semi_perfect_ok_reference`]. Kept solely as the differential
+    /// oracle for the scratch-based, in-place-shrinking fast path
     /// (`tests/oracle.rs` checks byte-identical surviving sets).
     #[doc(hidden)]
     pub fn filter_reference(&self, q: &Graph, g: &Graph) -> Candidates {
-        self.refine(q, g, true)
-    }
-
-    fn refine(&self, q: &Graph, g: &Graph, reference: bool) -> Candidates {
         let mut cand = NlfFilter.filter(q, g);
-        let mut scratch = SemiPerfectScratch::new(q.num_labels().max(g.num_labels()) as usize);
         for _ in 0..self.refinement_rounds {
             let mut changed = false;
             let mut new_sets: Vec<Vec<VertexId>> = Vec::with_capacity(q.num_vertices());
             for u in q.vertices() {
                 let qu_neighbors = q.neighbors(u);
-                if !reference {
-                    scratch.prepare_query_vertex(q, qu_neighbors);
-                }
                 let kept: Vec<VertexId> = cand
                     .of(u)
                     .iter()
                     .copied()
-                    .filter(|&v| {
-                        if reference {
-                            semi_perfect_ok_reference(q, g, &cand, qu_neighbors, v)
-                        } else {
-                            scratch.semi_perfect_ok(g, &cand, qu_neighbors, v)
-                        }
-                    })
+                    .filter(|&v| semi_perfect_ok_reference(q, g, &cand, qu_neighbors, v))
                     .collect();
                 if kept.len() != cand.len_of(u) {
                     changed = true;
@@ -540,6 +601,44 @@ mod tests {
         assert_eq!(LdfFilter.name(), "LDF");
         assert_eq!(NlfFilter.name(), "NLF");
         assert_eq!(GqlFilter::default().name(), "GQL");
+    }
+
+    #[test]
+    fn cache_keys_separate_filter_semantics() {
+        // Parameterless filters key on their name…
+        assert_eq!(LdfFilter.cache_key(), "LDF");
+        assert_eq!(NlfFilter.cache_key(), "NLF");
+        // …while GQL folds its refinement depth in: different rounds can
+        // produce different candidate sets and must never collide.
+        assert_eq!(GqlFilter::default().cache_key(), "GQL/r2");
+        assert_ne!(GqlFilter { refinement_rounds: 1 }.cache_key(), GqlFilter { refinement_rounds: 2 }.cache_key());
+    }
+
+    #[test]
+    fn shrink_matches_rebuild_from_survivors() {
+        let mut shrunk = Candidates::new(vec![vec![1, 3, 5, 200], vec![0, 2, 64], vec![7]]);
+        // Remove across word boundaries, include a duplicate and a pair
+        // that is not present — both must be harmless.
+        shrunk.shrink(&[(0, 3), (0, 200), (1, 64), (1, 64), (2, 9)]);
+        let rebuilt = Candidates::new(vec![vec![1, 5], vec![0, 2], vec![7]]);
+        for u in 0..3u32 {
+            assert_eq!(shrunk.of(u), rebuilt.of(u), "sets differ at {u}");
+            for v in 0..256u32 {
+                assert_eq!(shrunk.contains(u, v), rebuilt.contains(u, v), "contains({u},{v}) differs");
+            }
+        }
+        assert_eq!(shrunk.total(), rebuilt.total());
+        assert_eq!(shrunk.any_empty(), rebuilt.any_empty());
+    }
+
+    #[test]
+    fn shrink_to_empty_flags_any_empty() {
+        let mut c = Candidates::new(vec![vec![4, 9], vec![1]]);
+        c.shrink(&[(0, 4), (0, 9)]);
+        assert!(c.any_empty());
+        assert_eq!(c.of(0), &[] as &[VertexId]);
+        assert_eq!(c.of(1), &[1]);
+        assert_eq!(c.total(), 1);
     }
 
     #[test]

@@ -24,8 +24,13 @@
 //!
 //! [`pipeline`] wires the three phases together and times each one, so the
 //! harness can report `t = t_filter + t_order + t_enum` (paper §IV-B).
-//! [`naive`] holds a brute-force enumerator used as a correctness oracle in
-//! tests.
+//! [`spacecache`] adds the cross-round amortization layer: a [`SpaceCache`]
+//! keyed by `(query id, filter semantics)` owns filtered [`Candidates`],
+//! the lazily built [`CandidateSpace`], and the probe engine's
+//! [`QueryAdjBits`] precomputation, so sweeps replaying the same queries
+//! (cap sweeps, repeated CLI invocations) filter and build exactly once
+//! per key. [`naive`] holds a brute-force enumerator used as a correctness
+//! oracle in tests.
 
 pub mod bipartite;
 pub mod candspace;
@@ -35,11 +40,14 @@ pub mod naive;
 pub mod nec;
 pub mod order;
 pub mod pipeline;
+pub mod spacecache;
 
 pub use candspace::{ArenaOverflow, CandidateSpace};
 pub use enumerate::{
-    auto_decide, enumerate, enumerate_in_space, enumerate_probe, AutoDecision, EnumConfig, EnumEngine, EnumResult,
+    auto_decide, enumerate, enumerate_in_space, enumerate_probe, enumerate_probe_prepared, AutoDecision, EnumConfig,
+    EnumEngine, EnumResult, QueryAdjBits,
 };
 pub use filter::{CandidateFilter, Candidates, GqlFilter, LdfFilter, NlfFilter};
 pub use order::{connected_prefix_ok, OrderingMethod};
-pub use pipeline::{run_pipeline, run_with_candidates, run_with_space, Pipeline, PipelineResult};
+pub use pipeline::{run_pipeline, run_with_candidates, run_with_entry, run_with_space, Pipeline, PipelineResult};
+pub use spacecache::{SpaceCache, SpaceEntry};

@@ -13,9 +13,10 @@ use std::time::{Duration, Instant};
 use rlqvo_graph::{Graph, VertexId};
 
 use crate::candspace::CandidateSpace;
-use crate::enumerate::{enumerate, enumerate_in_space, EnumConfig, EnumEngine, EnumResult};
+use crate::enumerate::{enumerate, enumerate_in_space, enumerate_probe_prepared, EnumConfig, EnumEngine, EnumResult};
 use crate::filter::{CandidateFilter, Candidates};
 use crate::order::OrderingMethod;
+use crate::spacecache::SpaceEntry;
 
 /// A configured matching algorithm: filter + ordering + enumeration knobs.
 /// `Hybrid` of the paper = `Pipeline::hybrid()`; RL-QVO = the same filter
@@ -140,6 +141,62 @@ pub fn run_with_space(
     }
 }
 
+/// Phases 2–3 against a [`SpaceEntry`] served by a
+/// [`SpaceCache`][crate::SpaceCache]: the cross-round analogue of
+/// [`run_with_space`]. Never filters and never rebuilds — the entry's
+/// candidates, candidate space, and probe adjacency bits are each
+/// computed at most once for the lifetime of the cache, however many
+/// rounds replay the query.
+///
+/// Engine handling mirrors [`run_with_space`]: [`EnumEngine::Probe`]
+/// enumerates through the entry's shared [`QueryAdjBits`]
+/// precomputation (no per-order `has_edge` backward scans);
+/// `CandidateSpace` enumerates in the entry's space. `Auto` uses an
+/// already-built space unconditionally (the build is a sunk, cached
+/// cost), but on a cold entry it still consults the cost model — a
+/// build-dominated single-shot query probes instead of forcing a build
+/// the enumeration can never win back. `filter_time` is reported as
+/// zero: the caller that created the entry decides how to account the
+/// one-time filter pass.
+pub fn run_with_entry(
+    q: &Graph,
+    g: &Graph,
+    entry: &SpaceEntry,
+    ordering: &dyn OrderingMethod,
+    config: EnumConfig,
+) -> PipelineResult {
+    let cand = entry.cand();
+    let t1 = Instant::now();
+    let order = ordering.order(q, g, cand);
+    let order_time = t1.elapsed();
+    let engine = match config.engine {
+        EnumEngine::Auto if entry.space_ready() => EnumEngine::CandidateSpace,
+        EnumEngine::Auto => crate::enumerate::auto_decide(q, g, cand, &config).engine,
+        e => e,
+    };
+    let t2 = Instant::now();
+    let enum_result = match engine {
+        EnumEngine::Probe | EnumEngine::Auto => enumerate_probe_prepared(q, g, cand, entry.adj(q), &order, config),
+        EnumEngine::CandidateSpace => {
+            if cand.any_empty() {
+                // Complete candidate sets: no match exists, skip the build.
+                enumerate_probe_prepared(q, g, cand, entry.adj(q), &order, config)
+            } else {
+                enumerate_in_space(q, entry.space(q, g), &order, config)
+            }
+        }
+    };
+    let enum_time = t2.elapsed();
+    PipelineResult {
+        filter_time: Duration::ZERO,
+        order_time,
+        enum_time,
+        candidate_total: cand.total(),
+        order,
+        enum_result,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +288,62 @@ mod tests {
             assert_eq!(shared.order, rebuilt.order, "{}", o.name());
             assert_eq!(shared.filter_time, Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn run_with_entry_agrees_with_fresh_pipeline_for_all_engines() {
+        let (q, g) = small_case();
+        let cache = crate::SpaceCache::new();
+        let filter = LdfFilter;
+        let (entry, fresh) = cache.entry_for(&q, &g, &filter);
+        assert!(fresh);
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
+            let cfg = EnumConfig::find_all().with_engine(engine);
+            let cached = run_with_entry(&q, &g, &entry, &RiOrdering, cfg);
+            let p = Pipeline { filter: &filter, ordering: &RiOrdering, config: cfg };
+            let fresh_run = run_pipeline(&q, &g, &p);
+            assert_eq!(cached.enum_result.match_count, fresh_run.enum_result.match_count, "{}", engine.name());
+            assert_eq!(cached.enum_result.enumerations, fresh_run.enum_result.enumerations, "{}", engine.name());
+            assert_eq!(cached.order, fresh_run.order, "{}", engine.name());
+            assert_eq!(cached.filter_time, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn cold_auto_entry_respects_the_cost_model() {
+        // Dense one-label host: every vertex is everyone's candidate, so
+        // the space build scans the whole adjacency structure — with a
+        // 1-match cap this is the build-dominated regime where Auto must
+        // probe, not force a build onto the cold cache entry.
+        let mut gb = GraphBuilder::new(1);
+        for _ in 0..80u32 {
+            gb.add_vertex(0);
+        }
+        for i in 0..80u32 {
+            for j in (i + 1)..80u32.min(i + 10) {
+                gb.add_edge(i, j);
+            }
+        }
+        let g = gb.build();
+        let mut qb = GraphBuilder::new(1);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(0);
+        let c = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        let q = qb.build();
+
+        let cache = crate::SpaceCache::new();
+        let (entry, _) = cache.entry_for(&q, &g, &LdfFilter);
+        let capped = EnumConfig { max_matches: 1, ..EnumConfig::find_all() }.with_engine(crate::EnumEngine::Auto);
+        let cold = run_with_entry(&q, &g, &entry, &RiOrdering, capped);
+        assert!(!entry.space_ready(), "build-dominated cold Auto must not force a space build");
+        assert_eq!(cold.enum_result.match_count, 1);
+        // Once some round has paid the build, Auto uses it unconditionally.
+        entry.space(&q, &g);
+        let warm = run_with_entry(&q, &g, &entry, &RiOrdering, capped);
+        assert_eq!(warm.enum_result.match_count, cold.enum_result.match_count);
+        assert_eq!(warm.enum_result.enumerations, cold.enum_result.enumerations);
     }
 
     #[test]

@@ -8,8 +8,8 @@ use rlqvo_matching::order::{
     CflOrdering, GqlOrdering, OptimalOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
 };
 use rlqvo_matching::{
-    enumerate, enumerate_in_space, enumerate_probe, CandidateFilter, CandidateSpace, EnumConfig, EnumEngine, GqlFilter,
-    LdfFilter, NlfFilter,
+    enumerate, enumerate_in_space, enumerate_probe, enumerate_probe_prepared, run_with_entry, CandidateFilter,
+    CandidateSpace, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter, QueryAdjBits, SpaceCache,
 };
 
 /// Random connected-ish labeled graph.
@@ -185,23 +185,110 @@ proptest! {
         }
     }
 
-    /// The scratch-based GQL semi-perfect matching check must produce
-    /// byte-identical surviving candidate sets to the retained naive
-    /// per-candidate reconstruction, for every refinement depth, on
-    /// random labeled graphs.
+    /// The in-place-shrinking, scratch-based GQL refinement must produce
+    /// byte-identical surviving candidate sets to the retained
+    /// rebuild-from-scratch naive reference, for every refinement depth,
+    /// on random labeled graphs — and its mutated bitmaps must answer
+    /// membership exactly like freshly built ones.
     #[test]
-    fn gql_scratch_refinement_matches_naive_reference(g in arb_graph(10, 3), seed in 0u64..500) {
+    fn gql_in_place_shrink_matches_rebuild_reference(g in arb_graph(10, 3), seed in 0u64..500) {
         let Some(q) = query_of(&g, seed, 5) else { return Ok(()) };
-        for rounds in [1usize, 2, 3] {
+        for rounds in [1usize, 2, 3, 4] {
             let f = GqlFilter { refinement_rounds: rounds };
             let fast = f.filter(&q, &g);
             let reference = f.filter_reference(&q, &g);
             prop_assert_eq!(fast.num_query_vertices(), reference.num_query_vertices());
+            prop_assert_eq!(fast.total(), reference.total(), "total diverges at {} rounds", rounds);
+            prop_assert_eq!(fast.any_empty(), reference.any_empty());
             for u in q.vertices() {
                 prop_assert_eq!(
                     fast.of(u), reference.of(u),
                     "surviving C({}) diverges at {} rounds", u, rounds
                 );
+                // The shrunk bitmap and a fresh rebuild must agree on
+                // every membership query, not just on the sorted sets.
+                for v in 0..g.num_vertices() as u32 {
+                    prop_assert_eq!(
+                        fast.contains(u, v), reference.contains(u, v),
+                        "contains({}, {}) diverges at {} rounds", u, v, rounds
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cross-round amortization must be invisible to results: for every
+    /// engine (probe, candspace, auto), enumeration through a
+    /// cache-served entry is byte-identical (match count, `#enum`, match
+    /// stream) to a fresh per-call filter + build, for random
+    /// (query, data) pairs and every filter.
+    #[test]
+    fn cache_served_space_is_differentially_identical(g in arb_graph(9, 3), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cache = SpaceCache::new();
+        let filters: Vec<Box<dyn CandidateFilter>> =
+            vec![Box::new(LdfFilter), Box::new(NlfFilter), Box::new(GqlFilter::default())];
+        for f in &filters {
+            let cand = f.filter(&q, &g);
+            let (entry, fresh) = cache.entry_for(&q, &g, f.as_ref());
+            prop_assert!(fresh, "first lookup of ({}, query) must filter", f.name());
+            // The cached candidates are byte-identical to the fresh pass.
+            for u in q.vertices() {
+                prop_assert_eq!(entry.cand().of(u), cand.of(u), "cached C({}) diverges: {}", u, f.name());
+            }
+            // A replay round is served the same entry without filtering.
+            let (entry2, fresh2) = cache.entry_for(&q, &g, f.as_ref());
+            prop_assert!(!fresh2, "replay must hit: {}", f.name());
+            prop_assert!(std::sync::Arc::ptr_eq(&entry, &entry2));
+            for o in [&RiOrdering as &dyn OrderingMethod, &GqlOrdering as &dyn OrderingMethod] {
+                let order = o.order(&q, &g, &cand);
+                for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
+                    let mut cfg = EnumConfig::find_all().with_engine(engine);
+                    cfg.store_matches = true;
+                    let fresh_run = enumerate(&q, &g, &cand, &order, cfg);
+                    let cached_run = run_with_entry(&q, &g, &entry2, o, cfg);
+                    prop_assert_eq!(
+                        cached_run.enum_result.match_count, fresh_run.match_count,
+                        "match_count diverges: {} {} {}", f.name(), o.name(), engine.name()
+                    );
+                    prop_assert_eq!(
+                        cached_run.enum_result.enumerations, fresh_run.enumerations,
+                        "#enum diverges: {} {} {}", f.name(), o.name(), engine.name()
+                    );
+                    prop_assert_eq!(
+                        &cached_run.enum_result.matches, &fresh_run.matches,
+                        "match stream diverges: {} {} {}", f.name(), o.name(), engine.name()
+                    );
+                    prop_assert_eq!(&cached_run.order, &order, "order diverges: {} {}", f.name(), o.name());
+                }
+            }
+        }
+    }
+
+    /// The prepared probe path (shared order-independent backward
+    /// precomputation) must be byte-identical to the plain probe oracle
+    /// for random graphs, every filter, every ordering, with and without
+    /// caps.
+    #[test]
+    fn prepared_probe_is_differentially_identical(g in arb_graph(9, 3), seed in 0u64..500, cap in 1u64..40) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let adj = QueryAdjBits::build(&q);
+        let filters: Vec<Box<dyn CandidateFilter>> =
+            vec![Box::new(LdfFilter), Box::new(GqlFilter::default())];
+        for f in &filters {
+            let cand = f.filter(&q, &g);
+            for o in all_orderings() {
+                let order = o.order(&q, &g, &cand);
+                let mut find_all = EnumConfig::find_all();
+                find_all.store_matches = true;
+                let capped = EnumConfig { max_matches: cap, ..find_all };
+                for cfg in [find_all, capped] {
+                    let plain = enumerate_probe(&q, &g, &cand, &order, cfg);
+                    let prepared = enumerate_probe_prepared(&q, &g, &cand, &adj, &order, cfg);
+                    prop_assert_eq!(plain.match_count, prepared.match_count, "{} {}", f.name(), o.name());
+                    prop_assert_eq!(plain.enumerations, prepared.enumerations, "{} {}", f.name(), o.name());
+                    prop_assert_eq!(&plain.matches, &prepared.matches, "{} {}", f.name(), o.name());
+                }
             }
         }
     }

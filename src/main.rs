@@ -4,16 +4,21 @@
 //! rlqvo match  --data G.graph --query q.graph [--method hybrid|rlqvo|...]
 //!              [--model m.model] [--max-matches N] [--time-limit-ms T]
 //!              [--engine candspace|probe|auto]
+//!              [--repeat N] [--space-cache on|off]
 //! rlqvo train  --data G.graph --size K --queries N --epochs E --out m.model
 //! rlqvo stats  --data G.graph
 //! ```
 //!
 //! Graphs use the `t/v/e` text format of the in-memory study
 //! (`rlqvo_graph::io`). `match` prints per-phase timings, `#enum` and the
-//! match count — the numbers the paper reports.
+//! match count — the numbers the paper reports. `--repeat N` replays the
+//! query N rounds; with the space cache on (the default, also settable
+//! via `RLQVO_SPACE_CACHE=0|1`), rounds 2+ reuse the round-1 filtered
+//! candidates and built `CandidateSpace` — the serving-layer shape where
+//! repeated queries pay phase 1 once.
 
 use std::io::BufReader;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rlqvo_suite::core::{RlQvo, RlQvoConfig};
 use rlqvo_suite::datasets::{build_query_set, SplitQuerySet};
@@ -22,7 +27,8 @@ use rlqvo_suite::matching::order::{
     CflOrdering, GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
 };
 use rlqvo_suite::matching::{
-    run_pipeline, CandidateFilter, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter, Pipeline,
+    run_pipeline, run_with_entry, CandidateFilter, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter, Pipeline,
+    SpaceCache,
 };
 
 fn main() {
@@ -34,7 +40,7 @@ fn main() {
         _ => {
             eprintln!("usage: rlqvo <match|train|stats> [--flag value]...");
             eprintln!(
-                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto]"
+                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto] [--repeat N] [--space-cache on|off]"
             );
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
@@ -105,10 +111,49 @@ fn cmd_match(args: &[String]) -> CliResult {
         other => return Err(format!("unknown method {other:?}").into()),
     };
 
-    let pipeline = Pipeline { filter: filter.as_ref(), ordering, config };
-    let r = run_pipeline(&q, &g, &pipeline);
+    let repeat: usize = flag(args, "--repeat").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let use_cache = match flag(args, "--space-cache").as_deref() {
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("unknown --space-cache value {other:?} (on|off)").into()),
+        // Shared parse with the figure harness (`Scale`): the env knob
+        // means one thing everywhere.
+        None => SpaceCache::env_enabled(true),
+    };
+
     println!("method      : {} ({} filter + {} ordering)", method, filter.name(), ordering.name());
     println!("engine      : {}", config.engine.name());
+    println!("space cache : {}", if use_cache { "on" } else { "off" });
+
+    // `--repeat` replays the query; with the cache on, round 1 filters
+    // and (lazily) builds, rounds 2+ reuse the entry and pay phases 2–3
+    // only — the cross-round amortization a serving layer would see.
+    let cache = SpaceCache::new();
+    let mut last = None;
+    for round in 1..=repeat {
+        let r = if use_cache {
+            let t0 = Instant::now();
+            let (entry, fresh) = cache.entry_for(&q, &g, filter.as_ref());
+            let filter_time = if fresh { t0.elapsed() } else { Duration::ZERO };
+            let mut r = run_with_entry(&q, &g, &entry, ordering, config);
+            r.filter_time = filter_time;
+            r
+        } else {
+            run_pipeline(&q, &g, &Pipeline { filter: filter.as_ref(), ordering, config })
+        };
+        if repeat > 1 {
+            println!(
+                "round {:<5} : filter {:?} + order {:?} + enum {:?} = {:?}",
+                round,
+                r.filter_time,
+                r.order_time,
+                r.enum_time,
+                r.total_time()
+            );
+        }
+        last = Some(r);
+    }
+    let r = last.expect("at least one round ran");
     println!("order       : {:?}", r.order);
     println!(
         "matches     : {}{}",

@@ -210,6 +210,41 @@ fn bench_enum_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// Intra-query parallel enumeration over prebuilt spaces: the serial
+/// amortized kernels at 1/2/4 workers. Find-all is byte-identical across
+/// worker counts, so these measure pure wall-clock scaling of the
+/// root-partitioned work-sharing pool. (On a single-core host the >1
+/// worker rows measure scheduling overhead, not speedup — BENCH_enum.json
+/// records which kind of host produced each entry.)
+fn bench_parallel_enum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    {
+        let (q, g) = dense_case();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = RiOrdering.order(&q, &g, &cand);
+        let space = CandidateSpace::build(&q, &g, &cand);
+        for threads in [1usize, 2, 4] {
+            let cfg = EnumConfig::find_all().with_threads(threads);
+            group.bench_with_input(BenchmarkId::new("dense-band-all", threads), &threads, |b, _| {
+                b.iter(|| enumerate_in_space(&q, &space, &order, cfg))
+            });
+        }
+    }
+    {
+        let (q, g) = skewed_case();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = RiOrdering.order(&q, &g, &cand);
+        let space = CandidateSpace::build(&q, &g, &cand);
+        for threads in [1usize, 2, 4] {
+            let cfg = EnumConfig::find_all().with_threads(threads);
+            group.bench_with_input(BenchmarkId::new("skewed-hub-all", threads), &threads, |b, _| {
+                b.iter(|| enumerate_in_space(&q, &space, &order, cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The cross-round amortization contract: what one round of a repeated
 /// query costs uncached (filter + build + enumerate, a fresh `SpaceCache`
 /// per iteration = every round is round 1) versus served from a warm
@@ -237,6 +272,17 @@ fn bench_space_cache(c: &mut Criterion) {
             run_with_entry(&q, &g, &entry, &RiOrdering, cfg)
         })
     });
+    // The lookup hot path alone (fingerprint + one shard lock + Arc
+    // clone), against a populated index: the cost PR 3's ROADMAP flagged
+    // at ~4.6 µs under the single-Mutex map. Populating 64 sibling keys
+    // keeps the shard maps realistic.
+    let populated = SpaceCache::new();
+    populated.entry_for(&q, &g, &filter);
+    for i in 0..64u64 {
+        // Distinct synthetic ids sharing the real entry's filter key.
+        populated.entry(0xF00D + i, &q, &g, &filter);
+    }
+    group.bench_function("hit-lookup", |b| b.iter(|| populated.entry_for(&q, &g, &filter)));
     group.finish();
 }
 
@@ -280,6 +326,6 @@ fn bench_autograd(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_space_cache, bench_gcn_forward, bench_autograd
+    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_parallel_enum, bench_space_cache, bench_gcn_forward, bench_autograd
 }
 criterion_main!(benches);

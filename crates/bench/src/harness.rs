@@ -104,9 +104,24 @@ fn percentile_secs(times: &[Duration], p: f64) -> f64 {
     secs[rank.min(secs.len() - 1)]
 }
 
+/// Splits a total thread budget between the two levels of parallelism:
+/// `config.threads` intra-query enumeration workers are clamped to the
+/// budget, and the query-parallel worker count becomes the quotient —
+/// so `query workers × enum workers ≤ threads`, never oversubscribed
+/// (checked against the process-wide
+/// [`peak_parallel_workers`][rlqvo_matching::peak_parallel_workers] gauge
+/// in `tests/parallel_enum.rs`).
+fn worker_split(threads: usize, config: EnumConfig) -> (usize, EnumConfig) {
+    let total = threads.max(1);
+    let enum_threads = config.threads.clamp(1, total);
+    ((total / enum_threads).max(1), config.with_threads(enum_threads))
+}
+
 /// Runs `method` over every query (in parallel across `threads` workers)
 /// and aggregates. Unsolved queries are clamped to the time limit, as the
-/// paper does.
+/// paper does. `threads` is the *total* budget: intra-query enumeration
+/// workers requested via `config.threads` compose under it (see
+/// [`worker_split`]).
 pub fn run_method(
     g: &Graph,
     queries: &[Graph],
@@ -114,7 +129,8 @@ pub fn run_method(
     config: EnumConfig,
     threads: usize,
 ) -> RunStats {
-    let results = parallel_map(queries.len(), threads, |i| {
+    let (query_workers, config) = worker_split(threads, config);
+    let results = parallel_map(queries.len(), query_workers, |i| {
         let pipeline = Pipeline { filter: method.filter.as_ref(), ordering: method.ordering.as_ref(), config };
         run_pipeline(&queries[i], g, &pipeline)
     });
@@ -264,7 +280,8 @@ fn run_roster(
     charge_hits: bool,
 ) -> Vec<RunStats> {
     assert!(!methods.is_empty(), "need at least one method");
-    let outcomes = parallel_map(queries.len(), threads, |i| {
+    let (query_workers, config) = worker_split(threads, config);
+    let outcomes = parallel_map(queries.len(), query_workers, |i| {
         eval_query_shared(g, &queries[i], methods, config, cache, charge_hits)
     });
 
@@ -314,14 +331,25 @@ fn eval_query_shared(
         };
         let cand = entry.cand();
 
-        let engine = match config.engine {
+        let (engine, config) = match config.engine {
             // A build already paid (this round or a previous one) always
             // amortizes; otherwise the cost model decides, with the
             // enumeration estimate scaled by the group size — the build
-            // must beat the group's *combined* enumeration budget.
-            EnumEngine::Auto if entry.space_ready() => EnumEngine::CandidateSpace,
-            EnumEngine::Auto => auto_decide(q, g, cand, &config).with_enum_scale(idxs.len() as u64).engine,
-            e => e,
+            // must beat the group's *combined* enumeration budget. Either
+            // way the cost model also gates the intra-query worker count:
+            // tiny per-order workloads stay serial (the per-order
+            // estimate, unscaled — each order enumerates separately).
+            EnumEngine::Auto => {
+                let engine = if entry.space_ready() {
+                    EnumEngine::CandidateSpace
+                } else {
+                    auto_decide(q, g, cand, &config).with_enum_scale(idxs.len() as u64).engine
+                };
+                let threads =
+                    rlqvo_matching::effective_threads(rlqvo_matching::estimate_enum_work(q, &config), config.threads);
+                (engine, config.with_threads(threads))
+            }
+            e => (e, config),
         };
         let (use_space, build_time) = if engine == EnumEngine::CandidateSpace && !cand.any_empty() {
             let tb = Instant::now();

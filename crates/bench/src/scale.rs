@@ -19,8 +19,15 @@ pub struct Scale {
     pub time_limit: Duration,
     /// Match cap (paper: 10^5 "first matches" protocol).
     pub max_matches: u64,
-    /// Worker threads for query-parallel evaluation.
+    /// Worker threads for query-parallel evaluation — the harness's
+    /// *total* thread budget: intra-query enumeration workers compose
+    /// under it (query workers × enum threads ≤ this).
     pub threads: usize,
+    /// Intra-query enumeration workers per query (`RLQVO_ENUM_THREADS`,
+    /// default 1 = serial). Values above 1 split each query's root
+    /// candidate set across a worker pool; the harness divides `threads`
+    /// by this so the two levels of parallelism never oversubscribe.
+    pub enum_threads: usize,
     /// Reuse filtered candidates + built spaces across rounds of a sweep
     /// through a `SpaceCache` (`RLQVO_SPACE_CACHE=0|off` to disable and
     /// re-filter per round, e.g. to time the unamortized baseline; parsed
@@ -45,6 +52,7 @@ impl Default for Scale {
             time_limit: Duration::from_millis(env_u64("RLQVO_TIME_LIMIT_MS", 1_000)),
             max_matches: env_u64("RLQVO_MAX_MATCHES", 100_000),
             threads: env_usize("RLQVO_THREADS", num_threads_default()),
+            enum_threads: rlqvo_matching::default_threads(),
             space_cache: rlqvo_matching::SpaceCache::env_enabled(true),
         }
     }
@@ -65,6 +73,7 @@ impl Scale {
             // `RLQVO_ENGINE=probe|candspace|auto` flips the enumeration
             // engine for every figure binary without recompiling.
             engine: rlqvo_matching::EnumEngine::from_env(),
+            threads: self.enum_threads,
         }
     }
 
@@ -73,12 +82,13 @@ impl Scale {
         println!("== {experiment} ==");
         println!("paper setting : {paper_setting}");
         println!(
-            "harness scale : {} queries/set (50% train), {} epochs, {:?} limit, {} match cap, {} threads, space cache {}",
+            "harness scale : {} queries/set (50% train), {} epochs, {:?} limit, {} match cap, {} threads ({} enum workers/query), space cache {}",
             self.queries_per_set,
             self.train_epochs,
             self.time_limit,
             self.max_matches,
             self.threads,
+            self.enum_threads,
             if self.space_cache { "on" } else { "off" }
         );
         println!();

@@ -82,6 +82,11 @@ impl QueryAdjBits {
         self.n
     }
 
+    /// Bytes held by the bitmap (byte-bounded cache accounting).
+    pub fn storage_bytes(&self) -> usize {
+        8 * self.bits.len()
+    }
+
     /// Backward-neighbour sets of `order` (backward\[i\] = neighbours of
     /// `order[i]` among `order[..i]`), the per-order input of the probe
     /// recursion.
@@ -161,6 +166,13 @@ pub struct EnumConfig {
     pub store_matches: bool,
     /// Which enumeration implementation to run.
     pub engine: EnumEngine,
+    /// Worker threads for intra-query parallel enumeration (1 = serial).
+    /// Values above 1 partition the root order-vertex's candidate set into
+    /// morsels evaluated by a scoped worker pool — see [`crate::parallel`]
+    /// for the exact semantics (find-all is byte-identical to serial;
+    /// capped/budgeted runs keep exact match counts but trade
+    /// deterministic `#enum` for wall-clock).
+    pub threads: usize,
 }
 
 impl Default for EnumConfig {
@@ -171,8 +183,18 @@ impl Default for EnumConfig {
             max_enumerations: u64::MAX,
             store_matches: false,
             engine: EnumEngine::default(),
+            threads: default_threads(),
         }
     }
+}
+
+/// Default intra-query worker count: the `RLQVO_ENUM_THREADS` environment
+/// variable, or 1 (serial). Read by [`EnumConfig::default`] so a CI run
+/// with `RLQVO_ENUM_THREADS=2` exercises the parallel paths through every
+/// default-config test; training-facing [`EnumConfig::budgeted`] pins 1
+/// regardless (rewards must be deterministic).
+pub fn default_threads() -> usize {
+    std::env::var("RLQVO_ENUM_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t: &usize| t >= 1).unwrap_or(1)
 }
 
 impl EnumConfig {
@@ -182,7 +204,10 @@ impl EnumConfig {
     }
 
     /// Deterministic, wall-clock-free budget used during RL training: the
-    /// reward must depend only on the order, not on machine load.
+    /// reward must depend only on the order, not on machine load — so the
+    /// worker count is pinned to 1 even when `RLQVO_ENUM_THREADS` asks the
+    /// rest of the process to parallelize (parallel budgeted runs have
+    /// "at-least" semantics, not exact ones).
     pub fn budgeted(max_enumerations: u64) -> Self {
         EnumConfig {
             max_matches: u64::MAX,
@@ -190,12 +215,18 @@ impl EnumConfig {
             max_enumerations,
             store_matches: false,
             engine: EnumEngine::default(),
+            threads: 1,
         }
     }
 
     /// The same configuration pinned to `engine`.
     pub fn with_engine(self, engine: EnumEngine) -> Self {
         EnumConfig { engine, ..self }
+    }
+
+    /// The same configuration pinned to `threads` intra-query workers.
+    pub fn with_threads(self, threads: usize) -> Self {
+        EnumConfig { threads: threads.max(1), ..self }
     }
 }
 
@@ -216,6 +247,11 @@ pub struct AutoDecision {
     /// per-call work the probe engine would pay *over* the intersection
     /// engine. `u64::MAX` when both caps are effectively unbounded.
     pub est_enum_work: u64,
+    /// `est_enum_work` divided across the worker slices the requested
+    /// `config.threads` would create — the per-worker share the parallel
+    /// gate compares against [`AUTO_PARALLEL_WORK_PER_WORKER`]. Reported
+    /// so harnesses and tests can audit *why* a workload stayed serial.
+    pub est_slice_work: u64,
 }
 
 impl AutoDecision {
@@ -224,12 +260,19 @@ impl AutoDecision {
     /// orders pass `n`, since the build must beat their combined work.
     pub fn with_enum_scale(mut self, factor: u64) -> AutoDecision {
         self.est_enum_work = self.est_enum_work.saturating_mul(factor);
+        self.est_slice_work = self.est_slice_work.saturating_mul(factor);
         self.engine = if self.est_build_work > self.est_enum_work.saturating_mul(AUTO_PROBE_MARGIN) {
             EnumEngine::Probe
         } else {
             EnumEngine::CandidateSpace
         };
         self
+    }
+
+    /// The intra-query worker count the cost model endorses for this
+    /// workload, at most `requested`. See [`effective_threads`].
+    pub fn effective_threads(&self, requested: usize) -> usize {
+        effective_threads(self.est_enum_work, requested)
     }
 }
 
@@ -255,6 +298,46 @@ const AUTO_UNBOUNDED: u64 = u64::MAX / 4;
 /// mis-estimates everywhere else.
 const AUTO_PROBE_MARGIN: u64 = 8;
 
+/// Minimum estimated enumeration work (in [`AUTO_WORK_PER_CALL`] units)
+/// that must land on *each additional worker* before the Auto path
+/// parallelizes. Calibration: one unit is roughly an adjacency entry
+/// scanned (~1–2 ns), so 1M units is low-single-digit milliseconds of
+/// estimated work per worker — a 20×+ margin over the tens of
+/// microseconds a scoped-thread spawn plus per-worker scratch setup
+/// costs, and comfortably above the whole yeast-first-1k kernel
+/// (1000 matches × 12 calls × 16 units ≈ 192k units), which measured
+/// serial at ~4 µs and must never pay a spawn. Shares units with the
+/// build estimate, so recalibrating [`AUTO_WORK_PER_CALL`] recalibrates
+/// this gate consistently.
+pub const AUTO_PARALLEL_WORK_PER_WORKER: u64 = 1_000_000;
+
+/// Caps `requested` intra-query workers to what `est_enum_work` (in
+/// [`AUTO_WORK_PER_CALL`] units — see [`AutoDecision::est_enum_work`])
+/// can keep busy: one worker per [`AUTO_PARALLEL_WORK_PER_WORKER`] units,
+/// at least 1. Unbounded estimates (`u64::MAX`, the find-all regime)
+/// grant the full request. This is the gate that keeps tiny yeast-style
+/// workloads serial however many threads the config asks for.
+pub fn effective_threads(est_enum_work: u64, requested: usize) -> usize {
+    let requested = requested.max(1);
+    if est_enum_work == u64::MAX {
+        requested
+    } else {
+        requested.min(((est_enum_work / AUTO_PARALLEL_WORK_PER_WORKER) as usize).max(1))
+    }
+}
+
+/// The enumeration-work estimate alone (the `est_enum_work` a full
+/// [`auto_decide`] would report): cheap enough — `O(1)` — for warm-cache
+/// paths that already know the engine but still need the parallel gate.
+pub fn estimate_enum_work(q: &Graph, config: &EnumConfig) -> u64 {
+    let call_cap = config.max_enumerations.min(config.max_matches.saturating_mul(q.num_vertices() as u64));
+    if call_cap >= AUTO_UNBOUNDED {
+        u64::MAX
+    } else {
+        call_cap.saturating_mul(AUTO_WORK_PER_CALL)
+    }
+}
+
 /// The [`EnumEngine::Auto`] cost model. Chooses [`EnumEngine::Probe`]
 /// when the candidate-space build would cost several times more than the
 /// entire capped enumeration can win back — the build-dominated regime
@@ -269,7 +352,7 @@ const AUTO_PROBE_MARGIN: u64 = 8;
 pub fn auto_decide(q: &Graph, g: &Graph, cand: &Candidates, config: &EnumConfig) -> AutoDecision {
     if cand.any_empty() {
         // No enumeration will happen; never pay a build.
-        return AutoDecision { engine: EnumEngine::Probe, est_build_work: 0, est_enum_work: 0 };
+        return AutoDecision { engine: EnumEngine::Probe, est_build_work: 0, est_enum_work: 0, est_slice_work: 0 };
     }
     // Σ_{v∈C(u)} d(v) per query vertex — one pass over all candidates.
     let deg_sum: Vec<u64> = q.vertices().map(|u| cand.of(u).iter().map(|&v| g.degree(v) as u64).sum()).collect();
@@ -283,9 +366,15 @@ pub fn auto_decide(q: &Graph, g: &Graph, cand: &Candidates, config: &EnumConfig)
         }
     }
 
-    let call_cap = config.max_enumerations.min(config.max_matches.saturating_mul(q.num_vertices() as u64));
-    let est_enum_work = if call_cap >= AUTO_UNBOUNDED { u64::MAX } else { call_cap.saturating_mul(AUTO_WORK_PER_CALL) };
-    AutoDecision { engine: EnumEngine::CandidateSpace, est_build_work, est_enum_work }.with_enum_scale(1)
+    let est_enum_work = estimate_enum_work(q, config);
+    // Per-worker share at the *requested* thread count. The build, by
+    // contrast, is paid once and serially whatever the worker count — the
+    // per-slice amortization argument: more slices never add build work,
+    // they only spread the enumeration side of the trade.
+    let est_slice_work =
+        if est_enum_work == u64::MAX { u64::MAX } else { est_enum_work / config.threads.max(1) as u64 };
+    AutoDecision { engine: EnumEngine::CandidateSpace, est_build_work, est_enum_work, est_slice_work }
+        .with_enum_scale(1)
 }
 
 /// Outcome of an enumeration run.
@@ -308,7 +397,7 @@ pub struct EnumResult {
 }
 
 impl EnumResult {
-    fn empty(elapsed: Duration) -> Self {
+    pub(crate) fn empty(elapsed: Duration) -> Self {
         EnumResult {
             match_count: 0,
             enumerations: 0,
@@ -323,6 +412,8 @@ impl EnumResult {
 /// Runs Algorithm 2 with the engine selected in `config` (building the
 /// candidate space internally for [`EnumEngine::CandidateSpace`]; use
 /// [`enumerate_in_space`] to amortize one build over several orders).
+/// `config.threads > 1` runs the intra-query parallel path
+/// ([`crate::parallel`]) over the chosen engine.
 ///
 /// `order` must be a permutation of the query vertices. Orders whose prefix
 /// is disconnected are legal (the local candidate set falls back to the
@@ -339,11 +430,16 @@ pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], co
                 return EnumResult::empty(start.elapsed());
             }
             let cs = CandidateSpace::build(q, g, cand);
-            enumerate_in_space_from(q, &cs, order, config, start)
+            if config.threads > 1 {
+                crate::parallel::enumerate_in_space_parallel_from(q, &cs, order, config, start)
+            } else {
+                enumerate_in_space_from(q, &cs, order, config, start)
+            }
         }
         EnumEngine::Auto => {
-            let choice = auto_decide(q, g, cand, &config).engine;
-            enumerate(q, g, cand, order, config.with_engine(choice))
+            let decision = auto_decide(q, g, cand, &config);
+            let threads = decision.effective_threads(config.threads);
+            enumerate(q, g, cand, order, config.with_engine(decision.engine).with_threads(threads))
         }
     }
 }
@@ -397,24 +493,10 @@ fn probe_with_backward(
     config: EnumConfig,
     start: Instant,
 ) -> EnumResult {
-    debug_assert!(is_permutation(order));
-    let n = order.len();
-    let mut ctx = ProbeCtx {
-        g,
-        cand,
-        order,
-        backward,
-        config,
-        start,
-        deadline_hit: false,
-        budget_hit: false,
-        enumerations: 0,
-        match_count: 0,
-        mapping: vec![VertexId::MAX; n],
-        used: vec![false; g.num_vertices()],
-        matches: Vec::new(),
-        scratch: Vec::new(),
-    };
+    if config.threads > 1 {
+        return crate::parallel::enumerate_probe_parallel_from(g, cand, order, backward, config, start);
+    }
+    let mut ctx = new_probe_ctx(g, cand, order, backward, config, start, None);
     probe_recurse(&mut ctx, 0);
     EnumResult {
         match_count: ctx.match_count,
@@ -426,16 +508,55 @@ fn probe_with_backward(
     }
 }
 
+/// Builds a probe recursion context. `shared` couples the context to a
+/// parallel run's process-shared caps (see [`crate::parallel`]); `None`
+/// gives the exact serial semantics.
+pub(crate) fn new_probe_ctx<'a>(
+    g: &'a Graph,
+    cand: &'a Candidates,
+    order: &'a [VertexId],
+    backward: Vec<Vec<VertexId>>,
+    config: EnumConfig,
+    start: Instant,
+    shared: Option<&'a crate::parallel::SharedCaps>,
+) -> ProbeCtx<'a> {
+    debug_assert!(is_permutation(order));
+    let n = order.len();
+    ProbeCtx {
+        g,
+        cand,
+        order,
+        backward,
+        config,
+        start,
+        shared,
+        synced: 0,
+        deadline_hit: false,
+        budget_hit: false,
+        enumerations: 0,
+        match_count: 0,
+        mapping: vec![VertexId::MAX; n],
+        used: vec![false; g.num_vertices()],
+        matches: Vec::new(),
+        scratch: Vec::new(),
+    }
+}
+
 /// Runs the CandidateSpace engine against a prebuilt space. The space
 /// depends only on `(q, G, C)` — not on the order — so harnesses that
 /// compare many orders on identical candidate sets (Fig. 5/6) build it
-/// once. `config.engine` is ignored (the space *is* the engine choice).
+/// once. `config.engine` is ignored (the space *is* the engine choice);
+/// `config.threads > 1` dispatches to the intra-query parallel path.
 pub fn enumerate_in_space(q: &Graph, cs: &CandidateSpace, order: &[VertexId], config: EnumConfig) -> EnumResult {
     let start = Instant::now();
     if cs.any_empty() {
         return EnumResult::empty(start.elapsed());
     }
-    enumerate_in_space_from(q, cs, order, config, start)
+    if config.threads > 1 {
+        crate::parallel::enumerate_in_space_parallel_from(q, cs, order, config, start)
+    } else {
+        enumerate_in_space_from(q, cs, order, config, start)
+    }
 }
 
 fn enumerate_in_space_from(
@@ -445,6 +566,29 @@ fn enumerate_in_space_from(
     config: EnumConfig,
     start: Instant,
 ) -> EnumResult {
+    let mut ctx = new_space_ctx(q, cs, order, config, start, None);
+    space_recurse(&mut ctx, 0);
+    EnumResult {
+        match_count: ctx.match_count,
+        enumerations: ctx.enumerations,
+        elapsed: start.elapsed(),
+        timed_out: ctx.deadline_hit,
+        budget_exhausted: ctx.budget_hit,
+        matches: ctx.matches,
+    }
+}
+
+/// Builds a CandidateSpace recursion context (backward edge ids, per-depth
+/// buffers, injectivity bitmap). `shared` couples the context to a
+/// parallel run's shared caps; `None` gives exact serial semantics.
+pub(crate) fn new_space_ctx<'a>(
+    q: &Graph,
+    cs: &'a CandidateSpace,
+    order: &'a [VertexId],
+    config: EnumConfig,
+    start: Instant,
+    shared: Option<&'a crate::parallel::SharedCaps>,
+) -> SpaceCtx<'a> {
     assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
     assert_eq!(cs.num_query_vertices(), q.num_vertices(), "space/query mismatch");
     debug_assert!(is_permutation(order));
@@ -458,12 +602,14 @@ fn enumerate_in_space_from(
         .collect();
 
     let n = q.num_vertices();
-    let mut ctx = SpaceCtx {
+    SpaceCtx {
         cs,
         order,
         backward,
         config,
         start,
+        shared,
+        synced: 0,
         deadline_hit: false,
         budget_hit: false,
         enumerations: 0,
@@ -477,15 +623,6 @@ fn enumerate_in_space_from(
         // of |LC| during the first descents).
         bufs: vec![Vec::new(); n],
         lists: vec![Vec::new(); n],
-    };
-    space_recurse(&mut ctx, 0);
-    EnumResult {
-        match_count: ctx.match_count,
-        enumerations: ctx.enumerations,
-        elapsed: start.elapsed(),
-        timed_out: ctx.deadline_hit,
-        budget_exhausted: ctx.budget_hit,
-        matches: ctx.matches,
     }
 }
 
@@ -501,7 +638,7 @@ fn is_permutation(order: &[VertexId]) -> bool {
 // CandidateSpace engine
 // ---------------------------------------------------------------------------
 
-struct SpaceCtx<'a> {
+pub(crate) struct SpaceCtx<'a> {
     cs: &'a CandidateSpace,
     order: &'a [VertexId],
     /// Per depth: (mapped order position, directed edge id) of every
@@ -509,10 +646,16 @@ struct SpaceCtx<'a> {
     backward: Vec<Vec<(usize, u32)>>,
     config: EnumConfig,
     start: Instant,
-    deadline_hit: bool,
-    budget_hit: bool,
-    enumerations: u64,
-    match_count: u64,
+    /// Present in parallel runs only: the process-shared match/budget
+    /// caps every worker of one enumeration coordinates through.
+    shared: Option<&'a crate::parallel::SharedCaps>,
+    /// `enumerations` value already pushed to `shared` (workers sync
+    /// deltas on the same 1024-call cadence as the deadline check).
+    synced: u64,
+    pub(crate) deadline_hit: bool,
+    pub(crate) budget_hit: bool,
+    pub(crate) enumerations: u64,
+    pub(crate) match_count: u64,
     /// Query vertex id → mapped data vertex.
     mapping: Vec<VertexId>,
     /// Order position → chosen position inside `C(order[pos])`. This is
@@ -521,7 +664,7 @@ struct SpaceCtx<'a> {
     /// needed to look up the next depth's edge lists.
     chosen_pos: Vec<u32>,
     used: Vec<bool>,
-    matches: Vec<Vec<VertexId>>,
+    pub(crate) matches: Vec<Vec<VertexId>>,
     /// Per-depth LC buffers (positions into `C(order[depth])`).
     bufs: Vec<Vec<u32>>,
     /// Per-depth scratch of `(edge id, chosen pos)` handles, sorted by
@@ -537,17 +680,31 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
         return true;
     }
     // Time checks are amortized: Instant::now() every call would dominate
-    // the cost of shallow recursions.
-    if ctx.enumerations & 0x3FF == 0 && ctx.start.elapsed() > ctx.config.time_limit {
-        ctx.deadline_hit = true;
-        return true;
+    // the cost of shallow recursions. Parallel workers sync their local
+    // call delta to the shared caps on the same cadence.
+    if ctx.enumerations & 0x3FF == 0 {
+        if ctx.start.elapsed() > ctx.config.time_limit {
+            ctx.deadline_hit = true;
+            return true;
+        }
+        if let Some(shared) = ctx.shared {
+            let stop = shared.sync_enumerations(ctx.enumerations - ctx.synced);
+            ctx.synced = ctx.enumerations;
+            if stop {
+                ctx.budget_hit = shared.budget_exhausted();
+                return true;
+            }
+        }
     }
     if depth == ctx.order.len() {
         ctx.match_count += 1;
         if ctx.config.store_matches {
             ctx.matches.push(ctx.mapping.clone());
         }
-        return ctx.match_count >= ctx.config.max_matches;
+        return match ctx.shared {
+            Some(shared) => shared.note_match(),
+            None => ctx.match_count >= ctx.config.max_matches,
+        };
     }
 
     let u = ctx.order[depth];
@@ -607,9 +764,11 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
 }
 
 /// Maps `u` to the candidate at `pos`, recurses, and unwinds. Returns
-/// true when enumeration should stop.
+/// true when enumeration should stop. The parallel path drives this
+/// directly for its root-slice loops (one call per root candidate in the
+/// worker's morsel).
 #[inline]
-fn try_extend(ctx: &mut SpaceCtx<'_>, depth: usize, u: VertexId, pos: u32) -> bool {
+pub(crate) fn try_extend(ctx: &mut SpaceCtx<'_>, depth: usize, u: VertexId, pos: u32) -> bool {
     let v = ctx.cs.cand_vertex(u, pos);
     if ctx.used[v as usize] {
         return false;
@@ -627,7 +786,7 @@ fn try_extend(ctx: &mut SpaceCtx<'_>, depth: usize, u: VertexId, pos: u32) -> bo
 // Probe engine (reference oracle — the seed implementation)
 // ---------------------------------------------------------------------------
 
-struct ProbeCtx<'a> {
+pub(crate) struct ProbeCtx<'a> {
     g: &'a Graph,
     cand: &'a Candidates,
     order: &'a [VertexId],
@@ -636,13 +795,16 @@ struct ProbeCtx<'a> {
     backward: Vec<Vec<VertexId>>,
     config: EnumConfig,
     start: Instant,
-    deadline_hit: bool,
-    budget_hit: bool,
-    enumerations: u64,
-    match_count: u64,
+    /// Shared caps of a parallel run (see [`SpaceCtx::shared`]).
+    shared: Option<&'a crate::parallel::SharedCaps>,
+    synced: u64,
+    pub(crate) deadline_hit: bool,
+    pub(crate) budget_hit: bool,
+    pub(crate) enumerations: u64,
+    pub(crate) match_count: u64,
     mapping: Vec<VertexId>,
     used: Vec<bool>,
-    matches: Vec<Vec<VertexId>>,
+    pub(crate) matches: Vec<Vec<VertexId>>,
     scratch: Vec<VertexId>,
 }
 
@@ -653,16 +815,29 @@ fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
         ctx.budget_hit = true;
         return true;
     }
-    if ctx.enumerations & 0x3FF == 0 && ctx.start.elapsed() > ctx.config.time_limit {
-        ctx.deadline_hit = true;
-        return true;
+    if ctx.enumerations & 0x3FF == 0 {
+        if ctx.start.elapsed() > ctx.config.time_limit {
+            ctx.deadline_hit = true;
+            return true;
+        }
+        if let Some(shared) = ctx.shared {
+            let stop = shared.sync_enumerations(ctx.enumerations - ctx.synced);
+            ctx.synced = ctx.enumerations;
+            if stop {
+                ctx.budget_hit = shared.budget_exhausted();
+                return true;
+            }
+        }
     }
     if depth == ctx.order.len() {
         ctx.match_count += 1;
         if ctx.config.store_matches {
             ctx.matches.push(ctx.mapping.clone());
         }
-        return ctx.match_count >= ctx.config.max_matches;
+        return match ctx.shared {
+            Some(shared) => shared.note_match(),
+            None => ctx.match_count >= ctx.config.max_matches,
+        };
     }
 
     let u = ctx.order[depth];
@@ -686,6 +861,24 @@ fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
     }
     ctx.scratch = local;
     false
+}
+
+/// Parallel-path root step for the probe engine: maps `order[0]` to `v`,
+/// recurses from depth 1, and unwinds — exactly the iteration the serial
+/// depth-0 loop performs per candidate (the root's backward set is empty,
+/// so its LC is the full `C(order[0])`). Returns true when the worker
+/// should stop.
+pub(crate) fn probe_try_root(ctx: &mut ProbeCtx<'_>, v: VertexId) -> bool {
+    let u = ctx.order[0];
+    if ctx.used[v as usize] {
+        return false;
+    }
+    ctx.mapping[u as usize] = v;
+    ctx.used[v as usize] = true;
+    let stop = probe_recurse(ctx, 1);
+    ctx.used[v as usize] = false;
+    ctx.mapping[u as usize] = VertexId::MAX;
+    stop
 }
 
 /// `LC(u, M)` — candidates of `u` adjacent to every already-mapped
@@ -1047,5 +1240,102 @@ mod tests {
         let (q, g) = two_triangles();
         let cand = LdfFilter.filter(&q, &g);
         enumerate(&q, &g, &cand, &[0, 1], EnumConfig::find_all());
+    }
+
+    #[test]
+    fn parallel_find_all_is_byte_identical_to_serial() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        for engine in engines() {
+            let mut cfg = EnumConfig::find_all().with_engine(engine).with_threads(1);
+            cfg.store_matches = true;
+            let serial = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+            for threads in [2usize, 4] {
+                let par = enumerate(&q, &g, &cand, &[0, 1, 2], cfg.with_threads(threads));
+                assert_eq!(par.match_count, serial.match_count, "{} x{threads}", engine.name());
+                assert_eq!(par.enumerations, serial.enumerations, "{} x{threads}", engine.name());
+                assert_eq!(par.matches, serial.matches, "{} x{threads}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_match_cap_reports_the_exact_count() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        for engine in engines() {
+            let mut cfg = EnumConfig { max_matches: 1, ..EnumConfig::find_all() }.with_engine(engine).with_threads(4);
+            cfg.store_matches = true;
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+            assert_eq!(res.match_count, 1, "{}", engine.name());
+            assert_eq!(res.matches.len(), 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn parallel_budget_has_at_least_semantics() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        for engine in engines() {
+            // Serial needs 7 calls for find-all; a budget of 3 must stop a
+            // 2-worker run with at least... the budget's worth of work, and
+            // flag exhaustion.
+            let cfg = EnumConfig { max_enumerations: 3, threads: 2, ..EnumConfig::find_all() }.with_engine(engine);
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+            assert!(res.budget_exhausted, "{}", engine.name());
+            assert!(res.enumerations >= 1, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn parallel_budget_of_one_matches_serial() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        for engine in engines() {
+            for threads in [1usize, 2, 4] {
+                let cfg = EnumConfig { max_enumerations: 1, threads, ..EnumConfig::find_all() }.with_engine(engine);
+                let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+                assert_eq!(res.enumerations, 1, "{} x{threads}", engine.name());
+                assert_eq!(res.match_count, 0, "{} x{threads}", engine.name());
+                assert!(res.budget_exhausted, "{} x{threads}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_empty_candidates_short_circuit() {
+        let (q, g) = two_triangles();
+        let cand = Candidates::new(vec![vec![], vec![1], vec![2]]);
+        for engine in engines() {
+            let cfg = EnumConfig::find_all().with_engine(engine).with_threads(4);
+            let res = enumerate(&q, &g, &cand, &[0, 1, 2], cfg);
+            assert_eq!(res.match_count, 0, "{}", engine.name());
+            assert_eq!(res.enumerations, 0, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn effective_threads_gates_tiny_workloads() {
+        // yeast-first-1k shape: 1000-match cap on a 12-vertex query —
+        // below the per-worker floor, so the Auto path must stay serial.
+        assert_eq!(effective_threads(1000 * 12 * AUTO_WORK_PER_CALL, 4), 1);
+        // Unbounded find-all grants the full request.
+        assert_eq!(effective_threads(u64::MAX, 4), 4);
+        // Large finite estimates scale up to the request.
+        assert_eq!(effective_threads(AUTO_PARALLEL_WORK_PER_WORKER * 3, 8), 3);
+        assert_eq!(effective_threads(AUTO_PARALLEL_WORK_PER_WORKER * 100, 4), 4);
+        assert_eq!(effective_threads(0, 4), 1);
+    }
+
+    #[test]
+    fn auto_decision_reports_per_slice_work() {
+        let (q, g, cand) = build_dominated_case();
+        let cfg =
+            EnumConfig { max_matches: 50, ..EnumConfig::find_all() }.with_engine(EnumEngine::Auto).with_threads(4);
+        let d = auto_decide(&q, &g, &cand, &cfg);
+        assert_eq!(d.est_slice_work, d.est_enum_work / 4);
+        assert_eq!(d.effective_threads(4), effective_threads(d.est_enum_work, 4));
+        // Tiny capped workload on the small fixture: must refuse to spawn.
+        assert_eq!(d.effective_threads(4), 1, "est {} units is below the per-worker floor", d.est_enum_work);
     }
 }

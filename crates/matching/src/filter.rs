@@ -75,6 +75,13 @@ impl Candidates {
         self.sets.iter().map(|s| s.len()).sum()
     }
 
+    /// Bytes held by the candidate sets and the membership bitmap — the
+    /// term a byte-bounded [`SpaceCache`][crate::SpaceCache] charges for a
+    /// resident entry before its `CandidateSpace` is (lazily) built.
+    pub fn storage_bytes(&self) -> usize {
+        4 * self.total() + 8 * self.bits.len() + std::mem::size_of::<Vec<VertexId>>() * self.sets.len()
+    }
+
     /// In-place refinement shrink: removes every `(u, v)` pair in `doomed`
     /// from `C(u)`, mutating the existing bitmap rows and compacting the
     /// touched sorted sets — no reallocation of either structure. This is

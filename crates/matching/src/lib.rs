@@ -39,15 +39,18 @@ pub mod filter;
 pub mod naive;
 pub mod nec;
 pub mod order;
+pub mod parallel;
 pub mod pipeline;
 pub mod spacecache;
 
 pub use candspace::{ArenaOverflow, CandidateSpace};
 pub use enumerate::{
-    auto_decide, enumerate, enumerate_in_space, enumerate_probe, enumerate_probe_prepared, AutoDecision, EnumConfig,
-    EnumEngine, EnumResult, QueryAdjBits,
+    auto_decide, default_threads, effective_threads, enumerate, enumerate_in_space, enumerate_probe,
+    enumerate_probe_prepared, estimate_enum_work, AutoDecision, EnumConfig, EnumEngine, EnumResult, QueryAdjBits,
+    AUTO_PARALLEL_WORK_PER_WORKER,
 };
 pub use filter::{CandidateFilter, Candidates, GqlFilter, LdfFilter, NlfFilter};
 pub use order::{connected_prefix_ok, OrderingMethod};
+pub use parallel::{enumerate_in_space_sliced, peak_parallel_workers, reset_peak_parallel_workers};
 pub use pipeline::{run_pipeline, run_with_candidates, run_with_entry, run_with_space, Pipeline, PipelineResult};
 pub use spacecache::{SpaceCache, SpaceEntry};

@@ -1,0 +1,533 @@
+//! Intra-query parallel enumeration: root-partitioned work sharing.
+//!
+//! The serial engines explore one recursion tree whose first level fans
+//! out over `C(order[0])` — and because the root has no mapped backward
+//! neighbours, those subtrees are completely independent: they share no
+//! mapping state, no injectivity bitmap, no buffers. That independence is
+//! the whole parallelization: the root candidate positions are split into
+//! contiguous **morsels** (several per worker, so an unlucky heavy
+//! subtree doesn't serialize the run), a fixed scoped-thread worker pool
+//! claims morsels from an atomic cursor, and every worker owns a full
+//! private recursion context ([`SpaceCtx`]/[`ProbeCtx`] — mapping,
+//! injectivity bitmap, per-depth LC buffers). The steady-state hot path
+//! is exactly the serial engines' code with **zero locks and zero shared
+//! allocations**; workers only touch shared state at the existing
+//! 1024-call deadline cadence (budget sync) and per emitted match under a
+//! finite cap.
+//!
+//! ## Result semantics
+//!
+//! * **Find-all** (no caps bind): every slice is fully explored, so
+//!   `match_count`, `#enum`, and — with `store_matches` — the match
+//!   stream itself, merged in slice order, are **byte-identical** to the
+//!   serial engines (property-tested in `tests/oracle.rs`).
+//! * **`max_matches` cap**: the reported `match_count` is exact (the
+//!   merge truncates), but workers mid-descent when the shared counter
+//!   reaches the cap finish unwinding first, so *which* matches are kept
+//!   and the reported `#enum` may differ from serial run to run.
+//! * **`max_enumerations` budget**: a shared atomic budget with
+//!   *at-least* semantics — workers sync local call counts every 1024
+//!   calls and stop once the global total reaches the budget, so the run
+//!   performs at least `max_enumerations` total work (possibly up to
+//!   `threads × 1024` calls more, and therefore possibly more matches
+//!   than a serial run at the same budget). Training rewards need exact
+//!   determinism, which is why [`EnumConfig::budgeted`] pins `threads: 1`.
+//!
+//! For tests of the slicing machinery itself there is a deterministic
+//! fallback: `threads == 1` routes through the same morsel iterator on
+//! the caller thread with no shared state, which is byte-identical to the
+//! serial engine under *every* configuration, caps included
+//! ([`enumerate_in_space_sliced`]).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::candspace::CandidateSpace;
+use crate::enumerate::{new_probe_ctx, new_space_ctx, probe_try_root, try_extend, EnumConfig, EnumResult};
+use crate::filter::Candidates;
+
+/// Morsels handed out per worker: enough that one heavy root subtree
+/// rarely leaves the rest of the pool idle, small enough that the
+/// per-morsel bookkeeping (one atomic claim, one result push) stays
+/// invisible next to real enumeration work.
+const MORSELS_PER_WORKER: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Worker gauge (oversubscription guard)
+// ---------------------------------------------------------------------------
+
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+static PEAK_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+struct WorkerGuard;
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn gauge_enter() -> WorkerGuard {
+    let now = ACTIVE_WORKERS.fetch_add(1, Ordering::SeqCst) + 1;
+    PEAK_WORKERS.fetch_max(now, Ordering::SeqCst);
+    WorkerGuard
+}
+
+/// High-water mark of concurrently running enumeration workers (the
+/// calling thread participates in its own pool, so a `threads = 4` run
+/// registers 4, not 5). Process-global and monotone; the
+/// no-oversubscription regression test resets it, runs a composed
+/// harness, and asserts the peak never exceeded the configured budget.
+pub fn peak_parallel_workers() -> usize {
+    PEAK_WORKERS.load(Ordering::SeqCst)
+}
+
+/// Resets [`peak_parallel_workers`] to the currently active count. Only
+/// meaningful in single-test binaries (other threads may be enumerating).
+pub fn reset_peak_parallel_workers() {
+    PEAK_WORKERS.store(ACTIVE_WORKERS.load(Ordering::SeqCst), Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Shared caps
+// ---------------------------------------------------------------------------
+
+/// The match/budget caps every worker of one parallel enumeration
+/// coordinates through. All counters are relaxed atomics: cap
+/// enforcement tolerates the sync lag by design (the documented
+/// "at-least" semantics), and the final result is computed from each
+/// worker's exact local counts, not from these.
+pub struct SharedCaps {
+    /// Recursion calls synced so far (seeded with 1 for the root call the
+    /// merge accounts to keep `#enum` aligned with the serial engines).
+    enumerations: AtomicU64,
+    /// Matches emitted so far (only maintained under a finite cap).
+    matches: AtomicU64,
+    /// Set once any cap/budget/deadline is hit; workers observe it at
+    /// their next sync point and stop claiming morsels.
+    stop: AtomicBool,
+    max_enumerations: u64,
+    max_matches: u64,
+}
+
+impl SharedCaps {
+    pub(crate) fn new(config: &EnumConfig) -> Self {
+        SharedCaps {
+            enumerations: AtomicU64::new(1),
+            matches: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            max_enumerations: config.max_enumerations,
+            max_matches: config.max_matches,
+        }
+    }
+
+    /// Adds a worker's local call delta and reports whether the worker
+    /// should stop (budget exhausted here or a stop raised elsewhere).
+    pub(crate) fn sync_enumerations(&self, delta: u64) -> bool {
+        if delta > 0 && self.max_enumerations != u64::MAX {
+            let total = self.enumerations.fetch_add(delta, Ordering::Relaxed) + delta;
+            if total >= self.max_enumerations {
+                self.stop.store(true, Ordering::Relaxed);
+            }
+        }
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Books one emitted match; true once the global cap is reached (the
+    /// emitting worker unwinds, everyone else stops at their next check).
+    /// Free under find-all: an uncapped run never touches the atomic.
+    pub(crate) fn note_match(&self) -> bool {
+        if self.max_matches == u64::MAX {
+            return false;
+        }
+        let total = self.matches.fetch_add(1, Ordering::Relaxed) + 1;
+        if total >= self.max_matches {
+            self.stop.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    pub(crate) fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn budget_exhausted(&self) -> bool {
+        self.max_enumerations != u64::MAX && self.enumerations.load(Ordering::Relaxed) >= self.max_enumerations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsels and merging
+// ---------------------------------------------------------------------------
+
+/// Contiguous, disjoint, covering decomposition of `0..len` into
+/// `count` near-equal slices (the first `len % count` get one extra).
+fn slice_bounds(len: usize, count: usize, i: usize) -> (usize, usize) {
+    let base = len / count;
+    let extra = len % count;
+    let lo = i * base + i.min(extra);
+    let hi = lo + base + usize::from(i < extra);
+    (lo, hi)
+}
+
+/// What one worker recorded for one morsel: exact local deltas, plus the
+/// stored matches in the order the slice produced them.
+struct SliceOut {
+    slice: usize,
+    enumerations: u64,
+    match_count: u64,
+    matches: Vec<Vec<VertexId>>,
+}
+
+/// Per-worker summary: its slice outputs plus terminal flags.
+struct WorkerOut {
+    slices: Vec<SliceOut>,
+    deadline_hit: bool,
+    budget_hit: bool,
+}
+
+/// Folds worker outputs into an [`EnumResult`]. Slices merge in slice
+/// order — the order the serial engine visits root candidates — so the
+/// find-all match stream is byte-identical to serial; under a binding
+/// `max_matches` the stream and count are truncated to the cap (exact
+/// count, first `cap` matches in slice order).
+fn merge(mut outs: Vec<WorkerOut>, caps: &SharedCaps, config: &EnumConfig, start: Instant) -> EnumResult {
+    let mut slices: Vec<SliceOut> = outs.iter_mut().flat_map(|w| w.slices.drain(..)).collect();
+    slices.sort_unstable_by_key(|s| s.slice);
+    // The +1 is the root call of the recursion (depth 0), which the
+    // serial engines count before fanning out over C(order[0]).
+    let enumerations = 1 + slices.iter().map(|s| s.enumerations).sum::<u64>();
+    let found = slices.iter().map(|s| s.match_count).sum::<u64>();
+    let match_count = found.min(config.max_matches);
+    let mut matches = Vec::new();
+    if config.store_matches {
+        for s in &mut slices {
+            matches.append(&mut s.matches);
+        }
+        if (matches.len() as u64) > match_count {
+            matches.truncate(match_count as usize);
+        }
+    }
+    EnumResult {
+        match_count,
+        enumerations,
+        elapsed: start.elapsed(),
+        timed_out: outs.iter().any(|w| w.deadline_hit),
+        budget_exhausted: outs.iter().any(|w| w.budget_hit) || caps.budget_exhausted(),
+        matches,
+    }
+}
+
+/// Runs `worker` (claiming morsel indices from the shared cursor until
+/// none remain) on a pool of `threads` workers — `threads - 1` scoped
+/// spawns plus the calling thread, so a composed harness occupies exactly
+/// its thread budget, never budget + 1.
+fn drive_workers<F>(threads: usize, worker: F) -> Vec<WorkerOut>
+where
+    F: Fn(&AtomicUsize) -> WorkerOut + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..threads).map(|_| s.spawn(|| worker(&cursor))).collect();
+        let mut outs = vec![worker(&cursor)];
+        for h in handles {
+            outs.push(h.join().expect("enumeration worker panicked"));
+        }
+        outs
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CandidateSpace engine
+// ---------------------------------------------------------------------------
+
+/// Parallel enumeration over a prebuilt [`CandidateSpace`]. `start` is
+/// the caller's phase clock (the public entry points pass their own
+/// `Instant::now()`), and `cs` must be non-empty — both exactly as
+/// [`enumerate_in_space`][crate::enumerate_in_space] guarantees before
+/// dispatching here.
+pub(crate) fn enumerate_in_space_parallel_from(
+    q: &Graph,
+    cs: &CandidateSpace,
+    order: &[VertexId],
+    config: EnumConfig,
+    start: Instant,
+) -> EnumResult {
+    let threads = config.threads.max(1);
+    let root = order[0];
+    let root_len = cs.cand_len(root);
+    let num_slices = root_len.min(threads * MORSELS_PER_WORKER);
+    if threads == 1 || num_slices <= 1 {
+        return space_slices_serial(q, cs, order, config, start, num_slices.max(1).min(root_len.max(1)));
+    }
+    if config.max_enumerations <= 1 {
+        // The root call alone exhausts the budget — serial reports the
+        // same without descending.
+        return EnumResult { enumerations: 1, budget_exhausted: true, ..EnumResult::empty(start.elapsed()) };
+    }
+
+    let caps = SharedCaps::new(&config);
+    let outs = drive_workers(threads, |cursor| {
+        let _gauge = gauge_enter();
+        let mut ctx = new_space_ctx(q, cs, order, config, start, Some(&caps));
+        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false };
+        loop {
+            if caps.should_stop() {
+                break;
+            }
+            let si = cursor.fetch_add(1, Ordering::Relaxed);
+            if si >= num_slices {
+                break;
+            }
+            let (lo, hi) = slice_bounds(root_len, num_slices, si);
+            let (e0, m0) = (ctx.enumerations, ctx.match_count);
+            let mut stop = false;
+            for pos in lo..hi {
+                if try_extend(&mut ctx, 0, root, pos as u32) {
+                    stop = true;
+                    break;
+                }
+            }
+            out.slices.push(SliceOut {
+                slice: si,
+                enumerations: ctx.enumerations - e0,
+                match_count: ctx.match_count - m0,
+                matches: std::mem::take(&mut ctx.matches),
+            });
+            if stop {
+                break;
+            }
+        }
+        out.deadline_hit = ctx.deadline_hit;
+        out.budget_hit = ctx.budget_hit;
+        out
+    });
+    merge(outs, &caps, &config, start)
+}
+
+/// The deterministic slice-sequential fallback: the same morsel
+/// decomposition the parallel path uses, executed on the calling thread
+/// with one context and the exact serial cap semantics. Byte-identical
+/// to the serial CandidateSpace engine under **every** configuration
+/// (caps and budgets included) — the property that proves the slice
+/// decomposition itself loses nothing; `tests/oracle.rs` checks it.
+pub fn enumerate_in_space_sliced(q: &Graph, cs: &CandidateSpace, order: &[VertexId], config: EnumConfig) -> EnumResult {
+    let start = Instant::now();
+    if cs.any_empty() {
+        return EnumResult::empty(start.elapsed());
+    }
+    let root_len = cs.cand_len(order[0]);
+    let num_slices = root_len.clamp(1, config.threads.max(1) * MORSELS_PER_WORKER);
+    space_slices_serial(q, cs, order, config, start, num_slices)
+}
+
+/// Single-context slice loop: replicates the serial engine's depth-0
+/// iteration (root call counted once, then ascending root positions)
+/// through the slice iterator.
+fn space_slices_serial(
+    q: &Graph,
+    cs: &CandidateSpace,
+    order: &[VertexId],
+    config: EnumConfig,
+    start: Instant,
+    num_slices: usize,
+) -> EnumResult {
+    let root = order[0];
+    let root_len = cs.cand_len(root);
+    let mut ctx = new_space_ctx(q, cs, order, config, start, None);
+    // The serial depth-0 call: counts one enumeration and applies the
+    // budget/deadline checks before fanning out.
+    ctx.enumerations += 1;
+    if ctx.enumerations >= config.max_enumerations {
+        ctx.budget_hit = true;
+    } else {
+        'slices: for si in 0..num_slices {
+            let (lo, hi) = slice_bounds(root_len, num_slices, si);
+            for pos in lo..hi {
+                if try_extend(&mut ctx, 0, root, pos as u32) {
+                    break 'slices;
+                }
+            }
+        }
+    }
+    EnumResult {
+        match_count: ctx.match_count,
+        enumerations: ctx.enumerations,
+        elapsed: start.elapsed(),
+        timed_out: ctx.deadline_hit,
+        budget_exhausted: ctx.budget_hit,
+        matches: ctx.matches,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe engine
+// ---------------------------------------------------------------------------
+
+/// Parallel probe enumeration. `backward` are the per-position backward
+/// neighbour sets of `order` (the root's is empty by construction), as
+/// computed by either `enumerate_probe` or the prepared
+/// [`QueryAdjBits`][crate::QueryAdjBits] path.
+pub(crate) fn enumerate_probe_parallel_from(
+    g: &Graph,
+    cand: &Candidates,
+    order: &[VertexId],
+    backward: Vec<Vec<VertexId>>,
+    config: EnumConfig,
+    start: Instant,
+) -> EnumResult {
+    let threads = config.threads.max(1);
+    let root_cands = cand.of(order[0]);
+    let root_len = root_cands.len();
+    let num_slices = root_len.min(threads * MORSELS_PER_WORKER);
+    if threads == 1 || num_slices <= 1 {
+        return probe_slices_serial(g, cand, order, backward, config, start, num_slices.max(1).min(root_len.max(1)));
+    }
+    if config.max_enumerations <= 1 {
+        return EnumResult { enumerations: 1, budget_exhausted: true, ..EnumResult::empty(start.elapsed()) };
+    }
+
+    let caps = SharedCaps::new(&config);
+    let backward = &backward;
+    let outs = drive_workers(threads, |cursor| {
+        let _gauge = gauge_enter();
+        let mut ctx = new_probe_ctx(g, cand, order, backward.clone(), config, start, Some(&caps));
+        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false };
+        loop {
+            if caps.should_stop() {
+                break;
+            }
+            let si = cursor.fetch_add(1, Ordering::Relaxed);
+            if si >= num_slices {
+                break;
+            }
+            let (lo, hi) = slice_bounds(root_len, num_slices, si);
+            let (e0, m0) = (ctx.enumerations, ctx.match_count);
+            let mut stop = false;
+            for &v in &root_cands[lo..hi] {
+                if probe_try_root(&mut ctx, v) {
+                    stop = true;
+                    break;
+                }
+            }
+            out.slices.push(SliceOut {
+                slice: si,
+                enumerations: ctx.enumerations - e0,
+                match_count: ctx.match_count - m0,
+                matches: std::mem::take(&mut ctx.matches),
+            });
+            if stop {
+                break;
+            }
+        }
+        out.deadline_hit = ctx.deadline_hit;
+        out.budget_hit = ctx.budget_hit;
+        out
+    });
+    merge(outs, &caps, &config, start)
+}
+
+/// Probe-engine face of the deterministic slice-sequential fallback.
+fn probe_slices_serial(
+    g: &Graph,
+    cand: &Candidates,
+    order: &[VertexId],
+    backward: Vec<Vec<VertexId>>,
+    config: EnumConfig,
+    start: Instant,
+    num_slices: usize,
+) -> EnumResult {
+    let root_cands = cand.of(order[0]);
+    let root_len = root_cands.len();
+    let mut ctx = new_probe_ctx(g, cand, order, backward, config, start, None);
+    ctx.enumerations += 1;
+    if ctx.enumerations >= config.max_enumerations {
+        ctx.budget_hit = true;
+    } else {
+        'slices: for si in 0..num_slices {
+            let (lo, hi) = slice_bounds(root_len, num_slices, si);
+            for &v in &root_cands[lo..hi] {
+                if probe_try_root(&mut ctx, v) {
+                    break 'slices;
+                }
+            }
+        }
+    }
+    EnumResult {
+        match_count: ctx.match_count,
+        enumerations: ctx.enumerations,
+        elapsed: start.elapsed(),
+        timed_out: ctx.deadline_hit,
+        budget_exhausted: ctx.budget_hit,
+        matches: ctx.matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_bounds_are_disjoint_and_covering() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for count in [1usize, 2, 3, 8, 17] {
+                let count = count.min(len.max(1));
+                let mut next = 0;
+                for i in 0..count {
+                    let (lo, hi) = slice_bounds(len, count, i);
+                    assert_eq!(lo, next, "len {len} count {count} slice {i}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, len, "slices must cover 0..{len} with {count} parts");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_caps_budget_has_at_least_semantics() {
+        let cfg = EnumConfig { max_enumerations: 100, ..EnumConfig::find_all() };
+        let caps = SharedCaps::new(&cfg);
+        assert!(!caps.sync_enumerations(50), "under budget: keep going");
+        assert!(!caps.budget_exhausted());
+        assert!(caps.sync_enumerations(60), "1 + 50 + 60 >= 100: stop");
+        assert!(caps.budget_exhausted());
+        assert!(caps.should_stop());
+    }
+
+    #[test]
+    fn shared_caps_match_cap_stops_at_the_cap() {
+        let cfg = EnumConfig { max_matches: 2, ..EnumConfig::find_all() };
+        let caps = SharedCaps::new(&cfg);
+        assert!(!caps.note_match());
+        assert!(caps.note_match(), "second match reaches the cap");
+        assert!(caps.should_stop());
+        assert!(!caps.budget_exhausted(), "match cap is not the enum budget");
+    }
+
+    #[test]
+    fn find_all_caps_never_touch_the_stop_flag() {
+        let caps = SharedCaps::new(&EnumConfig::find_all());
+        for _ in 0..10 {
+            assert!(!caps.note_match());
+            assert!(!caps.sync_enumerations(1_000_000));
+        }
+        assert!(!caps.should_stop());
+    }
+
+    #[test]
+    fn peak_gauge_tracks_entries() {
+        reset_peak_parallel_workers();
+        let base = peak_parallel_workers();
+        {
+            let _a = gauge_enter();
+            let _b = gauge_enter();
+            assert!(peak_parallel_workers() >= base + 2);
+        }
+        reset_peak_parallel_workers();
+        assert!(peak_parallel_workers() <= base + 2);
+    }
+}

@@ -113,7 +113,8 @@ pub fn run_with_candidates(
 /// Engine handling: [`EnumEngine::Probe`] is honoured (the oracle path
 /// ignores the space); `CandidateSpace` and `Auto` both enumerate in the
 /// prebuilt space — with the build already paid, the Auto cost model has
-/// nothing left to trade off.
+/// nothing left to trade off on the engine side, but it still gates the
+/// intra-query worker count (tiny workloads never pay a thread spawn).
 pub fn run_with_space(
     q: &Graph,
     g: &Graph,
@@ -128,7 +129,12 @@ pub fn run_with_space(
     let t2 = Instant::now();
     let enum_result = match config.engine {
         EnumEngine::Probe => enumerate(q, g, cand, &order, config),
-        EnumEngine::CandidateSpace | EnumEngine::Auto => enumerate_in_space(q, space, &order, config),
+        EnumEngine::CandidateSpace => enumerate_in_space(q, space, &order, config),
+        EnumEngine::Auto => {
+            let threads =
+                crate::enumerate::effective_threads(crate::enumerate::estimate_enum_work(q, &config), config.threads);
+            enumerate_in_space(q, space, &order, config.with_threads(threads))
+        }
     };
     let enum_time = t2.elapsed();
     PipelineResult {
@@ -169,10 +175,21 @@ pub fn run_with_entry(
     let t1 = Instant::now();
     let order = ordering.order(q, g, cand);
     let order_time = t1.elapsed();
-    let engine = match config.engine {
-        EnumEngine::Auto if entry.space_ready() => EnumEngine::CandidateSpace,
-        EnumEngine::Auto => crate::enumerate::auto_decide(q, g, cand, &config).engine,
-        e => e,
+    let (engine, config) = match config.engine {
+        // Warm or cold, Auto also gates the worker count: the cheap
+        // work-estimate side of the cost model refuses to parallelize
+        // workloads whose per-worker share can't amortize a spawn.
+        EnumEngine::Auto => {
+            let engine = if entry.space_ready() {
+                EnumEngine::CandidateSpace
+            } else {
+                crate::enumerate::auto_decide(q, g, cand, &config).engine
+            };
+            let threads =
+                crate::enumerate::effective_threads(crate::enumerate::estimate_enum_work(q, &config), config.threads);
+            (engine, config.with_threads(threads))
+        }
+        e => (e, config),
     };
     let t2 = Instant::now();
     let enum_result = match engine {

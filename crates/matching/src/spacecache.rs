@@ -1,4 +1,5 @@
-//! Cross-round amortization: a keyed cache of filtered candidate state.
+//! Cross-round amortization: a keyed, sharded, byte-bounded cache of
+//! filtered candidate state.
 //!
 //! The pipeline pays its phase-1 cost per call, and PR 2's
 //! build-once/enumerate-many contract amortizes the [`CandidateSpace`]
@@ -11,34 +12,48 @@
 //! the lazily built [`CandidateSpace`], and the probe engine's
 //! order-independent [`QueryAdjBits`] precomputation, handing out shared
 //! [`Arc`] references so any number of rounds performs exactly **one
-//! filter pass and one build per key**.
+//! filter pass and one build per resident key**.
 //!
 //! Key design:
 //!
 //! * the *query id* defaults to a structural fingerprint
 //!   ([`SpaceCache::query_fingerprint`]: labels + edge list), so harnesses
 //!   need no id bookkeeping and distinct queries never alias; callers with
-//!   stable external ids can pass their own;
+//!   stable external ids can pass their own. Entries additionally store an
+//!   independent structural **checksum** ([`SpaceCache::query_checksum`])
+//!   verified on every hit in debug builds (`RLQVO_CACHE_VERIFY=1` forces
+//!   it on in release), so a 64-bit fingerprint collision is detected
+//!   instead of silently serving another query's candidates;
 //! * the *filter semantics* come from [`CandidateFilter::cache_key`],
 //!   which parameterized filters specialize (`"GQL/r2"` vs `"GQL/r1"`) —
 //!   two configurations that could disagree on candidates never share an
 //!   entry;
-//! * per-key construction runs under a [`OnceLock`], so concurrent
-//!   workers racing on a cold key perform exactly one filter pass between
-//!   them — the exactly-once guarantee holds under the harness's
-//!   query-parallel evaluation, not just single-threaded;
-//! * the [`CandidateSpace`] and [`QueryAdjBits`] are built lazily on
-//!   first engine use (a probe-only round never pays a space build), and
-//!   the adjacency bits are shared across all filter variants of one
-//!   query (they depend on the query alone);
+//! * the index is **sharded**: a fixed power-of-two number of
+//!   independently locked segments, selected by the key's hash. A hit
+//!   takes its shard's lock exactly once (find + LRU touch + `Arc`
+//!   clone); unrelated keys never contend, and a long filter pass never
+//!   blocks any shard — per-key construction runs under a [`OnceLock`]
+//!   outside every lock, so concurrent workers racing on a cold key still
+//!   perform exactly one filter pass between them;
+//! * memory is **bounded**: [`SpaceCache::with_capacity_bytes`] tracks
+//!   the bytes charged for all resident entries in one global counter and
+//!   evicts the globally least-recently-used entry (shards are examined
+//!   one lock at a time, never nested) whenever the total exceeds the
+//!   budget. Charged bytes cover the candidates, the adjacency bitmap,
+//!   and the candidate space; a lazily built space reports its bytes back
+//!   the moment the build finishes, so the bound holds without waiting
+//!   for the next lookup. The key being served right now is never
+//!   evicted (a single entry larger than the whole budget is served, not
+//!   thrashed). Evicted entries already handed out stay valid — they are
+//!   immutable snapshots — and an evicted key simply refilters on its
+//!   next lookup (counted as a miss);
 //! * invalidation is explicit: [`SpaceCache::invalidate`] drops every
 //!   filter variant of one query, [`SpaceCache::clear`] drops everything
-//!   (the data graph changed). Entries already handed out stay valid —
-//!   they are immutable snapshots — so invalidation is safe mid-flight.
+//!   (the data graph changed).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use rlqvo_graph::Graph;
@@ -47,16 +62,30 @@ use crate::candspace::CandidateSpace;
 use crate::enumerate::QueryAdjBits;
 use crate::filter::{CandidateFilter, Candidates};
 
+/// Number of independently locked index segments. Power of two so shard
+/// selection is a mask; 16 is far past the point of diminishing returns
+/// for the harness's worker counts while keeping the per-shard byte
+/// budget coarse enough that typical entries fit.
+const SHARD_COUNT: usize = 16;
+
 /// One cached unit of filtered state: the candidates of a
 /// `(query, filter semantics)` key plus the two engine precomputations
 /// derived from them, built lazily and at most once.
 pub struct SpaceEntry {
     cand: Candidates,
     filter_time: Duration,
+    /// Independent structural hash of the query this entry was filtered
+    /// from — the collision guard verified on hits.
+    checksum: u64,
     /// Shared across all filter variants of the same query (order- and
     /// filter-independent).
     adj: Arc<OnceLock<QueryAdjBits>>,
     space: OnceLock<(CandidateSpace, Duration)>,
+    /// Where this entry is resident, so a lazy space build can report its
+    /// bytes back for eviction accounting. `None` for entries that
+    /// outlived their residency (the cache dropped them) — they keep
+    /// working standalone.
+    origin: Option<(Weak<CacheShared>, Key)>,
 }
 
 impl SpaceEntry {
@@ -96,6 +125,19 @@ impl SpaceEntry {
             let s = CandidateSpace::build(q, g, &self.cand);
             (s, t.elapsed())
         });
+        if built {
+            // Report the just-materialized bytes to the owning cache so
+            // the byte bound holds from this instant, not from the next
+            // lookup that happens to touch the key. `recharge` verifies
+            // the key's resident is still *this* entry — an evicted
+            // entry whose key was re-inserted must not overwrite the new
+            // resident's charge with stale bytes.
+            if let Some((cache, key)) = &self.origin {
+                if let Some(cache) = cache.upgrade() {
+                    cache.recharge(key, self.resident_bytes(), self);
+                }
+            }
+        }
         (&s.0, built)
     }
 
@@ -111,30 +153,177 @@ impl SpaceEntry {
     pub fn build_time(&self) -> Duration {
         self.space.get().map(|(_, d)| *d).unwrap_or(Duration::ZERO)
     }
+
+    /// True when `q` hashes to the structural checksum stored at insert —
+    /// the fingerprint-collision guard. A hit serving a *different*
+    /// query's entry (a 64-bit fingerprint collision) returns false.
+    pub fn verify_checksum(&self, q: &Graph) -> bool {
+        self.checksum == SpaceCache::query_checksum(q)
+    }
+
+    /// Bytes this entry pins: candidates + adjacency bitmap (if built) +
+    /// candidate space (if built) — what a bounded cache charges.
+    pub fn resident_bytes(&self) -> usize {
+        self.cand.storage_bytes()
+            + self.adj.get().map(QueryAdjBits::storage_bytes).unwrap_or(0)
+            + self.space.get().map(|(s, _)| s.storage_bytes()).unwrap_or(0)
+    }
 }
 
+type Key = (u64, String);
+
 /// Map slot: the `OnceLock` serializes per-key construction outside the
-/// map lock, so a cold key costs one filter pass total even when many
+/// shard lock, so a cold key costs one filter pass total even when many
 /// workers race on it, and a long filter never blocks unrelated keys.
 struct Slot {
     cell: OnceLock<Arc<SpaceEntry>>,
 }
 
-/// Keyed, shared, invalidation-aware store of filtered candidate state
-/// (see the module docs).
+/// A resident key: its slot plus the LRU/byte bookkeeping.
+struct Resident {
+    slot: Arc<Slot>,
+    /// Logical timestamp of the last lookup (cache-global tick).
+    last_used: u64,
+    /// Bytes currently charged against the shard budget for this key.
+    charged: usize,
+}
+
+/// One independently locked index segment.
 #[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<Key, Resident>>,
+}
+
+/// The sharded index plus the byte-bound machinery — `Arc`-shared with
+/// every entry (through [`SpaceEntry::force_space`]'s origin handle) so a
+/// lazy build can recharge its key without a back-pointer to the public
+/// cache type.
+struct CacheShared {
+    shards: Vec<Shard>,
+    capacity: Option<usize>,
+    /// Bytes charged across all shards. Mutated only while holding the
+    /// owning key's shard lock, so it tracks the maps consistently.
+    total_bytes: AtomicUsize,
+    evictions: AtomicU64,
+}
+
+impl CacheShared {
+    #[inline]
+    fn shard_of(&self, key: &Key) -> &Shard {
+        // The fingerprint is already well mixed; fold the filter key in
+        // cheaply so a query's variants spread too.
+        let mut h = key.0;
+        for b in key.1.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Sets `key`'s charge to `bytes` and evicts down to capacity, never
+    /// evicting `key` itself. The charge only applies when the key's
+    /// resident slot still holds exactly `entry` — a stale handle (the
+    /// entry was evicted and the key re-filtered into a new entry) must
+    /// not overwrite the new resident's accounting.
+    fn recharge(&self, key: &Key, bytes: usize, entry: &SpaceEntry) {
+        {
+            let mut map = self.shard_of(key).map.lock().expect("space cache poisoned");
+            if let Some(r) = map.get_mut(key) {
+                let same = r.slot.cell.get().map(|a| std::ptr::eq(Arc::as_ptr(a), entry)).unwrap_or(false);
+                if same {
+                    let old = r.charged;
+                    r.charged = bytes;
+                    if bytes >= old {
+                        self.total_bytes.fetch_add(bytes - old, Ordering::Relaxed);
+                    } else {
+                        self.total_bytes.fetch_sub(old - bytes, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.evict_to_capacity(Some(key));
+    }
+
+    /// Evicts globally least-recently-used residents while the charged
+    /// total exceeds the capacity. Shard locks are taken one at a time
+    /// (scan for the oldest tick, then re-lock the winner to remove), so
+    /// there is no lock nesting; the small race against a concurrent
+    /// touch can at worst evict a just-refreshed entry — an approximation
+    /// every segmented LRU accepts.
+    fn evict_to_capacity(&self, protect: Option<&Key>) {
+        let Some(cap) = self.capacity else { return };
+        while self.total_bytes.load(Ordering::Relaxed) > cap {
+            let mut victim: Option<(usize, Key, u64)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let map = shard.map.lock().expect("space cache poisoned");
+                if let Some((k, r)) = map.iter().filter(|(k, _)| protect != Some(*k)).min_by_key(|(_, r)| r.last_used) {
+                    if victim.as_ref().is_none_or(|(_, _, t)| r.last_used < *t) {
+                        victim = Some((si, k.clone(), r.last_used));
+                    }
+                }
+            }
+            let Some((si, key, _)) = victim else { break };
+            let mut map = self.shards[si].map.lock().expect("space cache poisoned");
+            if let Some(r) = map.remove(&key) {
+                self.total_bytes.fetch_sub(r.charged, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Keyed, sharded, invalidation-aware store of filtered candidate state
+/// (see the module docs).
 pub struct SpaceCache {
-    entries: Mutex<HashMap<(u64, String), Arc<Slot>>>,
+    shared: Arc<CacheShared>,
     /// Query id → the adjacency-bits cell shared by that query's entries.
-    adjs: Mutex<HashMap<u64, Arc<OnceLock<QueryAdjBits>>>>,
+    /// Weak: the strong references live in the entries, so evicting every
+    /// variant of a query lets its adjacency bits drop too (dead cells
+    /// are pruned opportunistically).
+    adjs: Mutex<HashMap<u64, Weak<OnceLock<QueryAdjBits>>>>,
+    /// Cache-global logical clock for LRU recency.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for SpaceCache {
+    fn default() -> Self {
+        SpaceCache::with_capacity(None)
+    }
+}
+
 impl SpaceCache {
-    /// An empty cache.
+    /// An unbounded cache (figure harnesses: the working set is the query
+    /// set, which the caller already holds in memory).
     pub fn new() -> Self {
         SpaceCache::default()
+    }
+
+    /// A cache that evicts least-recently-used entries once the bytes
+    /// charged for resident candidates/adjacency/spaces exceed
+    /// `capacity_bytes` — the serving-layer configuration, where millions
+    /// of distinct queries must not grow memory without bound. The key
+    /// being served is never evicted, so a single entry larger than the
+    /// whole budget is served (and replaced by the next lookup) instead
+    /// of thrashing; apart from that exception the charged total never
+    /// exceeds the bound.
+    pub fn with_capacity_bytes(capacity_bytes: usize) -> Self {
+        SpaceCache::with_capacity(Some(capacity_bytes))
+    }
+
+    fn with_capacity(capacity_bytes: Option<usize>) -> Self {
+        SpaceCache {
+            shared: Arc::new(CacheShared {
+                shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+                capacity: capacity_bytes,
+                total_bytes: AtomicUsize::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+            adjs: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Structural fingerprint of a query graph (FNV-1a over vertex count,
@@ -163,34 +352,115 @@ impl SpaceCache {
         h
     }
 
+    /// Independent structural checksum over the same information as
+    /// [`SpaceCache::query_fingerprint`] but through an unrelated mixing
+    /// function (golden-ratio multiply + xor-rotate), plus the degree
+    /// sequence. Stored in every entry at insert and compared on hits:
+    /// for two distinct queries to be silently conflated, *both* 64-bit
+    /// hashes would have to collide simultaneously.
+    pub fn query_checksum(q: &Graph) -> u64 {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut h: u64 = 0x243F_6A88_85A3_08D3; // pi digits, nothing up the sleeve
+        let mut mix = |x: u64| {
+            h = (h ^ x).wrapping_mul(GOLDEN);
+            h ^= h.rotate_right(29);
+        };
+        mix(q.num_vertices() as u64);
+        for u in q.vertices() {
+            mix(((q.label(u) as u64) << 32) | q.degree(u) as u64);
+        }
+        for u in q.vertices() {
+            for &v in q.neighbors(u) {
+                mix(((v as u64) << 32) | u as u64);
+            }
+        }
+        h
+    }
+
+    /// True when hits must verify the stored checksum: always in debug
+    /// builds, and in release when `RLQVO_CACHE_VERIFY=1` (paranoid
+    /// serving deployments). Parsed once per process.
+    fn verify_on_hit() -> bool {
+        static FORCED: OnceLock<bool> = OnceLock::new();
+        cfg!(debug_assertions)
+            || *FORCED.get_or_init(|| {
+                std::env::var("RLQVO_CACHE_VERIFY").map(|v| matches!(v.trim(), "1" | "on" | "true")).unwrap_or(false)
+            })
+    }
+
     /// The entry for `(query_id, filter.cache_key())`, filtering on first
     /// use. Returns the shared entry and whether this call created it
     /// (`true` = a filter pass just ran). Exactly one filter pass happens
-    /// per key for the lifetime of the cache, however many threads race.
+    /// per *residency* of a key, however many threads race; a key evicted
+    /// by the byte bound refilters once on its next lookup.
+    ///
+    /// Hot path: one shard lock (find + LRU touch + `Arc` clone), then a
+    /// lock-free `OnceLock` read.
     pub fn entry(&self, query_id: u64, q: &Graph, g: &Graph, filter: &dyn CandidateFilter) -> (Arc<SpaceEntry>, bool) {
+        let key: Key = (query_id, filter.cache_key());
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let slot = {
-            let mut map = self.entries.lock().expect("space cache poisoned");
-            Arc::clone(
-                map.entry((query_id, filter.cache_key())).or_insert_with(|| Arc::new(Slot { cell: OnceLock::new() })),
-            )
+            let mut map = self.shared.shard_of(&key).map.lock().expect("space cache poisoned");
+            match map.get_mut(&key) {
+                Some(r) => {
+                    r.last_used = tick;
+                    Arc::clone(&r.slot)
+                }
+                None => {
+                    let slot = Arc::new(Slot { cell: OnceLock::new() });
+                    map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick, charged: 0 });
+                    slot
+                }
+            }
         };
         let mut fresh = false;
         let entry = slot.cell.get_or_init(|| {
             fresh = true;
-            let adj = {
-                let mut adjs = self.adjs.lock().expect("space cache poisoned");
-                Arc::clone(adjs.entry(query_id).or_default())
-            };
+            let adj = self.adj_cell(query_id);
             let t = Instant::now();
             let cand = filter.filter(q, g);
-            Arc::new(SpaceEntry { cand, filter_time: t.elapsed(), adj, space: OnceLock::new() })
+            Arc::new(SpaceEntry {
+                cand,
+                filter_time: t.elapsed(),
+                checksum: Self::query_checksum(q),
+                adj,
+                space: OnceLock::new(),
+                origin: Some((Arc::downgrade(&self.shared), key.clone())),
+            })
         });
         if fresh {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            // Charge what exists now (candidates); a later lazy build
+            // recharges through the entry's origin handle.
+            self.shared.recharge(&key, entry.resident_bytes(), entry);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if Self::verify_on_hit() {
+                assert!(
+                    entry.verify_checksum(q),
+                    "SpaceCache fingerprint collision: query id {query_id:#018x} maps to an entry \
+                     whose structural checksum disagrees with the query being served"
+                );
+            }
         }
         (Arc::clone(entry), fresh)
+    }
+
+    /// The shared adjacency-bits cell of `query_id`, reviving a live one
+    /// when any of the query's entries still holds it. Dead weak cells are
+    /// pruned once the map outgrows the resident entry count, so a
+    /// bounded cache's adjacency index cannot grow without bound either.
+    fn adj_cell(&self, query_id: u64) -> Arc<OnceLock<QueryAdjBits>> {
+        let mut adjs = self.adjs.lock().expect("space cache poisoned");
+        if let Some(cell) = adjs.get(&query_id).and_then(Weak::upgrade) {
+            return cell;
+        }
+        let cell = Arc::new(OnceLock::new());
+        adjs.insert(query_id, Arc::downgrade(&cell));
+        if adjs.len() > 64 && adjs.len() > 2 * self.len() {
+            adjs.retain(|_, w| w.strong_count() > 0);
+        }
+        cell
     }
 
     /// [`SpaceCache::entry`] with the query id derived from the query's
@@ -224,9 +494,14 @@ impl SpaceCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct `(query id, filter semantics)` keys held.
+    /// Entries dropped by the byte-bound eviction policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.shared.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(query id, filter semantics)` keys resident.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("space cache poisoned").len()
+        self.shared.shards.iter().map(|s| s.map.lock().expect("space cache poisoned").len()).sum()
     }
 
     /// True when no entries are held.
@@ -237,26 +512,33 @@ impl SpaceCache {
     /// Drops every filter variant of `query_id` (the query changed or
     /// should be refreshed). Outstanding [`Arc`] entries stay usable.
     pub fn invalidate(&self, query_id: u64) {
-        self.entries.lock().expect("space cache poisoned").retain(|(qid, _), _| *qid != query_id);
+        for shard in &self.shared.shards {
+            let mut map = shard.map.lock().expect("space cache poisoned");
+            let removed: usize = map.iter().filter(|((qid, _), _)| *qid == query_id).map(|(_, r)| r.charged).sum();
+            map.retain(|(qid, _), _| *qid != query_id);
+            self.shared.total_bytes.fetch_sub(removed, Ordering::Relaxed);
+        }
         self.adjs.lock().expect("space cache poisoned").remove(&query_id);
     }
 
     /// Drops everything — required when the *data graph* changes, since
     /// entries snapshot candidates against it.
     pub fn clear(&self) {
-        self.entries.lock().expect("space cache poisoned").clear();
+        for shard in &self.shared.shards {
+            let mut map = shard.map.lock().expect("space cache poisoned");
+            let removed: usize = map.values().map(|r| r.charged).sum();
+            map.clear();
+            self.shared.total_bytes.fetch_sub(removed, Ordering::Relaxed);
+        }
         self.adjs.lock().expect("space cache poisoned").clear();
     }
 
-    /// Bytes held by the cached candidate spaces built so far (diagnostic;
-    /// candidates and adjacency bits are comparatively negligible).
+    /// Bytes charged for resident entries (candidates + adjacency bits +
+    /// built candidate spaces). With [`SpaceCache::with_capacity_bytes`]
+    /// this never exceeds the configured bound, up to the documented
+    /// being-served exception.
     pub fn storage_bytes(&self) -> usize {
-        let map = self.entries.lock().expect("space cache poisoned");
-        map.values()
-            .filter_map(|slot| slot.cell.get())
-            .filter_map(|e| e.space.get())
-            .map(|(s, _)| s.storage_bytes())
-            .sum()
+        self.shared.total_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -296,6 +578,7 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
         // The cached candidates are byte-identical to a fresh filter pass.
         let fresh = crate::filter::CandidateFilter::filter(&LdfFilter, &q, &g);
         for u in q.vertices() {
@@ -326,11 +609,28 @@ mod tests {
         qb.add_edge(b, c);
         let q2 = qb.build();
         assert_ne!(SpaceCache::query_fingerprint(&q), SpaceCache::query_fingerprint(&q2));
+        assert_ne!(SpaceCache::query_checksum(&q), SpaceCache::query_checksum(&q2));
         let cache = SpaceCache::new();
         let (_, f1) = cache.entry_for(&q, &g, &LdfFilter);
         let (_, f2) = cache.entry_for(&q2, &g, &LdfFilter);
         assert!(f1 && f2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn checksum_guards_against_fingerprint_collisions() {
+        let (q, g) = case();
+        let cache = SpaceCache::new();
+        let (entry, _) = cache.entry_for(&q, &g, &LdfFilter);
+        assert!(entry.verify_checksum(&q), "honest hit must verify");
+        // A different structure must fail verification — this is what a
+        // fingerprint collision would look like to the hit path.
+        let mut qb = GraphBuilder::new(2);
+        let a = qb.add_vertex(1);
+        let b = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        let other = qb.build();
+        assert!(!entry.verify_checksum(&other));
     }
 
     #[test]
@@ -340,7 +640,8 @@ mod tests {
         let (e, _) = cache.entry_for(&q, &g, &LdfFilter);
         assert!(!e.space_ready());
         assert_eq!(e.build_time(), Duration::ZERO);
-        assert_eq!(cache.storage_bytes(), 0);
+        let before_build = cache.storage_bytes();
+        assert!(before_build > 0, "candidates are charged at insert");
         let (s1, built1) = e.force_space(&q, &g);
         assert!(built1, "first force performs the build");
         let s1 = s1 as *const CandidateSpace;
@@ -349,7 +650,7 @@ mod tests {
         assert_eq!(s1, s2 as *const CandidateSpace, "the same space is returned, never rebuilt");
         assert_eq!(s1, e.space(&q, &g) as *const CandidateSpace);
         assert!(e.space_ready());
-        assert!(cache.storage_bytes() > 0);
+        assert!(cache.storage_bytes() > before_build, "the lazy build self-reports its bytes");
     }
 
     #[test]
@@ -373,6 +674,7 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.invalidate(qid);
         assert!(cache.is_empty());
+        assert_eq!(cache.storage_bytes(), 0);
         // The next lookup re-filters.
         let (_, fresh) = cache.entry(qid, &q, &g, &LdfFilter);
         assert!(fresh);
@@ -394,5 +696,137 @@ mod tests {
         });
         assert_eq!(cache.misses(), 1, "one filter pass despite 8 racing workers");
         assert_eq!(cache.hits(), 7);
+    }
+
+    /// Distinct queries: label-shifted paths whose length grows every 64
+    /// indices, so any `i < 4096` yields a structurally distinct graph
+    /// (distinct fingerprint) that still matches the cycle host below.
+    fn distinct_query(i: u32) -> Graph {
+        let mut qb = GraphBuilder::new(64);
+        let n = 3 + i / 64;
+        let mut prev = qb.add_vertex(i % 64);
+        for j in 1..n {
+            let v = qb.add_vertex((i + j) % 64);
+            qb.add_edge(prev, v);
+            prev = v;
+        }
+        qb.build()
+    }
+
+    fn flood_host() -> Graph {
+        let mut gb = GraphBuilder::new(64);
+        for i in 0..256u32 {
+            gb.add_vertex(i % 64);
+        }
+        for i in 0..256u32 {
+            gb.add_edge(i, (i + 1) % 256);
+            gb.add_edge(i, (i + 2) % 256);
+        }
+        gb.build()
+    }
+
+    #[test]
+    fn byte_bound_is_honored_under_a_distinct_query_flood() {
+        let g = flood_host();
+        // Size the bound from a real entry so the test tracks accounting
+        // changes: room for roughly a dozen entries across 16 shards.
+        let probe_cache = SpaceCache::new();
+        let q0 = distinct_query(0);
+        let (e0, _) = probe_cache.entry_for(&q0, &g, &LdfFilter);
+        e0.space(&q0, &g);
+        let entry_bytes = e0.resident_bytes();
+        let bound = entry_bytes * 12;
+
+        let cache = SpaceCache::with_capacity_bytes(bound);
+        for i in 0..200 {
+            let q = distinct_query(i);
+            let (e, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+            assert!(fresh, "distinct queries never alias");
+            e.space(&q, &g); // force the lazy build: the bound must hold through it
+            assert!(
+                cache.storage_bytes() <= bound,
+                "flood iteration {i}: {} bytes exceeds the {bound}-byte bound",
+                cache.storage_bytes()
+            );
+        }
+        assert!(cache.evictions() > 0, "a 200-query flood must evict");
+        assert!(cache.len() < 200);
+    }
+
+    #[test]
+    fn evicted_keys_refilter_exactly_once() {
+        let g = flood_host();
+        let q0 = distinct_query(0);
+        // A bound small enough that every shard holds ~1 entry: inserting
+        // enough distinct queries evicts q0 from its shard.
+        let probe_cache = SpaceCache::new();
+        let (e0, _) = probe_cache.entry_for(&q0, &g, &LdfFilter);
+        let cache = SpaceCache::with_capacity_bytes(e0.resident_bytes() * SHARD_COUNT);
+        cache.entry_for(&q0, &g, &LdfFilter);
+        for i in 1..100 {
+            cache.entry_for(&distinct_query(i), &g, &LdfFilter);
+        }
+        assert!(cache.evictions() > 0);
+        let misses_before = cache.misses();
+        // q0 was evicted: the next lookup refilters (miss) exactly once,
+        // then hits again.
+        let (_, fresh1) = cache.entry_for(&q0, &g, &LdfFilter);
+        let (_, fresh2) = cache.entry_for(&q0, &g, &LdfFilter);
+        assert!(fresh1, "evicted key must rebuild");
+        assert!(!fresh2, "and then be resident again");
+        assert_eq!(cache.misses(), misses_before + 1);
+    }
+
+    #[test]
+    fn stale_evicted_entry_never_recharges_the_new_resident() {
+        let g = flood_host();
+        let q0 = distinct_query(0);
+        let probe_cache = SpaceCache::new();
+        let (e0, _) = probe_cache.entry_for(&q0, &g, &LdfFilter);
+        e0.space(&q0, &g);
+        let cache = SpaceCache::with_capacity_bytes(e0.resident_bytes() * 3);
+        // Hold the first residency of q0, evict it with a flood, then let
+        // q0 refilter into a *new* resident entry.
+        let (stale, _) = cache.entry_for(&q0, &g, &LdfFilter);
+        for i in 1..60 {
+            cache.entry_for(&distinct_query(i), &g, &LdfFilter);
+        }
+        let (new_entry, fresh) = cache.entry_for(&q0, &g, &LdfFilter);
+        assert!(fresh, "q0 must have been evicted and refiltered");
+        assert!(!Arc::ptr_eq(&stale, &new_entry));
+        // The stale handle's lazy build must not touch the accounting of
+        // the key's new resident.
+        let before = cache.storage_bytes();
+        stale.space(&q0, &g);
+        assert_eq!(cache.storage_bytes(), before, "stale recharge corrupted the byte accounting");
+        // The new resident's own build still self-reports.
+        new_entry.space(&q0, &g);
+        assert!(cache.storage_bytes() > before);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let g = flood_host();
+        let cache = SpaceCache::new();
+        for i in 0..100 {
+            cache.entry_for(&distinct_query(i), &g, &LdfFilter);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 100);
+    }
+
+    #[test]
+    fn most_recent_entry_survives_a_too_small_bound() {
+        let g = flood_host();
+        let cache = SpaceCache::with_capacity_bytes(1);
+        let q = distinct_query(3);
+        let (e, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+        assert!(fresh);
+        assert!(!e.cand().any_empty());
+        // The just-served key is protected; a second key in the same
+        // shard would evict it, but the entry itself keeps working.
+        let (e2, fresh2) = cache.entry_for(&q, &g, &LdfFilter);
+        assert!(!fresh2, "still resident: the protected entry serves hits");
+        assert!(Arc::ptr_eq(&e, &e2));
     }
 }

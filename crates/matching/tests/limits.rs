@@ -55,7 +55,10 @@ fn enumeration_count_monotone_in_match_cap() {
     let order = RiOrdering.order(&q, &g, &cand);
     let mut last = 0u64;
     for cap in [1u64, 4, 16, 64, 256] {
-        let res = enumerate(&q, &g, &cand, &order, EnumConfig { max_matches: cap, ..EnumConfig::find_all() });
+        // Serial pin: capped parallel runs deliberately overshoot (the
+        // documented at-least semantics), which would break monotonicity.
+        let cfg = EnumConfig { max_matches: cap, ..EnumConfig::find_all() }.with_threads(1);
+        let res = enumerate(&q, &g, &cand, &order, cfg);
         assert!(res.enumerations >= last, "#enum must grow with the cap");
         last = res.enumerations;
     }
@@ -91,9 +94,9 @@ fn zero_time_limit_times_out_without_panicking() {
         ..EnumConfig::find_all()
     };
     let res = enumerate(&q, &g, &cand, &order, config);
-    // Timeout checks are amortized every 1024 calls, so tiny runs may
-    // finish first; either way the engine must terminate cleanly.
-    assert!(res.timed_out || res.enumerations < 2048);
+    // Timeout checks are amortized every 1024 calls *per worker*, so tiny
+    // runs may finish first; either way the engine must terminate cleanly.
+    assert!(res.timed_out || res.enumerations < 2048 * config.threads.max(1) as u64);
 }
 
 #[test]
@@ -128,7 +131,9 @@ proptest! {
         let mut full_cfg = EnumConfig::find_all();
         full_cfg.store_matches = true;
         let full = enumerate(&q, &g, &cand, &order, full_cfg);
-        let mut capped_cfg = EnumConfig { max_matches: cap, ..EnumConfig::find_all() };
+        // Serial pin: under a binding cap the parallel path keeps the
+        // exact count but not the serial *choice* of matches.
+        let mut capped_cfg = EnumConfig { max_matches: cap, ..EnumConfig::find_all() }.with_threads(1);
         capped_cfg.store_matches = true;
         let capped = enumerate(&q, &g, &cand, &order, capped_cfg);
         let k = capped.matches.len();

@@ -173,7 +173,9 @@ proptest! {
         let cand = NlfFilter.filter(&q, &g);
         for o in all_orderings() {
             let order = o.order(&q, &g, &cand);
-            let capped = EnumConfig { max_matches: cap, ..EnumConfig::find_all() };
+            // Serial pin: identical truncation points are a serial-order
+            // property (parallel capped runs overshoot by design).
+            let capped = EnumConfig { max_matches: cap, ..EnumConfig::find_all() }.with_threads(1);
             let budgeted = EnumConfig::budgeted(4 * cap);
             for cfg in [capped, budgeted] {
                 let probe = enumerate_probe(&q, &g, &cand, &order, cfg);
@@ -308,7 +310,10 @@ proptest! {
                 let order = o.order(&q, &g, &cand);
                 // Both a capped config (the build-dominated side of the
                 // model) and find-all (the enumeration-dominated side).
-                let capped = EnumConfig { max_matches: 3, store_matches: true, ..EnumConfig::find_all() };
+                // Serial pin on the capped one: truncation points are only
+                // deterministic serially.
+                let capped =
+                    EnumConfig { max_matches: 3, store_matches: true, ..EnumConfig::find_all() }.with_threads(1);
                 let mut find_all = EnumConfig::find_all();
                 find_all.store_matches = true;
                 for cfg in [capped, find_all] {
@@ -338,6 +343,99 @@ proptest! {
         prop_assert_eq!(checked.storage_bytes(), plain.storage_bytes());
         for u in q.vertices() {
             prop_assert_eq!(checked.cand(u), plain.cand(u));
+        }
+    }
+
+    /// Parallel find-all is byte-identical to serial — `match_count`,
+    /// `#enum`, and the stored match stream — for all three engines at
+    /// 1, 2, and 4 intra-query workers. This is the contract that lets a
+    /// figure harness turn on `RLQVO_ENUM_THREADS` without changing a
+    /// single reported number in the find-all columns.
+    #[test]
+    fn parallel_find_all_is_identical_to_serial(g in arb_graph(9, 3), seed in 0u64..500) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cand = GqlFilter::default().filter(&q, &g);
+        for o in all_orderings() {
+            let order = o.order(&q, &g, &cand);
+            for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
+                let mut cfg = EnumConfig::find_all().with_engine(engine).with_threads(1);
+                cfg.store_matches = true;
+                let serial = enumerate(&q, &g, &cand, &order, cfg);
+                for threads in [2usize, 4] {
+                    let par = enumerate(&q, &g, &cand, &order, cfg.with_threads(threads));
+                    prop_assert_eq!(
+                        par.match_count, serial.match_count,
+                        "match_count diverges: {} x{} ordering {}", engine.name(), threads, o.name()
+                    );
+                    prop_assert_eq!(
+                        par.enumerations, serial.enumerations,
+                        "#enum diverges: {} x{} ordering {}", engine.name(), threads, o.name()
+                    );
+                    prop_assert_eq!(
+                        &par.matches, &serial.matches,
+                        "match stream diverges: {} x{} ordering {}", engine.name(), threads, o.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The deterministic slice-sequential fallback is byte-identical to
+    /// the serial engine under *every* configuration — caps and budgets
+    /// included, where the truncation point must land on exactly the same
+    /// recursion step. This isolates the morsel decomposition from the
+    /// worker pool: if slicing lost or reordered anything, it would show
+    /// here first.
+    #[test]
+    fn sliced_serial_is_exactly_the_serial_engine(
+        g in arb_graph(9, 3),
+        seed in 0u64..500,
+        cap in 1u64..40,
+        threads in 1usize..5,
+    ) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cand = NlfFilter.filter(&q, &g);
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        for o in all_orderings() {
+            let order = o.order(&q, &g, &cand);
+            let mut find_all = EnumConfig::find_all().with_threads(threads);
+            find_all.store_matches = true;
+            let capped = EnumConfig { max_matches: cap, ..find_all };
+            let budgeted = EnumConfig { max_enumerations: 4 * cap, ..find_all };
+            for cfg in [find_all, capped, budgeted] {
+                let serial = enumerate_in_space(&q, &cs, &order, cfg.with_threads(1));
+                let sliced = rlqvo_matching::enumerate_in_space_sliced(&q, &cs, &order, cfg);
+                prop_assert_eq!(sliced.match_count, serial.match_count, "ordering {}", o.name());
+                prop_assert_eq!(sliced.enumerations, serial.enumerations, "ordering {}", o.name());
+                prop_assert_eq!(sliced.budget_exhausted, serial.budget_exhausted, "ordering {}", o.name());
+                prop_assert_eq!(&sliced.matches, &serial.matches, "ordering {}", o.name());
+            }
+        }
+    }
+
+    /// Under a binding match cap the parallel engines still report the
+    /// exact capped count (the merge truncates), and their matches are
+    /// valid embeddings — only *which* matches survive is scheduling-
+    /// dependent.
+    #[test]
+    fn parallel_capped_count_is_exact(g in arb_graph(9, 2), seed in 0u64..300, cap in 1u64..10) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cand = LdfFilter.filter(&q, &g);
+        let order = all_orderings()[0].order(&q, &g, &cand);
+        let full = enumerate(&q, &g, &cand, &order, EnumConfig::find_all().with_threads(1)).match_count;
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+            let mut cfg = EnumConfig { max_matches: cap, ..EnumConfig::find_all() }
+                .with_engine(engine)
+                .with_threads(4);
+            cfg.store_matches = true;
+            let res = enumerate(&q, &g, &cand, &order, cfg);
+            prop_assert_eq!(res.match_count, cap.min(full), "{}", engine.name());
+            prop_assert_eq!(res.matches.len() as u64, res.match_count, "{}", engine.name());
+            for m in &res.matches {
+                for (u, &v) in m.iter().enumerate() {
+                    prop_assert_eq!(q.label(u as u32), g.label(v), "{}", engine.name());
+                }
+            }
         }
     }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! rlqvo match  --data G.graph --query q.graph [--method hybrid|rlqvo|...]
 //!              [--model m.model] [--max-matches N] [--time-limit-ms T]
-//!              [--engine candspace|probe|auto]
+//!              [--engine candspace|probe|auto] [--enum-threads N]
 //!              [--repeat N] [--space-cache on|off]
 //! rlqvo train  --data G.graph --size K --queries N --epochs E --out m.model
 //! rlqvo stats  --data G.graph
@@ -40,7 +40,7 @@ fn main() {
         _ => {
             eprintln!("usage: rlqvo <match|train|stats> [--flag value]...");
             eprintln!(
-                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto] [--repeat N] [--space-cache on|off]"
+                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto] [--enum-threads N] [--repeat N] [--space-cache on|off]"
             );
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
@@ -88,6 +88,14 @@ fn cmd_match(args: &[String]) -> CliResult {
             flag(args, "--time-limit-ms").and_then(|v| v.parse().ok()).unwrap_or(500_000),
         ),
         engine,
+        // `--enum-threads N` > `RLQVO_ENUM_THREADS` > 1 (the default
+        // EnumConfig already folds the env knob in).
+        threads: match flag(args, "--enum-threads") {
+            Some(v) => {
+                v.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| format!("bad --enum-threads {v:?}"))?
+            }
+            None => EnumConfig::default().threads,
+        },
         ..EnumConfig::default()
     };
 
@@ -123,6 +131,7 @@ fn cmd_match(args: &[String]) -> CliResult {
 
     println!("method      : {} ({} filter + {} ordering)", method, filter.name(), ordering.name());
     println!("engine      : {}", config.engine.name());
+    println!("enum threads: {}", config.threads);
     println!("space cache : {}", if use_cache { "on" } else { "off" });
 
     // `--repeat` replays the query; with the cache on, round 1 filters

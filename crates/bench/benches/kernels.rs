@@ -283,6 +283,68 @@ fn bench_space_cache(c: &mut Criterion) {
         populated.entry(0xF00D + i, &q, &g, &filter);
     }
     group.bench_function("hit-lookup", |b| b.iter(|| populated.entry_for(&q, &g, &filter)));
+    // The fingerprint-memoizing handle: same warm hit with the query
+    // hashed once up front (QueryKey) instead of per lookup.
+    let key = rlqvo_matching::QueryKey::of(&q);
+    group.bench_function("hit-lookup-keyed", |b| b.iter(|| populated.entry_keyed(&key, &q, &g, &filter)));
+    group.finish();
+}
+
+/// The PR 5 inference-path contract: tape-based vs tape-free policy
+/// forward (one ordering step) and full order inference, plus the
+/// OrderCache hit that replaces ordering entirely for repeated queries.
+/// `infer/tape-step` spins up a throwaway autodiff tape and re-binds
+/// every parameter per call — what every ordering step paid before;
+/// `infer/prepared-step` is the PreparedPolicy path (no tape, no
+/// binding, recycled scratch buffers), bitwise identical output.
+fn bench_ordering_infer(c: &mut Criterion) {
+    let g = Dataset::Yeast.load();
+    let n = 16usize;
+    let q = build_query_set(&g, n, 1, 11).queries.pop().unwrap();
+    let mut group = c.benchmark_group("ordering");
+    // Two hidden widths: at d=16 the tape's fixed per-step overhead
+    // (node recording, parameter re-binding, output clones) dominates
+    // the shared math; at the paper-default d=64 the bitwise-pinned
+    // matmuls dominate both paths, so the residual gap is the tape
+    // machinery alone.
+    for d in [16usize, 64] {
+        let model = RlQvo::new(RlQvoConfig { hidden_dim: d, ..RlQvoConfig::default() });
+        let gt = GraphTensors::of(&q);
+        let feats = Matrix::from_fn(n, 7, |r, c| ((r * 7 + c) as f32 * 0.1).sin());
+        let mask = vec![true; n];
+        group.bench_with_input(BenchmarkId::new("infer/tape-step", d), &d, |b, _| {
+            b.iter(|| model.policy().forward(&gt, &feats, &mask))
+        });
+        let mut prepared = model.policy().prepare();
+        group.bench_with_input(BenchmarkId::new("infer/prepared-step", d), &d, |b, _| {
+            b.iter(|| {
+                let step = prepared.forward(&gt, &feats, &mask);
+                (step.raw_argmax, step.probs[0])
+            })
+        });
+        // Whole-query inference, both paths (includes GraphTensors/
+        // extractor setup and the |AS|=1 short-circuits real episodes
+        // hit).
+        let ordering = model.ordering();
+        group.bench_with_input(BenchmarkId::new("infer/order-query-tape", d), &d, |b, _| {
+            b.iter(|| ordering.run_episode_reference(&q, &g))
+        });
+        group.bench_with_input(BenchmarkId::new("infer/order-query-prepared", d), &d, |b, _| {
+            b.iter(|| ordering.run_episode(&q, &g))
+        });
+    }
+    // The serving layer above both: a warm OrderCache hit with a
+    // memoized QueryKey — what a repeated query actually pays for
+    // "ordering" once the caches are hot.
+    let model = RlQvo::new(RlQvoConfig::default());
+    let ordering = model.ordering();
+    let ocache = rlqvo_matching::OrderCache::new();
+    let key = rlqvo_matching::QueryKey::of(&q);
+    let cand = GqlFilter::default().filter(&q, &g);
+    ocache.get_or_compute_keyed(&key, "RL-QVO@GQL/r2", &q, || ordering.order(&q, &g, &cand));
+    group.bench_function("infer/order-cache-hit", |b| {
+        b.iter(|| ocache.get_or_compute_keyed(&key, "RL-QVO@GQL/r2", &q, || unreachable!("warm")))
+    });
     group.finish();
 }
 
@@ -326,6 +388,6 @@ fn bench_autograd(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_parallel_enum, bench_space_cache, bench_gcn_forward, bench_autograd
+    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_parallel_enum, bench_space_cache, bench_ordering_infer, bench_gcn_forward, bench_autograd
 }
 criterion_main!(benches);

@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use rlqvo_graph::Graph;
 use rlqvo_matching::{
-    auto_decide, enumerate_in_space, enumerate_probe_prepared, run_pipeline, EnumConfig, EnumEngine, Pipeline,
-    PipelineResult, SpaceCache,
+    auto_decide, enumerate_in_space, enumerate_probe_prepared, run_pipeline, EnumConfig, EnumEngine, OrderCache,
+    Pipeline, PipelineResult, SpaceCache,
 };
 
 use crate::methods::BenchMethod;
@@ -236,7 +236,7 @@ pub fn run_methods_shared(
     // same convention as methods within a group), so per-query time
     // distributions stay comparable with pre-cache harness runs.
     let cache = SpaceCache::new();
-    run_roster(g, queries, methods, config, threads, &cache, true)
+    run_roster(g, queries, methods, config, threads, &cache, None, true)
 }
 
 /// [`run_methods_shared`] against a caller-owned [`SpaceCache`]: the
@@ -262,7 +262,30 @@ pub fn run_methods_cached(
     threads: usize,
     cache: &SpaceCache,
 ) -> Vec<RunStats> {
-    run_roster(g, queries, methods, config, threads, cache, false)
+    run_roster(g, queries, methods, config, threads, cache, None, false)
+}
+
+/// [`run_methods_cached`] plus ordering amortization through a
+/// caller-owned [`OrderCache`]: rounds 2+ of a sweep skip phase 2 as
+/// well — each method's order per (query, filter group) is computed once
+/// for the lifetime of `order_cache` and served afterwards (entries are
+/// keyed by the method's
+/// [`cache_key`][rlqvo_matching::OrderingMethod::cache_key] composed
+/// with the group's filter key, so methods and filter groups never
+/// alias). Order hits book only the lookup time in `order_times` — the
+/// saving the sweep is measuring. The order cache shares the space
+/// cache's scope contract: clear it if the data graph (or a learned
+/// method's model) changes.
+pub fn run_methods_cached_ordered(
+    g: &Graph,
+    queries: &[Graph],
+    methods: &[BenchMethod<'_>],
+    config: EnumConfig,
+    threads: usize,
+    cache: &SpaceCache,
+    order_cache: &OrderCache,
+) -> Vec<RunStats> {
+    run_roster(g, queries, methods, config, threads, cache, Some(order_cache), false)
 }
 
 /// Shared implementation of the two roster entry points. `charge_hits`
@@ -270,6 +293,7 @@ pub fn run_methods_cached(
 /// the entry's stored filter/build times (per-call parity — what the
 /// query would have paid alone), `false` books zero (amortized — the
 /// cross-round saving stays visible in the aggregates).
+#[allow(clippy::too_many_arguments)] // internal fan-in point for the three public roster entry points
 fn run_roster(
     g: &Graph,
     queries: &[Graph],
@@ -277,12 +301,13 @@ fn run_roster(
     config: EnumConfig,
     threads: usize,
     cache: &SpaceCache,
+    order_cache: Option<&OrderCache>,
     charge_hits: bool,
 ) -> Vec<RunStats> {
     assert!(!methods.is_empty(), "need at least one method");
     let (query_workers, config) = worker_split(threads, config);
     let outcomes = parallel_map(queries.len(), query_workers, |i| {
-        eval_query_shared(g, &queries[i], methods, config, cache, charge_hits)
+        eval_query_shared(g, &queries[i], methods, config, cache, order_cache, charge_hits)
     });
 
     (0..methods.len())
@@ -302,6 +327,7 @@ fn eval_query_shared(
     methods: &[BenchMethod<'_>],
     config: EnumConfig,
     cache: &SpaceCache,
+    order_cache: Option<&OrderCache>,
     charge_hits: bool,
 ) -> SharedOutcome {
     let mut per_method: Vec<Option<PipelineResult>> = (0..methods.len()).map(|_| None).collect();
@@ -318,7 +344,7 @@ fn eval_query_shared(
         }
     }
 
-    for (_, idxs) in &groups {
+    for (group_key, idxs) in &groups {
         let t0 = Instant::now();
         let (entry, fresh) = cache.entry(query_id, q, g, methods[idxs[0]].filter.as_ref());
         // On a hit the filter did not run this round: book the stored
@@ -371,8 +397,18 @@ fn eval_query_shared(
         let share = build_time / idxs.len() as u32;
 
         for &mi in idxs {
+            // With an order cache, each method's order per (query, filter
+            // group) is computed once across every round; a hit books the
+            // lookup time only (phase 2 genuinely did not run).
             let t1 = Instant::now();
-            let order = methods[mi].ordering.order(q, g, cand);
+            let order = match order_cache {
+                Some(oc) => {
+                    let variant = format!("{}@{group_key}", methods[mi].ordering.cache_key());
+                    let (e, _) = oc.get_or_compute(query_id, &variant, q, || methods[mi].ordering.order(q, g, cand));
+                    e.order().to_vec()
+                }
+                None => methods[mi].ordering.order(q, g, cand),
+            };
             let order_time = t1.elapsed();
             let t2 = Instant::now();
             let enum_result = if use_space {
@@ -496,6 +532,28 @@ mod tests {
         // cache holds one entry per (query, filter) key after all rounds.
         assert_eq!(cache.len(), 3 * set.queries.len());
         assert!(cache.hits() > 0, "rounds 2+ must hit");
+    }
+
+    #[test]
+    fn order_cached_rounds_agree_and_skip_reordering() {
+        let g = Dataset::Citeseer.load_scaled(600);
+        let set = build_query_set(&g, 5, 4, 33);
+        let methods = baseline_methods();
+        let cache = SpaceCache::new();
+        let order_cache = OrderCache::new();
+        let fresh = run_methods_shared(&g, &set.queries, &methods, EnumConfig::find_all(), 2);
+        for round in 0..3 {
+            let cached =
+                run_methods_cached_ordered(&g, &set.queries, &methods, EnumConfig::find_all(), 2, &cache, &order_cache);
+            for (c, f) in cached.iter().zip(&fresh) {
+                assert_eq!(c.matches, f.matches, "{} match counts diverge in round {round}", c.name);
+                assert_eq!(c.enumerations, f.enumerations, "{} #enum diverges in round {round}", c.name);
+            }
+        }
+        // One order per (query, method-in-its-filter-group) across all
+        // three rounds: every method × query key missed exactly once.
+        assert_eq!(order_cache.misses() as usize, methods.len() * set.queries.len());
+        assert_eq!(order_cache.hits() as usize, 2 * methods.len() * set.queries.len());
     }
 
     #[test]

@@ -50,11 +50,22 @@ impl<'q> OrderingEnv<'q> {
     /// switch) — the masking guard the paper describes keeps the order
     /// valid even then.
     pub fn action_mask(&self) -> Vec<bool> {
+        let mut mask = Vec::new();
+        self.action_mask_into(&mut mask);
+        mask
+    }
+
+    /// [`OrderingEnv::action_mask`] written into a reusable buffer — the
+    /// allocation-free form the fast inference loop uses (one buffer per
+    /// episode instead of one `Vec` per step).
+    pub fn action_mask_into(&self, mask: &mut Vec<bool>) {
         let n = self.q.num_vertices();
+        mask.clear();
         if self.order.is_empty() {
-            return vec![true; n];
+            mask.resize(n, true);
+            return;
         }
-        let mut mask = vec![false; n];
+        mask.resize(n, false);
         let mut any = false;
         for &u in &self.order {
             for &nb in self.q.neighbors(u) {
@@ -69,13 +80,12 @@ impl<'q> OrderingEnv<'q> {
                 *m = !self.ordered[v];
             }
         }
-        mask
     }
 
-    /// Action-space size plus, when it is exactly one, the forced vertex —
-    /// the `|AS(t)| = 1` short-circuit of §III-D skips the network pass.
-    pub fn forced_action(&self) -> Option<VertexId> {
-        let mask = self.action_mask();
+    /// The forced action encoded in an already-computed mask: `Some(u)`
+    /// iff `u` is the single permitted vertex (the `|AS(t)| = 1`
+    /// short-circuit, without recomputing the mask).
+    pub fn forced_in(mask: &[bool]) -> Option<VertexId> {
         let mut found = None;
         for (v, &m) in mask.iter().enumerate() {
             if m {
@@ -88,6 +98,12 @@ impl<'q> OrderingEnv<'q> {
         found
     }
 
+    /// Action-space size plus, when it is exactly one, the forced vertex —
+    /// the `|AS(t)| = 1` short-circuit of §III-D skips the network pass.
+    pub fn forced_action(&self) -> Option<VertexId> {
+        Self::forced_in(&self.action_mask())
+    }
+
     /// Applies the chosen action.
     ///
     /// # Panics
@@ -95,6 +111,23 @@ impl<'q> OrderingEnv<'q> {
     pub fn apply(&mut self, u: VertexId) {
         assert!(!self.ordered[u as usize], "vertex {u} ordered twice");
         assert!(self.action_mask()[u as usize], "vertex {u} outside the action space");
+        self.commit(u);
+    }
+
+    /// [`OrderingEnv::apply`] for callers that already hold the current
+    /// step's action mask (from [`OrderingEnv::action_mask_into`]): skips
+    /// recomputing it. The caller's mask must be current — the fast
+    /// inference loop guarantees this by construction.
+    ///
+    /// # Panics
+    /// If `u` is already ordered or `mask[u]` is false.
+    pub fn apply_with_mask(&mut self, u: VertexId, mask: &[bool]) {
+        assert!(!self.ordered[u as usize], "vertex {u} ordered twice");
+        assert!(mask[u as usize], "vertex {u} outside the action space");
+        self.commit(u);
+    }
+
+    fn commit(&mut self, u: VertexId) {
         self.ordered[u as usize] = true;
         self.order.push(u);
     }

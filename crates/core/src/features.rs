@@ -122,22 +122,58 @@ impl FeatureExtractor {
     /// # Panics
     /// If `ordered.len()` differs from the query size.
     pub fn features_at(&self, t: usize, ordered: &[bool]) -> Matrix {
+        let mut out = Matrix::zeros(self.num_vertices, FEATURE_DIM);
+        self.write_features_at(t, ordered, &mut out);
+        out
+    }
+
+    /// [`FeatureExtractor::features_at`] written into a caller-owned
+    /// buffer (reshaped in place) — the allocation-free form. Identical
+    /// output, shared implementation.
+    pub fn write_features_at(&self, t: usize, ordered: &[bool], buf: &mut Matrix) {
         assert_eq!(ordered.len(), self.num_vertices, "ordered-flag length mismatch");
+        // Every cell is written below (all seven columns, both modes), so
+        // the zero-filling reshape is unnecessary.
+        buf.resize_for_overwrite(self.num_vertices, FEATURE_DIM);
         if self.random_mode {
-            return self.static_cols.clone();
+            buf.data_mut().copy_from_slice(self.static_cols.data());
+            return;
         }
-        let remaining = ((self.num_vertices as f32) - (t as f32) + 1.0) / self.remaining_scale;
-        Matrix::from_fn(self.num_vertices, FEATURE_DIM, |r, c| match c {
-            0..=4 => self.static_cols.get(r, c),
-            5 => remaining,
-            _ => {
-                if ordered[r] {
-                    1.0
-                } else {
-                    0.0
-                }
+        let remaining = self.remaining_at(t);
+        for (r, &is_ordered) in ordered.iter().enumerate() {
+            for c in 0..5 {
+                buf.set(r, c, self.static_cols.get(r, c));
             }
-        })
+            buf.set(r, 5, remaining);
+            buf.set(r, 6, if is_ordered { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// Incremental step transition for a buffer previously filled by
+    /// [`FeatureExtractor::write_features_at`]: vertex `newly_ordered`
+    /// was just appended to the order and the episode is now at step `t`.
+    /// Only the two step-dependent columns change — the remaining-count
+    /// column (dim 6, same value for every row) and the newly ordered
+    /// vertex's indicator (dim 7) — so the update is `O(n)` with zero
+    /// allocation instead of an `O(7n)` rebuild. No-op in RIF mode
+    /// (random features ignore the step). Differentially pinned equal to
+    /// `features_at` at every step in `tests/infer_parity.rs`.
+    pub fn apply_step(&self, t: usize, newly_ordered: u32, buf: &mut Matrix) {
+        if self.random_mode {
+            return;
+        }
+        assert_eq!(buf.shape(), (self.num_vertices, FEATURE_DIM), "buffer shape mismatch");
+        let remaining = self.remaining_at(t);
+        for r in 0..self.num_vertices {
+            buf.set(r, 5, remaining);
+        }
+        buf.set(newly_ordered as usize, 6, 1.0);
+    }
+
+    /// The step feature h6: scaled count of not-yet-ordered vertices at
+    /// 1-based step `t`.
+    fn remaining_at(&self, t: usize) -> f32 {
+        ((self.num_vertices as f32) - (t as f32) + 1.0) / self.remaining_scale
     }
 }
 
@@ -217,6 +253,35 @@ mod tests {
         assert_eq!(ma, b.features_at(2, &[true, false, false]), "RIF ignores the step");
         assert_ne!(ma, c.features_at(1, &[false; 3]), "different seed, different features");
         assert_eq!(ma.shape(), (3, FEATURE_DIM));
+    }
+
+    #[test]
+    fn incremental_updates_match_full_rebuilds() {
+        let (q, g) = setup();
+        let fx = FeatureExtractor::new(&q, &g, FeatureScaling::default());
+        let mut buf = Matrix::zeros(1, 1);
+        let mut ordered = [false; 3];
+        fx.write_features_at(1, &ordered, &mut buf);
+        assert_eq!(buf, fx.features_at(1, &ordered));
+        // Order 1, then 0, then 2, updating incrementally each time.
+        for (step, &u) in [1u32, 0, 2].iter().enumerate() {
+            ordered[u as usize] = true;
+            let t = step + 2; // after k applies the episode is at step k+1
+            fx.apply_step(t, u, &mut buf);
+            assert_eq!(buf, fx.features_at(t, &ordered), "diverged after ordering {u}");
+        }
+    }
+
+    #[test]
+    fn incremental_is_a_noop_in_rif_mode() {
+        let (q, _) = setup();
+        let fx = FeatureExtractor::new_random(&q, 5);
+        let mut buf = Matrix::zeros(1, 1);
+        fx.write_features_at(1, &[false; 3], &mut buf);
+        let before = buf.clone();
+        fx.apply_step(2, 1, &mut buf);
+        assert_eq!(buf, before, "RIF features ignore the step");
+        assert_eq!(buf, fx.features_at(2, &[false, true, false]));
     }
 
     #[test]

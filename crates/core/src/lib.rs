@@ -54,6 +54,6 @@ pub use env::OrderingEnv;
 pub use features::FeatureExtractor;
 pub use model::{RlQvo, RlQvoConfig};
 pub use ordering::RlQvoOrdering;
-pub use policy::{PolicyNetwork, PolicyOutput};
+pub use policy::{raw_argmax_of, PolicyNetwork, PolicyOutput, PolicyStep, PreparedPolicy};
 pub use rewards::RewardConfig;
 pub use trainer::{TrainReport, Trainer};

@@ -40,19 +40,67 @@ impl<'m> RlQvoOrdering<'m> {
         self
     }
 
-    /// Runs one ordering episode. Exposed separately from the trait so the
-    /// trainer can reuse it.
-    pub fn run_episode(&self, q: &Graph, g: &Graph) -> Vec<VertexId> {
-        let fx = if self.random_features {
+    fn extractor(&self, q: &Graph, g: &Graph) -> FeatureExtractor {
+        if self.random_features {
             FeatureExtractor::new_random(q, self.feature_seed)
         } else {
             FeatureExtractor::new(q, g, self.scaling)
-        };
+        }
+    }
+
+    /// Runs one ordering episode on the tape-free hot path. Exposed
+    /// separately from the trait so the trainer can reuse it.
+    ///
+    /// Per-query work happens once up front ([`GraphTensors`], the
+    /// feature extractor, a [`PreparedPolicy`][crate::PreparedPolicy]
+    /// scratch); per step the loop performs zero tape construction, zero
+    /// parameter binding, and no heap allocation — the feature matrix is
+    /// updated incrementally ([`FeatureExtractor::apply_step`]) and the
+    /// mask buffer is reused. Output is bitwise identical to
+    /// [`RlQvoOrdering::run_episode_reference`] (pinned in
+    /// `tests/infer_parity.rs`).
+    pub fn run_episode(&self, q: &Graph, g: &Graph) -> Vec<VertexId> {
+        let fx = self.extractor(q, g);
+        let gt = GraphTensors::of(q);
+        let mut prepared = self.policy.prepare();
+        let mut rng = self.sample_seed.map(StdRng::seed_from_u64);
+        let mut env = OrderingEnv::new(q);
+        let mut feats = rlqvo_tensor::Matrix::zeros(1, 1);
+        fx.write_features_at(1, env.ordered_flags(), &mut feats);
+        let mut mask: Vec<bool> = Vec::new();
+        while !env.done() {
+            env.action_mask_into(&mut mask);
+            // |AS| = 1 short-circuit (paper §III-D): no network pass.
+            let action = match OrderingEnv::forced_in(&mask) {
+                Some(forced) => forced,
+                None => {
+                    let step = prepared.forward(&gt, &feats, &mask);
+                    match &mut rng {
+                        // Sampling (training-style exploration) allocates
+                        // a Categorical; greedy inference stays on the
+                        // allocation-free argmax.
+                        Some(r) => Categorical::new(step.probs.to_vec()).sample(r) as VertexId,
+                        None => greedy_argmax(step.probs) as VertexId,
+                    }
+                }
+            };
+            env.apply_with_mask(action, &mask);
+            fx.apply_step(env.step_number(), action, &mut feats);
+        }
+        env.into_order()
+    }
+
+    /// The original tape-based episode — one throwaway [`Tape`] and a
+    /// full feature rebuild per step — kept as the differential reference
+    /// for [`RlQvoOrdering::run_episode`].
+    ///
+    /// [`Tape`]: rlqvo_tensor::Tape
+    pub fn run_episode_reference(&self, q: &Graph, g: &Graph) -> Vec<VertexId> {
+        let fx = self.extractor(q, g);
         let gt = GraphTensors::of(q);
         let mut rng = self.sample_seed.map(StdRng::seed_from_u64);
         let mut env = OrderingEnv::new(q);
         while !env.done() {
-            // |AS| = 1 short-circuit (paper §III-D): no network pass.
             if let Some(forced) = env.forced_action() {
                 env.apply(forced);
                 continue;
@@ -71,6 +119,14 @@ impl<'m> RlQvoOrdering<'m> {
     }
 }
 
+/// Index of the most probable action — [`Categorical::argmax`]'s exact
+/// semantics (both delegate to [`rlqvo_rl::argmax_lowest_index`]),
+/// computed straight off the shared probability buffer with no
+/// distribution allocation.
+fn greedy_argmax(probs: &[f32]) -> usize {
+    rlqvo_rl::argmax_lowest_index(probs)
+}
+
 impl OrderingMethod for RlQvoOrdering<'_> {
     fn name(&self) -> &str {
         "RL-QVO"
@@ -78,6 +134,34 @@ impl OrderingMethod for RlQvoOrdering<'_> {
 
     fn order(&self, q: &Graph, g: &Graph, _cand: &Candidates) -> Vec<VertexId> {
         self.run_episode(q, g)
+    }
+
+    /// Folds in every configuration knob *except* the policy weights —
+    /// those cannot become a string, so an
+    /// [`OrderCache`][rlqvo_matching::OrderCache] serving this method
+    /// must be scoped to one model (the cache's documented contract).
+    /// Non-RIF features depend on every [`FeatureScaling`] field, so the
+    /// scaling goes into the key too (RIF ignores it — there the seed is
+    /// what matters). Sampling variants are keyed by seed: a seeded
+    /// sampler is still deterministic per (seed, query).
+    fn cache_key(&self) -> String {
+        let mut key = String::from("RL-QVO");
+        if self.random_features {
+            key.push_str(&format!("/rif{}", self.feature_seed));
+        } else {
+            let s = &self.scaling;
+            key.push_str(&format!(
+                "/a{};{};{};n{}",
+                s.alpha_degree,
+                s.alpha_d,
+                s.alpha_l,
+                if s.normalize { 1 } else { 0 }
+            ));
+        }
+        if let Some(seed) = self.sample_seed {
+            key.push_str(&format!("/sample{seed}"));
+        }
+        key
     }
 }
 
@@ -141,6 +225,29 @@ mod tests {
             seen.insert(ordering.run_episode(&q, &g));
         }
         assert!(seen.len() >= 2, "sampling produced a single order across seeds");
+    }
+
+    #[test]
+    fn cache_keys_separate_every_ordering_configuration() {
+        let policy = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 16, 5);
+        let base = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0);
+        // Different feature scaling ⇒ different features ⇒ potentially
+        // different orders: must never share a cached order.
+        let literal = RlQvoOrdering::new(&policy, FeatureScaling::paper_literal(), false, 0);
+        assert_ne!(base.cache_key(), literal.cache_key());
+        let alpha =
+            RlQvoOrdering::new(&policy, FeatureScaling { alpha_degree: 2.0, ..FeatureScaling::default() }, false, 0);
+        assert_ne!(base.cache_key(), alpha.cache_key());
+        // RIF mode keys by seed (scaling is ignored there).
+        let rif1 = RlQvoOrdering::new(&policy, FeatureScaling::default(), true, 1);
+        let rif2 = RlQvoOrdering::new(&policy, FeatureScaling::default(), true, 2);
+        assert_ne!(rif1.cache_key(), rif2.cache_key());
+        assert_ne!(base.cache_key(), rif1.cache_key());
+        // Sampling variants key by seed; same config keys equal.
+        let sampled = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0).sampling(7);
+        assert_ne!(base.cache_key(), sampled.cache_key());
+        let same = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0);
+        assert_eq!(base.cache_key(), same.cache_key());
     }
 
     #[test]

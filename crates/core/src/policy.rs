@@ -3,9 +3,12 @@
 //! vertex, scores outside the action space are masked out, and a softmax
 //! yields the selection distribution.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rlqvo_gnn::{build_layer, GnnKind, GnnLayer, GraphTensors, MlpHead};
+use rlqvo_gnn::{build_layer, GnnKind, GnnLayer, GraphTensors, InferScratch, MlpHead};
+use rlqvo_tensor::infer::masked_softmax_col_into;
 use rlqvo_tensor::{Matrix, Tape, Var};
 
 /// Inference output for one ordering step.
@@ -16,6 +19,17 @@ pub struct PolicyOutput {
     /// Argmax of the *unmasked* scores — the validate reward checks
     /// whether this lands inside the action space (§III-C).
     pub raw_argmax: usize,
+}
+
+/// Argmax of an `n×1` score column with the deterministic lowest-index
+/// tie-break: among equal scores the smallest row index wins. This is
+/// load-bearing for reproducible orders — both the tape and tape-free
+/// forward paths route through it, and it is pinned by tests. The
+/// comparator itself lives in [`rlqvo_rl::argmax_lowest_index`], shared
+/// with [`rlqvo_rl::Categorical::argmax`] so the two can never drift.
+pub fn raw_argmax_of(scores: &Matrix) -> usize {
+    assert_eq!(scores.cols(), 1, "raw_argmax_of expects an n×1 score column");
+    rlqvo_rl::argmax_lowest_index(scores.data())
 }
 
 /// Tape handles for one bound forward pass.
@@ -110,16 +124,20 @@ impl PolicyNetwork {
     /// Forward pass on an existing tape. Returns `(masked probability
     /// column, raw scores column)`. `dropout` (probability, rng) applies
     /// inverted dropout after every GNN layer — training only.
+    ///
+    /// `features` is bound as a leaf *by reference* ([`Tape::leaf_arc`]):
+    /// the trainer replays stored per-step feature matrices across PPO
+    /// passes without one copy per step.
     pub fn forward_on_tape(
         &self,
         t: &Tape,
         binding: &PolicyBinding,
         gt: &GraphTensors,
-        features: &Matrix,
+        features: Arc<Matrix>,
         mask: &[bool],
         dropout: Option<(f32, &mut StdRng)>,
     ) -> (Var, Var) {
-        let mut h = t.leaf(features.clone());
+        let mut h = t.leaf_arc(features);
         let mut drop = dropout;
         for (layer, vars) in self.layers.iter().zip(&binding.layer_vars) {
             h = layer.forward(t, gt, vars, h);
@@ -135,17 +153,83 @@ impl PolicyNetwork {
         (probs, scores)
     }
 
-    /// Inference-only forward: throwaway tape, no dropout.
+    /// Tape-based inference forward: throwaway tape, no dropout. This is
+    /// the *reference* path — [`PolicyNetwork::prepare`] is the serving
+    /// path (no tape construction, no parameter binding, no per-step
+    /// allocation), property-tested bitwise identical to this one.
     pub fn forward(&self, gt: &GraphTensors, features: &Matrix, mask: &[bool]) -> PolicyOutput {
         let t = Tape::new();
         let binding = self.bind(&t);
-        let (probs, scores) = self.forward_on_tape(&t, &binding, gt, features, mask, None);
+        let (probs, scores) = self.forward_on_tape(&t, &binding, gt, Arc::new(features.clone()), mask, None);
         let pv = t.value(probs);
         let sv = t.value(scores);
-        let raw_argmax = (0..sv.rows())
-            .max_by(|&a, &b| sv.get(a, 0).partial_cmp(&sv.get(b, 0)).unwrap().then(b.cmp(&a)))
-            .expect("non-empty scores");
+        let raw_argmax = raw_argmax_of(&sv);
         PolicyOutput { probs: (0..pv.rows()).map(|r| pv.get(r, 0)).collect(), raw_argmax }
+    }
+
+    /// Readies this network for tape-free inference: the returned
+    /// [`PreparedPolicy`] owns a scratch arena and a reusable probability
+    /// buffer, so every [`PreparedPolicy::forward`] call after the first
+    /// performs zero heap allocation.
+    pub fn prepare(&self) -> PreparedPolicy<'_> {
+        PreparedPolicy { policy: self, scratch: InferScratch::new(), probs: Vec::new() }
+    }
+}
+
+/// One tape-free forward result, borrowing [`PreparedPolicy`]'s reusable
+/// buffers. Field semantics match [`PolicyOutput`].
+#[derive(Debug)]
+pub struct PolicyStep<'a> {
+    /// Masked softmax probabilities per query vertex (zeros off-mask).
+    pub probs: &'a [f32],
+    /// Argmax of the *unmasked* scores (validate-reward probe).
+    pub raw_argmax: usize,
+}
+
+/// The inference-configured view of a [`PolicyNetwork`]: parameters are
+/// used in place (no tape, no re-binding), intermediates live in a
+/// recycled [`InferScratch`] arena, and the output probability vector is
+/// reused across steps. Bitwise identical to [`PolicyNetwork::forward`]
+/// (pinned per GNN kind in `tests/infer_parity.rs`).
+///
+/// One `PreparedPolicy` serves one inference stream; create one per
+/// worker when ordering queries concurrently (the underlying network is
+/// shared, the scratch is not).
+pub struct PreparedPolicy<'p> {
+    policy: &'p PolicyNetwork,
+    scratch: InferScratch,
+    probs: Vec<f32>,
+}
+
+impl PreparedPolicy<'_> {
+    /// The network this view serves.
+    pub fn policy(&self) -> &PolicyNetwork {
+        self.policy
+    }
+
+    /// Tape-free forward pass for one ordering step.
+    pub fn forward(&mut self, gt: &GraphTensors, features: &Matrix, mask: &[bool]) -> PolicyStep<'_> {
+        let layers = &self.policy.layers;
+        let mut h = layers[0].infer(gt, &mut self.scratch, features);
+        for layer in &layers[1..] {
+            let next = layer.infer(gt, &mut self.scratch, &h);
+            self.scratch.put(h);
+            h = next;
+        }
+        let scores = self.policy.head.infer(&mut self.scratch, &h);
+        self.scratch.put(h);
+        masked_softmax_col_into(&scores, mask, &mut self.probs);
+        let raw_argmax = raw_argmax_of(&scores);
+        self.scratch.put(scores);
+        PolicyStep { probs: &self.probs, raw_argmax }
+    }
+
+    /// [`PreparedPolicy::forward`] materialized as an owned
+    /// [`PolicyOutput`] (allocates; convenience for callers that need to
+    /// store the result).
+    pub fn forward_owned(&mut self, gt: &GraphTensors, features: &Matrix, mask: &[bool]) -> PolicyOutput {
+        let step = self.forward(gt, features, mask);
+        PolicyOutput { probs: step.probs.to_vec(), raw_argmax: step.raw_argmax }
     }
 }
 
@@ -222,7 +306,7 @@ mod tests {
         let net = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 8, 4);
         let t = Tape::new();
         let binding = net.bind(&t);
-        let (probs, _) = net.forward_on_tape(&t, &binding, &gt, &f, &[true; 4], None);
+        let (probs, _) = net.forward_on_tape(&t, &binding, &gt, Arc::new(f.clone()), &[true; 4], None);
         let loss = t.ln(t.pick(probs, 1, 0));
         let grads = t.backward(loss);
         for (i, v) in binding.flat().iter().enumerate() {
@@ -242,8 +326,8 @@ mod tests {
         let t = Tape::new();
         let binding = net.bind(&t);
         let mut rng = StdRng::seed_from_u64(9);
-        let (p1, _) = net.forward_on_tape(&t, &binding, &gt, &f, &mask, Some((0.5, &mut rng)));
-        let (p2, _) = net.forward_on_tape(&t, &binding, &gt, &f, &mask, Some((0.5, &mut rng)));
+        let (p1, _) = net.forward_on_tape(&t, &binding, &gt, Arc::new(f.clone()), &mask, Some((0.5, &mut rng)));
+        let (p2, _) = net.forward_on_tape(&t, &binding, &gt, Arc::new(f.clone()), &mask, Some((0.5, &mut rng)));
         assert_ne!(t.value(p1), t.value(p2), "dropout masks differ across passes");
     }
 
@@ -251,5 +335,58 @@ mod tests {
     #[should_panic(expected = "at least one layer")]
     fn rejects_zero_layers() {
         PolicyNetwork::new(GnnKind::Gcn, 0, 7, 8, 1);
+    }
+
+    #[test]
+    fn raw_argmax_breaks_ties_toward_the_lowest_index() {
+        // Unique maximum: position wins regardless of index.
+        assert_eq!(raw_argmax_of(&Matrix::from_rows(&[&[0.1], &[0.9], &[0.3]])), 1);
+        // Two-way tie at the maximum: the LOWER index must win.
+        assert_eq!(raw_argmax_of(&Matrix::from_rows(&[&[1.0], &[2.0], &[2.0]])), 1);
+        // Tie at the front, later non-max entries don't matter.
+        assert_eq!(raw_argmax_of(&Matrix::from_rows(&[&[5.0], &[5.0], &[1.0]])), 0);
+        // All equal: index 0.
+        assert_eq!(raw_argmax_of(&Matrix::from_rows(&[&[0.5], &[0.5], &[0.5], &[0.5]])), 0);
+        // Negative plateau.
+        assert_eq!(raw_argmax_of(&Matrix::from_rows(&[&[-3.0], &[-1.0], &[-1.0]])), 1);
+        // Single entry.
+        assert_eq!(raw_argmax_of(&Matrix::from_rows(&[&[42.0]])), 0);
+    }
+
+    #[test]
+    fn forward_argmax_is_deterministic_under_all_equal_scores() {
+        // Zeroing every parameter collapses all vertex scores to b2 (a
+        // constant), so raw_argmax exercises the tie-break on a full
+        // plateau through the real forward pass: index 0 must win, on
+        // both the tape and the tape-free path.
+        let (gt, f) = tensors_and_features();
+        let mut net = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 16, 9);
+        for p in net.params_mut() {
+            let (r, c) = p.shape();
+            *p = Matrix::zeros(r, c);
+        }
+        let out = net.forward(&gt, &f, &[true; 4]);
+        assert_eq!(out.raw_argmax, 0, "plateau tie must resolve to the lowest index");
+        let mut prepared = net.prepare();
+        assert_eq!(prepared.forward(&gt, &f, &[true; 4]).raw_argmax, 0);
+    }
+
+    #[test]
+    fn prepared_forward_matches_tape_forward_bitwise() {
+        let (gt, f) = tensors_and_features();
+        for kind in
+            [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense]
+        {
+            let net = PolicyNetwork::new(kind, 2, 7, 16, 8);
+            let mask = [true, false, true, true];
+            let tape = net.forward(&gt, &f, &mask);
+            let mut prepared = net.prepare();
+            for _ in 0..3 {
+                // Repeated passes through the warmed scratch stay identical.
+                let step = prepared.forward(&gt, &f, &mask);
+                assert_eq!(step.probs, &tape.probs[..], "{}", kind.name());
+                assert_eq!(step.raw_argmax, tape.raw_argmax, "{}", kind.name());
+            }
+        }
     }
 }

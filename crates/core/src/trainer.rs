@@ -14,6 +14,7 @@
 //!    (the recorded log-probs) and becomes the new sampling policy
 //!    afterwards — exactly PPO's sampling-network scheme.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -59,9 +60,12 @@ impl TrainReport {
     }
 }
 
-/// Stored state for PPO re-evaluation.
+/// Stored state for PPO re-evaluation. Features are `Arc`-shared: the
+/// update passes bind them as tape leaves by reference
+/// ([`rlqvo_tensor::Tape::leaf_arc`]) instead of cloning one matrix per
+/// step per pass.
 struct StoredState {
-    features: Matrix,
+    features: Arc<Matrix>,
     mask: Vec<bool>,
 }
 
@@ -139,6 +143,10 @@ impl Trainer {
             let mut enum_adv_sum = 0.0f32;
             let mut enum_adv_count = 0usize;
 
+            // Rollout collection is pure inference: run it on the
+            // tape-free prepared path (bitwise identical to the tape
+            // forward, so sampling behaviour is unchanged).
+            let mut prepared = policy.prepare();
             for (qi, (q, ctx)) in queries.iter().zip(&contexts).enumerate() {
                 for _ in 0..rollouts {
                     let mut traj: Trajectory<StoredState> = Trajectory::new();
@@ -150,7 +158,7 @@ impl Trainer {
                         }
                         let feats = ctx.extractor.features_at(env.step_number(), env.ordered_flags());
                         let mask = env.action_mask();
-                        let out = policy.forward(&ctx.tensors, &feats, &mask);
+                        let out = prepared.forward_owned(&ctx.tensors, &feats, &mask);
                         let dist = Categorical::new(out.probs);
                         let action = dist.sample(&mut rng);
                         let logp_old = dist.log_prob(action);
@@ -158,7 +166,7 @@ impl Trainer {
                         entropy_sum += entropy;
                         entropy_steps += 1;
                         let step_reward = cfg.reward.step_reward(mask[out.raw_argmax], entropy);
-                        traj.push(StoredState { features: feats, mask }, action, logp_old, step_reward);
+                        traj.push(StoredState { features: Arc::new(feats), mask }, action, logp_old, step_reward);
                         env.apply(action as u32);
                     }
                     let order = env.into_order();
@@ -171,6 +179,7 @@ impl Trainer {
                     trajectories.push((qi, traj));
                 }
             }
+            drop(prepared); // release the immutable borrow before updates
 
             // Per-query baseline, then batch whitening.
             let mut query_mean = vec![0.0f32; queries.len()];
@@ -217,7 +226,7 @@ impl Trainer {
                             &tape,
                             &binding,
                             &ctx.tensors,
-                            &step.state.features,
+                            Arc::clone(&step.state.features),
                             &step.state.mask,
                             if cfg.dropout > 0.0 { Some((cfg.dropout, &mut rng)) } else { None },
                         );

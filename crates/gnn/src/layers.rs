@@ -6,7 +6,8 @@
 //! [`rlqvo_tensor::GradStore`] by position.
 
 use rand::Rng;
-use rlqvo_tensor::{Matrix, Tape, Var};
+use rlqvo_tensor::infer::{broadcast_add_col_row_into, masked_softmax_rows_into};
+use rlqvo_tensor::{InferScratch, Matrix, Tape, Var};
 
 use crate::adj::GraphTensors;
 
@@ -57,6 +58,12 @@ pub trait GnnLayer: Send + Sync {
     }
     /// Forward pass. `bound` must come from [`Self::bind`] on the same tape.
     fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var;
+    /// Tape-free inference forward: the same math as [`Self::forward`],
+    /// bitwise identical (shared kernels, same accumulation order), but
+    /// with zero tape nodes, zero parameter binding, and no heap
+    /// allocation beyond `scratch`'s reusable buffers. Returns a buffer
+    /// owned by the pool — `put` it back when finished with it.
+    fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix;
     /// Output feature dimension.
     fn out_dim(&self) -> usize;
     /// Which ablation family this layer belongs to.
@@ -101,6 +108,16 @@ impl GnnLayer for GcnLayer {
         let lin = t.add_bias_row(t.matmul(agg, bound[0]), bound[1]);
         t.relu(lin)
     }
+    fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let mut agg = scratch.take(h.rows(), h.cols());
+        gt.norm_adj.matmul_into(h, &mut agg);
+        let mut out = scratch.take(h.rows(), self.w.cols());
+        agg.matmul_into(&self.w, &mut out);
+        scratch.put(agg);
+        out.add_bias_row_assign(&self.b);
+        out.relu_in_place();
+        out
+    }
     fn out_dim(&self) -> usize {
         self.w.cols()
     }
@@ -144,6 +161,29 @@ impl GnnLayer for GatLayer {
         let att = t.masked_softmax_rows(scores, &gt.mask_self);
         t.relu(t.matmul(att, z))
     }
+    fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let n = h.rows();
+        let mut z = scratch.take(n, self.w.cols());
+        h.matmul_into(&self.w, &mut z);
+        let mut s_src = scratch.take(n, 1);
+        z.matmul_into(&self.a_src, &mut s_src);
+        let mut s_dst = scratch.take(n, 1);
+        z.matmul_into(&self.a_dst, &mut s_dst);
+        let mut scores = scratch.take(n, n);
+        broadcast_add_col_row_into(&s_src, &s_dst, &mut scores);
+        scratch.put(s_src);
+        scratch.put(s_dst);
+        scores.leaky_relu_in_place(0.2);
+        let mut att = scratch.take(n, n);
+        masked_softmax_rows_into(&scores, &gt.mask_self, &mut att);
+        scratch.put(scores);
+        let mut out = scratch.take(n, z.cols());
+        att.matmul_into(&z, &mut out);
+        scratch.put(att);
+        scratch.put(z);
+        out.relu_in_place();
+        out
+    }
     fn out_dim(&self) -> usize {
         self.w.cols()
     }
@@ -182,6 +222,20 @@ impl GnnLayer for SageLayer {
         let own = t.matmul(h, bound[0]);
         let neigh = t.matmul(t.matmul(mean, h), bound[1]);
         t.relu(t.add_bias_row(t.add(own, neigh), bound[2]))
+    }
+    fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let mut own = scratch.take(h.rows(), self.w_self.cols());
+        h.matmul_into(&self.w_self, &mut own);
+        let mut agg = scratch.take(h.rows(), h.cols());
+        gt.mean_adj.matmul_into(h, &mut agg);
+        let mut neigh = scratch.take(h.rows(), self.w_neigh.cols());
+        agg.matmul_into(&self.w_neigh, &mut neigh);
+        scratch.put(agg);
+        own.add_assign(&neigh);
+        scratch.put(neigh);
+        own.add_bias_row_assign(&self.b);
+        own.relu_in_place();
+        own
     }
     fn out_dim(&self) -> usize {
         self.w_self.cols()
@@ -222,6 +276,20 @@ impl GnnLayer for GraphConvLayer {
         let own = t.matmul(h, bound[0]);
         let neigh = t.matmul(t.matmul(adj, h), bound[1]);
         t.relu(t.add_bias_row(t.add(own, neigh), bound[2]))
+    }
+    fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let mut own = scratch.take(h.rows(), self.w1.cols());
+        h.matmul_into(&self.w1, &mut own);
+        let mut agg = scratch.take(h.rows(), h.cols());
+        gt.adj.matmul_into(h, &mut agg);
+        let mut neigh = scratch.take(h.rows(), self.w2.cols());
+        agg.matmul_into(&self.w2, &mut neigh);
+        scratch.put(agg);
+        own.add_assign(&neigh);
+        scratch.put(neigh);
+        own.add_bias_row_assign(&self.b);
+        own.relu_in_place();
+        own
     }
     fn out_dim(&self) -> usize {
         self.w1.cols()
@@ -269,6 +337,25 @@ impl GnnLayer for LeConvLayer {
         let combined = t.sub(t.add(own, scaled), neigh);
         t.relu(t.add_bias_row(combined, bound[3]))
     }
+    fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let mut own = scratch.take(h.rows(), self.w1.cols());
+        h.matmul_into(&self.w1, &mut own);
+        let mut scaled = scratch.take(h.rows(), self.w2.cols());
+        h.matmul_into(&self.w2, &mut scaled);
+        scaled.mul_col_broadcast_assign(&gt.degree);
+        let mut tmp = scratch.take(h.rows(), self.w3.cols());
+        h.matmul_into(&self.w3, &mut tmp);
+        let mut neigh = scratch.take(h.rows(), self.w3.cols());
+        gt.adj.matmul_into(&tmp, &mut neigh);
+        scratch.put(tmp);
+        own.add_assign(&scaled);
+        own.sub_assign(&neigh);
+        scratch.put(scaled);
+        scratch.put(neigh);
+        own.add_bias_row_assign(&self.b);
+        own.relu_in_place();
+        own
+    }
     fn out_dim(&self) -> usize {
         self.w1.cols()
     }
@@ -300,6 +387,13 @@ impl GnnLayer for DenseLayer {
     }
     fn forward(&self, t: &Tape, _gt: &GraphTensors, bound: &[Var], h: Var) -> Var {
         t.relu(t.add_bias_row(t.matmul(h, bound[0]), bound[1]))
+    }
+    fn infer(&self, _gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let mut out = scratch.take(h.rows(), self.w.cols());
+        h.matmul_into(&self.w, &mut out);
+        out.add_bias_row_assign(&self.b);
+        out.relu_in_place();
+        out
     }
     fn out_dim(&self) -> usize {
         self.w.cols()
@@ -417,6 +511,27 @@ mod tests {
         let bound = layer.bind(&t);
         let out = t.value(layer.forward(&t, &gt, &bound, h));
         assert!(out.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn infer_is_bitwise_identical_to_tape_forward_for_every_kind() {
+        let gt = path4_tensors();
+        let mut rng = StdRng::seed_from_u64(6);
+        let h_val = Matrix::from_fn(4, 5, |r, c| ((r * 5 + c) as f32 * 0.31).sin());
+        for kind in ALL_KINDS {
+            let layer = build_layer(kind, 5, 8, &mut rng);
+            let t = Tape::new();
+            let h = t.leaf(h_val.clone());
+            let bound = layer.bind(&t);
+            let tape_out = t.value(layer.forward(&t, &gt, &bound, h));
+            let mut scratch = InferScratch::new();
+            let infer_out = layer.infer(&gt, &mut scratch, &h_val);
+            assert_eq!(tape_out, infer_out, "{}: tape vs tape-free forward diverge", kind.name());
+            // A second pass through the warmed scratch must agree too
+            // (recycled buffers carry no state).
+            let again = layer.infer(&gt, &mut scratch, &h_val);
+            assert_eq!(infer_out, again, "{}: warmed scratch changed the result", kind.name());
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! to the action-space logic.
 
 use rand::Rng;
-use rlqvo_tensor::{Matrix, Tape, Var};
+use rlqvo_tensor::{InferScratch, Matrix, Tape, Var};
 
 /// Two-layer perceptron head mapping `n×d` node embeddings to `n×1` scores.
 pub struct MlpHead {
@@ -46,6 +46,21 @@ impl MlpHead {
         t.add_bias_row(t.matmul(hidden, bound[2]), bound[3])
     }
 
+    /// Tape-free inference forward, bitwise identical to
+    /// [`MlpHead::forward`] (shared kernels). Returns an `n×1` score
+    /// buffer owned by the scratch pool.
+    pub fn infer(&self, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let mut hidden = scratch.take(h.rows(), self.w1.cols());
+        h.matmul_into(&self.w1, &mut hidden);
+        hidden.add_bias_row_assign(&self.b1);
+        hidden.relu_in_place();
+        let mut scores = scratch.take(h.rows(), 1);
+        hidden.matmul_into(&self.w2, &mut scores);
+        scratch.put(hidden);
+        scores.add_bias_row_assign(&self.b2);
+        scores
+    }
+
     /// Hidden width.
     pub fn hidden_dim(&self) -> usize {
         self.w1.cols()
@@ -83,6 +98,20 @@ mod tests {
         for (i, v) in bound.iter().enumerate() {
             assert!(grads.get(*v).is_some(), "param {i} missing gradient");
         }
+    }
+
+    #[test]
+    fn infer_matches_tape_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let head = MlpHead::new(6, 12, &mut rng);
+        let h_val = Matrix::from_fn(5, 6, |r, c| ((r * 6 + c) as f32 * 0.23).cos());
+        let t = Tape::new();
+        let h = t.leaf(h_val.clone());
+        let bound = head.bind(&t);
+        let tape_scores = t.value(head.forward(&t, &bound, h));
+        let mut scratch = InferScratch::new();
+        let scores = head.infer(&mut scratch, &h_val);
+        assert_eq!(tape_scores, scores);
     }
 
     #[test]

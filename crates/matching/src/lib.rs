@@ -29,7 +29,10 @@
 //! the lazily built [`CandidateSpace`], and the probe engine's
 //! [`QueryAdjBits`] precomputation, so sweeps replaying the same queries
 //! (cap sweeps, repeated CLI invocations) filter and build exactly once
-//! per key. [`naive`] holds a brute-force enumerator used as a correctness
+//! per key. [`ordercache`] is its phase-2 sibling: an [`OrderCache`] of
+//! matching orders keyed by `(query id, ordering semantics)`, so a
+//! serving loop replaying a query skips the ordering phase — including a
+//! learned policy's whole GNN inference — entirely. [`naive`] holds a brute-force enumerator used as a correctness
 //! oracle in tests.
 
 pub mod bipartite;
@@ -39,6 +42,7 @@ pub mod filter;
 pub mod naive;
 pub mod nec;
 pub mod order;
+pub mod ordercache;
 pub mod parallel;
 pub mod pipeline;
 pub mod spacecache;
@@ -51,6 +55,9 @@ pub use enumerate::{
 };
 pub use filter::{CandidateFilter, Candidates, GqlFilter, LdfFilter, NlfFilter};
 pub use order::{connected_prefix_ok, OrderingMethod};
+pub use ordercache::{CachedOrdering, OrderCache, OrderEntry};
 pub use parallel::{enumerate_in_space_sliced, peak_parallel_workers, reset_peak_parallel_workers};
-pub use pipeline::{run_pipeline, run_with_candidates, run_with_entry, run_with_space, Pipeline, PipelineResult};
-pub use spacecache::{SpaceCache, SpaceEntry};
+pub use pipeline::{
+    run_pipeline, run_with_candidates, run_with_entry, run_with_entry_ordered, run_with_space, Pipeline, PipelineResult,
+};
+pub use spacecache::{QueryKey, SpaceCache, SpaceEntry};

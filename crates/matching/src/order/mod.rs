@@ -50,6 +50,20 @@ pub trait OrderingMethod: Send + Sync {
     /// data graph (label/degree statistics) and the candidate sets
     /// (GQL/CFL/VEQ do; RI/QSI/VF2++ do not).
     fn order(&self, q: &Graph, g: &Graph, cand: &Candidates) -> Vec<VertexId>;
+
+    /// Stable identity of this method's ordering *semantics* for caching
+    /// (the [`OrderCache`][crate::OrderCache] analogue of
+    /// [`CandidateFilter::cache_key`][crate::CandidateFilter::cache_key]).
+    /// Two instances returning the same key must produce identical orders
+    /// on identical `(q, g, cand)` inputs. Parameterized or stateful
+    /// methods (learned policies, sampling modes) must override so
+    /// distinct configurations never share cached orders; state that
+    /// cannot be folded into a string (e.g. model weights) instead bounds
+    /// the *scope* of the cache — one cache per model, documented on
+    /// [`OrderCache`][crate::OrderCache].
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// True when every vertex after the first has a neighbour earlier in the

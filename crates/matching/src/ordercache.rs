@@ -1,0 +1,519 @@
+//! Cross-round amortization of the *ordering* phase: a keyed, sharded,
+//! LRU-bounded cache of matching orders.
+//!
+//! [`SpaceCache`] lets a serving loop replaying the same queries pay
+//! phase 1 (filtering + `CandidateSpace` build) once. [`OrderCache`] is
+//! its phase-2 sibling: deterministic ordering methods — every heuristic
+//! baseline and RL-QVO's greedy inference — produce the same order every
+//! time for the same `(query, data graph, candidates)` input, so a
+//! repeated query can skip ordering entirely. For a learned policy that
+//! is the *entire* inference cost: a hit replaces `|V(q)|` GNN forward
+//! passes with one fingerprint lookup.
+//!
+//! Design mirrors [`SpaceCache`] (same sharding, same recency/eviction
+//! scheme, same hit-verification policy):
+//!
+//! * keys are `(query id, variant)` where the query id is the structural
+//!   fingerprint (or a caller-memoized [`QueryKey`], which also skips the
+//!   per-hit checksum re-hash) and the *variant* string names the
+//!   ordering semantics ([`OrderingMethod::cache_key`]) plus whatever
+//!   context the caller folds in (typically the filter's `cache_key`,
+//!   since candidate-driven methods order differently on different
+//!   candidate sets);
+//! * the index is sharded with per-shard locks; per-key computation runs
+//!   under a `OnceLock` outside every lock, so racing workers order a
+//!   cold key exactly once and never block unrelated keys;
+//! * hits verify the entry's stored structural checksum in debug builds
+//!   (`RLQVO_CACHE_VERIFY=1` in release) — a fingerprint collision is
+//!   detected, not silently served;
+//! * capacity is bounded by *entry count* ([`OrderCache::with_capacity`]):
+//!   orders are a few dozen bytes, so counting entries is the right
+//!   granularity (contrast `SpaceCache`'s byte accounting, whose entries
+//!   span kilobytes to megabytes). Eviction is global LRU with shard
+//!   locks taken one at a time, the key being served protected.
+//!
+//! **Scope contract**: an `OrderCache` is valid for one `(data graph,
+//! candidate-filter configuration, model weights)` combination — anything
+//! that changes the order an uncached call would produce requires
+//! [`OrderCache::clear`] (or a fresh cache). The `RLQVO_ORDER_CACHE` env
+//! knob ([`OrderCache::env_enabled`]) gates it at every surface.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rlqvo_graph::{Graph, VertexId};
+
+use crate::filter::Candidates;
+use crate::order::OrderingMethod;
+use crate::spacecache::{QueryKey, SpaceCache};
+
+/// Number of independently locked index segments (matches `SpaceCache`).
+const SHARD_COUNT: usize = 16;
+
+type Key = (u64, String);
+
+/// One cached order plus its collision guard and timing.
+pub struct OrderEntry {
+    order: Vec<VertexId>,
+    /// Structural checksum of the query this order was computed for.
+    checksum: u64,
+    /// Wall time of the single ordering pass that created this entry.
+    order_time: Duration,
+}
+
+impl OrderEntry {
+    /// The cached matching order.
+    #[inline]
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Wall time of the ordering pass that filled this entry.
+    pub fn order_time(&self) -> Duration {
+        self.order_time
+    }
+
+    /// True when `q` hashes to the checksum stored at insert.
+    pub fn verify_checksum(&self, q: &Graph) -> bool {
+        self.checksum == SpaceCache::query_checksum(q)
+    }
+}
+
+/// Map slot: the `OnceLock` serializes per-key ordering outside the shard
+/// lock.
+struct Slot {
+    cell: OnceLock<Arc<OrderEntry>>,
+}
+
+struct Resident {
+    slot: Arc<Slot>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<Key, Resident>>,
+}
+
+/// Keyed, sharded, count-bounded cache of matching orders (module docs).
+pub struct OrderCache {
+    shards: Vec<Shard>,
+    /// Maximum resident entries (`None` = unbounded).
+    capacity: Option<usize>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for OrderCache {
+    fn default() -> Self {
+        OrderCache::with_capacity_opt(None)
+    }
+}
+
+impl OrderCache {
+    /// An unbounded cache (harness scale: the working set is the query
+    /// set).
+    pub fn new() -> Self {
+        OrderCache::default()
+    }
+
+    /// A cache holding at most `max_entries` orders, evicting the
+    /// globally least-recently-used entry beyond that — the serving
+    /// configuration. The key being served is never evicted.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        OrderCache::with_capacity_opt(Some(max_entries))
+    }
+
+    fn with_capacity_opt(capacity: Option<usize>) -> Self {
+        OrderCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The `RLQVO_ORDER_CACHE` knob, same grammar as
+    /// [`SpaceCache::env_enabled`]: `0`/`off`/`false` disable,
+    /// `1`/`on`/`true` enable, anything else falls back to `default`.
+    pub fn env_enabled(default: bool) -> bool {
+        match std::env::var("RLQVO_ORDER_CACHE") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "0" | "off" | "false" => false,
+                "1" | "on" | "true" => true,
+                _ => default,
+            },
+            Err(_) => default,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &Key) -> &Shard {
+        let mut h = key.0;
+        for b in key.1.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+        }
+        &self.shards[(h as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// The order for `(query_id, variant)`, computing it on first use via
+    /// `compute`. Returns the shared entry and whether this call ran the
+    /// ordering pass (`true` = miss). Exactly one ordering pass happens
+    /// per residency of a key, however many threads race.
+    ///
+    /// `checksum` is the caller's precomputed collision guard
+    /// ([`QueryKey::checksum`]), or `None` to derive it from `q` on
+    /// demand (insert always stores it; hits verify it under the
+    /// [`SpaceCache`] verification policy).
+    pub fn get_or_compute(
+        &self,
+        query_id: u64,
+        variant: &str,
+        q: &Graph,
+        compute: impl FnOnce() -> Vec<VertexId>,
+    ) -> (Arc<OrderEntry>, bool) {
+        self.get_impl(query_id, None, variant, q, compute)
+    }
+
+    /// [`OrderCache::get_or_compute`] with a memoized [`QueryKey`]: the
+    /// serving hot path — no per-lookup query hashing at all.
+    pub fn get_or_compute_keyed(
+        &self,
+        key: &QueryKey,
+        variant: &str,
+        q: &Graph,
+        compute: impl FnOnce() -> Vec<VertexId>,
+    ) -> (Arc<OrderEntry>, bool) {
+        self.get_impl(key.fingerprint(), Some(key.checksum()), variant, q, compute)
+    }
+
+    fn get_impl(
+        &self,
+        query_id: u64,
+        checksum: Option<u64>,
+        variant: &str,
+        q: &Graph,
+        compute: impl FnOnce() -> Vec<VertexId>,
+    ) -> (Arc<OrderEntry>, bool) {
+        let key: Key = (query_id, variant.to_string());
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let mut map = self.shard_of(&key).map.lock().expect("order cache poisoned");
+            match map.get_mut(&key) {
+                Some(r) => {
+                    r.last_used = tick;
+                    Arc::clone(&r.slot)
+                }
+                None => {
+                    let slot = Arc::new(Slot { cell: OnceLock::new() });
+                    map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick });
+                    slot
+                }
+            }
+        };
+        let mut fresh = false;
+        let entry = slot.cell.get_or_init(|| {
+            fresh = true;
+            let t = Instant::now();
+            let order = compute();
+            Arc::new(OrderEntry {
+                order,
+                checksum: checksum.unwrap_or_else(|| SpaceCache::query_checksum(q)),
+                order_time: t.elapsed(),
+            })
+        });
+        if fresh {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.evict_to_capacity(&key);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if SpaceCache::verify_on_hit() {
+                let ok = match checksum {
+                    Some(c) => entry.checksum == c,
+                    None => entry.verify_checksum(q),
+                };
+                assert!(
+                    ok,
+                    "OrderCache fingerprint collision: query id {query_id:#018x} maps to an order \
+                     whose structural checksum disagrees with the query being served"
+                );
+            }
+        }
+        (Arc::clone(entry), fresh)
+    }
+
+    /// Evicts globally least-recently-used residents while the entry
+    /// count exceeds the capacity; `protect` (the key being served) is
+    /// never the victim. Shard locks are taken one at a time.
+    fn evict_to_capacity(&self, protect: &Key) {
+        let Some(cap) = self.capacity else { return };
+        while self.len() > cap {
+            let mut victim: Option<(usize, Key, u64)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let map = shard.map.lock().expect("order cache poisoned");
+                if let Some((k, r)) = map.iter().filter(|(k, _)| *k != protect).min_by_key(|(_, r)| r.last_used) {
+                    if victim.as_ref().is_none_or(|(_, _, t)| r.last_used < *t) {
+                        victim = Some((si, k.clone(), r.last_used));
+                    }
+                }
+            }
+            let Some((si, key, _)) = victim else { break };
+            if self.shards[si].map.lock().expect("order cache poisoned").remove(&key).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Lookups served from an existing entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the ordering pass.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(query id, variant)` keys resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().expect("order cache poisoned").len()).sum()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every variant of one query id.
+    pub fn invalidate(&self, query_id: u64) {
+        for shard in &self.shards {
+            shard.map.lock().expect("order cache poisoned").retain(|(qid, _), _| *qid != query_id);
+        }
+    }
+
+    /// Drops everything (the data graph, filter configuration, or model
+    /// changed — see the scope contract in the module docs).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.map.lock().expect("order cache poisoned").clear();
+        }
+    }
+}
+
+/// An [`OrderingMethod`] decorator that serves orders through an
+/// [`OrderCache`]: drop-in for `run_with_entry`, the harness, or any
+/// other `&dyn OrderingMethod` consumer. The variant key combines the
+/// inner method's [`OrderingMethod::cache_key`] with a caller-supplied
+/// context string (fold in the candidate filter's `cache_key` whenever
+/// methods run on filtered candidates — candidate-driven orderings
+/// produce different orders on different candidate sets).
+pub struct CachedOrdering<'a> {
+    inner: &'a dyn OrderingMethod,
+    cache: &'a OrderCache,
+    variant: String,
+}
+
+impl<'a> CachedOrdering<'a> {
+    /// Wraps `inner`, scoping entries by `context` (e.g. the filter's
+    /// `cache_key`; empty string when the method ignores candidates).
+    pub fn new(inner: &'a dyn OrderingMethod, cache: &'a OrderCache, context: &str) -> Self {
+        let variant = if context.is_empty() { inner.cache_key() } else { format!("{}@{}", inner.cache_key(), context) };
+        CachedOrdering { inner, cache, variant }
+    }
+
+    /// The composed `(method, context)` variant key entries use.
+    pub fn variant(&self) -> &str {
+        &self.variant
+    }
+}
+
+impl OrderingMethod for CachedOrdering<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn order(&self, q: &Graph, g: &Graph, cand: &Candidates) -> Vec<VertexId> {
+        let (entry, _) = self
+            .cache
+            .get_or_compute(SpaceCache::query_fingerprint(q), &self.variant, q, || self.inner.order(q, g, cand));
+        entry.order().to_vec()
+    }
+
+    fn cache_key(&self) -> String {
+        self.variant.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CandidateFilter, LdfFilter};
+    use crate::order::{GqlOrdering, RiOrdering};
+    use rlqvo_graph::GraphBuilder;
+
+    fn case() -> (Graph, Graph) {
+        let mut qb = GraphBuilder::new(2);
+        let a = qb.add_vertex(0);
+        let b = qb.add_vertex(1);
+        let c = qb.add_vertex(0);
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(2);
+        for i in 0..8u32 {
+            gb.add_vertex(i % 2);
+        }
+        for i in 0..8u32 {
+            gb.add_edge(i, (i + 1) % 8);
+        }
+        (q, gb.build())
+    }
+
+    fn distinct_query(i: u32) -> Graph {
+        let mut qb = GraphBuilder::new(64);
+        let n = 3 + i / 64;
+        let mut prev = qb.add_vertex(i % 64);
+        for j in 1..n {
+            let v = qb.add_vertex((i + j) % 64);
+            qb.add_edge(prev, v);
+            prev = v;
+        }
+        qb.build()
+    }
+
+    #[test]
+    fn orders_once_and_serves_hits() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let qid = SpaceCache::query_fingerprint(&q);
+        let mut passes = 0;
+        let (e1, fresh1) = cache.get_or_compute(qid, "RI", &q, || {
+            passes += 1;
+            RiOrdering.order(&q, &g, &cand)
+        });
+        let (e2, fresh2) = cache.get_or_compute(qid, "RI", &q, || {
+            passes += 1;
+            RiOrdering.order(&q, &g, &cand)
+        });
+        assert!(fresh1 && !fresh2);
+        assert_eq!(passes, 1, "the second lookup must not re-order");
+        assert!(Arc::ptr_eq(&e1, &e2));
+        assert_eq!(e1.order(), &RiOrdering.order(&q, &g, &cand)[..]);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        assert!(e1.order_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn variants_do_not_collide() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let qid = SpaceCache::query_fingerprint(&q);
+        let (ri, f1) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+        let (gql, f2) = cache.get_or_compute(qid, "GQL", &q, || GqlOrdering.order(&q, &g, &cand));
+        assert!(f1 && f2, "distinct variants are distinct keys");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(ri.order(), &RiOrdering.order(&q, &g, &cand)[..]);
+        assert_eq!(gql.order(), &GqlOrdering.order(&q, &g, &cand)[..]);
+    }
+
+    #[test]
+    fn keyed_lookup_agrees_with_fingerprinting() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let key = QueryKey::of(&q);
+        let (a, fresh) = cache.get_or_compute_keyed(&key, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+        assert!(fresh);
+        // The plain-fingerprint path must land on the same entry.
+        let (b, fresh2) =
+            cache.get_or_compute(SpaceCache::query_fingerprint(&q), "RI", &q, || unreachable!("must hit"));
+        assert!(!fresh2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.verify_checksum(&q));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let g = case().1;
+        let cache = OrderCache::with_capacity(8);
+        for i in 0..40 {
+            let q = distinct_query(i);
+            let cand = LdfFilter.filter(&q, &g);
+            let (_, fresh) =
+                cache.get_or_compute(SpaceCache::query_fingerprint(&q), "RI", &q, || RiOrdering.order(&q, &g, &cand));
+            assert!(fresh, "distinct queries never alias");
+            assert!(cache.len() <= 8, "iteration {i}: {} entries exceed the bound", cache.len());
+        }
+        assert!(cache.evictions() > 0);
+        // An evicted key recomputes exactly once, then hits again.
+        let q0 = distinct_query(0);
+        let cand = LdfFilter.filter(&q0, &g);
+        let qid = SpaceCache::query_fingerprint(&q0);
+        let (_, fresh1) = cache.get_or_compute(qid, "RI", &q0, || RiOrdering.order(&q0, &g, &cand));
+        let (_, fresh2) = cache.get_or_compute(qid, "RI", &q0, || unreachable!("resident again"));
+        assert!(fresh1 && !fresh2);
+    }
+
+    #[test]
+    fn racing_workers_order_exactly_once_per_key() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let qid = SpaceCache::query_fingerprint(&q);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let (e, _) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+                    assert_eq!(e.order().len(), 3);
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1, "one ordering pass despite 8 racing workers");
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn invalidate_and_clear_drop_entries() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let qid = SpaceCache::query_fingerprint(&q);
+        cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+        cache.get_or_compute(qid, "GQL", &q, || GqlOrdering.order(&q, &g, &cand));
+        assert_eq!(cache.len(), 2);
+        cache.invalidate(qid);
+        assert!(cache.is_empty());
+        cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_ordering_decorator_is_transparent() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let cached = CachedOrdering::new(&RiOrdering, &cache, &LdfFilter.cache_key());
+        assert_eq!(cached.name(), "RI");
+        assert_eq!(cached.variant(), "RI@LDF");
+        let a = cached.order(&q, &g, &cand);
+        let b = cached.order(&q, &g, &cand);
+        assert_eq!(a, RiOrdering.order(&q, &g, &cand));
+        assert_eq!(a, b);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+}

@@ -171,10 +171,29 @@ pub fn run_with_entry(
     ordering: &dyn OrderingMethod,
     config: EnumConfig,
 ) -> PipelineResult {
-    let cand = entry.cand();
     let t1 = Instant::now();
-    let order = ordering.order(q, g, cand);
+    let order = ordering.order(q, g, entry.cand());
     let order_time = t1.elapsed();
+    let mut r = run_with_entry_ordered(q, g, entry, order, config);
+    r.order_time = order_time;
+    r
+}
+
+/// Phase 3 only, against a [`SpaceEntry`] and an already-known matching
+/// order — the serving-loop shape where the order came out of an
+/// [`OrderCache`][crate::OrderCache] hit and phase 2 genuinely did not
+/// run. Engine handling is identical to [`run_with_entry`];
+/// `order_time` (like `filter_time`) is reported as zero, the caller
+/// accounting for whatever its order lookup cost.
+pub fn run_with_entry_ordered(
+    q: &Graph,
+    g: &Graph,
+    entry: &SpaceEntry,
+    order: Vec<VertexId>,
+    config: EnumConfig,
+) -> PipelineResult {
+    let cand = entry.cand();
+    let order_time = Duration::ZERO;
     let (engine, config) = match config.engine {
         // Warm or cold, Auto also gates the worker count: the cheap
         // work-estimate side of the cost model refuses to parallelize
@@ -324,6 +343,34 @@ mod tests {
             assert_eq!(cached.order, fresh_run.order, "{}", engine.name());
             assert_eq!(cached.filter_time, Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn entry_ordered_agrees_with_entry_for_all_engines() {
+        let (q, g) = small_case();
+        let cache = crate::SpaceCache::new();
+        let (entry, _) = cache.entry_for(&q, &g, &LdfFilter);
+        let ocache = crate::OrderCache::new();
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
+            let cfg = EnumConfig::find_all().with_engine(engine);
+            let direct = run_with_entry(&q, &g, &entry, &RiOrdering, cfg);
+            // Serving shape: order served by the OrderCache, enumeration
+            // via run_with_entry_ordered.
+            let key = crate::QueryKey::of(&q);
+            let (oe, _) = ocache.get_or_compute_keyed(&key, "RI@LDF", &q, || RiOrdering.order(&q, &g, entry.cand()));
+            let served = run_with_entry_ordered(&q, &g, &entry, oe.order().to_vec(), cfg);
+            assert_eq!(served.enum_result.match_count, direct.enum_result.match_count, "{}", engine.name());
+            assert_eq!(served.enum_result.enumerations, direct.enum_result.enumerations, "{}", engine.name());
+            assert_eq!(served.order, direct.order, "{}", engine.name());
+            assert_eq!(served.order_time, Duration::ZERO);
+            // The decorator path (CachedOrdering through run_with_entry)
+            // must agree too.
+            let cached_method = crate::CachedOrdering::new(&RiOrdering, &ocache, "LDF");
+            let decorated = run_with_entry(&q, &g, &entry, &cached_method, cfg);
+            assert_eq!(decorated.order, direct.order, "{}", engine.name());
+            assert_eq!(decorated.enum_result.match_count, direct.enum_result.match_count, "{}", engine.name());
+        }
+        assert!(ocache.hits() > 0, "rounds 2+ must be served");
     }
 
     #[test]

@@ -172,6 +172,36 @@ impl SpaceEntry {
 
 type Key = (u64, String);
 
+/// Both structural hashes of a query, computed once — the
+/// fingerprint-memoizing handle for hot serving loops. A caller that
+/// replays one query many times builds the `QueryKey` once and passes it
+/// to [`SpaceCache::entry_keyed`] (and
+/// [`OrderCache`][crate::OrderCache]'s keyed lookups), so each lookup
+/// skips both `O(|V|+|E|)` walks: the fingerprint hash *and* the
+/// checksum re-hash that verified hits would otherwise pay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryKey {
+    fingerprint: u64,
+    checksum: u64,
+}
+
+impl QueryKey {
+    /// Hashes `q` once (fingerprint + independent checksum).
+    pub fn of(q: &Graph) -> Self {
+        QueryKey { fingerprint: SpaceCache::query_fingerprint(q), checksum: SpaceCache::query_checksum(q) }
+    }
+
+    /// The cache id ([`SpaceCache::query_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The collision-guard hash ([`SpaceCache::query_checksum`]).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
 /// Map slot: the `OnceLock` serializes per-key construction outside the
 /// shard lock, so a cold key costs one filter pass total even when many
 /// workers race on it, and a long filter never blocks unrelated keys.
@@ -379,8 +409,10 @@ impl SpaceCache {
 
     /// True when hits must verify the stored checksum: always in debug
     /// builds, and in release when `RLQVO_CACHE_VERIFY=1` (paranoid
-    /// serving deployments). Parsed once per process.
-    fn verify_on_hit() -> bool {
+    /// serving deployments). Parsed once per process. (Shared with
+    /// [`OrderCache`][crate::OrderCache], whose hits follow the same
+    /// policy.)
+    pub(crate) fn verify_on_hit() -> bool {
         static FORCED: OnceLock<bool> = OnceLock::new();
         cfg!(debug_assertions)
             || *FORCED.get_or_init(|| {
@@ -397,6 +429,33 @@ impl SpaceCache {
     /// Hot path: one shard lock (find + LRU touch + `Arc` clone), then a
     /// lock-free `OnceLock` read.
     pub fn entry(&self, query_id: u64, q: &Graph, g: &Graph, filter: &dyn CandidateFilter) -> (Arc<SpaceEntry>, bool) {
+        self.entry_impl(query_id, None, q, g, filter)
+    }
+
+    /// [`SpaceCache::entry`] with a precomputed [`QueryKey`]: the serving
+    /// hot path. The query is hashed exactly once (when the caller built
+    /// the key); lookups neither fingerprint nor — when hit verification
+    /// is on — re-checksum the graph.
+    pub fn entry_keyed(
+        &self,
+        key: &QueryKey,
+        q: &Graph,
+        g: &Graph,
+        filter: &dyn CandidateFilter,
+    ) -> (Arc<SpaceEntry>, bool) {
+        self.entry_impl(key.fingerprint, Some(key.checksum), q, g, filter)
+    }
+
+    /// Shared lookup: `checksum` carries the caller's precomputed
+    /// collision-guard hash, or `None` to derive it from `q` on demand.
+    fn entry_impl(
+        &self,
+        query_id: u64,
+        checksum: Option<u64>,
+        q: &Graph,
+        g: &Graph,
+        filter: &dyn CandidateFilter,
+    ) -> (Arc<SpaceEntry>, bool) {
         let key: Key = (query_id, filter.cache_key());
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let slot = {
@@ -422,7 +481,7 @@ impl SpaceCache {
             Arc::new(SpaceEntry {
                 cand,
                 filter_time: t.elapsed(),
-                checksum: Self::query_checksum(q),
+                checksum: checksum.unwrap_or_else(|| Self::query_checksum(q)),
                 adj,
                 space: OnceLock::new(),
                 origin: Some((Arc::downgrade(&self.shared), key.clone())),
@@ -436,8 +495,12 @@ impl SpaceCache {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
             if Self::verify_on_hit() {
+                let ok = match checksum {
+                    Some(c) => entry.checksum == c,
+                    None => entry.verify_checksum(q),
+                };
                 assert!(
-                    entry.verify_checksum(q),
+                    ok,
                     "SpaceCache fingerprint collision: query id {query_id:#018x} maps to an entry \
                      whose structural checksum disagrees with the query being served"
                 );

@@ -24,7 +24,7 @@ pub mod ppo;
 pub mod returns;
 pub mod trajectory;
 
-pub use policy::Categorical;
+pub use policy::{argmax_lowest_index, Categorical};
 pub use ppo::{ppo_step_objective, reinforce_step_objective, PpoConfig};
 pub use returns::{decayed_episode_return, discounted_returns, whiten};
 pub use trajectory::{Step, Trajectory};

@@ -2,6 +2,23 @@
 
 use rand::Rng;
 
+/// Argmax with the deterministic lowest-index tie-break: among equal
+/// maxima the smallest index wins. This comparator is load-bearing for
+/// reproducible orders, so every consumer — [`Categorical::argmax`],
+/// the policy network's raw-score argmax, and the tape-free greedy
+/// inference loop — delegates here rather than restating it.
+///
+/// # Panics
+/// If `values` is empty or contains NaN.
+pub fn argmax_lowest_index(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty values")
+}
+
 /// A categorical distribution over `n` actions, some of which may be
 /// masked out (probability exactly zero).
 ///
@@ -48,12 +65,7 @@ impl Categorical {
 
     /// Index of the most probable action (evaluation-time greedy choice).
     pub fn argmax(&self) -> usize {
-        self.probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
-            .map(|(i, _)| i)
-            .expect("non-empty distribution")
+        argmax_lowest_index(&self.probs)
     }
 
     /// `ln p(a)`, clamped away from `-inf` for masked/zero entries.

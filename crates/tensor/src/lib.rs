@@ -32,9 +32,11 @@
 //! ```
 
 pub mod gradcheck;
+pub mod infer;
 pub mod matrix;
 pub mod optim;
 pub mod tape;
 
+pub use infer::InferScratch;
 pub use matrix::Matrix;
 pub use tape::{GradStore, Tape, Var};

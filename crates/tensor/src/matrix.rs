@@ -99,6 +99,14 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Allocated element capacity of the backing buffer (may exceed
+    /// `rows * cols` after [`Matrix::reshape_in_place`] shrinks a reused
+    /// buffer) — [`crate::InferScratch`]'s recycling heuristic.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Element accessor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
@@ -127,25 +135,125 @@ impl Matrix {
 
     /// Matrix product `self @ rhs`.
     ///
-    /// Inner loop is written `ikj` so the compiler vectorizes over
-    /// contiguous rows of both output and `rhs`.
+    /// Allocating wrapper around [`Matrix::matmul_into`] — both the tape
+    /// ops and the tape-free inference kernels go through the same inner
+    /// loop, so their results are bitwise identical.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul {:?} @ {:?}", self.shape(), rhs.shape());
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue; // adjacency matrices are sparse in practice
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self @ rhs` written into `out` (resized in place,
+    /// reusing its allocation).
+    ///
+    /// Three shapes, one contract: every output element accumulates over
+    /// ascending `k` with the same zero-skip, so all paths are bitwise
+    /// identical to the naive [`Matrix::matmul_reference`] kernel for
+    /// finite inputs (property-checked in `tests/matmul_kernels.rs`).
+    ///
+    /// * `rhs` is a column (`n×1` — score/attention vectors): a plain
+    ///   sequential dot product per row, contiguous on both operands, no
+    ///   per-`k` slice overhead;
+    /// * wide outputs (≥ 16 columns — hidden-layer weights): 16-column
+    ///   register blocks whose accumulators survive the whole `k` loop
+    ///   (one contiguous load of `rhs`'s row chunk per `k`, one store per
+    ///   block), instead of the textbook `ikj` reload-and-store of the
+    ///   output row on every `k`;
+    /// * otherwise the textbook `ikj` loop, which wins on narrow/sparse
+    ///   operands (adjacency propagation).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul {:?} @ {:?}", self.shape(), rhs.shape());
+        // Every path below overwrites (or explicitly zeroes) each output
+        // cell before reading it, so skip reshape_in_place's zero pass.
+        out.resize_for_overwrite(self.rows, rhs.cols);
+        let n = rhs.cols;
+        if n == 1 {
+            for (o, i) in out.data.iter_mut().zip(0..self.rows) {
+                let mut acc = 0.0f32;
+                for (&a, &b) in self.data[i * self.cols..(i + 1) * self.cols].iter().zip(&rhs.data) {
+                    if a != 0.0 {
+                        acc += a * b;
+                    }
                 }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                *o = acc;
+            }
+            return;
+        }
+        const B: usize = 16;
+        let chunks = if n >= B { n - n % B } else { 0 };
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j < chunks {
+                let mut acc = [0.0f32; B];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue; // adjacency matrices are sparse in practice
+                    }
+                    let b = &rhs.data[k * n + j..k * n + j + B];
+                    for (acc_t, &b_t) in acc.iter_mut().zip(b) {
+                        *acc_t += a * b_t;
+                    }
+                }
+                out_row[j..j + B].copy_from_slice(&acc);
+                j += B;
+            }
+            if j < n {
+                let tail = &mut out_row[j..];
+                tail.fill(0.0); // the tail accumulates in place
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[k * n + j..k * n + n];
+                    for (o, &b) in tail.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
+    }
+
+    /// The naive `i-j-k` triple loop over the row-major `rhs` — the
+    /// original kernel, kept as the differential reference for
+    /// [`Matrix::matmul`]/[`Matrix::matmul_into`]. Strided column reads
+    /// of `rhs` make it markedly slower; never use it on a hot path.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul {:?} @ {:?}", self.shape(), rhs.shape());
+        Matrix::from_fn(self.rows, rhs.cols, |i, j| {
+            let mut acc = 0.0f32;
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue; // mirror matmul_into's skip exactly (signed zeros)
+                }
+                acc += a * rhs.get(k, j);
+            }
+            acc
+        })
+    }
+
+    /// Reshapes to `rows × cols`, zero-filled, reusing the existing
+    /// allocation when its capacity suffices — the buffer-recycling
+    /// primitive behind [`crate::InferScratch`].
+    pub fn reshape_in_place(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// [`Matrix::reshape_in_place`] without the zero-fill: existing
+    /// elements keep arbitrary stale values (new elements from a grow are
+    /// zeroed — plain `Vec::resize` semantics). Only for kernels that
+    /// overwrite every cell before any read; saves a full memory pass per
+    /// call on the inference hot path.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Transpose.
@@ -195,6 +303,56 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
+        }
+    }
+
+    /// In-place element-wise subtract: `self -= rhs`.
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+
+    /// In-place ReLU — element-wise `x.max(0.0)`, matching
+    /// [`crate::Tape::relu`]'s forward exactly.
+    pub fn relu_in_place(&mut self) {
+        for x in &mut self.data {
+            *x = x.max(0.0);
+        }
+    }
+
+    /// In-place leaky ReLU with negative slope `alpha`, matching
+    /// [`crate::Tape::leaky_relu`]'s forward exactly.
+    pub fn leaky_relu_in_place(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            if *x <= 0.0 {
+                *x *= alpha;
+            }
+        }
+    }
+
+    /// In-place row-broadcast bias add: `self[r][c] += bias[0][c]`,
+    /// matching [`crate::Tape::add_bias_row`]'s forward exactly.
+    pub fn add_bias_row_assign(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(self.cols, bias.cols, "bias width mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+    }
+
+    /// In-place column-broadcast scale: row `r` of `self` is multiplied by
+    /// `col[r][0]`, matching [`crate::Tape::mul_col_broadcast`]'s forward.
+    pub fn mul_col_broadcast_assign(&mut self, col: &Matrix) {
+        assert_eq!(col.cols, 1, "col must be n×1");
+        assert_eq!(self.rows, col.rows, "row count mismatch");
+        for (row, &c) in self.data.chunks_exact_mut(self.cols).zip(&col.data) {
+            for x in row {
+                *x *= c;
+            }
         }
     }
 
@@ -331,5 +489,53 @@ mod tests {
     #[test]
     fn storage_bytes_counts_parameters() {
         assert_eq!(Matrix::zeros(8, 4).storage_bytes(), 128);
+    }
+
+    #[test]
+    fn matmul_into_reuses_and_matches() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut out = Matrix::zeros(7, 9); // wrong shape: must be reshaped
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // A second multiply into the same buffer must not accumulate.
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        assert_eq!(out, a.matmul_reference(&b));
+    }
+
+    #[test]
+    fn reshape_in_place_zeroes_and_resizes() {
+        let mut m = Matrix::full(3, 3, 7.0);
+        m.reshape_in_place(2, 4);
+        assert_eq!(m.shape(), (2, 4));
+        assert_eq!(m.sum(), 0.0);
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_forms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let b = Matrix::from_rows(&[&[0.25, 1.5], &[-1.0, 2.0]]);
+        let mut c = a.clone();
+        c.sub_assign(&b);
+        assert_eq!(c, a.sub(&b));
+
+        let mut r = a.clone();
+        r.relu_in_place();
+        assert_eq!(r, a.map(|x| x.max(0.0)));
+
+        let mut l = a.clone();
+        l.leaky_relu_in_place(0.2);
+        assert_eq!(l, a.map(|x| if x > 0.0 { x } else { 0.2 * x }));
+
+        let bias = Matrix::from_rows(&[&[10.0, -10.0]]);
+        let mut ab = a.clone();
+        ab.add_bias_row_assign(&bias);
+        assert_eq!(ab, Matrix::from_fn(2, 2, |r, c| a.get(r, c) + bias.get(0, c)));
+
+        let col = Matrix::from_rows(&[&[2.0], &[-1.0]]);
+        let mut mc = a.clone();
+        mc.mul_col_broadcast_assign(&col);
+        assert_eq!(mc, Matrix::from_fn(2, 2, |r, c| a.get(r, c) * col.get(r, 0)));
     }
 }

@@ -14,6 +14,7 @@
 //!   `tests/gradcheck.rs`.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use crate::matrix::Matrix;
 
@@ -34,8 +35,13 @@ impl Var {
 
 type BackFn = Box<dyn Fn(&Matrix, &mut GradStore)>;
 
+/// Node values are `Arc`-shared: ops hand the same immutable value to the
+/// node, to sibling ops, and to their backward closures without copying —
+/// and [`Tape::leaf_arc`] lets callers bind an existing shared matrix
+/// (e.g. a stored feature matrix replayed across PPO passes) as a leaf
+/// with zero copies.
 struct Node {
-    value: Matrix,
+    value: Arc<Matrix>,
     backward: Option<BackFn>,
 }
 
@@ -88,12 +94,23 @@ impl Tape {
         self.push(value, None)
     }
 
+    /// Records a leaf by reference: the node shares `value` instead of
+    /// copying it. This is how training binds stored per-step feature
+    /// matrices without paying one clone per step per PPO pass.
+    pub fn leaf_arc(&self, value: Arc<Matrix>) -> Var {
+        self.push_arc(value, None)
+    }
+
     /// Clone of a node's current value.
     pub fn value(&self, v: Var) -> Matrix {
-        self.nodes.borrow()[v.idx].value.clone()
+        (*self.nodes.borrow()[v.idx].value).clone()
     }
 
     fn push(&self, value: Matrix, backward: Option<BackFn>) -> Var {
+        self.push_arc(Arc::new(value), backward)
+    }
+
+    fn push_arc(&self, value: Arc<Matrix>, backward: Option<BackFn>) -> Var {
         let mut nodes = self.nodes.borrow_mut();
         let idx = nodes.len();
         let (rows, cols) = value.shape();
@@ -101,8 +118,10 @@ impl Tape {
         Var { idx, rows, cols }
     }
 
-    fn val(&self, v: Var) -> Matrix {
-        self.nodes.borrow()[v.idx].value.clone()
+    /// Shared handle to a node's value (cheap; backward closures capture
+    /// these instead of deep copies).
+    fn val(&self, v: Var) -> Arc<Matrix> {
+        Arc::clone(&self.nodes.borrow()[v.idx].value)
     }
 
     // ---------------------------------------------------------------- ops
@@ -220,10 +239,10 @@ impl Tape {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self, a: Var) -> Var {
-        let out = self.val(a).map(f32::tanh);
+        let out = Arc::new(self.val(a).map(f32::tanh));
         let ai = a.idx;
-        let saved = out.clone();
-        self.push(
+        let saved = Arc::clone(&out);
+        self.push_arc(
             out,
             Some(Box::new(move |g, store| {
                 store.accumulate(ai, g.zip_map(&saved, |gi, y| gi * (1.0 - y * y)));
@@ -233,10 +252,10 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self, a: Var) -> Var {
-        let out = self.val(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let out = Arc::new(self.val(a).map(|x| 1.0 / (1.0 + (-x).exp())));
         let ai = a.idx;
-        let saved = out.clone();
-        self.push(
+        let saved = Arc::clone(&out);
+        self.push_arc(
             out,
             Some(Box::new(move |g, store| {
                 store.accumulate(ai, g.zip_map(&saved, |gi, y| gi * y * (1.0 - y)));
@@ -246,10 +265,10 @@ impl Tape {
 
     /// Element-wise `exp`.
     pub fn exp(&self, a: Var) -> Var {
-        let out = self.val(a).map(f32::exp);
+        let out = Arc::new(self.val(a).map(f32::exp));
         let ai = a.idx;
-        let saved = out.clone();
-        self.push(
+        let saved = Arc::clone(&out);
+        self.push_arc(
             out,
             Some(Box::new(move |g, store| {
                 store.accumulate(ai, g.hadamard(&saved));
@@ -328,10 +347,11 @@ impl Tape {
         for i in 0..a.rows {
             probs.set(i, 0, probs.get(i, 0) / denom);
         }
-        let saved = probs.clone();
+        let probs = Arc::new(probs);
+        let saved = Arc::clone(&probs);
         let ai = a.idx;
         let mask_owned: Vec<bool> = mask.to_vec();
-        self.push(
+        self.push_arc(
             probs,
             Some(Box::new(move |g, store| {
                 // Softmax Jacobian: dx_i = p_i (g_i - Σ_j g_j p_j).
@@ -372,10 +392,11 @@ impl Tape {
                 probs.set(r, c, probs.get(r, c) / denom);
             }
         }
-        let saved = probs.clone();
+        let probs = Arc::new(probs);
+        let saved = Arc::clone(&probs);
         let ai = a.idx;
         let mask_owned = mask.clone();
-        self.push(
+        self.push_arc(
             probs,
             Some(Box::new(move |g, store| {
                 let mut out = Matrix::zeros(saved.rows(), saved.cols());

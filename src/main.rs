@@ -4,7 +4,7 @@
 //! rlqvo match  --data G.graph --query q.graph [--method hybrid|rlqvo|...]
 //!              [--model m.model] [--max-matches N] [--time-limit-ms T]
 //!              [--engine candspace|probe|auto] [--enum-threads N]
-//!              [--repeat N] [--space-cache on|off]
+//!              [--repeat N] [--space-cache on|off] [--order-cache on|off]
 //! rlqvo train  --data G.graph --size K --queries N --epochs E --out m.model
 //! rlqvo stats  --data G.graph
 //! ```
@@ -14,8 +14,10 @@
 //! match count — the numbers the paper reports. `--repeat N` replays the
 //! query N rounds; with the space cache on (the default, also settable
 //! via `RLQVO_SPACE_CACHE=0|1`), rounds 2+ reuse the round-1 filtered
-//! candidates and built `CandidateSpace` — the serving-layer shape where
-//! repeated queries pay phase 1 once.
+//! candidates and built `CandidateSpace`; with the order cache on too
+//! (`--order-cache`, `RLQVO_ORDER_CACHE=0|1`), they also reuse the
+//! round-1 matching order — the serving-layer shape where repeated
+//! queries pay phases 1 and 2 once and enumeration only afterwards.
 
 use std::io::BufReader;
 use std::time::{Duration, Instant};
@@ -27,8 +29,8 @@ use rlqvo_suite::matching::order::{
     CflOrdering, GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
 };
 use rlqvo_suite::matching::{
-    run_pipeline, run_with_entry, CandidateFilter, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter, Pipeline,
-    SpaceCache,
+    run_pipeline, run_with_entry, run_with_entry_ordered, CandidateFilter, EnumConfig, EnumEngine, GqlFilter,
+    LdfFilter, NlfFilter, OrderCache, Pipeline, QueryKey, SpaceCache,
 };
 
 fn main() {
@@ -40,7 +42,7 @@ fn main() {
         _ => {
             eprintln!("usage: rlqvo <match|train|stats> [--flag value]...");
             eprintln!(
-                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto] [--enum-threads N] [--repeat N] [--space-cache on|off]"
+                "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto] [--enum-threads N] [--repeat N] [--space-cache on|off] [--order-cache on|off]"
             );
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
@@ -128,23 +130,50 @@ fn cmd_match(args: &[String]) -> CliResult {
         // means one thing everywhere.
         None => SpaceCache::env_enabled(true),
     };
+    // The ordering cache rides on the space cache (it serves orders
+    // computed against the cached candidates); `--order-cache off` (or
+    // `RLQVO_ORDER_CACHE=0`) recomputes the order every round. Parse
+    // unconditionally so a bad value errors even with the space cache
+    // off, then gate on it.
+    let order_cache_flag = match flag(args, "--order-cache").as_deref() {
+        Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("unknown --order-cache value {other:?} (on|off)").into()),
+        None => OrderCache::env_enabled(true),
+    };
+    let use_order_cache = use_cache && order_cache_flag;
 
     println!("method      : {} ({} filter + {} ordering)", method, filter.name(), ordering.name());
     println!("engine      : {}", config.engine.name());
     println!("enum threads: {}", config.threads);
     println!("space cache : {}", if use_cache { "on" } else { "off" });
+    println!("order cache : {}", if use_order_cache { "on" } else { "off" });
 
-    // `--repeat` replays the query; with the cache on, round 1 filters
-    // and (lazily) builds, rounds 2+ reuse the entry and pay phases 2–3
-    // only — the cross-round amortization a serving layer would see.
+    // `--repeat` replays the query; with the caches on, round 1 filters,
+    // orders and (lazily) builds, rounds 2+ reuse the entry and the
+    // cached order and pay phase 3 only — the serving-loop shape. The
+    // query is fingerprinted exactly once (`QueryKey`), not per round.
     let cache = SpaceCache::new();
+    let order_cache = OrderCache::new();
+    let query_key = QueryKey::of(&q);
+    let order_variant = format!("{}@{}", ordering.cache_key(), filter.cache_key());
     let mut last = None;
     for round in 1..=repeat {
         let r = if use_cache {
             let t0 = Instant::now();
-            let (entry, fresh) = cache.entry_for(&q, &g, filter.as_ref());
+            let (entry, fresh) = cache.entry_keyed(&query_key, &q, &g, filter.as_ref());
             let filter_time = if fresh { t0.elapsed() } else { Duration::ZERO };
-            let mut r = run_with_entry(&q, &g, &entry, ordering, config);
+            let mut r = if use_order_cache {
+                let t1 = Instant::now();
+                let (oe, _) = order_cache
+                    .get_or_compute_keyed(&query_key, &order_variant, &q, || ordering.order(&q, &g, entry.cand()));
+                let order_time = t1.elapsed(); // a hit books the lookup only
+                let mut r = run_with_entry_ordered(&q, &g, &entry, oe.order().to_vec(), config);
+                r.order_time = order_time;
+                r
+            } else {
+                run_with_entry(&q, &g, &entry, ordering, config)
+            };
             r.filter_time = filter_time;
             r
         } else {

@@ -110,8 +110,10 @@ fn percentile_secs(times: &[Duration], p: f64) -> f64 {
 /// so `query workers × enum workers ≤ threads`, never oversubscribed
 /// (checked against the process-wide
 /// [`peak_parallel_workers`][rlqvo_matching::peak_parallel_workers] gauge
-/// in `tests/parallel_enum.rs`).
-fn worker_split(threads: usize, config: EnumConfig) -> (usize, EnumConfig) {
+/// in `tests/parallel_enum.rs`). Public so the serving layer derives its
+/// per-request limits (`worker pool size × per-request enum threads`)
+/// from the same arithmetic the harness uses.
+pub fn worker_split(threads: usize, config: EnumConfig) -> (usize, EnumConfig) {
     let total = threads.max(1);
     let enum_threads = config.threads.clamp(1, total);
     ((total / enum_threads).max(1), config.with_threads(enum_threads))
@@ -150,11 +152,20 @@ fn parallel_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync
                     break;
                 }
                 let r = f(i);
-                slots.lock().expect("worker panicked")[i] = Some(r);
+                // Poisoning carries no risk here (each slot is written
+                // whole, exactly once); recover the guard rather than
+                // cascading one worker's panic into every sibling — the
+                // scope join below still propagates the panic itself.
+                slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
             });
         }
     });
-    slots.into_inner().expect("worker panicked").into_iter().map(|r| r.expect("all items evaluated")).collect()
+    slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .map(|r| r.expect("all items evaluated"))
+        .collect()
 }
 
 /// Folds per-query pipeline results into the paper-style aggregate.

@@ -74,6 +74,7 @@ impl Scale {
             // engine for every figure binary without recompiling.
             engine: rlqvo_matching::EnumEngine::from_env(),
             threads: self.enum_threads,
+            ..rlqvo_matching::EnumConfig::default()
         }
     }
 

@@ -24,7 +24,7 @@
 //! paper's order-quality metric — are identical; `tests/oracle.rs`
 //! property-checks that equivalence.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use rlqvo_graph::{intersect_in_place, intersect_into, Graph, VertexId};
@@ -173,6 +173,30 @@ pub struct EnumConfig {
     /// capped/budgeted runs keep exact match counts but trade
     /// deterministic `#enum` for wall-clock).
     pub threads: usize,
+    /// Cooperative cancellation: an absolute wall-clock deadline checked
+    /// at enumeration entry and on the same amortized 1024-call cadence
+    /// as `time_limit`. A run that trips it returns its partial counts
+    /// with [`EnumResult::cancelled`] set — it never hangs and never
+    /// kills its thread. `None` (the default) disables the check. Unlike
+    /// `time_limit` (the paper's per-query *unsolved* budget, relative
+    /// to enumeration start), the deadline is a point in time the caller
+    /// fixed at admission — the serving layer's request deadline, which
+    /// keeps ticking while a request waits in queue.
+    pub deadline: Option<Instant>,
+    /// Cooperative external kill switch, polled on the same cadence as
+    /// `deadline`: raising the flag makes every enumeration carrying it
+    /// return partial counts with [`EnumResult::cancelled`] set. The
+    /// `&'static` lifetime keeps [`EnumConfig`] `Copy` (the hook crosses
+    /// scoped-thread boundaries in parallel runs); long-lived callers
+    /// like a server leak one flag per instance, which is bounded.
+    pub cancel: Option<&'static AtomicBool>,
+    /// Pins this configuration serial: [`EnumConfig::with_threads`]
+    /// clamps to 1 instead of honouring the request. Set by
+    /// [`EnumConfig::budgeted`], whose exact-`#enum` reward contract a
+    /// silent parallel upgrade would break (parallel budgets have
+    /// at-least semantics). Callers that explicitly want a parallel
+    /// budgeted run construct the config literally.
+    pub deterministic: bool,
 }
 
 impl Default for EnumConfig {
@@ -184,6 +208,9 @@ impl Default for EnumConfig {
             store_matches: false,
             engine: EnumEngine::default(),
             threads: default_threads(),
+            deadline: None,
+            cancel: None,
+            deterministic: false,
         }
     }
 }
@@ -207,7 +234,9 @@ impl EnumConfig {
     /// reward must depend only on the order, not on machine load — so the
     /// worker count is pinned to 1 even when `RLQVO_ENUM_THREADS` asks the
     /// rest of the process to parallelize (parallel budgeted runs have
-    /// "at-least" semantics, not exact ones).
+    /// "at-least" semantics, not exact ones). The pin is sticky:
+    /// `deterministic` makes a later [`EnumConfig::with_threads`] clamp
+    /// back to 1 rather than silently trading determinism away.
     pub fn budgeted(max_enumerations: u64) -> Self {
         EnumConfig {
             max_matches: u64::MAX,
@@ -216,6 +245,9 @@ impl EnumConfig {
             store_matches: false,
             engine: EnumEngine::default(),
             threads: 1,
+            deadline: None,
+            cancel: None,
+            deterministic: true,
         }
     }
 
@@ -224,9 +256,40 @@ impl EnumConfig {
         EnumConfig { engine, ..self }
     }
 
-    /// The same configuration pinned to `threads` intra-query workers.
+    /// The same configuration pinned to `threads` intra-query workers —
+    /// unless the configuration is [`deterministic`](Self::deterministic)
+    /// (a [`EnumConfig::budgeted`] training config), in which case the
+    /// request is clamped to 1: parallel budgeted runs have at-least
+    /// semantics, and combining a reward budget with a worker pool would
+    /// silently break the exact-`#enum` determinism the budget exists
+    /// for. The clamp is tested in `tests/limits.rs`.
     pub fn with_threads(self, threads: usize) -> Self {
-        EnumConfig { threads: threads.max(1), ..self }
+        let threads = if self.deterministic { 1 } else { threads.max(1) };
+        EnumConfig { threads, ..self }
+    }
+
+    /// The same configuration with an absolute cooperative deadline (see
+    /// [`EnumConfig::deadline`]).
+    pub fn with_deadline(self, deadline: Instant) -> Self {
+        EnumConfig { deadline: Some(deadline), ..self }
+    }
+
+    /// The same configuration observing an external cancel flag (see
+    /// [`EnumConfig::cancel`]).
+    pub fn with_cancel_flag(self, cancel: &'static AtomicBool) -> Self {
+        EnumConfig { cancel: Some(cancel), ..self }
+    }
+
+    /// True when the cooperative-cancel hook asks this run to stop now:
+    /// the external `cancel` flag is raised or the absolute `deadline`
+    /// has passed. Checked at enumeration entry (a pre-expired deadline
+    /// performs zero recursion calls) and on the amortized 1024-call
+    /// cadence inside both engines — so a run answers within one cadence
+    /// window per worker, without `Instant::now()` on every call.
+    #[inline]
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.map(|f| f.load(Ordering::Relaxed)).unwrap_or(false)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -391,6 +454,11 @@ pub struct EnumResult {
     pub timed_out: bool,
     /// True when `max_enumerations` was exhausted.
     pub budget_exhausted: bool,
+    /// True when the cooperative-cancel hook ([`EnumConfig::deadline`] /
+    /// [`EnumConfig::cancel`]) stopped the run. Counts are valid partial
+    /// results — the serving layer reports them as `deadline_exceeded`
+    /// rather than discarding the work.
+    pub cancelled: bool,
     /// The matches (query-vertex id → data-vertex id, indexed by query
     /// vertex), populated only when `store_matches` is set.
     pub matches: Vec<Vec<VertexId>>,
@@ -404,6 +472,7 @@ impl EnumResult {
             elapsed,
             timed_out: false,
             budget_exhausted: false,
+            cancelled: false,
             matches: Vec::new(),
         }
     }
@@ -425,6 +494,11 @@ pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], co
         EnumEngine::CandidateSpace => {
             assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
             let start = Instant::now();
+            if config.cancel_requested() {
+                // A pre-expired deadline does zero work — not even the
+                // space build; the caller gets a typed partial result.
+                return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+            }
             if cand.any_empty() {
                 // Complete candidate sets: an empty set proves no match.
                 return EnumResult::empty(start.elapsed());
@@ -451,6 +525,9 @@ pub fn enumerate(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], co
 pub fn enumerate_probe(q: &Graph, g: &Graph, cand: &Candidates, order: &[VertexId], config: EnumConfig) -> EnumResult {
     assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
     let start = Instant::now();
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     if cand.any_empty() {
         // Complete candidate sets: an empty set proves there is no match.
         return EnumResult::empty(start.elapsed());
@@ -479,6 +556,9 @@ pub fn enumerate_probe_prepared(
     assert_eq!(order.len(), q.num_vertices(), "order must cover all query vertices");
     assert_eq!(adj.num_query_vertices(), q.num_vertices(), "adjacency/query mismatch");
     let start = Instant::now();
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     if cand.any_empty() {
         return EnumResult::empty(start.elapsed());
     }
@@ -504,6 +584,7 @@ fn probe_with_backward(
         elapsed: start.elapsed(),
         timed_out: ctx.deadline_hit,
         budget_exhausted: ctx.budget_hit,
+        cancelled: ctx.cancel_hit,
         matches: ctx.matches,
     }
 }
@@ -533,6 +614,7 @@ pub(crate) fn new_probe_ctx<'a>(
         synced: 0,
         deadline_hit: false,
         budget_hit: false,
+        cancel_hit: false,
         enumerations: 0,
         match_count: 0,
         mapping: vec![VertexId::MAX; n],
@@ -549,6 +631,9 @@ pub(crate) fn new_probe_ctx<'a>(
 /// `config.threads > 1` dispatches to the intra-query parallel path.
 pub fn enumerate_in_space(q: &Graph, cs: &CandidateSpace, order: &[VertexId], config: EnumConfig) -> EnumResult {
     let start = Instant::now();
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     if cs.any_empty() {
         return EnumResult::empty(start.elapsed());
     }
@@ -574,6 +659,7 @@ fn enumerate_in_space_from(
         elapsed: start.elapsed(),
         timed_out: ctx.deadline_hit,
         budget_exhausted: ctx.budget_hit,
+        cancelled: ctx.cancel_hit,
         matches: ctx.matches,
     }
 }
@@ -612,6 +698,7 @@ pub(crate) fn new_space_ctx<'a>(
         synced: 0,
         deadline_hit: false,
         budget_hit: false,
+        cancel_hit: false,
         enumerations: 0,
         match_count: 0,
         mapping: vec![VertexId::MAX; n],
@@ -654,6 +741,7 @@ pub(crate) struct SpaceCtx<'a> {
     synced: u64,
     pub(crate) deadline_hit: bool,
     pub(crate) budget_hit: bool,
+    pub(crate) cancel_hit: bool,
     pub(crate) enumerations: u64,
     pub(crate) match_count: u64,
     /// Query vertex id → mapped data vertex.
@@ -685,6 +773,16 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
     if ctx.enumerations & 0x3FF == 0 {
         if ctx.start.elapsed() > ctx.config.time_limit {
             ctx.deadline_hit = true;
+            return true;
+        }
+        if ctx.config.cancel_requested() {
+            // One worker observing the deadline/flag stops the whole
+            // parallel run: raising the shared stop makes peers exit at
+            // their next cadence sync or morsel claim.
+            ctx.cancel_hit = true;
+            if let Some(shared) = ctx.shared {
+                shared.raise_stop();
+            }
             return true;
         }
         if let Some(shared) = ctx.shared {
@@ -800,6 +898,7 @@ pub(crate) struct ProbeCtx<'a> {
     synced: u64,
     pub(crate) deadline_hit: bool,
     pub(crate) budget_hit: bool,
+    pub(crate) cancel_hit: bool,
     pub(crate) enumerations: u64,
     pub(crate) match_count: u64,
     mapping: Vec<VertexId>,
@@ -818,6 +917,16 @@ fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
     if ctx.enumerations & 0x3FF == 0 {
         if ctx.start.elapsed() > ctx.config.time_limit {
             ctx.deadline_hit = true;
+            return true;
+        }
+        if ctx.config.cancel_requested() {
+            // One worker observing the deadline/flag stops the whole
+            // parallel run: raising the shared stop makes peers exit at
+            // their next cadence sync or morsel claim.
+            ctx.cancel_hit = true;
+            if let Some(shared) = ctx.shared {
+                shared.raise_stop();
+            }
             return true;
         }
         if let Some(shared) = ctx.shared {

@@ -40,7 +40,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use rlqvo_graph::{Graph, VertexId};
@@ -58,7 +58,9 @@ type Key = (u64, String);
 pub struct OrderEntry {
     order: Vec<VertexId>,
     /// Structural checksum of the query this order was computed for.
-    checksum: u64,
+    /// Atomic only so the corruption test hook can flip it in place; the
+    /// cache writes it once at insert.
+    checksum: AtomicU64,
     /// Wall time of the single ordering pass that created this entry.
     order_time: Duration,
 }
@@ -77,7 +79,7 @@ impl OrderEntry {
 
     /// True when `q` hashes to the checksum stored at insert.
     pub fn verify_checksum(&self, q: &Graph) -> bool {
-        self.checksum == SpaceCache::query_checksum(q)
+        self.checksum.load(Ordering::Relaxed) == SpaceCache::query_checksum(q)
     }
 }
 
@@ -106,6 +108,11 @@ pub struct OrderCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Verified hits whose stored checksum disagreed with the query —
+    /// each degraded to an evict-and-recompute miss.
+    checksum_failures: AtomicU64,
+    /// Shards whose mutex was found poisoned and was cleared + recovered.
+    poison_recoveries: AtomicU64,
 }
 
 impl Default for OrderCache {
@@ -136,6 +143,8 @@ impl OrderCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            checksum_failures: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -160,6 +169,23 @@ impl OrderCache {
             h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
         }
         &self.shards[(h as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Locks a shard's map, recovering from poisoning: the shard is
+    /// cleared (its keys recompute on their next lookup — the eviction
+    /// contract), the event counted, and the poison flag cleared, so one
+    /// panicked worker cannot brick the cache for future requests.
+    fn lock_map<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, HashMap<Key, Resident>> {
+        match shard.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                shard.map.clear_poison();
+                guard
+            }
+        }
     }
 
     /// The order for `(query_id, variant)`, computing it on first use via
@@ -202,50 +228,73 @@ impl OrderCache {
         compute: impl FnOnce() -> Vec<VertexId>,
     ) -> (Arc<OrderEntry>, bool) {
         let key: Key = (query_id, variant.to_string());
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let slot = {
-            let mut map = self.shard_of(&key).map.lock().expect("order cache poisoned");
-            match map.get_mut(&key) {
-                Some(r) => {
-                    r.last_used = tick;
-                    Arc::clone(&r.slot)
+        // `compute` is needed at most once across the retry loop: the
+        // first miss consumes it and returns; a retry after a
+        // checksum-degrade eviction is a fresh miss on the *replacement*
+        // residency, which this same call only reaches when another
+        // thread already initialized it (then we hit) or when we evicted
+        // and re-enter as the initializer (then we take the closure).
+        let mut compute = Some(compute);
+        loop {
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            let slot = {
+                let mut map = self.lock_map(self.shard_of(&key));
+                match map.get_mut(&key) {
+                    Some(r) => {
+                        r.last_used = tick;
+                        Arc::clone(&r.slot)
+                    }
+                    None => {
+                        let slot = Arc::new(Slot { cell: OnceLock::new() });
+                        map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick });
+                        slot
+                    }
                 }
-                None => {
-                    let slot = Arc::new(Slot { cell: OnceLock::new() });
-                    map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick });
-                    slot
-                }
+            };
+            let mut fresh = false;
+            let entry = slot.cell.get_or_init(|| {
+                fresh = true;
+                let t = Instant::now();
+                let order = (compute.take().expect("one ordering pass per call"))();
+                Arc::new(OrderEntry {
+                    order,
+                    checksum: AtomicU64::new(checksum.unwrap_or_else(|| SpaceCache::query_checksum(q))),
+                    order_time: t.elapsed(),
+                })
+            });
+            if fresh {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.evict_to_capacity(&key);
+                return (Arc::clone(entry), true);
             }
-        };
-        let mut fresh = false;
-        let entry = slot.cell.get_or_init(|| {
-            fresh = true;
-            let t = Instant::now();
-            let order = compute();
-            Arc::new(OrderEntry {
-                order,
-                checksum: checksum.unwrap_or_else(|| SpaceCache::query_checksum(q)),
-                order_time: t.elapsed(),
-            })
-        });
-        if fresh {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            self.evict_to_capacity(&key);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
             if SpaceCache::verify_on_hit() {
                 let ok = match checksum {
-                    Some(c) => entry.checksum == c,
+                    Some(c) => entry.checksum.load(Ordering::Relaxed) == c,
                     None => entry.verify_checksum(q),
                 };
-                assert!(
-                    ok,
-                    "OrderCache fingerprint collision: query id {query_id:#018x} maps to an order \
-                     whose structural checksum disagrees with the query being served"
-                );
+                if !ok {
+                    // Degrade, don't panic: count it, evict exactly this
+                    // resident, and retry as a recompute miss.
+                    self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    self.evict_exact(&key, entry);
+                    continue;
+                }
             }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(entry), false);
         }
-        (Arc::clone(entry), fresh)
+    }
+
+    /// Removes `key` only while its resident slot still holds exactly
+    /// `entry` (the checksum-degrade path) — a stale verdict must not
+    /// evict a concurrent recompute's fresh entry.
+    fn evict_exact(&self, key: &Key, entry: &OrderEntry) {
+        let mut map = self.lock_map(self.shard_of(key));
+        let same =
+            map.get(key).and_then(|r| r.slot.cell.get()).map(|a| std::ptr::eq(Arc::as_ptr(a), entry)).unwrap_or(false);
+        if same && map.remove(key).is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Evicts globally least-recently-used residents while the entry
@@ -256,7 +305,7 @@ impl OrderCache {
         while self.len() > cap {
             let mut victim: Option<(usize, Key, u64)> = None;
             for (si, shard) in self.shards.iter().enumerate() {
-                let map = shard.map.lock().expect("order cache poisoned");
+                let map = self.lock_map(shard);
                 if let Some((k, r)) = map.iter().filter(|(k, _)| *k != protect).min_by_key(|(_, r)| r.last_used) {
                     if victim.as_ref().is_none_or(|(_, _, t)| r.last_used < *t) {
                         victim = Some((si, k.clone(), r.last_used));
@@ -264,7 +313,7 @@ impl OrderCache {
                 }
             }
             let Some((si, key, _)) = victim else { break };
-            if self.shards[si].map.lock().expect("order cache poisoned").remove(&key).is_some() {
+            if self.lock_map(&self.shards[si]).remove(&key).is_some() {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -285,9 +334,21 @@ impl OrderCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Verified hits whose stored checksum disagreed with the query —
+    /// each one degraded to an evict-and-recompute miss instead of
+    /// panicking (the serving layer's `degraded` metric).
+    pub fn checksum_failures(&self) -> u64 {
+        self.checksum_failures.load(Ordering::Relaxed)
+    }
+
+    /// Poisoned shards recovered (cleared and reused) so far.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct `(query id, variant)` keys resident.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.lock().expect("order cache poisoned").len()).sum()
+        self.shards.iter().map(|s| self.lock_map(s).len()).sum()
     }
 
     /// True when no entries are held.
@@ -298,7 +359,7 @@ impl OrderCache {
     /// Drops every variant of one query id.
     pub fn invalidate(&self, query_id: u64) {
         for shard in &self.shards {
-            shard.map.lock().expect("order cache poisoned").retain(|(qid, _), _| *qid != query_id);
+            self.lock_map(shard).retain(|(qid, _), _| *qid != query_id);
         }
     }
 
@@ -306,8 +367,39 @@ impl OrderCache {
     /// changed — see the scope contract in the module docs).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.map.lock().expect("order cache poisoned").clear();
+            self.lock_map(shard).clear();
         }
+    }
+
+    /// Fault injection for tests and the replay driver: flips the stored
+    /// checksum of every resident entry so the next verified hit observes
+    /// a mismatch and takes the degrade path. Returns the number of
+    /// entries corrupted.
+    #[doc(hidden)]
+    pub fn corrupt_resident_checksums_for_test(&self) -> usize {
+        let mut corrupted = 0;
+        for shard in &self.shards {
+            let map = self.lock_map(shard);
+            for r in map.values() {
+                if let Some(entry) = r.slot.cell.get() {
+                    entry.checksum.fetch_xor(u64::MAX, Ordering::Relaxed);
+                    corrupted += 1;
+                }
+            }
+        }
+        corrupted
+    }
+
+    /// Fault injection for tests: poisons the shard mutex owning
+    /// `(query_id, variant)` by panicking while holding it.
+    #[doc(hidden)]
+    pub fn poison_shard_of_for_test(&self, query_id: u64, variant: &str) {
+        let key: Key = (query_id, variant.to_string());
+        let shard = self.shard_of(&key);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.map.lock().expect("not yet poisoned");
+            panic!("poisoning order cache shard for test");
+        }));
     }
 }
 
@@ -499,6 +591,46 @@ mod tests {
         cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn corrupted_checksum_degrades_to_a_counted_recompute() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let qid = SpaceCache::query_fingerprint(&q);
+        let (bad, _) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+        assert_eq!(cache.corrupt_resident_checksums_for_test(), 1);
+        // Debug builds verify every hit: the corrupted entry must be
+        // evicted and recomputed, not served and not panicked on.
+        let mut recomputed = false;
+        let (good, fresh) = cache.get_or_compute(qid, "RI", &q, || {
+            recomputed = true;
+            RiOrdering.order(&q, &g, &cand)
+        });
+        assert!(fresh && recomputed, "degrade recomputes the order");
+        assert!(!Arc::ptr_eq(&bad, &good));
+        assert!(good.verify_checksum(&q));
+        assert_eq!(cache.checksum_failures(), 1);
+        assert_eq!(cache.evictions(), 1);
+        let (_, fresh2) = cache.get_or_compute(qid, "RI", &q, || unreachable!("resident again"));
+        assert!(!fresh2);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_recomputes() {
+        let (q, g) = case();
+        let cand = LdfFilter.filter(&q, &g);
+        let cache = OrderCache::new();
+        let qid = SpaceCache::query_fingerprint(&q);
+        cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+        cache.poison_shard_of_for_test(qid, "RI");
+        let (e, fresh) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+        assert!(fresh, "recovered shard starts empty");
+        assert_eq!(e.order().len(), 3);
+        assert_eq!(cache.poison_recoveries(), 1);
+        let (_, fresh2) = cache.get_or_compute(qid, "RI", &q, || unreachable!("resident again"));
+        assert!(!fresh2, "the cache keeps serving after recovery");
     }
 
     #[test]

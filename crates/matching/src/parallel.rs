@@ -154,6 +154,13 @@ impl SharedCaps {
         self.stop.load(Ordering::Relaxed)
     }
 
+    /// Raised by a worker that observed a cooperative cancel
+    /// ([`EnumConfig::deadline`] / [`EnumConfig::cancel`]); peers exit at
+    /// their next cadence sync or morsel claim.
+    pub(crate) fn raise_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
     pub(crate) fn budget_exhausted(&self) -> bool {
         self.max_enumerations != u64::MAX && self.enumerations.load(Ordering::Relaxed) >= self.max_enumerations
     }
@@ -187,6 +194,7 @@ struct WorkerOut {
     slices: Vec<SliceOut>,
     deadline_hit: bool,
     budget_hit: bool,
+    cancel_hit: bool,
 }
 
 /// Folds worker outputs into an [`EnumResult`]. Slices merge in slice
@@ -217,6 +225,7 @@ fn merge(mut outs: Vec<WorkerOut>, caps: &SharedCaps, config: &EnumConfig, start
         elapsed: start.elapsed(),
         timed_out: outs.iter().any(|w| w.deadline_hit),
         budget_exhausted: outs.iter().any(|w| w.budget_hit) || caps.budget_exhausted(),
+        cancelled: outs.iter().any(|w| w.cancel_hit),
         matches,
     }
 }
@@ -273,7 +282,7 @@ pub(crate) fn enumerate_in_space_parallel_from(
     let outs = drive_workers(threads, |cursor| {
         let _gauge = gauge_enter();
         let mut ctx = new_space_ctx(q, cs, order, config, start, Some(&caps));
-        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false };
+        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false, cancel_hit: false };
         loop {
             if caps.should_stop() {
                 break;
@@ -303,6 +312,7 @@ pub(crate) fn enumerate_in_space_parallel_from(
         }
         out.deadline_hit = ctx.deadline_hit;
         out.budget_hit = ctx.budget_hit;
+        out.cancel_hit = ctx.cancel_hit;
         out
     });
     merge(outs, &caps, &config, start)
@@ -316,6 +326,9 @@ pub(crate) fn enumerate_in_space_parallel_from(
 /// decomposition itself loses nothing; `tests/oracle.rs` checks it.
 pub fn enumerate_in_space_sliced(q: &Graph, cs: &CandidateSpace, order: &[VertexId], config: EnumConfig) -> EnumResult {
     let start = Instant::now();
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     if cs.any_empty() {
         return EnumResult::empty(start.elapsed());
     }
@@ -359,6 +372,7 @@ fn space_slices_serial(
         elapsed: start.elapsed(),
         timed_out: ctx.deadline_hit,
         budget_exhausted: ctx.budget_hit,
+        cancelled: ctx.cancel_hit,
         matches: ctx.matches,
     }
 }
@@ -395,7 +409,7 @@ pub(crate) fn enumerate_probe_parallel_from(
     let outs = drive_workers(threads, |cursor| {
         let _gauge = gauge_enter();
         let mut ctx = new_probe_ctx(g, cand, order, backward.clone(), config, start, Some(&caps));
-        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false };
+        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false, cancel_hit: false };
         loop {
             if caps.should_stop() {
                 break;
@@ -425,6 +439,7 @@ pub(crate) fn enumerate_probe_parallel_from(
         }
         out.deadline_hit = ctx.deadline_hit;
         out.budget_hit = ctx.budget_hit;
+        out.cancel_hit = ctx.cancel_hit;
         out
     });
     merge(outs, &caps, &config, start)
@@ -462,6 +477,7 @@ fn probe_slices_serial(
         elapsed: start.elapsed(),
         timed_out: ctx.deadline_hit,
         budget_exhausted: ctx.budget_hit,
+        cancelled: ctx.cancel_hit,
         matches: ctx.matches,
     }
 }

@@ -53,7 +53,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use rlqvo_graph::Graph;
@@ -75,8 +75,10 @@ pub struct SpaceEntry {
     cand: Candidates,
     filter_time: Duration,
     /// Independent structural hash of the query this entry was filtered
-    /// from — the collision guard verified on hits.
-    checksum: u64,
+    /// from — the collision guard verified on hits. Atomic only so the
+    /// corruption test hook can flip it in place on a shared entry; the
+    /// cache itself writes it once at insert.
+    checksum: AtomicU64,
     /// Shared across all filter variants of the same query (order- and
     /// filter-independent).
     adj: Arc<OnceLock<QueryAdjBits>>,
@@ -158,7 +160,7 @@ impl SpaceEntry {
     /// the fingerprint-collision guard. A hit serving a *different*
     /// query's entry (a 64-bit fingerprint collision) returns false.
     pub fn verify_checksum(&self, q: &Graph) -> bool {
-        self.checksum == SpaceCache::query_checksum(q)
+        self.checksum.load(Ordering::Relaxed) == SpaceCache::query_checksum(q)
     }
 
     /// Bytes this entry pins: candidates + adjacency bitmap (if built) +
@@ -235,6 +237,11 @@ struct CacheShared {
     /// owning key's shard lock, so it tracks the maps consistently.
     total_bytes: AtomicUsize,
     evictions: AtomicU64,
+    /// Verified hits whose stored checksum disagreed with the query —
+    /// each one degraded to an evict-and-refilter miss.
+    checksum_failures: AtomicU64,
+    /// Shards whose mutex was found poisoned and was cleared + recovered.
+    poison_recoveries: AtomicU64,
 }
 
 impl CacheShared {
@@ -249,6 +256,48 @@ impl CacheShared {
         &self.shards[(h as usize) & (SHARD_COUNT - 1)]
     }
 
+    /// Locks a shard's map, recovering from poisoning instead of
+    /// propagating it: a worker that panicked while holding the lock may
+    /// have left the map mid-update, so recovery drops the shard's
+    /// contents (its keys simply refilter on their next lookup — the
+    /// same contract as eviction), refunds the charged bytes, counts the
+    /// event, and clears the poison flag so one dead worker cannot brick
+    /// the cache tier for every future request.
+    fn lock_map<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, HashMap<Key, Resident>> {
+        match shard.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                let charged: usize = guard.values().map(|r| r.charged).sum();
+                guard.clear();
+                self.total_bytes.fetch_sub(charged, Ordering::Relaxed);
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                shard.map.clear_poison();
+                guard
+            }
+        }
+    }
+
+    #[inline]
+    fn lock_shard(&self, key: &Key) -> MutexGuard<'_, HashMap<Key, Resident>> {
+        self.lock_map(self.shard_of(key))
+    }
+
+    /// Removes `key` only while its resident slot still holds exactly
+    /// `entry` — the checksum-degrade path. The identity check keeps a
+    /// stale verdict from evicting a concurrent refilter's fresh entry.
+    fn evict_exact(&self, key: &Key, entry: &SpaceEntry) {
+        let mut map = self.lock_shard(key);
+        let same =
+            map.get(key).and_then(|r| r.slot.cell.get()).map(|a| std::ptr::eq(Arc::as_ptr(a), entry)).unwrap_or(false);
+        if same {
+            if let Some(r) = map.remove(key) {
+                self.total_bytes.fetch_sub(r.charged, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Sets `key`'s charge to `bytes` and evicts down to capacity, never
     /// evicting `key` itself. The charge only applies when the key's
     /// resident slot still holds exactly `entry` — a stale handle (the
@@ -256,7 +305,7 @@ impl CacheShared {
     /// not overwrite the new resident's accounting.
     fn recharge(&self, key: &Key, bytes: usize, entry: &SpaceEntry) {
         {
-            let mut map = self.shard_of(key).map.lock().expect("space cache poisoned");
+            let mut map = self.lock_shard(key);
             if let Some(r) = map.get_mut(key) {
                 let same = r.slot.cell.get().map(|a| std::ptr::eq(Arc::as_ptr(a), entry)).unwrap_or(false);
                 if same {
@@ -284,7 +333,7 @@ impl CacheShared {
         while self.total_bytes.load(Ordering::Relaxed) > cap {
             let mut victim: Option<(usize, Key, u64)> = None;
             for (si, shard) in self.shards.iter().enumerate() {
-                let map = shard.map.lock().expect("space cache poisoned");
+                let map = self.lock_map(shard);
                 if let Some((k, r)) = map.iter().filter(|(k, _)| protect != Some(*k)).min_by_key(|(_, r)| r.last_used) {
                     if victim.as_ref().is_none_or(|(_, _, t)| r.last_used < *t) {
                         victim = Some((si, k.clone(), r.last_used));
@@ -292,7 +341,7 @@ impl CacheShared {
                 }
             }
             let Some((si, key, _)) = victim else { break };
-            let mut map = self.shards[si].map.lock().expect("space cache poisoned");
+            let mut map = self.lock_map(&self.shards[si]);
             if let Some(r) = map.remove(&key) {
                 self.total_bytes.fetch_sub(r.charged, Ordering::Relaxed);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -348,6 +397,8 @@ impl SpaceCache {
                 capacity: capacity_bytes,
                 total_bytes: AtomicUsize::new(0),
                 evictions: AtomicU64::new(0),
+                checksum_failures: AtomicU64::new(0),
+                poison_recoveries: AtomicU64::new(0),
             }),
             adjs: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
@@ -457,56 +508,65 @@ impl SpaceCache {
         filter: &dyn CandidateFilter,
     ) -> (Arc<SpaceEntry>, bool) {
         let key: Key = (query_id, filter.cache_key());
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let slot = {
-            let mut map = self.shared.shard_of(&key).map.lock().expect("space cache poisoned");
-            match map.get_mut(&key) {
-                Some(r) => {
-                    r.last_used = tick;
-                    Arc::clone(&r.slot)
+        // A verified hit whose stored checksum disagrees with the query
+        // degrades gracefully: count it, evict exactly that resident, and
+        // retry — the retry misses and refilters, so the caller always
+        // receives a trustworthy entry. The loop terminates because a
+        // retry either constructs the entry itself (fresh, trusted by
+        // construction) or races a concurrent refilter whose entry
+        // carries the freshly computed checksum.
+        loop {
+            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+            let slot = {
+                let mut map = self.shared.lock_shard(&key);
+                match map.get_mut(&key) {
+                    Some(r) => {
+                        r.last_used = tick;
+                        Arc::clone(&r.slot)
+                    }
+                    None => {
+                        let slot = Arc::new(Slot { cell: OnceLock::new() });
+                        map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick, charged: 0 });
+                        slot
+                    }
                 }
-                None => {
-                    let slot = Arc::new(Slot { cell: OnceLock::new() });
-                    map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick, charged: 0 });
-                    slot
-                }
+            };
+            let mut fresh = false;
+            let entry = slot.cell.get_or_init(|| {
+                fresh = true;
+                let adj = self.adj_cell(query_id);
+                let t = Instant::now();
+                let cand = filter.filter(q, g);
+                Arc::new(SpaceEntry {
+                    cand,
+                    filter_time: t.elapsed(),
+                    checksum: AtomicU64::new(checksum.unwrap_or_else(|| Self::query_checksum(q))),
+                    adj,
+                    space: OnceLock::new(),
+                    origin: Some((Arc::downgrade(&self.shared), key.clone())),
+                })
+            });
+            if fresh {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Charge what exists now (candidates); a later lazy build
+                // recharges through the entry's origin handle.
+                self.shared.recharge(&key, entry.resident_bytes(), entry);
+                return (Arc::clone(entry), true);
             }
-        };
-        let mut fresh = false;
-        let entry = slot.cell.get_or_init(|| {
-            fresh = true;
-            let adj = self.adj_cell(query_id);
-            let t = Instant::now();
-            let cand = filter.filter(q, g);
-            Arc::new(SpaceEntry {
-                cand,
-                filter_time: t.elapsed(),
-                checksum: checksum.unwrap_or_else(|| Self::query_checksum(q)),
-                adj,
-                space: OnceLock::new(),
-                origin: Some((Arc::downgrade(&self.shared), key.clone())),
-            })
-        });
-        if fresh {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            // Charge what exists now (candidates); a later lazy build
-            // recharges through the entry's origin handle.
-            self.shared.recharge(&key, entry.resident_bytes(), entry);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
             if Self::verify_on_hit() {
                 let ok = match checksum {
-                    Some(c) => entry.checksum == c,
+                    Some(c) => entry.checksum.load(Ordering::Relaxed) == c,
                     None => entry.verify_checksum(q),
                 };
-                assert!(
-                    ok,
-                    "SpaceCache fingerprint collision: query id {query_id:#018x} maps to an entry \
-                     whose structural checksum disagrees with the query being served"
-                );
+                if !ok {
+                    self.shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    self.shared.evict_exact(&key, entry);
+                    continue;
+                }
             }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(entry), false);
         }
-        (Arc::clone(entry), fresh)
     }
 
     /// The shared adjacency-bits cell of `query_id`, reviving a live one
@@ -514,7 +574,10 @@ impl SpaceCache {
     /// pruned once the map outgrows the resident entry count, so a
     /// bounded cache's adjacency index cannot grow without bound either.
     fn adj_cell(&self, query_id: u64) -> Arc<OnceLock<QueryAdjBits>> {
-        let mut adjs = self.adjs.lock().expect("space cache poisoned");
+        // The adjacency index holds only weak cells, so a panic mid-update
+        // cannot leave it inconsistent in any way that matters — recover
+        // the guard and keep going.
+        let mut adjs = self.adjs.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(cell) = adjs.get(&query_id).and_then(Weak::upgrade) {
             return cell;
         }
@@ -562,9 +625,21 @@ impl SpaceCache {
         self.shared.evictions.load(Ordering::Relaxed)
     }
 
+    /// Verified hits whose stored checksum disagreed with the query being
+    /// served. Each one degraded to an evict-and-refilter miss instead of
+    /// panicking — the serving layer's `degraded` metric.
+    pub fn checksum_failures(&self) -> u64 {
+        self.shared.checksum_failures.load(Ordering::Relaxed)
+    }
+
+    /// Poisoned shards recovered (cleared and reused) so far.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.shared.poison_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct `(query id, filter semantics)` keys resident.
     pub fn len(&self) -> usize {
-        self.shared.shards.iter().map(|s| s.map.lock().expect("space cache poisoned").len()).sum()
+        self.shared.shards.iter().map(|s| self.shared.lock_map(s).len()).sum()
     }
 
     /// True when no entries are held.
@@ -576,24 +651,24 @@ impl SpaceCache {
     /// should be refreshed). Outstanding [`Arc`] entries stay usable.
     pub fn invalidate(&self, query_id: u64) {
         for shard in &self.shared.shards {
-            let mut map = shard.map.lock().expect("space cache poisoned");
+            let mut map = self.shared.lock_map(shard);
             let removed: usize = map.iter().filter(|((qid, _), _)| *qid == query_id).map(|(_, r)| r.charged).sum();
             map.retain(|(qid, _), _| *qid != query_id);
             self.shared.total_bytes.fetch_sub(removed, Ordering::Relaxed);
         }
-        self.adjs.lock().expect("space cache poisoned").remove(&query_id);
+        self.adjs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).remove(&query_id);
     }
 
     /// Drops everything — required when the *data graph* changes, since
     /// entries snapshot candidates against it.
     pub fn clear(&self) {
         for shard in &self.shared.shards {
-            let mut map = shard.map.lock().expect("space cache poisoned");
+            let mut map = self.shared.lock_map(shard);
             let removed: usize = map.values().map(|r| r.charged).sum();
             map.clear();
             self.shared.total_bytes.fetch_sub(removed, Ordering::Relaxed);
         }
-        self.adjs.lock().expect("space cache poisoned").clear();
+        self.adjs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 
     /// Bytes charged for resident entries (candidates + adjacency bits +
@@ -602,6 +677,38 @@ impl SpaceCache {
     /// being-served exception.
     pub fn storage_bytes(&self) -> usize {
         self.shared.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection for tests and the replay driver: flips the stored
+    /// checksum of every resident entry so the next verified hit observes
+    /// a mismatch and exercises the degrade path. Returns how many
+    /// entries were corrupted.
+    #[doc(hidden)]
+    pub fn corrupt_resident_checksums_for_test(&self) -> usize {
+        let mut corrupted = 0;
+        for shard in &self.shared.shards {
+            let map = self.shared.lock_map(shard);
+            for r in map.values() {
+                if let Some(entry) = r.slot.cell.get() {
+                    entry.checksum.fetch_xor(u64::MAX, Ordering::Relaxed);
+                    corrupted += 1;
+                }
+            }
+        }
+        corrupted
+    }
+
+    /// Fault injection for tests: poisons the shard mutex that owns
+    /// `(query_id, filter_key)` by panicking while holding it, simulating
+    /// a worker that died mid-operation.
+    #[doc(hidden)]
+    pub fn poison_shard_of_for_test(&self, query_id: u64, filter_key: &str) {
+        let key: Key = (query_id, filter_key.to_string());
+        let shard = self.shared.shard_of(&key);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shard.map.lock().expect("not yet poisoned");
+            panic!("poisoning space cache shard for test");
+        }));
     }
 }
 
@@ -876,6 +983,124 @@ mod tests {
         }
         assert_eq!(cache.evictions(), 0);
         assert_eq!(cache.len(), 100);
+    }
+
+    #[test]
+    fn corrupted_checksum_degrades_to_a_counted_refilter() {
+        // Debug builds always verify hits, so the corruption is observed
+        // on the very next lookup.
+        let (q, g) = case();
+        let cache = SpaceCache::new();
+        let (bad, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+        assert!(fresh);
+        assert_eq!(cache.corrupt_resident_checksums_for_test(), 1);
+        let (good, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+        assert!(fresh, "the corrupted resident must be replaced, not served");
+        assert!(!Arc::ptr_eq(&bad, &good), "degrade produces a new entry");
+        assert!(good.verify_checksum(&q), "the replacement is trustworthy");
+        assert_eq!(cache.checksum_failures(), 1);
+        assert_eq!(cache.evictions(), 1, "the corrupted entry was evicted, not leaked");
+        // Steady state again: the replacement serves hits.
+        let (again, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+        assert!(!fresh);
+        assert!(Arc::ptr_eq(&good, &again));
+        assert_eq!(cache.checksum_failures(), 1, "one corruption, one degrade");
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_refilters() {
+        let (q, g) = case();
+        let cache = SpaceCache::new();
+        let qid = SpaceCache::query_fingerprint(&q);
+        cache.entry(qid, &q, &g, &LdfFilter);
+        assert_eq!(cache.len(), 1);
+        cache.poison_shard_of_for_test(qid, &crate::filter::CandidateFilter::cache_key(&LdfFilter));
+        // The next touch of the poisoned shard recovers it: the shard is
+        // cleared (as if evicted) and the lookup refilters.
+        let (e, fresh) = cache.entry(qid, &q, &g, &LdfFilter);
+        assert!(fresh, "recovered shard starts empty");
+        assert!(!e.cand().any_empty());
+        assert_eq!(cache.poison_recoveries(), 1);
+        assert_eq!(cache.storage_bytes(), e.resident_bytes(), "byte accounting survives the recovery");
+        // And the cache keeps serving afterwards.
+        let (_, fresh2) = cache.entry(qid, &q, &g, &LdfFilter);
+        assert!(!fresh2);
+    }
+
+    /// The ISSUE-6 eviction-under-pressure test: a tiny byte bound forces
+    /// continuous eviction from a flood thread while reader threads
+    /// hammer a small hot set. Asserts no deadlock (the test finishes),
+    /// bounded residency throughout (up to the documented transient
+    /// between a charge and the eviction pass that follows it), and that
+    /// an evicted hot key refilters exactly once afterwards. Runs
+    /// multi-threaded regardless of `RLQVO_ENUM_THREADS`, so CI's
+    /// 2-thread variant exercises it too.
+    #[test]
+    fn concurrent_flood_respects_bound_without_deadlock() {
+        let g = flood_host();
+        let probe_cache = SpaceCache::new();
+        let q0 = distinct_query(0);
+        let (e0, _) = probe_cache.entry_for(&q0, &g, &LdfFilter);
+        e0.space(&q0, &g);
+        let entry_bytes = e0.resident_bytes();
+        let bound = entry_bytes * 6;
+        let cache = SpaceCache::with_capacity_bytes(bound);
+        let high_water = AtomicUsize::new(0);
+
+        const READERS: usize = 3;
+        const HOT: u32 = 4;
+        {
+            let (cache, g, high_water) = (&cache, &g, &high_water);
+            std::thread::scope(|s| {
+                for r in 0..READERS {
+                    s.spawn(move || {
+                        for i in 0..300u32 {
+                            let q = distinct_query((i + r as u32) % HOT);
+                            let (e, _) = cache.entry_for(&q, g, &LdfFilter);
+                            assert!(!e.cand().any_empty());
+                            high_water.fetch_max(cache.storage_bytes(), Ordering::Relaxed);
+                        }
+                    });
+                }
+                s.spawn(move || {
+                    // The flood: distinct queries (disjoint from the hot
+                    // set) that keep the cache over its bound continuously.
+                    for i in HOT..(HOT + 150) {
+                        let q = distinct_query(i);
+                        let (e, fresh) = cache.entry_for(&q, g, &LdfFilter);
+                        assert!(fresh, "flood queries are distinct");
+                        e.space(&q, g);
+                        high_water.fetch_max(cache.storage_bytes(), Ordering::Relaxed);
+                    }
+                });
+            });
+        }
+
+        assert!(cache.evictions() > 0, "the flood must evict");
+        assert!(cache.storage_bytes() <= bound, "settled residency within the bound");
+        // Transient slack: between one thread's charge and its eviction
+        // pass, other threads may have charged too — at most one entry
+        // each (readers' hot entries are space-less, the flood's have a
+        // space). Anything beyond that means accounting leaked.
+        let slack = (READERS + 1) * entry_bytes;
+        assert!(
+            high_water.load(Ordering::Relaxed) <= bound + slack,
+            "high water {} exceeds bound {} + transient slack {}",
+            high_water.load(Ordering::Relaxed),
+            bound,
+            slack
+        );
+        // Deterministically push any surviving hot key out, then verify
+        // the evicted-key contract: exactly one refilter, then resident.
+        for i in (HOT + 150)..(HOT + 170) {
+            let q = distinct_query(i);
+            let (e, _) = cache.entry_for(&q, &g, &LdfFilter);
+            e.space(&q, &g);
+        }
+        let (_, fresh1) = cache.entry_for(&distinct_query(0), &g, &LdfFilter);
+        assert!(fresh1, "hot key must have been evicted by the post-flood push");
+        let (_, fresh2) = cache.entry_for(&distinct_query(0), &g, &LdfFilter);
+        assert!(!fresh2, "exactly one refilter per eviction");
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! the paper's evaluation protocol (match caps, time limits, unsolved
 //! accounting) depends on these behaviours being exact.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use rlqvo_graph::GraphBuilder;
 use rlqvo_matching::order::{OrderingMethod, RiOrdering};
-use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, GqlFilter, LdfFilter};
+use rlqvo_matching::{enumerate, CandidateFilter, EnumConfig, EnumEngine, GqlFilter, LdfFilter};
 
 /// A dense labeled host graph with plenty of matches.
 fn host(n: u32, labels: u32) -> rlqvo_graph::Graph {
@@ -115,6 +116,144 @@ fn stored_matches_respect_cap() {
         }
         assert!(g.has_edge(m[0], m[1]) && g.has_edge(m[1], m[2]));
     }
+}
+
+/// A single-label dense host whose path queries explode combinatorially:
+/// a 6-vertex one-label path has millions of partial embeddings, so a
+/// run against it cannot finish inside a few-millisecond deadline — the
+/// fixture the cooperative-cancel tests need to be deterministic.
+fn heavy_host() -> rlqvo_graph::Graph {
+    let mut b = GraphBuilder::new(1);
+    for _ in 0..80 {
+        b.add_vertex(0);
+    }
+    for i in 0..80u32 {
+        for j in (i + 1)..80.min(i + 11) {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+fn heavy_query() -> rlqvo_graph::Graph {
+    let mut b = GraphBuilder::new(1);
+    let vs: Vec<_> = (0..6).map(|_| b.add_vertex(0)).collect();
+    for w in vs.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.build()
+}
+
+#[test]
+fn budgeted_with_threads_clamps_to_serial() {
+    // The RL training budget needs exact `#enum` determinism; a worker
+    // pool has at-least semantics. Combining them is a documented clamp,
+    // not silent nondeterminism.
+    assert_eq!(EnumConfig::budgeted(1000).with_threads(8).threads, 1);
+    assert_eq!(EnumConfig::budgeted(1000).with_threads(8).with_engine(EnumEngine::Probe).threads, 1);
+    // Non-budgeted configs still honour the request.
+    assert_eq!(EnumConfig::find_all().with_threads(8).threads, 8);
+}
+
+#[test]
+fn budgeted_with_threads_stays_deterministic() {
+    let g = host(60, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let serial = enumerate(&q, &g, &cand, &order, EnumConfig::budgeted(5_000));
+    let clamped = enumerate(&q, &g, &cand, &order, EnumConfig::budgeted(5_000).with_threads(4));
+    assert_eq!(serial.enumerations, clamped.enumerations);
+    assert_eq!(serial.match_count, clamped.match_count);
+}
+
+#[test]
+fn pre_expired_deadline_cancels_with_zero_work() {
+    let g = host(40, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+        let cfg = EnumConfig::find_all().with_engine(engine).with_deadline(Instant::now());
+        let res = enumerate(&q, &g, &cand, &order, cfg);
+        assert!(res.cancelled, "{engine:?}");
+        assert_eq!(res.enumerations, 0, "a pre-expired deadline performs zero recursion calls");
+        assert_eq!(res.match_count, 0);
+        assert!(!res.timed_out && !res.budget_exhausted);
+    }
+}
+
+#[test]
+fn short_deadline_cancels_on_the_cadence_serial() {
+    let g = heavy_host();
+    let q = heavy_query();
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+        let cfg = EnumConfig::find_all()
+            .with_engine(engine)
+            .with_threads(1)
+            .with_deadline(Instant::now() + Duration::from_millis(5));
+        let res = enumerate(&q, &g, &cand, &order, cfg);
+        assert!(res.cancelled, "{engine:?}");
+        assert!(res.enumerations > 0, "the run started before the deadline expired");
+        // The cancel check is amortized: it fires exactly when the call
+        // counter crosses a 1024 boundary, so a cancelled serial run's
+        // `#enum` is always a multiple of the cadence.
+        assert_eq!(res.enumerations % 1024, 0, "{engine:?}: cancel must fire at a cadence boundary");
+    }
+}
+
+#[test]
+fn short_deadline_cancels_parallel_run() {
+    let g = heavy_host();
+    let q = heavy_query();
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+        let cfg = EnumConfig::find_all()
+            .with_engine(engine)
+            .with_threads(4)
+            .with_deadline(Instant::now() + Duration::from_millis(5));
+        let res = enumerate(&q, &g, &cand, &order, cfg);
+        assert!(res.cancelled, "{engine:?}");
+        // Every worker answers within one cadence window of the deadline;
+        // the generous bound only guards against a hang.
+        assert!(res.elapsed < Duration::from_secs(30), "{engine:?}: cancelled run must return promptly");
+    }
+}
+
+static PRE_RAISED_CANCEL: AtomicBool = AtomicBool::new(false);
+
+#[test]
+fn raised_cancel_flag_rejects_at_entry() {
+    PRE_RAISED_CANCEL.store(true, Ordering::Relaxed);
+    let g = host(40, 3);
+    let q = query(3);
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let res = enumerate(&q, &g, &cand, &order, EnumConfig::find_all().with_cancel_flag(&PRE_RAISED_CANCEL));
+    assert!(res.cancelled);
+    assert_eq!(res.enumerations, 0);
+}
+
+static MID_RUN_CANCEL: AtomicBool = AtomicBool::new(false);
+
+#[test]
+fn cancel_flag_raised_mid_run_stops_within_a_cadence_window() {
+    let g = heavy_host();
+    let q = heavy_query();
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let killer = std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_millis(5));
+        MID_RUN_CANCEL.store(true, Ordering::Relaxed);
+    });
+    let cfg = EnumConfig::find_all().with_threads(1).with_cancel_flag(&MID_RUN_CANCEL);
+    let res = enumerate(&q, &g, &cand, &order, cfg);
+    killer.join().unwrap();
+    assert!(res.cancelled);
+    assert!(res.enumerations > 0 && res.enumerations.is_multiple_of(1024));
 }
 
 proptest! {

@@ -1,0 +1,357 @@
+//! Fault-injection replay driver for `rlqvo serve`.
+//!
+//! Starts an in-process server over a scaled paper dataset, replays a
+//! Zipfian hot/cold query mix from concurrent clients, and injects the
+//! three fault classes the robustness contract promises to survive:
+//!
+//! 1. **panic queries** — `inject=panic` requests that die inside the
+//!    engine (the cache-fill closure, the most hostile point);
+//! 2. **oversized queries** — frames whose declared length exceeds the
+//!    server's limit, answered with a typed reject;
+//! 3. **mid-run cache flush + checksum corruption** — half-way through,
+//!    the driver flushes both caches over the wire and (in-process)
+//!    flips every resident checksum, forcing the degrade path.
+//!
+//! Every request must come back with a typed reply — a lost reply is a
+//! driver failure, not a statistic. The report is one JSON object on
+//! stdout: p50/p99/p999 latency, throughput, shed/degraded/error counts.
+//!
+//! ```text
+//! replay [--smoke] [--dataset yeast] [--vertices 3000] [--clients 4]
+//!        [--requests 400] [--queries 24] [--hot 4] [--zipf 1.1]
+//!        [--query-size 8] [--deadline-ms 200] [--seed 7] [--no-cache]
+//! ```
+//!
+//! `--smoke` shrinks everything for CI (seconds, not minutes).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rlqvo_datasets::{build_query_set, Dataset};
+use rlqvo_graph::{io::write_graph, Graph};
+use rlqvo_serve::{roundtrip, Request, Response, ServeConfig, Server};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Zipf(s) CDF over `n` ranks, hand-rolled (the vendored `rand` has no
+/// distribution module): weight of rank `r` is `1/(r+1)^s`.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn graph_text(q: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(q, &mut buf).expect("in-memory write");
+    String::from_utf8(buf).expect("graph text is ascii")
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    // First thing, before any thread exists: force cache hit
+    // verification on so the corruption injection actually exercises the
+    // degrade path in release builds.
+    std::env::set_var("RLQVO_CACHE_VERIFY", "1");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+
+    let dataset_name = flag(&args, "--dataset").unwrap_or_else(|| "yeast".to_string());
+    let dataset = Dataset::from_name(&dataset_name).unwrap_or_else(|| {
+        eprintln!("unknown dataset {dataset_name:?}");
+        std::process::exit(2);
+    });
+    let vertices: usize = num(&args, "--vertices", if smoke { 800 } else { 3000 });
+    let clients: usize = num(&args, "--clients", if smoke { 2 } else { 4 });
+    let requests_per_client: usize = num(&args, "--requests", if smoke { 40 } else { 400 });
+    let pool_size: usize = num(&args, "--queries", if smoke { 8 } else { 24 });
+    let hot: usize = num(&args, "--hot", 4).max(1);
+    let zipf_s: f64 = num(&args, "--zipf", 1.1);
+    let query_size: usize = num(&args, "--query-size", if smoke { 6 } else { 8 });
+    let deadline_ms: u64 = num(&args, "--deadline-ms", 200);
+    let seed: u64 = num(&args, "--seed", 7);
+
+    eprintln!("replay: {dataset_name} n={vertices}, {clients} clients x {requests_per_client} requests, pool {pool_size} (hot {hot}), zipf s={zipf_s}");
+
+    let g = Arc::new(dataset.load_scaled(vertices));
+    let queries = build_query_set(&g, query_size, pool_size, seed).queries;
+    let texts: Vec<String> = queries.iter().map(graph_text).collect();
+    // Hot set first: Zipf rank 0..hot gets the bulk of the mass.
+    let zipf = Zipf::new(texts.len(), zipf_s);
+
+    let handle = Server::start(
+        ServeConfig {
+            queue_depth: clients.max(2),
+            use_cache: !no_cache,
+            fault_injection: true,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&g),
+    )
+    .expect("server start");
+    let addr = handle.addr();
+
+    let total = clients * requests_per_client;
+    // Fault schedule anchors: corrupt while the caches are warm (so hits
+    // actually trip the checksum degrade path), flush later (so the
+    // cold-refill path runs mid-stream too).
+    let corrupt_at = (2 * total / 5) as u64;
+    let flush_at = (7 * total / 10) as u64;
+    let sent = AtomicU64::new(0);
+    // Outcome tally (client side, ground truth for "no lost replies").
+    let ok = AtomicU64::new(0);
+    let deadline = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let errored = AtomicU64::new(0);
+    let injected_panics = AtomicU64::new(0);
+    let lost = AtomicU64::new(0);
+
+    let t_start = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let texts = &texts;
+            let zipf = &zipf;
+            let (sent, ok, deadline, overloaded, rejected, errored, injected_panics, lost) =
+                (&sent, &ok, &deadline, &overloaded, &rejected, &errored, &injected_panics, &lost);
+            let shared = handle.shared();
+            joins.push(s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xA5A5_0000 + c as u64));
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(requests_per_client);
+                let (mut corrupted, mut flushed) = (false, false);
+                for _ in 0..requests_per_client {
+                    let n = sent.fetch_add(1, Ordering::Relaxed);
+                    // Fault schedule (client 0 drives the global events):
+                    // a panic query every 29th request; a checksum
+                    // corruption sweep at 40% (in-process hook — the
+                    // checksums aren't on the wire) while the caches are
+                    // warm, so subsequent hits must degrade; a full cache
+                    // flush over the wire at 70%.
+                    if c == 0 && !corrupted && n >= corrupt_at {
+                        corrupted = true;
+                        let ns = shared.space().corrupt_resident_checksums_for_test();
+                        let no = shared.orders().corrupt_resident_checksums_for_test();
+                        eprintln!("replay: corrupted {ns} space + {no} order checksums at n={n}");
+                    }
+                    if c == 0 && !flushed && n >= flush_at {
+                        flushed = true;
+                        roundtrip(&mut stream, &Request::Flush).expect("flush reply");
+                    }
+                    let inject = n % 29 == 7;
+                    let idx = zipf.sample(&mut rng);
+                    let req = Request::Match {
+                        deadline_ms: Some(deadline_ms),
+                        max_matches: Some(10_000),
+                        method: None,
+                        engine: None,
+                        inject: inject.then(|| "panic".to_string()),
+                        query_text: texts[idx].clone(),
+                    };
+                    if inject {
+                        injected_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let t0 = Instant::now();
+                    match roundtrip(&mut stream, &req) {
+                        Ok(resp) => {
+                            lat.push(t0.elapsed().as_micros() as u64);
+                            match resp {
+                                Response::Ok { .. } => ok.fetch_add(1, Ordering::Relaxed),
+                                Response::DeadlineExceeded { .. } => deadline.fetch_add(1, Ordering::Relaxed),
+                                Response::Overloaded => overloaded.fetch_add(1, Ordering::Relaxed),
+                                Response::Rejected { .. } => rejected.fetch_add(1, Ordering::Relaxed),
+                                Response::InternalError { .. } => errored.fetch_add(1, Ordering::Relaxed),
+                                _ => lost.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                        Err(e) => {
+                            eprintln!("client {c}: lost reply: {e}");
+                            lost.fetch_add(1, Ordering::Relaxed);
+                            stream = TcpStream::connect(addr).expect("reconnect");
+                        }
+                    }
+                }
+                lat
+            }));
+        }
+
+        // The oversized-query fault, on sacrificial connections so the
+        // measured clients keep their streams: declare a frame beyond
+        // the server's limit, expect the typed reject + close.
+        let mut oversized_ok = 0u32;
+        for _ in 0..3 {
+            let mut s = TcpStream::connect(addr).expect("connect oversized");
+            s.write_all(&(u32::MAX).to_le_bytes()).expect("oversized prefix");
+            match rlqvo_serve::read_frame(&mut s, rlqvo_serve::MAX_FRAME_BYTES).expect("oversized reply") {
+                rlqvo_serve::Frame::Msg(p) => {
+                    let text = String::from_utf8(p).expect("utf8");
+                    assert!(
+                        matches!(Response::parse(&text), Ok(Response::Rejected { .. })),
+                        "oversized frame must be rejected, got {text:?}"
+                    );
+                    oversized_ok += 1;
+                }
+                other => panic!("oversized frame got no typed reply: {other:?}"),
+            }
+        }
+        assert_eq!(oversized_ok, 3, "every oversized probe must be typed-rejected");
+
+        let mut all = Vec::with_capacity(total);
+        for j in joins {
+            all.extend(j.join().expect("client thread"));
+        }
+        all
+    });
+    let elapsed = t_start.elapsed();
+
+    // Server-side metrics before shutdown.
+    let mut control = TcpStream::connect(addr).expect("connect control");
+    let metrics: BTreeMap<String, u64> = match roundtrip(&mut control, &Request::Metrics).expect("metrics") {
+        Response::Metrics(m) => m,
+        other => panic!("metrics got {other:?}"),
+    };
+    // Caches must be alive and serving after the fault mix: one more
+    // warm query must succeed.
+    let probe = Request::Match {
+        deadline_ms: Some(5_000),
+        max_matches: Some(100),
+        method: None,
+        engine: None,
+        inject: None,
+        query_text: texts[0].clone(),
+    };
+    match roundtrip(&mut control, &probe).expect("post-fault probe") {
+        Response::Ok { .. } | Response::DeadlineExceeded { .. } => {}
+        other => panic!("server unusable after fault mix: {other:?}"),
+    }
+    handle.shutdown();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let report = Report {
+        total,
+        elapsed,
+        p50: percentile(&sorted, 0.50),
+        p99: percentile(&sorted, 0.99),
+        p999: percentile(&sorted, 0.999),
+        ok: ok.load(Ordering::Relaxed),
+        deadline: deadline.load(Ordering::Relaxed),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        rejected: rejected.load(Ordering::Relaxed),
+        errored: errored.load(Ordering::Relaxed),
+        injected_panics: injected_panics.load(Ordering::Relaxed),
+        lost: lost.load(Ordering::Relaxed),
+        metrics,
+    };
+
+    // Acceptance: faults were injected, every request got a typed reply,
+    // and the panics surfaced as typed errors rather than lost replies.
+    assert!(report.injected_panics >= 1, "fault schedule must inject at least one panic");
+    assert_eq!(report.lost, 0, "every request must receive a typed reply");
+    // Injected panics that were shed at admission or aged out in queue
+    // never reach the engine, so `errored` can undershoot the injection
+    // count — but it can never exceed it, and at least one must land.
+    assert!(report.errored >= 1, "at least one injected panic must surface as a typed error");
+    assert!(report.errored <= report.injected_panics, "typed errors can only come from injected panics");
+    assert!(
+        report.metrics.get("degraded").copied().unwrap_or(0) >= 1,
+        "the corruption sweep must force at least one counted checksum degrade"
+    );
+    assert!(report.metrics.get("flushes").copied().unwrap_or(0) >= 1, "the mid-run flush must have landed");
+    let replied = report.ok + report.deadline + report.overloaded + report.rejected + report.errored;
+    assert_eq!(replied as usize, total, "reply conservation: {replied} of {total}");
+
+    eprintln!(
+        "replay: {} requests in {:.2?} ({:.0} req/s) | p50 {}us p99 {}us p999 {}us | ok {} deadline {} shed {} rejected {} errors {} degraded {}",
+        report.total,
+        report.elapsed,
+        report.total as f64 / report.elapsed.as_secs_f64(),
+        report.p50,
+        report.p99,
+        report.p999,
+        report.ok,
+        report.deadline,
+        report.overloaded,
+        report.rejected,
+        report.errored,
+        report.metrics.get("degraded").copied().unwrap_or(0),
+    );
+    println!("{}", report.to_json());
+}
+
+struct Report {
+    total: usize,
+    elapsed: Duration,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    ok: u64,
+    deadline: u64,
+    overloaded: u64,
+    rejected: u64,
+    errored: u64,
+    injected_panics: u64,
+    lost: u64,
+    metrics: BTreeMap<String, u64>,
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"requests\": {}, ", self.total));
+        s.push_str(&format!("\"elapsed_ms\": {}, ", self.elapsed.as_millis()));
+        s.push_str(&format!("\"throughput_rps\": {:.1}, ", self.total as f64 / self.elapsed.as_secs_f64()));
+        s.push_str(&format!("\"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, ", self.p50, self.p99, self.p999));
+        s.push_str(&format!(
+            "\"ok\": {}, \"deadline\": {}, \"shed\": {}, \"rejected\": {}, \"errors\": {}, ",
+            self.ok, self.deadline, self.overloaded, self.rejected, self.errored
+        ));
+        s.push_str(&format!("\"injected_panics\": {}, \"lost\": {}, ", self.injected_panics, self.lost));
+        s.push_str("\"server\": {");
+        let kv: Vec<String> = self.metrics.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        s.push_str(&kv.join(", "));
+        s.push_str("}}");
+        s
+    }
+}

@@ -1,0 +1,30 @@
+//! `rlqvo serve` — a fault-tolerant serving loop for repeated subgraph
+//! queries against one warm host graph.
+//!
+//! The paper's deployment story (RL-QVO, ICDE 2022) is a *serving* one:
+//! the learned ordering pays off when the same workload replays against
+//! a long-lived process whose candidate spaces and matching orders are
+//! already cached. This crate is that process, hardened:
+//!
+//! - **Admission control** — a bounded request queue; overflow is shed
+//!   with a typed `overloaded` reply, never silently dropped.
+//! - **Deadlines** — per-request, anchored at arrival (queue wait
+//!   counts), enforced cooperatively inside the enumeration engine on
+//!   its 1024-call cadence; partial counts come back as `deadline ...`.
+//! - **Fault isolation** — every request runs under `catch_unwind`; a
+//!   panic yields a typed `error` reply while the server and its cache
+//!   tier stay up (the caches recover from lock poisoning themselves).
+//! - **Graceful degradation** — cache misses recompute on the fly,
+//!   checksum mismatches evict-and-recompute (the `degraded` metric),
+//!   and `--no-cache` proves the fully cold path end to end.
+//!
+//! [`protocol`] defines the length-prefixed wire format; [`server`] the
+//! loop itself. `src/bin/replay.rs` is the Zipfian fault-injection
+//! replay driver that measures p50/p99/p999 under injected panics,
+//! oversized frames, and mid-run cache flushes.
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{read_frame, write_frame, Frame, Request, Response, MAX_FRAME_BYTES};
+pub use server::{roundtrip, ServeConfig, Server, ServerHandle, ServerState};

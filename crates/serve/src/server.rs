@@ -1,0 +1,622 @@
+//! The fault-tolerant serving loop.
+//!
+//! One [`Server`] owns a warm cache tier — a [`SpaceCache`], an
+//! [`OrderCache`], and (optionally) a loaded RL-QVO policy — shared by a
+//! fixed pool of request workers. The pool geometry comes from the same
+//! [`worker_split`] arithmetic the figure harness uses: `threads` is the
+//! *total* core budget, split into `query_workers × enum_threads`.
+//!
+//! The robustness contract, in order of the request lifecycle:
+//!
+//! 1. **Admission control.** Requests land in a bounded queue
+//!    (`queue_depth`). A full queue sheds the request with a typed
+//!    `overloaded` reply — never a silent drop, never an unbounded
+//!    backlog.
+//! 2. **Deadlines.** `deadline_ms` is anchored at *arrival*, so queue
+//!    wait counts against it. Workers re-check before running and the
+//!    enumeration engine polls it cooperatively on its 1024-call
+//!    cadence ([`EnumConfig::with_deadline`]); an expired request
+//!    returns its partial counts as `deadline ...`, not an error.
+//! 3. **Fault isolation.** Each request runs under `catch_unwind`. A
+//!    panicking request yields a typed `error reason=panic`; the server,
+//!    its workers, and the cache tier stay up. The caches themselves
+//!    recover from lock poisoning (they rebuild the poisoned shard), so
+//!    even a panic inside a cache fill is survivable.
+//! 4. **Graceful degradation.** A cache miss falls back to on-the-fly
+//!    filtering/ordering; a checksum mismatch on a hit evicts the liar
+//!    and recomputes (counted in the `degraded` metric). `use_cache =
+//!    false` serves every request down the fully cold path — the flag
+//!    that *proves* the degraded path works end to end.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rlqvo_bench::worker_split;
+use rlqvo_core::{RlQvo, RlQvoConfig};
+use rlqvo_graph::{io::read_graph, Graph};
+use rlqvo_matching::order::{
+    CflOrdering, GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
+};
+use rlqvo_matching::{
+    run_pipeline, run_with_entry_ordered, CandidateFilter, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter,
+    OrderCache, Pipeline, PipelineResult, QueryKey, SpaceCache,
+};
+
+use crate::protocol::{read_frame, write_frame, Frame, Request, Response};
+
+/// Server configuration. `threads` is the total core budget; the split
+/// into concurrent requests × per-request enumeration threads reuses the
+/// harness rule ([`worker_split`]).
+pub struct ServeConfig {
+    /// Total worker-thread budget across concurrent requests.
+    pub threads: usize,
+    /// Bound on queued (admitted, not yet running) requests. Beyond it,
+    /// requests are shed with a typed `overloaded` reply.
+    pub queue_depth: usize,
+    /// Largest accepted request frame; bigger ones are rejected unread.
+    pub max_frame_bytes: u32,
+    /// Base per-request enumeration limits (`max_matches` here is the
+    /// server-wide cap; requests may only lower it).
+    pub enum_config: EnumConfig,
+    /// `false` = serve every request down the fully cold path (the
+    /// `--no-cache` proof that degradation works).
+    pub use_cache: bool,
+    /// Honor `inject=panic` request directives (replay/tests only).
+    pub fault_injection: bool,
+    /// Path to a trained model, enabling `method=rlqvo`.
+    pub model_path: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_depth: 64,
+            max_frame_bytes: 4 * 1024 * 1024,
+            enum_config: EnumConfig {
+                max_matches: 100_000,
+                time_limit: Duration::from_secs(300),
+                ..EnumConfig::default()
+            },
+            use_cache: true,
+            fault_injection: false,
+            model_path: None,
+        }
+    }
+}
+
+/// Counters the `metrics` request reports. All monotonic.
+#[derive(Default)]
+struct Metrics {
+    served: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+pub struct ServerState {
+    g: Arc<Graph>,
+    space: SpaceCache,
+    orders: OrderCache,
+    model: Option<RlQvo>,
+    metrics: Metrics,
+    /// Request-facing switches, fixed at start.
+    use_cache: bool,
+    fault_injection: bool,
+    base_config: EnumConfig,
+    /// Raised by `shutdown`: accept loop, idle connections, and drained
+    /// workers exit; in-flight enumerations cancel cooperatively via
+    /// `cancel` (each still sends its typed partial reply).
+    stop: AtomicBool,
+    /// Leaked per-server kill switch threaded into every request's
+    /// [`EnumConfig`] (one `AtomicBool` per server instance — bounded).
+    cancel: &'static AtomicBool,
+}
+
+impl ServerState {
+    /// The warm candidate-space tier (exposed for fault-injection tests
+    /// and the replay driver's corruption hooks).
+    pub fn space(&self) -> &SpaceCache {
+        &self.space
+    }
+
+    /// The warm ordering tier.
+    pub fn orders(&self) -> &OrderCache {
+        &self.orders
+    }
+
+    /// The host graph the server answers queries against.
+    pub fn host(&self) -> &Graph {
+        &self.g
+    }
+
+    fn snapshot(&self) -> BTreeMap<String, u64> {
+        let degraded = self.space.checksum_failures()
+            + self.space.poison_recoveries()
+            + self.orders.checksum_failures()
+            + self.orders.poison_recoveries();
+        let mut m = BTreeMap::new();
+        m.insert("served".into(), self.metrics.served.load(Ordering::Relaxed));
+        m.insert("shed".into(), self.metrics.shed.load(Ordering::Relaxed));
+        m.insert("rejected".into(), self.metrics.rejected.load(Ordering::Relaxed));
+        m.insert("errors".into(), self.metrics.errors.load(Ordering::Relaxed));
+        m.insert("deadline_exceeded".into(), self.metrics.deadline_exceeded.load(Ordering::Relaxed));
+        m.insert("flushes".into(), self.metrics.flushes.load(Ordering::Relaxed));
+        m.insert("degraded".into(), degraded);
+        m.insert("space_hits".into(), self.space.hits());
+        m.insert("space_misses".into(), self.space.misses());
+        m.insert("space_evictions".into(), self.space.evictions());
+        m.insert("space_bytes".into(), self.space.storage_bytes() as u64);
+        m.insert("order_hits".into(), self.orders.hits());
+        m.insert("order_misses".into(), self.orders.misses());
+        m
+    }
+}
+
+/// One admitted `match` request, queued for a worker.
+struct Job {
+    deadline: Option<Instant>,
+    max_matches: Option<u64>,
+    method: Option<String>,
+    engine: Option<String>,
+    inject: Option<String>,
+    query_text: String,
+    reply: SyncSender<Response>,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or send a `shutdown` request and
+/// [`ServerHandle::wait`]).
+pub struct Server;
+
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds an ephemeral local port against `g` (the CLI loads it from
+    /// `--data`; tests and the replay driver build it in process), spawns
+    /// the accept loop and the worker pool, and returns the handle.
+    pub fn start(config: ServeConfig, g: Arc<Graph>) -> std::io::Result<ServerHandle> {
+        let model = match &config.model_path {
+            Some(p) => Some(
+                RlQvo::load(p, RlQvoConfig::harness())
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("model: {e}")))?,
+            ),
+            None => None,
+        };
+        let (query_workers, per_request) = worker_split(config.threads, config.enum_config);
+        let state = Arc::new(ServerState {
+            g,
+            space: SpaceCache::new(),
+            orders: OrderCache::new(),
+            model,
+            metrics: Metrics::default(),
+            use_cache: config.use_cache,
+            fault_injection: config.fault_injection,
+            base_config: per_request,
+            stop: AtomicBool::new(false),
+            cancel: Box::leak(Box::new(AtomicBool::new(false))),
+        });
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let workers: Vec<JoinHandle<()>> = (0..query_workers)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || worker_loop(&state, &rx))
+            })
+            .collect();
+
+        let accept = {
+            let state = Arc::clone(&state);
+            let max_frame = config.max_frame_bytes.min(crate::protocol::MAX_FRAME_BYTES);
+            std::thread::spawn(move || accept_loop(&state, &listener, &job_tx, max_frame))
+        };
+
+        Ok(ServerHandle { addr, state, accept: Some(accept), workers })
+    }
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state — cache tier, metrics — for in-process callers
+    /// (tests, the replay driver's corruption hooks).
+    pub fn shared(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Connects a new client stream to this server.
+    pub fn connect(&self) -> std::io::Result<TcpStream> {
+        TcpStream::connect(self.addr)
+    }
+
+    /// Stops the server: raises the stop flag and the cooperative cancel
+    /// switch (in-flight requests finish with typed partial replies),
+    /// then joins the accept loop and the drained worker pool.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        self.state.cancel.store(true, Ordering::Relaxed);
+        self.join_all();
+    }
+
+    /// Blocks until a `shutdown` request stops the server, then joins.
+    pub fn wait(mut self) {
+        while !self.state.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(state: &Arc<ServerState>, listener: &TcpListener, job_tx: &SyncSender<Job>, max_frame: u32) {
+    loop {
+        if state.stop.load(Ordering::Relaxed) {
+            return; // drops this job_tx; workers drain and exit
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                let tx = job_tx.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(&state, stream, &tx, max_frame);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn is_poll_tick(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// `read_exact` that rides out the connection's 100ms poll timeout once
+/// a frame has started arriving: mid-frame, a timeout means the sender
+/// is slow, not idle — only `stop` abandons it.
+fn read_exact_patient(state: &ServerState, stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    let mut n = 0;
+    while n < buf.len() {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof mid-frame")),
+            Ok(k) => n += k,
+            Err(e) if is_poll_tick(&e) => {
+                if state.stop.load(Ordering::Relaxed) {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Server-side frame read over a socket with a poll timeout: *between*
+/// frames a timeout is an idle tick (checked against `stop`); *inside* a
+/// frame it defers to [`read_exact_patient`].
+fn read_frame_patient(state: &ServerState, stream: &mut TcpStream, max_len: u32) -> std::io::Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    let first = loop {
+        match stream.read(&mut len_buf) {
+            Ok(0) => return Ok(Frame::Eof),
+            Ok(k) => break k,
+            Err(e) if is_poll_tick(&e) => {
+                if state.stop.load(Ordering::Relaxed) {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    read_exact_patient(state, stream, &mut len_buf[first..])?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > max_len {
+        return Ok(Frame::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_patient(state, stream, &mut payload)?;
+    Ok(Frame::Msg(payload))
+}
+
+/// One connection, lockstep: read a frame, answer it, repeat. Control
+/// requests are answered inline; `match` requests go through admission.
+fn serve_connection(
+    state: &Arc<ServerState>,
+    mut stream: TcpStream,
+    job_tx: &SyncSender<Job>,
+    max_frame: u32,
+) -> std::io::Result<()> {
+    // The idle read times out so the thread can notice `stop`.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    loop {
+        let payload = match read_frame_patient(state, &mut stream, max_frame)? {
+            Frame::Msg(p) => p,
+            Frame::Eof => return Ok(()),
+            Frame::Oversized(len) => {
+                // The declared payload was never read, so the stream is
+                // out of sync: typed reject, then close.
+                state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                let r = Response::Rejected { reason: format!("oversized frame of {len} bytes") };
+                let _ = write_frame(&mut stream, r.to_text().as_bytes());
+                return Ok(());
+            }
+        };
+        let arrival = Instant::now();
+        let request = match std::str::from_utf8(&payload).map_err(|_| "not utf8".to_string()).and_then(Request::parse) {
+            Ok(r) => r,
+            Err(reason) => {
+                state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                write_frame(&mut stream, Response::Rejected { reason }.to_text().as_bytes())?;
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Metrics => Response::Metrics(state.snapshot()),
+            Request::Flush => {
+                state.space.clear();
+                state.orders.clear();
+                state.metrics.flushes.fetch_add(1, Ordering::Relaxed);
+                Response::Metrics(state.snapshot())
+            }
+            Request::Shutdown => {
+                state.stop.store(true, Ordering::Relaxed);
+                state.cancel.store(true, Ordering::Relaxed);
+                write_frame(&mut stream, Response::Bye.to_text().as_bytes())?;
+                return Ok(());
+            }
+            Request::Match { deadline_ms, max_matches, method, engine, inject, query_text } => {
+                let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+                let job = Job {
+                    // Anchored at arrival: queue wait counts.
+                    deadline: deadline_ms.map(|ms| arrival + Duration::from_millis(ms)),
+                    max_matches,
+                    method,
+                    engine,
+                    inject,
+                    query_text,
+                    reply: reply_tx,
+                };
+                match job_tx.try_send(job) {
+                    Ok(()) => reply_rx.recv().unwrap_or(Response::InternalError { reason: "worker lost".into() }),
+                    Err(TrySendError::Full(_)) => {
+                        state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                        Response::Overloaded
+                    }
+                    Err(TrySendError::Disconnected(_)) => Response::InternalError { reason: "shutting down".into() },
+                }
+            }
+        };
+        write_frame(&mut stream, response.to_text().as_bytes())?;
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the receiver lock only for the pickup, never the work.
+        let job = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match job {
+            Ok(job) => {
+                let response = handle_match(state, &job);
+                // A vanished client is its problem; the reply was made.
+                let _ = job.reply.send(response);
+            }
+            // Only exit on an *empty* queue after stop: admitted requests
+            // are never dropped, even across shutdown.
+            Err(RecvTimeoutError::Timeout) => {
+                if state.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs one admitted `match` request and produces its typed response.
+/// Never panics out: the engine call is fenced with `catch_unwind`.
+fn handle_match(state: &ServerState, job: &Job) -> Response {
+    // Deadline re-check at pickup: a request that aged out in the queue
+    // reports zero work done, which is the truth.
+    if let Some(d) = job.deadline {
+        if Instant::now() >= d {
+            state.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            return Response::DeadlineExceeded { matches: 0, enums: 0, micros: 0 };
+        }
+    }
+
+    let q = match read_graph(job.query_text.as_bytes(), Some(state.g.num_labels())) {
+        Ok(q) => q,
+        Err(e) => {
+            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::Rejected { reason: format!("bad query graph: {e}") };
+        }
+    };
+
+    let method = job.method.as_deref().unwrap_or("hybrid");
+    let learned;
+    let (filter, ordering): (Box<dyn CandidateFilter>, &dyn OrderingMethod) = match method {
+        "hybrid" => (Box::new(GqlFilter::default()), &RiOrdering),
+        "ri" => (Box::new(LdfFilter), &RiOrdering),
+        "qsi" => (Box::new(LdfFilter), &QsiOrdering),
+        "vf2pp" => (Box::new(LdfFilter), &Vf2ppOrdering),
+        "gql" => (Box::new(GqlFilter::default()), &GqlOrdering),
+        "cfl" => (Box::new(NlfFilter), &CflOrdering),
+        "veq" => (Box::new(NlfFilter), &VeqOrdering),
+        "rlqvo" => match &state.model {
+            Some(m) => {
+                learned = m.ordering();
+                (Box::new(GqlFilter::default()), &learned)
+            }
+            None => {
+                state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Response::Rejected { reason: "no model loaded (start with --model)".into() };
+            }
+        },
+        other => {
+            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::Rejected { reason: format!("unknown method {other:?}") };
+        }
+    };
+
+    let mut config = state.base_config;
+    if let Some(cap) = job.max_matches {
+        // Requests may only tighten the server-wide cap.
+        config.max_matches = cap.min(config.max_matches);
+    }
+    if let Some(e) = &job.engine {
+        match EnumEngine::parse(e) {
+            Some(eng) => config.engine = eng,
+            None => {
+                state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Response::Rejected { reason: format!("unknown engine {e:?}") };
+            }
+        }
+    }
+    if let Some(d) = job.deadline {
+        config = config.with_deadline(d);
+    }
+    config = config.with_cancel_flag(state.cancel);
+
+    let inject_panic = state.fault_injection && job.inject.as_deref() == Some("panic");
+
+    // The engine fence. `AssertUnwindSafe` is justified: the only shared
+    // structures a panic can abandon mid-write are the caches, and those
+    // recover from lock poisoning by design (counted, tested).
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if state.use_cache {
+            run_cached(state, &q, filter.as_ref(), ordering, config, inject_panic)
+        } else {
+            if inject_panic {
+                panic!("injected fault (cold path)");
+            }
+            let r = run_pipeline(&q, &state.g, &Pipeline { filter: filter.as_ref(), ordering, config });
+            (r, false, false)
+        }
+    }));
+    let micros = t0.elapsed().as_micros() as u64;
+
+    match outcome {
+        Ok((r, hit_space, hit_order)) => {
+            if r.enum_result.cancelled {
+                state.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                Response::DeadlineExceeded {
+                    matches: r.enum_result.match_count,
+                    enums: r.enum_result.enumerations,
+                    micros,
+                }
+            } else {
+                state.metrics.served.fetch_add(1, Ordering::Relaxed);
+                Response::Ok {
+                    matches: r.enum_result.match_count,
+                    enums: r.enum_result.enumerations,
+                    micros,
+                    hit_space,
+                    hit_order,
+                }
+            }
+        }
+        Err(_) => {
+            state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            Response::InternalError { reason: "panic".into() }
+        }
+    }
+}
+
+/// The warm path: same shape as `rlqvo match` with both caches on.
+/// Returns the pipeline result plus (space hit, order hit).
+fn run_cached(
+    state: &ServerState,
+    q: &Graph,
+    filter: &dyn CandidateFilter,
+    ordering: &dyn OrderingMethod,
+    config: EnumConfig,
+    inject_panic: bool,
+) -> (PipelineResult, bool, bool) {
+    let key = QueryKey::of(q);
+    let t0 = Instant::now();
+    let (entry, fresh_space) = state.space.entry_keyed(&key, q, &state.g, filter);
+    let filter_time = if fresh_space { t0.elapsed() } else { Duration::ZERO };
+    let variant = format!("{}@{}", ordering.cache_key(), filter.cache_key());
+    let t1 = Instant::now();
+    let (oe, fresh_order) = state.orders.get_or_compute_keyed(&key, &variant, q, || {
+        // Injection point chosen to be maximally hostile: mid-fill, with
+        // a cache residency open. The `OnceLock` cell stays uninitialized
+        // (the next lookup retries) and no shard lock is held here, so
+        // nothing poisons — the panic costs exactly one request.
+        if inject_panic {
+            panic!("injected fault (order fill)");
+        }
+        ordering.order(q, &state.g, entry.cand())
+    });
+    if inject_panic {
+        // The fill closure never ran (order was already cached): still
+        // honor the directive so injected requests fail deterministically.
+        panic!("injected fault (warm hit)");
+    }
+    let order_time = t1.elapsed();
+    let mut r = run_with_entry_ordered(q, &state.g, &entry, oe.order().to_vec(), config);
+    r.filter_time = filter_time;
+    r.order_time = order_time;
+    (r, !fresh_space, !fresh_order)
+}
+
+/// Blocking client helper: one request frame out, one response frame
+/// back. Shared by the CLI, the replay driver, and the tests.
+pub fn roundtrip<S: Read + Write>(stream: &mut S, req: &Request) -> std::io::Result<Response> {
+    write_frame(stream, req.to_text().as_bytes())?;
+    loop {
+        match read_frame(stream, crate::protocol::MAX_FRAME_BYTES) {
+            Ok(Frame::Msg(p)) => {
+                let text = String::from_utf8(p)
+                    .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad utf8"))?;
+                return Response::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+            }
+            Ok(Frame::Oversized(_)) | Ok(Frame::Eof) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed"))
+            }
+            // The server applies a 100ms idle read timeout; clients using
+            // blocking sockets don't set one, but tolerate it if set.
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end fault-injection tests for the serving loop: every request
+//! — well-formed, malformed, oversized, panicking, shed, or expired —
+//! must produce exactly one typed reply, and the server plus its warm
+//! cache tier must stay usable afterwards.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rlqvo_graph::{io::write_graph, Graph, GraphBuilder};
+use rlqvo_serve::{read_frame, roundtrip, Frame, Request, Response, ServeConfig, Server, MAX_FRAME_BYTES};
+
+/// A small labeled host with plenty of matches (fast requests).
+fn small_host() -> Graph {
+    let mut b = GraphBuilder::new(3);
+    for i in 0..40u32 {
+        b.add_vertex(i % 3);
+    }
+    for i in 0..40u32 {
+        for j in (i + 1)..40.min(i + 6) {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+fn small_query() -> Graph {
+    let mut b = GraphBuilder::new(3);
+    let a = b.add_vertex(0);
+    let c = b.add_vertex(1);
+    let d = b.add_vertex(2);
+    b.add_edge(a, c);
+    b.add_edge(c, d);
+    b.build()
+}
+
+/// A one-label clique-chain whose path query costs millions of
+/// enumeration calls: deadline and overload fodder.
+fn heavy_host() -> Graph {
+    let mut b = GraphBuilder::new(1);
+    for _ in 0..80 {
+        b.add_vertex(0);
+    }
+    for i in 0..80u32 {
+        for j in (i + 1)..80.min(i + 11) {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+fn heavy_query() -> Graph {
+    let mut b = GraphBuilder::new(1);
+    let vs: Vec<_> = (0..6).map(|_| b.add_vertex(0)).collect();
+    for w in vs.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.build()
+}
+
+fn text(q: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(q, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn plain_match(query_text: String, deadline_ms: Option<u64>) -> Request {
+    Request::Match { deadline_ms, max_matches: None, method: None, engine: None, inject: None, query_text }
+}
+
+#[test]
+fn fault_mix_yields_typed_replies_and_a_live_server() {
+    let handle = Server::start(
+        ServeConfig { threads: 2, queue_depth: 4, fault_injection: true, ..ServeConfig::default() },
+        Arc::new(small_host()),
+    )
+    .unwrap();
+    let q = text(&small_query());
+    let mut s = handle.connect().unwrap();
+
+    // 1. A normal request works and warms the caches.
+    let first = roundtrip(&mut s, &plain_match(q.clone(), None)).unwrap();
+    let Response::Ok { matches, hit_space, hit_order, .. } = first else {
+        panic!("expected ok, got {first:?}");
+    };
+    assert!(matches > 0);
+    assert!(!hit_space && !hit_order, "first request is cold");
+
+    // 2. An injected panic dies inside the engine fence: typed error,
+    //    same connection keeps working.
+    let boom = Request::Match {
+        deadline_ms: None,
+        max_matches: None,
+        method: None,
+        engine: None,
+        inject: Some("panic".into()),
+        query_text: q.clone(),
+    };
+    assert!(matches!(roundtrip(&mut s, &boom).unwrap(), Response::InternalError { .. }));
+
+    // 3. Malformed requests are typed rejects, not disconnects.
+    rlqvo_serve::write_frame(&mut s, b"launch the missiles").unwrap();
+    let reject = match read_frame(&mut s, MAX_FRAME_BYTES).unwrap() {
+        Frame::Msg(p) => Response::parse(std::str::from_utf8(&p).unwrap()).unwrap(),
+        other => panic!("no reply to malformed request: {other:?}"),
+    };
+    assert!(matches!(reject, Response::Rejected { .. }), "{reject:?}");
+
+    // 4. The caches survived the panic: a repeat of the first request is
+    //    a warm hit on both tiers.
+    let again = roundtrip(&mut s, &plain_match(q.clone(), None)).unwrap();
+    let Response::Ok { matches: m2, hit_space, hit_order, .. } = again else {
+        panic!("expected ok after panic, got {again:?}");
+    };
+    assert_eq!(m2, matches, "same query, same count, after a panic in between");
+    assert!(hit_space && hit_order, "caches must stay warm across a panicking request");
+
+    // 5. Server-side accounting saw all of it.
+    let Response::Metrics(m) = roundtrip(&mut s, &Request::Metrics).unwrap() else { panic!("metrics") };
+    assert_eq!(m["errors"], 1);
+    assert_eq!(m["served"], 2);
+    assert!(m["rejected"] >= 1);
+
+    // 6. An oversized frame gets a typed reject and a closed connection
+    //    (the payload was never read, so the stream lost sync) — and the
+    //    server itself keeps serving other connections.
+    let mut big = handle.connect().unwrap();
+    big.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match read_frame(&mut big, MAX_FRAME_BYTES).unwrap() {
+        Frame::Msg(p) => {
+            let r = Response::parse(std::str::from_utf8(&p).unwrap()).unwrap();
+            assert!(matches!(r, Response::Rejected { .. }), "oversized must be typed-rejected: {r:?}");
+        }
+        other => panic!("oversized frame got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    big.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "connection must close after an oversized frame");
+    assert!(matches!(roundtrip(&mut s, &Request::Ping).unwrap(), Response::Pong));
+
+    handle.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_typed_replies() {
+    // One worker, queue depth one: concurrent heavy requests must be
+    // shed at admission, each with an explicit `overloaded` reply.
+    let handle =
+        Server::start(ServeConfig { threads: 1, queue_depth: 1, ..ServeConfig::default() }, Arc::new(heavy_host()))
+            .unwrap();
+    let q = text(&heavy_query());
+
+    let replies: Vec<Response> = std::thread::scope(|s| {
+        let handle = &handle;
+        let q = &q;
+        let joins: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut stream = handle.connect().unwrap();
+                    roundtrip(&mut stream, &plain_match(q.clone(), Some(300))).unwrap()
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    assert_eq!(replies.len(), 8, "reply conservation");
+    let shed = replies.iter().filter(|r| matches!(r, Response::Overloaded)).count();
+    assert!(shed >= 1, "a full queue must shed at least one of 8 concurrent requests: {replies:?}");
+    for r in &replies {
+        assert!(
+            matches!(r, Response::Ok { .. } | Response::DeadlineExceeded { .. } | Response::Overloaded),
+            "untyped or unexpected reply: {r:?}"
+        );
+    }
+    let Response::Metrics(m) = roundtrip(&mut handle.connect().unwrap(), &Request::Metrics).unwrap() else {
+        panic!("metrics")
+    };
+    assert_eq!(m["shed"], shed as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn deadlines_cancel_cooperatively_through_the_server() {
+    // Heavy query, short deadline, parallel enumeration config: the
+    // engine must stop on its polling cadence with partial counts.
+    let config = ServeConfig {
+        threads: 4,
+        enum_config: rlqvo_matching::EnumConfig {
+            max_matches: u64::MAX,
+            time_limit: Duration::from_secs(600),
+            ..rlqvo_matching::EnumConfig::default()
+        }
+        .with_threads(4),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config, Arc::new(heavy_host())).unwrap();
+    let mut s = handle.connect().unwrap();
+    let t0 = Instant::now();
+    let r = roundtrip(&mut s, &plain_match(text(&heavy_query()), Some(150))).unwrap();
+    let elapsed = t0.elapsed();
+    let Response::DeadlineExceeded { enums, .. } = r else {
+        panic!("a 150ms deadline on a multi-second query must trip: {r:?}");
+    };
+    assert!(enums > 0, "cancellation is cooperative: partial work was done");
+    assert!(elapsed < Duration::from_secs(30), "cancel must strike on the cadence, not at completion");
+    handle.shutdown();
+}
+
+#[test]
+fn no_cache_serves_cold_and_flush_resets_the_warm_path() {
+    // `use_cache: false` is the degradation proof: every request walks
+    // the fully cold path.
+    let cold =
+        Server::start(ServeConfig { threads: 1, use_cache: false, ..ServeConfig::default() }, Arc::new(small_host()))
+            .unwrap();
+    let q = text(&small_query());
+    let mut s = cold.connect().unwrap();
+    for _ in 0..2 {
+        let r = roundtrip(&mut s, &plain_match(q.clone(), None)).unwrap();
+        let Response::Ok { hit_space, hit_order, .. } = r else { panic!("{r:?}") };
+        assert!(!hit_space && !hit_order, "no-cache server must never report a warm hit");
+    }
+    cold.shutdown();
+
+    // Warm server: second request hits; a flush forces the next one cold
+    // again (and the server answers it fine — graceful, not fatal).
+    let warm = Server::start(ServeConfig { threads: 1, ..ServeConfig::default() }, Arc::new(small_host())).unwrap();
+    let mut s = warm.connect().unwrap();
+    assert!(matches!(roundtrip(&mut s, &plain_match(q.clone(), None)).unwrap(), Response::Ok { .. }));
+    let r = roundtrip(&mut s, &plain_match(q.clone(), None)).unwrap();
+    assert!(matches!(r, Response::Ok { hit_space: true, hit_order: true, .. }), "{r:?}");
+    assert!(matches!(roundtrip(&mut s, &Request::Flush).unwrap(), Response::Metrics(_)));
+    let r = roundtrip(&mut s, &plain_match(q, None)).unwrap();
+    assert!(matches!(r, Response::Ok { hit_space: false, hit_order: false, .. }), "flush must evict: {r:?}");
+    warm.shutdown();
+}
+
+#[test]
+fn shutdown_answers_in_flight_requests_before_exiting() {
+    // Uncapped find-all on the heavy fixture runs long enough that the
+    // shutdown lands mid-enumeration; the cooperative cancel switch must
+    // turn it into a typed partial reply, not a dropped connection.
+    let config = ServeConfig {
+        threads: 1,
+        queue_depth: 2,
+        enum_config: rlqvo_matching::EnumConfig {
+            max_matches: u64::MAX,
+            time_limit: Duration::from_secs(600),
+            ..rlqvo_matching::EnumConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config, Arc::new(heavy_host())).unwrap();
+    let q = text(&heavy_query());
+
+    let reply = std::thread::scope(|s| {
+        let handle = &handle;
+        let worker = s.spawn(move || {
+            let mut stream = handle.connect().unwrap();
+            roundtrip(&mut stream, &plain_match(q, None))
+        });
+        std::thread::sleep(Duration::from_millis(200)); // let it start
+        let mut ctrl = handle.connect().unwrap();
+        assert!(matches!(roundtrip(&mut ctrl, &Request::Shutdown).unwrap(), Response::Bye));
+        worker.join().unwrap()
+    });
+    let r = reply.expect("in-flight request must still get its reply across shutdown");
+    assert!(
+        matches!(r, Response::Ok { .. } | Response::DeadlineExceeded { .. }),
+        "typed partial (or complete) result expected: {r:?}"
+    );
+    handle.wait();
+}

@@ -11,6 +11,7 @@
 //! * [`gnn`] — graph neural network layers.
 //! * [`rl`] — PPO and friends.
 //! * [`core`] — the RL-QVO model itself.
+//! * [`serve`] — the fault-tolerant serving loop (`rlqvo serve`).
 
 pub use rlqvo_core as core;
 pub use rlqvo_datasets as datasets;
@@ -18,4 +19,5 @@ pub use rlqvo_gnn as gnn;
 pub use rlqvo_graph as graph;
 pub use rlqvo_matching as matching;
 pub use rlqvo_rl as rl;
+pub use rlqvo_serve as serve;
 pub use rlqvo_tensor as tensor;

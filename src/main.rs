@@ -39,13 +39,17 @@ fn main() {
         Some("match") => cmd_match(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: rlqvo <match|train|stats> [--flag value]...");
+            eprintln!("usage: rlqvo <match|train|stats|serve> [--flag value]...");
             eprintln!(
                 "  match --data G --query q [--method hybrid] [--model m] [--max-matches N] [--time-limit-ms T] [--engine candspace|probe|auto] [--enum-threads N] [--repeat N] [--space-cache on|off] [--order-cache on|off]"
             );
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
+            eprintln!(
+                "  serve --data G [--threads N] [--queue-depth 64] [--model m] [--max-matches N] [--time-limit-ms T] [--no-cache] [--fault-injection]"
+            );
             std::process::exit(2);
         }
     };
@@ -206,6 +210,40 @@ fn cmd_match(args: &[String]) -> CliResult {
         r.enum_time,
         r.total_time()
     );
+    Ok(())
+}
+
+/// Long-lived serving loop over one warm host graph: bounded admission
+/// queue (`overloaded` beyond `--queue-depth`), per-request deadlines
+/// enforced cooperatively inside the engine, `catch_unwind` fault
+/// isolation, and cache degradation (see `crates/serve`). Binds an
+/// ephemeral local port and prints it; a `shutdown` request stops it.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let data = flag(args, "--data").ok_or("--data is required")?;
+    let g = std::sync::Arc::new(load(&data, None)?);
+    let mut config = rlqvo_suite::serve::ServeConfig {
+        queue_depth: flag(args, "--queue-depth").and_then(|v| v.parse().ok()).unwrap_or(64),
+        use_cache: !args.iter().any(|a| a == "--no-cache"),
+        fault_injection: args.iter().any(|a| a == "--fault-injection"),
+        model_path: flag(args, "--model"),
+        ..rlqvo_suite::serve::ServeConfig::default()
+    };
+    if let Some(t) = flag(args, "--threads") {
+        config.threads = t.parse::<usize>().map_err(|_| format!("bad --threads {t:?}"))?.max(1);
+    }
+    if let Some(m) = flag(args, "--max-matches") {
+        config.enum_config.max_matches = m.parse().map_err(|_| format!("bad --max-matches {m:?}"))?;
+    }
+    if let Some(t) = flag(args, "--time-limit-ms") {
+        config.enum_config.time_limit =
+            Duration::from_millis(t.parse().map_err(|_| format!("bad --time-limit-ms {t:?}"))?);
+    }
+    let caching = if config.use_cache { "on" } else { "off (cold path)" };
+    let handle = rlqvo_suite::serve::Server::start(config, g)?;
+    println!("listening on {}", handle.addr());
+    println!("caches      : {caching}");
+    println!("send `shutdown` to stop");
+    handle.wait();
     Ok(())
 }
 

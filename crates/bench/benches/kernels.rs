@@ -290,6 +290,43 @@ fn bench_space_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE-7 thrash regime: cold-miss cost *at capacity*, where every
+/// distinct lookup must evict a victim before (well, after) inserting.
+/// Measured through `OrderCache` with a trivial fixed-size compute so the
+/// numbers isolate the eviction machinery — victim selection + unlink +
+/// accounting — from filter/build cost. The resident count axis {128,
+/// 1024} is the point: under the retained `ScanReference` policy (the
+/// pre-PR-7 global LRU scan) cost grows ~8x with residents; under the
+/// default `Sampled` policy it must stay flat.
+fn bench_cache_thrash(c: &mut Criterion) {
+    use rlqvo_matching::{CacheConfig, EvictPolicy, OrderCache};
+    let q = build_query_set(&Dataset::Yeast.load(), 6, 1, 3).queries.pop().unwrap();
+    let mut group = c.benchmark_group("cache-thrash");
+    for policy in [EvictPolicy::Sampled, EvictPolicy::ScanReference] {
+        for residents in [128usize, 1024] {
+            let cache =
+                OrderCache::with_config(CacheConfig { max_entries: Some(residents), policy, ..CacheConfig::default() });
+            // Fill to capacity so every benchmarked lookup is a cold miss
+            // that must evict.
+            for i in 0..residents as u64 {
+                cache.get_or_compute(i, "V", &q, || vec![0; 16]);
+            }
+            let mut next = residents as u64;
+            let name = match policy {
+                EvictPolicy::Sampled => "cold-miss-at-capacity/sampled",
+                EvictPolicy::ScanReference => "cold-miss-at-capacity/scan-reference",
+            };
+            group.bench_with_input(BenchmarkId::new(name, residents), &residents, |b, _| {
+                b.iter(|| {
+                    next += 1;
+                    cache.get_or_compute(next, "V", &q, || vec![0; 16])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The PR 5 inference-path contract: tape-based vs tape-free policy
 /// forward (one ordering step) and full order inference, plus the
 /// OrderCache hit that replaces ordering entirely for repeated queries.
@@ -388,6 +425,6 @@ fn bench_autograd(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_parallel_enum, bench_space_cache, bench_ordering_infer, bench_gcn_forward, bench_autograd
+    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_parallel_enum, bench_space_cache, bench_cache_thrash, bench_ordering_infer, bench_gcn_forward, bench_autograd
 }
 criterion_main!(benches);

@@ -32,10 +32,14 @@
 //! per key. [`ordercache`] is its phase-2 sibling: an [`OrderCache`] of
 //! matching orders keyed by `(query id, ordering semantics)`, so a
 //! serving loop replaying a query skips the ordering phase — including a
-//! learned policy's whole GNN inference — entirely. [`naive`] holds a brute-force enumerator used as a correctness
+//! learned policy's whole GNN inference — entirely. Both are thin
+//! instantiations of [`cache`], the one generic sharded, bounded,
+//! checksum-verified cache (O(1) sampled eviction, degradation, poison
+//! recovery). [`naive`] holds a brute-force enumerator used as a correctness
 //! oracle in tests.
 
 pub mod bipartite;
+pub mod cache;
 pub mod candspace;
 pub mod enumerate;
 pub mod filter;
@@ -47,6 +51,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod spacecache;
 
+pub use cache::{CacheConfig, CacheKey, CacheWeight, EvictPolicy, ShardedCache, EVICT_SAMPLE, SHARD_COUNT};
 pub use candspace::{ArenaOverflow, CandidateSpace};
 pub use enumerate::{
     auto_decide, default_threads, effective_threads, enumerate, enumerate_in_space, enumerate_probe,

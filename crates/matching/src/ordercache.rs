@@ -1,5 +1,5 @@
 //! Cross-round amortization of the *ordering* phase: a keyed, sharded,
-//! LRU-bounded cache of matching orders.
+//! bounded cache of matching orders.
 //!
 //! [`SpaceCache`] lets a serving loop replaying the same queries pay
 //! phase 1 (filtering + `CandidateSpace` build) once. [`OrderCache`] is
@@ -10,8 +10,10 @@
 //! is the *entire* inference cost: a hit replaces `|V(q)|` GNN forward
 //! passes with one fingerprint lookup.
 //!
-//! Design mirrors [`SpaceCache`] (same sharding, same recency/eviction
-//! scheme, same hit-verification policy):
+//! Like `SpaceCache`, this is a thin instantiation of the generic
+//! [`ShardedCache`][crate::cache::ShardedCache] (see [`crate::cache`] for
+//! the sharding, O(1) eviction, hit-verification, degradation, and poison
+//! recovery contracts). The module adds only the order-specific pieces:
 //!
 //! * keys are `(query id, variant)` where the query id is the structural
 //!   fingerprint (or a caller-memoized [`QueryKey`], which also skips the
@@ -20,17 +22,14 @@
 //!   context the caller folds in (typically the filter's `cache_key`,
 //!   since candidate-driven methods order differently on different
 //!   candidate sets);
-//! * the index is sharded with per-shard locks; per-key computation runs
-//!   under a `OnceLock` outside every lock, so racing workers order a
-//!   cold key exactly once and never block unrelated keys;
-//! * hits verify the entry's stored structural checksum in debug builds
-//!   (`RLQVO_CACHE_VERIFY=1` in release) — a fingerprint collision is
-//!   detected, not silently served;
-//! * capacity is bounded by *entry count* ([`OrderCache::with_capacity`]):
-//!   orders are a few dozen bytes, so counting entries is the right
-//!   granularity (contrast `SpaceCache`'s byte accounting, whose entries
-//!   span kilobytes to megabytes). Eviction is global LRU with shard
-//!   locks taken one at a time, the key being served protected.
+//! * capacity can bound the *entry count*
+//!   ([`OrderCache::with_capacity`] — orders are small, so counting is a
+//!   reasonable granularity for fixed-shape workloads) **and/or the
+//!   resident bytes** ([`OrderCache::with_capacity_bytes`]): entry sizes
+//!   scale with `|V(q)|`, so a stream of distinct large-query orders
+//!   under a count-only bound would grow memory by whatever the largest
+//!   queries weigh. Byte accounting charges each entry's actual heap
+//!   footprint; the serving layer sets both.
 //!
 //! **Scope contract**: an `OrderCache` is valid for one `(data graph,
 //! candidate-filter configuration, model weights)` combination — anything
@@ -38,21 +37,16 @@
 //! [`OrderCache::clear`] (or a fresh cache). The `RLQVO_ORDER_CACHE` env
 //! knob ([`OrderCache::env_enabled`]) gates it at every surface.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rlqvo_graph::{Graph, VertexId};
 
+use crate::cache::{CacheConfig, CacheWeight, ShardedCache};
 use crate::filter::Candidates;
 use crate::order::OrderingMethod;
 use crate::spacecache::{QueryKey, SpaceCache};
-
-/// Number of independently locked index segments (matches `SpaceCache`).
-const SHARD_COUNT: usize = 16;
-
-type Key = (u64, String);
 
 /// One cached order plus its collision guard and timing.
 pub struct OrderEntry {
@@ -63,6 +57,16 @@ pub struct OrderEntry {
     checksum: AtomicU64,
     /// Wall time of the single ordering pass that created this entry.
     order_time: Duration,
+}
+
+impl CacheWeight for OrderEntry {
+    fn weight(&self) -> usize {
+        std::mem::size_of::<OrderEntry>() + self.order.capacity() * std::mem::size_of::<VertexId>()
+    }
+
+    fn checksum_cell(&self) -> &AtomicU64 {
+        &self.checksum
+    }
 }
 
 impl OrderEntry {
@@ -83,41 +87,16 @@ impl OrderEntry {
     }
 }
 
-/// Map slot: the `OnceLock` serializes per-key ordering outside the shard
-/// lock.
-struct Slot {
-    cell: OnceLock<Arc<OrderEntry>>,
-}
-
-struct Resident {
-    slot: Arc<Slot>,
-    last_used: u64,
-}
-
-#[derive(Default)]
-struct Shard {
-    map: Mutex<HashMap<Key, Resident>>,
-}
-
-/// Keyed, sharded, count-bounded cache of matching orders (module docs).
+/// Keyed, sharded, bounded cache of matching orders (module docs) — an
+/// instantiation of [`ShardedCache`][crate::cache::ShardedCache] over
+/// [`OrderEntry`].
 pub struct OrderCache {
-    shards: Vec<Shard>,
-    /// Maximum resident entries (`None` = unbounded).
-    capacity: Option<usize>,
-    tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    /// Verified hits whose stored checksum disagreed with the query —
-    /// each degraded to an evict-and-recompute miss.
-    checksum_failures: AtomicU64,
-    /// Shards whose mutex was found poisoned and was cleared + recovered.
-    poison_recoveries: AtomicU64,
+    cache: ShardedCache<OrderEntry>,
 }
 
 impl Default for OrderCache {
     fn default() -> Self {
-        OrderCache::with_capacity_opt(None)
+        OrderCache::with_config(CacheConfig::default())
     }
 }
 
@@ -128,24 +107,27 @@ impl OrderCache {
         OrderCache::default()
     }
 
-    /// A cache holding at most `max_entries` orders, evicting the
-    /// globally least-recently-used entry beyond that — the serving
-    /// configuration. The key being served is never evicted.
+    /// A cache holding at most `max_entries` orders, evicting
+    /// least-recently-used entries beyond that. The key being served is
+    /// never evicted.
     pub fn with_capacity(max_entries: usize) -> Self {
-        OrderCache::with_capacity_opt(Some(max_entries))
+        OrderCache::with_config(CacheConfig { max_entries: Some(max_entries), ..CacheConfig::default() })
     }
 
-    fn with_capacity_opt(capacity: Option<usize>) -> Self {
-        OrderCache {
-            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
-            capacity,
-            tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            checksum_failures: AtomicU64::new(0),
-            poison_recoveries: AtomicU64::new(0),
-        }
+    /// A cache bounding the *bytes* charged for resident orders — the
+    /// serving configuration, where entry sizes scale with query size and
+    /// a count bound alone would leave memory proportional to whatever
+    /// the largest queries weigh.
+    pub fn with_capacity_bytes(capacity_bytes: usize) -> Self {
+        OrderCache::with_config(CacheConfig { max_bytes: Some(capacity_bytes), ..CacheConfig::default() })
+    }
+
+    /// Full control over bounds and eviction policy — tests and the
+    /// thrash benchmarks instantiate the retained
+    /// [`ScanReference`][crate::cache::EvictPolicy::ScanReference] policy
+    /// through this.
+    pub fn with_config(config: CacheConfig) -> Self {
+        OrderCache { cache: ShardedCache::new(config) }
     }
 
     /// The `RLQVO_ORDER_CACHE` knob, same grammar as
@@ -162,32 +144,6 @@ impl OrderCache {
         }
     }
 
-    #[inline]
-    fn shard_of(&self, key: &Key) -> &Shard {
-        let mut h = key.0;
-        for b in key.1.as_bytes() {
-            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
-        }
-        &self.shards[(h as usize) & (SHARD_COUNT - 1)]
-    }
-
-    /// Locks a shard's map, recovering from poisoning: the shard is
-    /// cleared (its keys recompute on their next lookup — the eviction
-    /// contract), the event counted, and the poison flag cleared, so one
-    /// panicked worker cannot brick the cache for future requests.
-    fn lock_map<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, HashMap<Key, Resident>> {
-        match shard.map.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                let mut guard = poisoned.into_inner();
-                guard.clear();
-                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
-                shard.map.clear_poison();
-                guard
-            }
-        }
-    }
-
     /// The order for `(query_id, variant)`, computing it on first use via
     /// `compute`. Returns the shared entry and whether this call ran the
     /// ordering pass (`true` = miss). Exactly one ordering pass happens
@@ -195,8 +151,8 @@ impl OrderCache {
     ///
     /// `checksum` is the caller's precomputed collision guard
     /// ([`QueryKey::checksum`]), or `None` to derive it from `q` on
-    /// demand (insert always stores it; hits verify it under the
-    /// [`SpaceCache`] verification policy).
+    /// demand (insert always stores it; hits verify it under
+    /// [`crate::cache::verify_on_hit`]).
     pub fn get_or_compute(
         &self,
         query_id: u64,
@@ -227,148 +183,89 @@ impl OrderCache {
         q: &Graph,
         compute: impl FnOnce() -> Vec<VertexId>,
     ) -> (Arc<OrderEntry>, bool) {
-        let key: Key = (query_id, variant.to_string());
-        // `compute` is needed at most once across the retry loop: the
-        // first miss consumes it and returns; a retry after a
-        // checksum-degrade eviction is a fresh miss on the *replacement*
-        // residency, which this same call only reaches when another
-        // thread already initialized it (then we hit) or when we evicted
-        // and re-enter as the initializer (then we take the closure).
-        let mut compute = Some(compute);
-        loop {
-            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-            let slot = {
-                let mut map = self.lock_map(self.shard_of(&key));
-                match map.get_mut(&key) {
-                    Some(r) => {
-                        r.last_used = tick;
-                        Arc::clone(&r.slot)
-                    }
-                    None => {
-                        let slot = Arc::new(Slot { cell: OnceLock::new() });
-                        map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick });
-                        slot
-                    }
-                }
-            };
-            let mut fresh = false;
-            let entry = slot.cell.get_or_init(|| {
-                fresh = true;
+        self.cache.get_or_insert(
+            query_id,
+            variant,
+            checksum,
+            || SpaceCache::query_checksum(q),
+            |_key| {
                 let t = Instant::now();
-                let order = (compute.take().expect("one ordering pass per call"))();
+                let order = compute();
                 Arc::new(OrderEntry {
                     order,
                     checksum: AtomicU64::new(checksum.unwrap_or_else(|| SpaceCache::query_checksum(q))),
                     order_time: t.elapsed(),
                 })
-            });
-            if fresh {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.evict_to_capacity(&key);
-                return (Arc::clone(entry), true);
-            }
-            if SpaceCache::verify_on_hit() {
-                let ok = match checksum {
-                    Some(c) => entry.checksum.load(Ordering::Relaxed) == c,
-                    None => entry.verify_checksum(q),
-                };
-                if !ok {
-                    // Degrade, don't panic: count it, evict exactly this
-                    // resident, and retry as a recompute miss.
-                    self.checksum_failures.fetch_add(1, Ordering::Relaxed);
-                    self.evict_exact(&key, entry);
-                    continue;
-                }
-            }
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(entry), false);
-        }
-    }
-
-    /// Removes `key` only while its resident slot still holds exactly
-    /// `entry` (the checksum-degrade path) — a stale verdict must not
-    /// evict a concurrent recompute's fresh entry.
-    fn evict_exact(&self, key: &Key, entry: &OrderEntry) {
-        let mut map = self.lock_map(self.shard_of(key));
-        let same =
-            map.get(key).and_then(|r| r.slot.cell.get()).map(|a| std::ptr::eq(Arc::as_ptr(a), entry)).unwrap_or(false);
-        if same && map.remove(key).is_some() {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Evicts globally least-recently-used residents while the entry
-    /// count exceeds the capacity; `protect` (the key being served) is
-    /// never the victim. Shard locks are taken one at a time.
-    fn evict_to_capacity(&self, protect: &Key) {
-        let Some(cap) = self.capacity else { return };
-        while self.len() > cap {
-            let mut victim: Option<(usize, Key, u64)> = None;
-            for (si, shard) in self.shards.iter().enumerate() {
-                let map = self.lock_map(shard);
-                if let Some((k, r)) = map.iter().filter(|(k, _)| *k != protect).min_by_key(|(_, r)| r.last_used) {
-                    if victim.as_ref().is_none_or(|(_, _, t)| r.last_used < *t) {
-                        victim = Some((si, k.clone(), r.last_used));
-                    }
-                }
-            }
-            let Some((si, key, _)) = victim else { break };
-            if self.lock_map(&self.shards[si]).remove(&key).is_some() {
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+            },
+        )
     }
 
     /// Lookups served from an existing entry.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.cache.hits()
     }
 
     /// Lookups that ran the ordering pass.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.cache.misses()
     }
 
-    /// Entries dropped by the capacity bound so far.
+    /// Entries dropped by the capacity bounds so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.cache.evictions()
     }
 
     /// Verified hits whose stored checksum disagreed with the query —
     /// each one degraded to an evict-and-recompute miss instead of
     /// panicking (the serving layer's `degraded` metric).
     pub fn checksum_failures(&self) -> u64 {
-        self.checksum_failures.load(Ordering::Relaxed)
+        self.cache.checksum_failures()
     }
 
     /// Poisoned shards recovered (cleared and reused) so far.
     pub fn poison_recoveries(&self) -> u64 {
-        self.poison_recoveries.load(Ordering::Relaxed)
+        self.cache.poison_recoveries()
+    }
+
+    /// Lookups served standalone because the entry exceeds the whole
+    /// byte budget (admitted uncached — each also counts as a miss).
+    pub fn oversize_serves(&self) -> u64 {
+        self.cache.oversize_serves()
+    }
+
+    /// Cumulative residents examined during eviction victim selection —
+    /// O([`EVICT_SAMPLE`][crate::cache::EVICT_SAMPLE]) per victim under
+    /// the default policy (see [`crate::cache`]).
+    pub fn evict_scan_steps(&self) -> u64 {
+        self.cache.evict_scan_steps()
     }
 
     /// Number of distinct `(query id, variant)` keys resident.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| self.lock_map(s).len()).sum()
+        self.cache.len()
     }
 
     /// True when no entries are held.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.cache.is_empty()
+    }
+
+    /// Bytes charged for resident orders. With
+    /// [`OrderCache::with_capacity_bytes`] this never exceeds the bound,
+    /// up to concurrent charge/evict transients.
+    pub fn storage_bytes(&self) -> usize {
+        self.cache.storage_bytes()
     }
 
     /// Drops every variant of one query id.
     pub fn invalidate(&self, query_id: u64) {
-        for shard in &self.shards {
-            self.lock_map(shard).retain(|(qid, _), _| *qid != query_id);
-        }
+        self.cache.invalidate(query_id);
     }
 
     /// Drops everything (the data graph, filter configuration, or model
     /// changed — see the scope contract in the module docs).
     pub fn clear(&self) {
-        for shard in &self.shards {
-            self.lock_map(shard).clear();
-        }
+        self.cache.clear();
     }
 
     /// Fault injection for tests and the replay driver: flips the stored
@@ -377,29 +274,14 @@ impl OrderCache {
     /// entries corrupted.
     #[doc(hidden)]
     pub fn corrupt_resident_checksums_for_test(&self) -> usize {
-        let mut corrupted = 0;
-        for shard in &self.shards {
-            let map = self.lock_map(shard);
-            for r in map.values() {
-                if let Some(entry) = r.slot.cell.get() {
-                    entry.checksum.fetch_xor(u64::MAX, Ordering::Relaxed);
-                    corrupted += 1;
-                }
-            }
-        }
-        corrupted
+        self.cache.corrupt_resident_checksums_for_test()
     }
 
     /// Fault injection for tests: poisons the shard mutex owning
     /// `(query_id, variant)` by panicking while holding it.
     #[doc(hidden)]
     pub fn poison_shard_of_for_test(&self, query_id: u64, variant: &str) {
-        let key: Key = (query_id, variant.to_string());
-        let shard = self.shard_of(&key);
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = shard.map.lock().expect("not yet poisoned");
-            panic!("poisoning order cache shard for test");
-        }));
+        self.cache.poison_shard_of_for_test(query_id, variant);
     }
 }
 
@@ -505,6 +387,7 @@ mod tests {
         assert_eq!(e1.order(), &RiOrdering.order(&q, &g, &cand)[..]);
         assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
         assert!(e1.order_time() > Duration::ZERO);
+        assert!(cache.storage_bytes() >= std::mem::size_of::<OrderEntry>(), "entries are byte-charged");
     }
 
     #[test]
@@ -559,6 +442,51 @@ mod tests {
         assert!(fresh1 && !fresh2);
     }
 
+    /// The ISSUE-7 satellite: a byte bound on the order cache must hold
+    /// under a flood of *large* distinct queries — the regime where the
+    /// old count-only bound grew memory by whatever the biggest orders
+    /// weighed.
+    #[test]
+    fn byte_bound_is_honored_under_a_large_order_flood() {
+        let g = case().1;
+        // distinct_query(i) for i >= 192 has 6+ vertices, so each order
+        // carries a real heap allocation. Room for ~12 probe-sized
+        // entries.
+        let probe = {
+            let q = distinct_query(192);
+            let cand = LdfFilter.filter(&q, &g);
+            let e = Arc::new(OrderEntry {
+                order: RiOrdering.order(&q, &g, &cand),
+                checksum: AtomicU64::new(0),
+                order_time: Duration::ZERO,
+            });
+            e.weight()
+        };
+        let bound = probe * 12;
+        let cache = OrderCache::with_capacity_bytes(bound);
+        for i in 192..392 {
+            let q = distinct_query(i);
+            let cand = LdfFilter.filter(&q, &g);
+            let (_, fresh) =
+                cache.get_or_compute(SpaceCache::query_fingerprint(&q), "RI", &q, || RiOrdering.order(&q, &g, &cand));
+            assert!(fresh, "distinct queries never alias");
+            assert!(
+                cache.storage_bytes() <= bound,
+                "iteration {i}: {} bytes exceeds the {bound}-byte bound",
+                cache.storage_bytes()
+            );
+        }
+        assert!(cache.evictions() > 0, "a 200-order flood must evict");
+        assert!(cache.len() < 200);
+        // An evicted key recomputes exactly once, then hits again.
+        let q0 = distinct_query(192);
+        let cand = LdfFilter.filter(&q0, &g);
+        let qid = SpaceCache::query_fingerprint(&q0);
+        let (_, fresh1) = cache.get_or_compute(qid, "RI", &q0, || RiOrdering.order(&q0, &g, &cand));
+        let (_, fresh2) = cache.get_or_compute(qid, "RI", &q0, || unreachable!("resident again"));
+        assert!(fresh1 && !fresh2);
+    }
+
     #[test]
     fn racing_workers_order_exactly_once_per_key() {
         let (q, g) = case();
@@ -588,6 +516,7 @@ mod tests {
         assert_eq!(cache.len(), 2);
         cache.invalidate(qid);
         assert!(cache.is_empty());
+        assert_eq!(cache.storage_bytes(), 0);
         cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
         cache.clear();
         assert!(cache.is_empty());

@@ -151,8 +151,10 @@ pub fn run_with_space(
 /// [`SpaceCache`][crate::SpaceCache]: the cross-round analogue of
 /// [`run_with_space`]. Never filters and never rebuilds — the entry's
 /// candidates, candidate space, and probe adjacency bits are each
-/// computed at most once for the lifetime of the cache, however many
-/// rounds replay the query.
+/// computed at most once per residency of its key (once ever in an
+/// unbounded cache; a byte-bounded cache may evict the key, whose next
+/// lookup refilters — see [`crate::cache`]), however many rounds replay
+/// the query.
 ///
 /// Engine handling mirrors [`run_with_space`]: [`EnumEngine::Probe`]
 /// enumerates through the entry's shared [`QueryAdjBits`]

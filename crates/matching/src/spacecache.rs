@@ -14,7 +14,11 @@
 //! [`Arc`] references so any number of rounds performs exactly **one
 //! filter pass and one build per resident key**.
 //!
-//! Key design:
+//! The sharding, byte-bounded O(1) eviction, checksum-verified hits,
+//! degradation, and poison recovery all come from the generic
+//! [`ShardedCache`][crate::cache::ShardedCache] (see [`crate::cache`] for
+//! that contract — `SpaceCache` is a thin instantiation of it over
+//! [`SpaceEntry`]). What this module adds on top:
 //!
 //! * the *query id* defaults to a structural fingerprint
 //!   ([`SpaceCache::query_fingerprint`]: labels + edge list), so harnesses
@@ -28,45 +32,32 @@
 //!   which parameterized filters specialize (`"GQL/r2"` vs `"GQL/r1"`) —
 //!   two configurations that could disagree on candidates never share an
 //!   entry;
-//! * the index is **sharded**: a fixed power-of-two number of
-//!   independently locked segments, selected by the key's hash. A hit
-//!   takes its shard's lock exactly once (find + LRU touch + `Arc`
-//!   clone); unrelated keys never contend, and a long filter pass never
-//!   blocks any shard — per-key construction runs under a [`OnceLock`]
-//!   outside every lock, so concurrent workers racing on a cold key still
-//!   perform exactly one filter pass between them;
-//! * memory is **bounded**: [`SpaceCache::with_capacity_bytes`] tracks
-//!   the bytes charged for all resident entries in one global counter and
-//!   evicts the globally least-recently-used entry (shards are examined
-//!   one lock at a time, never nested) whenever the total exceeds the
-//!   budget. Charged bytes cover the candidates, the adjacency bitmap,
-//!   and the candidate space; a lazily built space reports its bytes back
-//!   the moment the build finishes, so the bound holds without waiting
-//!   for the next lookup. The key being served right now is never
-//!   evicted (a single entry larger than the whole budget is served, not
-//!   thrashed). Evicted entries already handed out stay valid — they are
-//!   immutable snapshots — and an evicted key simply refilters on its
-//!   next lookup (counted as a miss);
+//! * entries are **lazily sized**: [`SpaceCache::with_capacity_bytes`]
+//!   charges the candidates at insert, and a lazily built space reports
+//!   its bytes back through the entry's origin handle the moment the
+//!   build finishes, so the bound holds without waiting for the next
+//!   lookup. An entry bigger than the whole budget is admitted
+//!   *uncached* — served standalone and quarantined, never thrashing the
+//!   other residents (the generic cache's documented contract);
+//! * the probe engine's [`QueryAdjBits`] are shared across all filter
+//!   variants of one query through a weak side index;
 //! * invalidation is explicit: [`SpaceCache::invalidate`] drops every
 //!   filter variant of one query, [`SpaceCache::clear`] drops everything
-//!   (the data graph changed).
+//!   (the data graph changed). Evicted entries already handed out stay
+//!   valid — they are immutable snapshots — and an evicted key simply
+//!   refilters on its next lookup (counted as a miss).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use rlqvo_graph::Graph;
 
+use crate::cache::{self, CacheConfig, CacheKey, CacheWeight, ShardedCache};
 use crate::candspace::CandidateSpace;
 use crate::enumerate::QueryAdjBits;
 use crate::filter::{CandidateFilter, Candidates};
-
-/// Number of independently locked index segments. Power of two so shard
-/// selection is a mask; 16 is far past the point of diminishing returns
-/// for the harness's worker counts while keeping the per-shard byte
-/// budget coarse enough that typical entries fit.
-const SHARD_COUNT: usize = 16;
 
 /// One cached unit of filtered state: the candidates of a
 /// `(query, filter semantics)` key plus the two engine precomputations
@@ -87,7 +78,17 @@ pub struct SpaceEntry {
     /// bytes back for eviction accounting. `None` for entries that
     /// outlived their residency (the cache dropped them) — they keep
     /// working standalone.
-    origin: Option<(Weak<CacheShared>, Key)>,
+    origin: Option<(Weak<cache::Shared<SpaceEntry>>, CacheKey)>,
+}
+
+impl CacheWeight for SpaceEntry {
+    fn weight(&self) -> usize {
+        self.resident_bytes()
+    }
+
+    fn checksum_cell(&self) -> &AtomicU64 {
+        &self.checksum
+    }
 }
 
 impl SpaceEntry {
@@ -172,8 +173,6 @@ impl SpaceEntry {
     }
 }
 
-type Key = (u64, String);
-
 /// Both structural hashes of a query, computed once — the
 /// fingerprint-memoizing handle for hot serving loops. A caller that
 /// replays one query many times builds the `QueryKey` once and passes it
@@ -204,170 +203,22 @@ impl QueryKey {
     }
 }
 
-/// Map slot: the `OnceLock` serializes per-key construction outside the
-/// shard lock, so a cold key costs one filter pass total even when many
-/// workers race on it, and a long filter never blocks unrelated keys.
-struct Slot {
-    cell: OnceLock<Arc<SpaceEntry>>,
-}
-
-/// A resident key: its slot plus the LRU/byte bookkeeping.
-struct Resident {
-    slot: Arc<Slot>,
-    /// Logical timestamp of the last lookup (cache-global tick).
-    last_used: u64,
-    /// Bytes currently charged against the shard budget for this key.
-    charged: usize,
-}
-
-/// One independently locked index segment.
-#[derive(Default)]
-struct Shard {
-    map: Mutex<HashMap<Key, Resident>>,
-}
-
-/// The sharded index plus the byte-bound machinery — `Arc`-shared with
-/// every entry (through [`SpaceEntry::force_space`]'s origin handle) so a
-/// lazy build can recharge its key without a back-pointer to the public
-/// cache type.
-struct CacheShared {
-    shards: Vec<Shard>,
-    capacity: Option<usize>,
-    /// Bytes charged across all shards. Mutated only while holding the
-    /// owning key's shard lock, so it tracks the maps consistently.
-    total_bytes: AtomicUsize,
-    evictions: AtomicU64,
-    /// Verified hits whose stored checksum disagreed with the query —
-    /// each one degraded to an evict-and-refilter miss.
-    checksum_failures: AtomicU64,
-    /// Shards whose mutex was found poisoned and was cleared + recovered.
-    poison_recoveries: AtomicU64,
-}
-
-impl CacheShared {
-    #[inline]
-    fn shard_of(&self, key: &Key) -> &Shard {
-        // The fingerprint is already well mixed; fold the filter key in
-        // cheaply so a query's variants spread too.
-        let mut h = key.0;
-        for b in key.1.as_bytes() {
-            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
-        }
-        &self.shards[(h as usize) & (SHARD_COUNT - 1)]
-    }
-
-    /// Locks a shard's map, recovering from poisoning instead of
-    /// propagating it: a worker that panicked while holding the lock may
-    /// have left the map mid-update, so recovery drops the shard's
-    /// contents (its keys simply refilter on their next lookup — the
-    /// same contract as eviction), refunds the charged bytes, counts the
-    /// event, and clears the poison flag so one dead worker cannot brick
-    /// the cache tier for every future request.
-    fn lock_map<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, HashMap<Key, Resident>> {
-        match shard.map.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => {
-                let mut guard = poisoned.into_inner();
-                let charged: usize = guard.values().map(|r| r.charged).sum();
-                guard.clear();
-                self.total_bytes.fetch_sub(charged, Ordering::Relaxed);
-                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
-                shard.map.clear_poison();
-                guard
-            }
-        }
-    }
-
-    #[inline]
-    fn lock_shard(&self, key: &Key) -> MutexGuard<'_, HashMap<Key, Resident>> {
-        self.lock_map(self.shard_of(key))
-    }
-
-    /// Removes `key` only while its resident slot still holds exactly
-    /// `entry` — the checksum-degrade path. The identity check keeps a
-    /// stale verdict from evicting a concurrent refilter's fresh entry.
-    fn evict_exact(&self, key: &Key, entry: &SpaceEntry) {
-        let mut map = self.lock_shard(key);
-        let same =
-            map.get(key).and_then(|r| r.slot.cell.get()).map(|a| std::ptr::eq(Arc::as_ptr(a), entry)).unwrap_or(false);
-        if same {
-            if let Some(r) = map.remove(key) {
-                self.total_bytes.fetch_sub(r.charged, Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-
-    /// Sets `key`'s charge to `bytes` and evicts down to capacity, never
-    /// evicting `key` itself. The charge only applies when the key's
-    /// resident slot still holds exactly `entry` — a stale handle (the
-    /// entry was evicted and the key re-filtered into a new entry) must
-    /// not overwrite the new resident's accounting.
-    fn recharge(&self, key: &Key, bytes: usize, entry: &SpaceEntry) {
-        {
-            let mut map = self.lock_shard(key);
-            if let Some(r) = map.get_mut(key) {
-                let same = r.slot.cell.get().map(|a| std::ptr::eq(Arc::as_ptr(a), entry)).unwrap_or(false);
-                if same {
-                    let old = r.charged;
-                    r.charged = bytes;
-                    if bytes >= old {
-                        self.total_bytes.fetch_add(bytes - old, Ordering::Relaxed);
-                    } else {
-                        self.total_bytes.fetch_sub(old - bytes, Ordering::Relaxed);
-                    }
-                }
-            }
-        }
-        self.evict_to_capacity(Some(key));
-    }
-
-    /// Evicts globally least-recently-used residents while the charged
-    /// total exceeds the capacity. Shard locks are taken one at a time
-    /// (scan for the oldest tick, then re-lock the winner to remove), so
-    /// there is no lock nesting; the small race against a concurrent
-    /// touch can at worst evict a just-refreshed entry — an approximation
-    /// every segmented LRU accepts.
-    fn evict_to_capacity(&self, protect: Option<&Key>) {
-        let Some(cap) = self.capacity else { return };
-        while self.total_bytes.load(Ordering::Relaxed) > cap {
-            let mut victim: Option<(usize, Key, u64)> = None;
-            for (si, shard) in self.shards.iter().enumerate() {
-                let map = self.lock_map(shard);
-                if let Some((k, r)) = map.iter().filter(|(k, _)| protect != Some(*k)).min_by_key(|(_, r)| r.last_used) {
-                    if victim.as_ref().is_none_or(|(_, _, t)| r.last_used < *t) {
-                        victim = Some((si, k.clone(), r.last_used));
-                    }
-                }
-            }
-            let Some((si, key, _)) = victim else { break };
-            let mut map = self.lock_map(&self.shards[si]);
-            if let Some(r) = map.remove(&key) {
-                self.total_bytes.fetch_sub(r.charged, Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-}
-
 /// Keyed, sharded, invalidation-aware store of filtered candidate state
-/// (see the module docs).
+/// (see the module docs) — an instantiation of
+/// [`ShardedCache`][crate::cache::ShardedCache] over [`SpaceEntry`] plus
+/// the query-adjacency side index.
 pub struct SpaceCache {
-    shared: Arc<CacheShared>,
+    cache: ShardedCache<SpaceEntry>,
     /// Query id → the adjacency-bits cell shared by that query's entries.
     /// Weak: the strong references live in the entries, so evicting every
     /// variant of a query lets its adjacency bits drop too (dead cells
     /// are pruned opportunistically).
     adjs: Mutex<HashMap<u64, Weak<OnceLock<QueryAdjBits>>>>,
-    /// Cache-global logical clock for LRU recency.
-    tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
 impl Default for SpaceCache {
     fn default() -> Self {
-        SpaceCache::with_capacity(None)
+        SpaceCache::with_config(CacheConfig::default())
     }
 }
 
@@ -381,30 +232,21 @@ impl SpaceCache {
     /// A cache that evicts least-recently-used entries once the bytes
     /// charged for resident candidates/adjacency/spaces exceed
     /// `capacity_bytes` — the serving-layer configuration, where millions
-    /// of distinct queries must not grow memory without bound. The key
-    /// being served is never evicted, so a single entry larger than the
-    /// whole budget is served (and replaced by the next lookup) instead
-    /// of thrashing; apart from that exception the charged total never
+    /// of distinct queries must not grow memory without bound. A single
+    /// entry larger than the whole budget is admitted uncached (served
+    /// standalone, quarantined) instead of thrashing the residents; apart
+    /// from concurrent charge/evict transients the charged total never
     /// exceeds the bound.
     pub fn with_capacity_bytes(capacity_bytes: usize) -> Self {
-        SpaceCache::with_capacity(Some(capacity_bytes))
+        SpaceCache::with_config(CacheConfig { max_bytes: Some(capacity_bytes), ..CacheConfig::default() })
     }
 
-    fn with_capacity(capacity_bytes: Option<usize>) -> Self {
-        SpaceCache {
-            shared: Arc::new(CacheShared {
-                shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
-                capacity: capacity_bytes,
-                total_bytes: AtomicUsize::new(0),
-                evictions: AtomicU64::new(0),
-                checksum_failures: AtomicU64::new(0),
-                poison_recoveries: AtomicU64::new(0),
-            }),
-            adjs: Mutex::new(HashMap::new()),
-            tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+    /// Full control over bounds and eviction policy — tests and the
+    /// thrash benchmarks instantiate the retained
+    /// [`ScanReference`][crate::cache::EvictPolicy::ScanReference] policy
+    /// through this.
+    pub fn with_config(config: CacheConfig) -> Self {
+        SpaceCache { cache: ShardedCache::new(config), adjs: Mutex::new(HashMap::new()) }
     }
 
     /// Structural fingerprint of a query graph (FNV-1a over vertex count,
@@ -458,27 +300,14 @@ impl SpaceCache {
         h
     }
 
-    /// True when hits must verify the stored checksum: always in debug
-    /// builds, and in release when `RLQVO_CACHE_VERIFY=1` (paranoid
-    /// serving deployments). Parsed once per process. (Shared with
-    /// [`OrderCache`][crate::OrderCache], whose hits follow the same
-    /// policy.)
-    pub(crate) fn verify_on_hit() -> bool {
-        static FORCED: OnceLock<bool> = OnceLock::new();
-        cfg!(debug_assertions)
-            || *FORCED.get_or_init(|| {
-                std::env::var("RLQVO_CACHE_VERIFY").map(|v| matches!(v.trim(), "1" | "on" | "true")).unwrap_or(false)
-            })
-    }
-
     /// The entry for `(query_id, filter.cache_key())`, filtering on first
     /// use. Returns the shared entry and whether this call created it
     /// (`true` = a filter pass just ran). Exactly one filter pass happens
     /// per *residency* of a key, however many threads race; a key evicted
     /// by the byte bound refilters once on its next lookup.
     ///
-    /// Hot path: one shard lock (find + LRU touch + `Arc` clone), then a
-    /// lock-free `OnceLock` read.
+    /// Hot path: one shard lock (find + LRU re-head + `Arc` clone), then
+    /// a lock-free `OnceLock` read.
     pub fn entry(&self, query_id: u64, q: &Graph, g: &Graph, filter: &dyn CandidateFilter) -> (Arc<SpaceEntry>, bool) {
         self.entry_impl(query_id, None, q, g, filter)
     }
@@ -499,6 +328,8 @@ impl SpaceCache {
 
     /// Shared lookup: `checksum` carries the caller's precomputed
     /// collision-guard hash, or `None` to derive it from `q` on demand.
+    /// Degradation (checksum-mismatch hits evict the liar and refilter)
+    /// lives in the generic cache's retry loop.
     fn entry_impl(
         &self,
         query_id: u64,
@@ -507,33 +338,14 @@ impl SpaceCache {
         g: &Graph,
         filter: &dyn CandidateFilter,
     ) -> (Arc<SpaceEntry>, bool) {
-        let key: Key = (query_id, filter.cache_key());
-        // A verified hit whose stored checksum disagrees with the query
-        // degrades gracefully: count it, evict exactly that resident, and
-        // retry — the retry misses and refilters, so the caller always
-        // receives a trustworthy entry. The loop terminates because a
-        // retry either constructs the entry itself (fresh, trusted by
-        // construction) or races a concurrent refilter whose entry
-        // carries the freshly computed checksum.
-        loop {
-            let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-            let slot = {
-                let mut map = self.shared.lock_shard(&key);
-                match map.get_mut(&key) {
-                    Some(r) => {
-                        r.last_used = tick;
-                        Arc::clone(&r.slot)
-                    }
-                    None => {
-                        let slot = Arc::new(Slot { cell: OnceLock::new() });
-                        map.insert(key.clone(), Resident { slot: Arc::clone(&slot), last_used: tick, charged: 0 });
-                        slot
-                    }
-                }
-            };
-            let mut fresh = false;
-            let entry = slot.cell.get_or_init(|| {
-                fresh = true;
+        let variant = filter.cache_key();
+        let origin = Arc::downgrade(self.cache.shared());
+        self.cache.get_or_insert(
+            query_id,
+            &variant,
+            checksum,
+            || Self::query_checksum(q),
+            |key| {
                 let adj = self.adj_cell(query_id);
                 let t = Instant::now();
                 let cand = filter.filter(q, g);
@@ -543,30 +355,10 @@ impl SpaceCache {
                     checksum: AtomicU64::new(checksum.unwrap_or_else(|| Self::query_checksum(q))),
                     adj,
                     space: OnceLock::new(),
-                    origin: Some((Arc::downgrade(&self.shared), key.clone())),
+                    origin: Some((origin, key.clone())),
                 })
-            });
-            if fresh {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                // Charge what exists now (candidates); a later lazy build
-                // recharges through the entry's origin handle.
-                self.shared.recharge(&key, entry.resident_bytes(), entry);
-                return (Arc::clone(entry), true);
-            }
-            if Self::verify_on_hit() {
-                let ok = match checksum {
-                    Some(c) => entry.checksum.load(Ordering::Relaxed) == c,
-                    None => entry.verify_checksum(q),
-                };
-                if !ok {
-                    self.shared.checksum_failures.fetch_add(1, Ordering::Relaxed);
-                    self.shared.evict_exact(&key, entry);
-                    continue;
-                }
-            }
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(entry), false);
-        }
+            },
+        )
     }
 
     /// The shared adjacency-bits cell of `query_id`, reviving a live one
@@ -612,71 +404,74 @@ impl SpaceCache {
 
     /// Cache lookups that were served from an existing entry.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.cache.hits()
     }
 
     /// Cache lookups that performed the filter pass.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.cache.misses()
     }
 
     /// Entries dropped by the byte-bound eviction policy so far.
     pub fn evictions(&self) -> u64 {
-        self.shared.evictions.load(Ordering::Relaxed)
+        self.cache.evictions()
     }
 
     /// Verified hits whose stored checksum disagreed with the query being
     /// served. Each one degraded to an evict-and-refilter miss instead of
     /// panicking — the serving layer's `degraded` metric.
     pub fn checksum_failures(&self) -> u64 {
-        self.shared.checksum_failures.load(Ordering::Relaxed)
+        self.cache.checksum_failures()
     }
 
     /// Poisoned shards recovered (cleared and reused) so far.
     pub fn poison_recoveries(&self) -> u64 {
-        self.shared.poison_recoveries.load(Ordering::Relaxed)
+        self.cache.poison_recoveries()
+    }
+
+    /// Lookups served standalone because the entry exceeds the whole
+    /// byte budget (admitted uncached — each also counts as a miss).
+    pub fn oversize_serves(&self) -> u64 {
+        self.cache.oversize_serves()
+    }
+
+    /// Cumulative residents examined during eviction victim selection —
+    /// O([`EVICT_SAMPLE`][crate::cache::EVICT_SAMPLE]) per victim under
+    /// the default policy (see [`crate::cache`]).
+    pub fn evict_scan_steps(&self) -> u64 {
+        self.cache.evict_scan_steps()
     }
 
     /// Number of distinct `(query id, filter semantics)` keys resident.
     pub fn len(&self) -> usize {
-        self.shared.shards.iter().map(|s| self.shared.lock_map(s).len()).sum()
+        self.cache.len()
     }
 
     /// True when no entries are held.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.cache.is_empty()
     }
 
     /// Drops every filter variant of `query_id` (the query changed or
     /// should be refreshed). Outstanding [`Arc`] entries stay usable.
     pub fn invalidate(&self, query_id: u64) {
-        for shard in &self.shared.shards {
-            let mut map = self.shared.lock_map(shard);
-            let removed: usize = map.iter().filter(|((qid, _), _)| *qid == query_id).map(|(_, r)| r.charged).sum();
-            map.retain(|(qid, _), _| *qid != query_id);
-            self.shared.total_bytes.fetch_sub(removed, Ordering::Relaxed);
-        }
+        self.cache.invalidate(query_id);
         self.adjs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).remove(&query_id);
     }
 
     /// Drops everything — required when the *data graph* changes, since
     /// entries snapshot candidates against it.
     pub fn clear(&self) {
-        for shard in &self.shared.shards {
-            let mut map = self.shared.lock_map(shard);
-            let removed: usize = map.values().map(|r| r.charged).sum();
-            map.clear();
-            self.shared.total_bytes.fetch_sub(removed, Ordering::Relaxed);
-        }
+        self.cache.clear();
         self.adjs.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 
     /// Bytes charged for resident entries (candidates + adjacency bits +
     /// built candidate spaces). With [`SpaceCache::with_capacity_bytes`]
-    /// this never exceeds the configured bound, up to the documented
-    /// being-served exception.
+    /// this never exceeds the configured bound, up to concurrent
+    /// charge/evict transients.
     pub fn storage_bytes(&self) -> usize {
-        self.shared.total_bytes.load(Ordering::Relaxed)
+        self.cache.storage_bytes()
     }
 
     /// Fault injection for tests and the replay driver: flips the stored
@@ -685,17 +480,7 @@ impl SpaceCache {
     /// entries were corrupted.
     #[doc(hidden)]
     pub fn corrupt_resident_checksums_for_test(&self) -> usize {
-        let mut corrupted = 0;
-        for shard in &self.shared.shards {
-            let map = self.shared.lock_map(shard);
-            for r in map.values() {
-                if let Some(entry) = r.slot.cell.get() {
-                    entry.checksum.fetch_xor(u64::MAX, Ordering::Relaxed);
-                    corrupted += 1;
-                }
-            }
-        }
-        corrupted
+        self.cache.corrupt_resident_checksums_for_test()
     }
 
     /// Fault injection for tests: poisons the shard mutex that owns
@@ -703,20 +488,17 @@ impl SpaceCache {
     /// a worker that died mid-operation.
     #[doc(hidden)]
     pub fn poison_shard_of_for_test(&self, query_id: u64, filter_key: &str) {
-        let key: Key = (query_id, filter_key.to_string());
-        let shard = self.shared.shard_of(&key);
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = shard.map.lock().expect("not yet poisoned");
-            panic!("poisoning space cache shard for test");
-        }));
+        self.cache.poison_shard_of_for_test(query_id, filter_key);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::SHARD_COUNT;
     use crate::filter::{GqlFilter, LdfFilter, NlfFilter};
     use rlqvo_graph::GraphBuilder;
+    use std::sync::atomic::AtomicUsize;
 
     fn case() -> (Graph, Graph) {
         let mut qb = GraphBuilder::new(2);
@@ -1092,7 +874,7 @@ mod tests {
         );
         // Deterministically push any surviving hot key out, then verify
         // the evicted-key contract: exactly one refilter, then resident.
-        for i in (HOT + 150)..(HOT + 170) {
+        for i in (HOT + 150)..(HOT + 190) {
             let q = distinct_query(i);
             let (e, _) = cache.entry_for(&q, &g, &LdfFilter);
             e.space(&q, &g);
@@ -1103,18 +885,28 @@ mod tests {
         assert!(!fresh2, "exactly one refilter per eviction");
     }
 
+    /// The entry-larger-than-capacity contract (ISSUE-7 satellite): an
+    /// entry bigger than the whole byte budget is admitted *uncached* —
+    /// served standalone, quarantined, never inserted — instead of the
+    /// old protect-while-served behavior.
     #[test]
-    fn most_recent_entry_survives_a_too_small_bound() {
+    fn oversize_entry_is_served_uncached() {
         let g = flood_host();
         let cache = SpaceCache::with_capacity_bytes(1);
         let q = distinct_query(3);
         let (e, fresh) = cache.entry_for(&q, &g, &LdfFilter);
         assert!(fresh);
-        assert!(!e.cand().any_empty());
-        // The just-served key is protected; a second key in the same
-        // shard would evict it, but the entry itself keeps working.
+        assert!(!e.cand().any_empty(), "the oversize entry still serves");
+        assert_eq!(cache.len(), 0, "never resident");
+        assert_eq!(cache.storage_bytes(), 0);
+        assert_eq!(cache.evictions(), 0, "nothing to thrash");
+        assert!(cache.oversize_serves() >= 1);
+        // Every further lookup is a standalone miss — the documented
+        // admit-uncached cost — and still never touches residency.
         let (e2, fresh2) = cache.entry_for(&q, &g, &LdfFilter);
-        assert!(!fresh2, "still resident: the protected entry serves hits");
-        assert!(Arc::ptr_eq(&e, &e2));
+        assert!(fresh2, "quarantined keys refilter per lookup");
+        assert!(!Arc::ptr_eq(&e, &e2));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.evictions(), 0);
     }
 }

@@ -301,6 +301,28 @@ fn main() {
     assert!(report.metrics.get("flushes").copied().unwrap_or(0) >= 1, "the mid-run flush must have landed");
     let replied = report.ok + report.deadline + report.overloaded + report.rejected + report.errored;
     assert_eq!(replied as usize, total, "reply conservation: {replied} of {total}");
+    // Cache-tier conservation: the metrics map must surface the full
+    // per-cache counter set, and the aggregate `degraded` must be exactly
+    // the sum of its per-cache parts — a drifting aggregate means a
+    // counter was dropped from (or double-counted into) the snapshot.
+    let metric = |k: &str| report.metrics.get(k).copied().unwrap_or_else(|| panic!("metrics reply must surface {k:?}"));
+    let degrade_parts = metric("space_checksum_failures")
+        + metric("space_poison_recoveries")
+        + metric("order_checksum_failures")
+        + metric("order_poison_recoveries");
+    assert_eq!(metric("degraded"), degrade_parts, "degraded must equal the sum of its per-cache parts");
+    for k in ["space_hits", "space_misses", "space_evictions", "order_hits", "order_misses", "order_evictions"] {
+        metric(k);
+    }
+    if !no_cache {
+        // The corruption sweep flipped *space and order* checksums on
+        // warm caches; each cache must have degraded at least once, and
+        // every degrade evicts the lying entry.
+        assert!(metric("space_checksum_failures") >= 1, "space corruption must be observed");
+        assert!(metric("order_checksum_failures") >= 1, "order corruption must be observed");
+        assert!(metric("space_evictions") >= metric("space_checksum_failures"), "each degrade evicts");
+        assert!(metric("order_evictions") >= metric("order_checksum_failures"), "each degrade evicts");
+    }
 
     eprintln!(
         "replay: {} requests in {:.2?} ({:.0} req/s) | p50 {}us p99 {}us p999 {}us | ok {} deadline {} shed {} rejected {} errors {} degraded {}",

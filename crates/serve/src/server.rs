@@ -157,8 +157,15 @@ impl ServerState {
         m.insert("space_misses".into(), self.space.misses());
         m.insert("space_evictions".into(), self.space.evictions());
         m.insert("space_bytes".into(), self.space.storage_bytes() as u64);
+        m.insert("space_checksum_failures".into(), self.space.checksum_failures());
+        m.insert("space_poison_recoveries".into(), self.space.poison_recoveries());
+        m.insert("space_oversize_serves".into(), self.space.oversize_serves());
         m.insert("order_hits".into(), self.orders.hits());
         m.insert("order_misses".into(), self.orders.misses());
+        m.insert("order_evictions".into(), self.orders.evictions());
+        m.insert("order_bytes".into(), self.orders.storage_bytes() as u64);
+        m.insert("order_checksum_failures".into(), self.orders.checksum_failures());
+        m.insert("order_poison_recoveries".into(), self.orders.poison_recoveries());
         m
     }
 }

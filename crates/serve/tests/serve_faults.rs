@@ -120,6 +120,32 @@ fn fault_mix_yields_typed_replies_and_a_live_server() {
     assert_eq!(m["errors"], 1);
     assert_eq!(m["served"], 2);
     assert!(m["rejected"] >= 1);
+    // The cache tier is fully surfaced: per-cache hit/miss/eviction and
+    // degrade counters, and the aggregate equals the sum of its parts.
+    for k in [
+        "space_hits",
+        "space_misses",
+        "space_evictions",
+        "space_checksum_failures",
+        "space_poison_recoveries",
+        "order_hits",
+        "order_misses",
+        "order_evictions",
+        "order_checksum_failures",
+        "order_poison_recoveries",
+    ] {
+        assert!(m.contains_key(k), "metrics must surface {k:?}");
+    }
+    assert!(m["space_hits"] >= 1, "the warm repeat hit the space cache");
+    assert!(m["order_hits"] >= 1, "the warm repeat hit the order cache");
+    assert_eq!(
+        m["degraded"],
+        m["space_checksum_failures"]
+            + m["space_poison_recoveries"]
+            + m["order_checksum_failures"]
+            + m["order_poison_recoveries"],
+        "degraded must equal the sum of its per-cache parts"
+    );
 
     // 6. An oversized frame gets a typed reject and a closed connection
     //    (the payload was never read, so the stream lost sync) — and the

@@ -6,14 +6,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rlqvo_gnn::GraphTensors;
+use rlqvo_gnn::{GraphTensors, InferMath};
 use rlqvo_graph::{Graph, VertexId};
 use rlqvo_matching::{Candidates, OrderingMethod};
 use rlqvo_rl::Categorical;
 
 use crate::env::OrderingEnv;
 use crate::features::{FeatureExtractor, FeatureScaling};
-use crate::policy::PolicyNetwork;
+use crate::policy::{BatchEpisode, PolicyNetwork};
 
 /// Inference-time ordering driven by a trained policy.
 ///
@@ -26,17 +26,28 @@ pub struct RlQvoOrdering<'m> {
     random_features: bool,
     feature_seed: u64,
     sample_seed: Option<u64>,
+    math: InferMath,
 }
 
 impl<'m> RlQvoOrdering<'m> {
     /// Greedy (deterministic) inference ordering.
     pub fn new(policy: &'m PolicyNetwork, scaling: FeatureScaling, random_features: bool, feature_seed: u64) -> Self {
-        RlQvoOrdering { policy, scaling, random_features, feature_seed, sample_seed: None }
+        RlQvoOrdering { policy, scaling, random_features, feature_seed, sample_seed: None, math: InferMath::Bitwise }
     }
 
     /// Sampling variant: actions drawn from the masked distribution.
     pub fn sampling(mut self, seed: u64) -> Self {
         self.sample_seed = Some(seed);
+        self
+    }
+
+    /// Selects the inference math mode. The default `Bitwise` keeps the
+    /// bit-for-bit contract against the tape reference; `Fast` opts into
+    /// the FMA/blocked-reduction kernels (tolerance-bounded, so produced
+    /// orders may differ on near-tied logits — the cache key reflects
+    /// this).
+    pub fn with_math(mut self, math: InferMath) -> Self {
+        self.math = math;
         self
     }
 
@@ -62,7 +73,7 @@ impl<'m> RlQvoOrdering<'m> {
     pub fn run_episode(&self, q: &Graph, g: &Graph) -> Vec<VertexId> {
         let fx = self.extractor(q, g);
         let gt = GraphTensors::of(q);
-        let mut prepared = self.policy.prepare();
+        let mut prepared = self.policy.prepare_with(self.math);
         let mut rng = self.sample_seed.map(StdRng::seed_from_u64);
         let mut env = OrderingEnv::new(q);
         let mut feats = rlqvo_tensor::Matrix::zeros(1, 1);
@@ -88,6 +99,21 @@ impl<'m> RlQvoOrdering<'m> {
             fx.apply_step(env.step_number(), action, &mut feats);
         }
         env.into_order()
+    }
+
+    /// Orders a batch of queries with one shared
+    /// [`PreparedPolicy`][crate::PreparedPolicy], packing the pending
+    /// step-features of every episode into one stacked forward per round
+    /// ([`PreparedPolicy::run_episodes_batched`][crate::PreparedPolicy::run_episodes_batched]).
+    /// Returns one order per query, in input position; each equals what
+    /// [`RlQvoOrdering::run_episode`] produces for that query alone
+    /// (exactly under `Bitwise`, property-tested in
+    /// `tests/infer_batched.rs`).
+    pub fn order_many(&self, queries: &[&Graph], g: &Graph) -> Vec<Vec<VertexId>> {
+        let mut prepared = self.policy.prepare_with(self.math);
+        let episodes: Vec<BatchEpisode<'_>> =
+            queries.iter().map(|q| BatchEpisode::new(q, self.extractor(q, g), self.sample_seed)).collect();
+        prepared.run_episodes_batched(episodes)
     }
 
     /// The original tape-based episode — one throwaway [`Tape`] and a
@@ -160,6 +186,11 @@ impl OrderingMethod for RlQvoOrdering<'_> {
         }
         if let Some(seed) = self.sample_seed {
             key.push_str(&format!("/sample{seed}"));
+        }
+        // Fast math may legitimately pick a different vertex on near-tied
+        // logits, so fast and bitwise orders must never share a cache slot.
+        if self.math.is_fast() {
+            key.push_str("/fast");
         }
         key
     }
@@ -248,6 +279,30 @@ mod tests {
         assert_ne!(base.cache_key(), sampled.cache_key());
         let same = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0);
         assert_eq!(base.cache_key(), same.cache_key());
+        // Fast math keys separately from bitwise; Bitwise is the default.
+        let fast = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0).with_math(InferMath::Fast);
+        assert_ne!(base.cache_key(), fast.cache_key());
+        let bitwise = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0).with_math(InferMath::Bitwise);
+        assert_eq!(base.cache_key(), bitwise.cache_key());
+    }
+
+    #[test]
+    fn order_many_matches_one_at_a_time() {
+        let (q, g) = case();
+        let mut qb = GraphBuilder::new(2);
+        for i in 0..5u32 {
+            qb.add_vertex(i % 2);
+        }
+        for i in 0..4u32 {
+            qb.add_edge(i, i + 1);
+        }
+        let q2 = qb.build();
+        let policy = PolicyNetwork::new(GnnKind::Gcn, 2, 7, 16, 6);
+        let ordering = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0);
+        let batched = ordering.order_many(&[&q, &q2, &q], &g);
+        assert_eq!(batched[0], ordering.run_episode(&q, &g));
+        assert_eq!(batched[1], ordering.run_episode(&q2, &g));
+        assert_eq!(batched[2], batched[0]);
     }
 
     #[test]

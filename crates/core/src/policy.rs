@@ -7,9 +7,13 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rlqvo_gnn::{build_layer, GnnKind, GnnLayer, GraphTensors, InferScratch, MlpHead};
-use rlqvo_tensor::infer::masked_softmax_col_into;
+use rlqvo_gnn::{build_layer, GnnKind, GnnLayer, GraphTensors, InferMath, InferScratch, MlpHead};
+use rlqvo_graph::{Graph, VertexId};
+use rlqvo_rl::Categorical;
 use rlqvo_tensor::{Matrix, Tape, Var};
+
+use crate::env::OrderingEnv;
+use crate::features::FeatureExtractor;
 
 /// Inference output for one ordering step.
 #[derive(Clone, Debug)]
@@ -170,9 +174,28 @@ impl PolicyNetwork {
     /// Readies this network for tape-free inference: the returned
     /// [`PreparedPolicy`] owns a scratch arena and a reusable probability
     /// buffer, so every [`PreparedPolicy::forward`] call after the first
-    /// performs zero heap allocation.
+    /// performs zero heap allocation. Uses the default bitwise math
+    /// contract; see [`PolicyNetwork::prepare_with`] for the opt-in
+    /// fast-math kernels.
     pub fn prepare(&self) -> PreparedPolicy<'_> {
-        PreparedPolicy { policy: self, scratch: InferScratch::new(), probs: Vec::new() }
+        self.prepare_with(InferMath::default())
+    }
+
+    /// [`PolicyNetwork::prepare`] with an explicit [`InferMath`] mode.
+    /// `InferMath::Bitwise` keeps the bit-for-bit differential contract
+    /// against [`PolicyNetwork::forward`]; `InferMath::Fast` opts into the
+    /// FMA/blocked-reduction kernels (tolerance-tested, argmax-preserving
+    /// on realistic logit gaps — see `rlqvo-tensor`'s
+    /// `fastmath_tolerance` suite for the documented bound).
+    pub fn prepare_with(&self, math: InferMath) -> PreparedPolicy<'_> {
+        PreparedPolicy {
+            policy: self,
+            scratch: InferScratch::with_math(math),
+            probs: Vec::new(),
+            batch_probs: Vec::new(),
+            batch_offsets: Vec::new(),
+            batch_argmax: Vec::new(),
+        }
     }
 }
 
@@ -199,12 +222,25 @@ pub struct PreparedPolicy<'p> {
     policy: &'p PolicyNetwork,
     scratch: InferScratch,
     probs: Vec<f32>,
+    /// Concatenated per-episode probability slices of the last
+    /// [`PreparedPolicy::forward_batched`] call.
+    batch_probs: Vec<f32>,
+    /// Row offsets of each episode's block in the stacked batch
+    /// (`len = episodes + 1`, last entry = total rows).
+    batch_offsets: Vec<usize>,
+    /// Per-episode greedy argmax over the masked probabilities.
+    batch_argmax: Vec<usize>,
 }
 
 impl PreparedPolicy<'_> {
     /// The network this view serves.
     pub fn policy(&self) -> &PolicyNetwork {
         self.policy
+    }
+
+    /// The math mode this view was prepared with.
+    pub fn math(&self) -> InferMath {
+        self.scratch.math()
     }
 
     /// Tape-free forward pass for one ordering step.
@@ -218,10 +254,117 @@ impl PreparedPolicy<'_> {
         }
         let scores = self.policy.head.infer(&mut self.scratch, &h);
         self.scratch.put(h);
-        masked_softmax_col_into(&scores, mask, &mut self.probs);
+        self.scratch.math().masked_softmax_col_into(&scores, mask, &mut self.probs);
         let raw_argmax = raw_argmax_of(&scores);
         self.scratch.put(scores);
         PolicyStep { probs: &self.probs, raw_argmax }
+    }
+
+    /// Multi-query forward: one stacked network pass over several pending
+    /// ordering steps. `features` holds every episode's current feature
+    /// matrix stacked vertically; episode `i` spans the `gts[i]`-sized row
+    /// block starting where the previous one ended, with `masks[i]` its
+    /// action mask. Shared-weight matmuls run once on the stacked matrix;
+    /// graph-structured operators run block-diagonally, so each episode's
+    /// block is identical to what [`PreparedPolicy::forward`] would
+    /// produce alone — bitwise under `Bitwise`, within the documented
+    /// tolerance under `Fast` (pinned in `tests/infer_batched.rs`).
+    pub fn forward_batched(&mut self, gts: &[&GraphTensors], features: &Matrix, masks: &[&[bool]]) -> BatchedStep<'_> {
+        assert_eq!(gts.len(), masks.len(), "one action mask per episode");
+        self.batch_offsets.clear();
+        let mut off = 0;
+        for gt in gts {
+            self.batch_offsets.push(off);
+            off += gt.num_vertices();
+        }
+        self.batch_offsets.push(off);
+        assert_eq!(off, features.rows(), "stacked features must tile the batch");
+
+        let layers = &self.policy.layers;
+        let offsets = &self.batch_offsets[..gts.len()];
+        let mut h = layers[0].infer_batched(gts, offsets, &mut self.scratch, features);
+        for layer in &layers[1..] {
+            let next = layer.infer_batched(gts, offsets, &mut self.scratch, &h);
+            self.scratch.put(h);
+            h = next;
+        }
+        let scores = self.policy.head.infer(&mut self.scratch, &h);
+        self.scratch.put(h);
+        let math = self.scratch.math();
+        self.batch_probs.clear();
+        self.batch_argmax.clear();
+        for (i, mask) in masks.iter().enumerate() {
+            let (lo, hi) = (self.batch_offsets[i], self.batch_offsets[i + 1]);
+            math.masked_softmax_slice_into(&scores.data()[lo..hi], mask, &mut self.probs);
+            self.batch_argmax.push(rlqvo_rl::argmax_lowest_index(&self.probs));
+            self.batch_probs.extend_from_slice(&self.probs);
+        }
+        self.scratch.put(scores);
+        BatchedStep { probs: &self.batch_probs, offsets: &self.batch_offsets, argmax: &self.batch_argmax }
+    }
+
+    /// Runs a batch of ordering episodes in lockstep, sharing one stacked
+    /// network forward per round across every episode that needs one.
+    ///
+    /// Each episode individually advances exactly as
+    /// [`RlQvoOrdering::run_episode`][crate::RlQvoOrdering] would advance
+    /// it: forced (`|AS| = 1`) steps skip the network, greedy episodes
+    /// take the masked argmax, sampling episodes draw from the masked
+    /// distribution with their own rng. Episodes finish at their own pace;
+    /// the stacked batch shrinks as they complete. Orders are returned in
+    /// input position.
+    pub fn run_episodes_batched(&mut self, mut episodes: Vec<BatchEpisode<'_>>) -> Vec<Vec<VertexId>> {
+        let feature_dim = self.policy.feature_dim;
+        let mut stacked = Matrix::zeros(1, 1);
+        let mut pending: Vec<usize> = Vec::new();
+        let mut choices: Vec<(usize, Choice)> = Vec::new();
+        loop {
+            for ep in episodes.iter_mut() {
+                ep.advance_forced();
+            }
+            pending.clear();
+            pending.extend(episodes.iter().enumerate().filter(|(_, ep)| !ep.env.done()).map(|(i, _)| i));
+            if pending.is_empty() {
+                break;
+            }
+            let total: usize = pending.iter().map(|&i| episodes[i].gt.num_vertices()).sum();
+            stacked.resize_for_overwrite(total, feature_dim);
+            let mut off = 0;
+            for &i in &pending {
+                stacked.write_rows(off, &episodes[i].feats);
+                off += episodes[i].gt.num_vertices();
+            }
+            choices.clear();
+            {
+                let gts: Vec<&GraphTensors> = pending.iter().map(|&i| &episodes[i].gt).collect();
+                let masks: Vec<&[bool]> = pending.iter().map(|&i| episodes[i].mask.as_slice()).collect();
+                let step = self.forward_batched(&gts, &stacked, &masks);
+                for (bi, &ei) in pending.iter().enumerate() {
+                    // Sampling clones its slice (it feeds a Categorical,
+                    // exactly as the unbatched loop does); greedy stays
+                    // allocation-free.
+                    choices.push((
+                        ei,
+                        if episodes[ei].rng.is_some() {
+                            Choice::Sample(step.probs(bi).to_vec())
+                        } else {
+                            Choice::Greedy(step.greedy_argmax(bi))
+                        },
+                    ));
+                }
+            }
+            for (ei, choice) in choices.drain(..) {
+                let ep = &mut episodes[ei];
+                let action = match choice {
+                    Choice::Greedy(a) => a as VertexId,
+                    Choice::Sample(p) => {
+                        Categorical::new(p).sample(ep.rng.as_mut().expect("sampling episode has an rng")) as VertexId
+                    }
+                };
+                ep.apply(action);
+            }
+        }
+        episodes.into_iter().map(|ep| ep.env.into_order()).collect()
     }
 
     /// [`PreparedPolicy::forward`] materialized as an owned
@@ -230,6 +373,99 @@ impl PreparedPolicy<'_> {
     pub fn forward_owned(&mut self, gt: &GraphTensors, features: &Matrix, mask: &[bool]) -> PolicyOutput {
         let step = self.forward(gt, features, mask);
         PolicyOutput { probs: step.probs.to_vec(), raw_argmax: step.raw_argmax }
+    }
+}
+
+/// The per-episode action decided during a batched round, staged so the
+/// episode mutation (rng draw + env apply) can run after the borrow of the
+/// stacked forward's inputs ends.
+enum Choice {
+    Greedy(usize),
+    Sample(Vec<f32>),
+}
+
+/// One batched forward result, borrowing [`PreparedPolicy`]'s reusable
+/// batch buffers. Episode `i`'s masked probabilities are `probs(i)`;
+/// `greedy_argmax(i)` is their lowest-index argmax (the same semantics as
+/// the unbatched greedy step, *not* [`PolicyStep::raw_argmax`]'s unmasked
+/// probe).
+#[derive(Debug)]
+pub struct BatchedStep<'a> {
+    probs: &'a [f32],
+    offsets: &'a [usize],
+    argmax: &'a [usize],
+}
+
+impl BatchedStep<'_> {
+    /// Number of episodes in the batch.
+    pub fn len(&self) -> usize {
+        self.argmax.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.argmax.is_empty()
+    }
+
+    /// Masked softmax probabilities for episode `i` (zeros off-mask).
+    pub fn probs(&self, i: usize) -> &[f32] {
+        &self.probs[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Lowest-index argmax of episode `i`'s masked probabilities.
+    pub fn greedy_argmax(&self, i: usize) -> usize {
+        self.argmax[i]
+    }
+}
+
+/// One in-flight ordering episode for
+/// [`PreparedPolicy::run_episodes_batched`]: the query's graph tensors,
+/// its feature extractor, the MDP state, and the incrementally maintained
+/// feature/mask buffers.
+pub struct BatchEpisode<'q> {
+    gt: GraphTensors,
+    fx: FeatureExtractor,
+    env: OrderingEnv<'q>,
+    feats: Matrix,
+    mask: Vec<bool>,
+    rng: Option<StdRng>,
+}
+
+impl<'q> BatchEpisode<'q> {
+    /// Fresh episode over `q`. `sample_seed` switches from greedy argmax
+    /// to seeded sampling, matching
+    /// [`RlQvoOrdering::sampling`][crate::RlQvoOrdering::sampling].
+    pub fn new(q: &'q Graph, fx: FeatureExtractor, sample_seed: Option<u64>) -> Self {
+        let env = OrderingEnv::new(q);
+        let mut feats = Matrix::zeros(1, 1);
+        fx.write_features_at(1, env.ordered_flags(), &mut feats);
+        BatchEpisode {
+            gt: GraphTensors::of(q),
+            fx,
+            env,
+            feats,
+            mask: Vec::new(),
+            rng: sample_seed.map(StdRng::seed_from_u64),
+        }
+    }
+
+    /// Takes every forced (`|AS| = 1`) step, leaving the episode either
+    /// done or with a current mask that needs a network decision.
+    fn advance_forced(&mut self) {
+        while !self.env.done() {
+            self.env.action_mask_into(&mut self.mask);
+            match OrderingEnv::forced_in(&self.mask) {
+                Some(forced) => self.apply(forced),
+                None => break,
+            }
+        }
+    }
+
+    /// Applies `action` against the currently held mask and updates the
+    /// feature buffer incrementally.
+    fn apply(&mut self, action: VertexId) {
+        self.env.apply_with_mask(action, &self.mask);
+        self.fx.apply_step(self.env.step_number(), action, &mut self.feats);
     }
 }
 

@@ -1,0 +1,172 @@
+//! Differential pin for the batched inference path: packing many pending
+//! episodes into one stacked policy forward must not change any episode's
+//! outcome.
+//!
+//! * `PreparedPolicy::forward_batched` vs `PreparedPolicy::forward`, per
+//!   GNN kind — per-episode probabilities bitwise equal under the default
+//!   `InferMath::Bitwise`;
+//! * `RlQvoOrdering::order_many` vs `run_episode` — identical orders,
+//!   greedy and sampling, under `Bitwise`;
+//! * the same order equality under `InferMath::Fast`: every fast kernel
+//!   is row-independent (each output row's reduction order depends only
+//!   on that row), so batching is exact *within* a math mode even though
+//!   fast vs bitwise results differ;
+//! * fast batched probabilities stay within the documented tolerance of
+//!   the bitwise ones, and the greedy argmax agrees whenever the masked
+//!   top-2 probability gap is clear of the kernel budget.
+//!
+//! CI runs this binary by explicit name so a harness filter change can
+//! never silently skip the batched-vs-unbatched contract.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rlqvo_core::features::FeatureScaling;
+use rlqvo_core::ordering::RlQvoOrdering;
+use rlqvo_core::{FeatureExtractor, InferMath, OrderingEnv, PolicyNetwork};
+use rlqvo_gnn::{GnnKind, GraphTensors};
+use rlqvo_graph::{extract_connected_subgraph, Graph, GraphBuilder};
+use rlqvo_matching::connected_prefix_ok;
+
+fn random_query(seed: u64, size: usize) -> Graph {
+    // Host: a fixed 6x6 labeled grid; queries are random connected chunks.
+    let mut b = GraphBuilder::new(4);
+    for i in 0..36u32 {
+        b.add_vertex(i % 4);
+    }
+    for r in 0..6u32 {
+        for c in 0..6u32 {
+            let v = r * 6 + c;
+            if c + 1 < 6 {
+                b.add_edge(v, v + 1);
+            }
+            if r + 1 < 6 {
+                b.add_edge(v, v + 6);
+            }
+        }
+    }
+    let host = b.build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    extract_connected_subgraph(&host, size, &mut rng).unwrap().0
+}
+
+const KINDS: [GnnKind; 6] =
+    [GnnKind::Gcn, GnnKind::Gat, GnnKind::GraphSage, GnnKind::GraphConv, GnnKind::LeConv, GnnKind::Dense];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One batched forward over several first-step episodes vs each
+    /// episode's own unbatched forward: per-episode probabilities and the
+    /// greedy argmax are bitwise equal under `Bitwise`, for every GNN
+    /// kind — including duplicate queries sharing a batch.
+    #[test]
+    fn batched_forward_is_bitwise_identical_per_episode(seed in 0u64..300, s1 in 3usize..9, s2 in 3usize..9, kind_ix in 0usize..6) {
+        let g = random_query(seed ^ 1, 10);
+        let queries = [random_query(seed, s1), random_query(seed ^ 2, s2), random_query(seed, s1)];
+        let policy = PolicyNetwork::new(KINDS[kind_ix], 2, 7, 8, seed);
+
+        let gts: Vec<GraphTensors> = queries.iter().map(GraphTensors::of).collect();
+        let feats: Vec<_> = queries
+            .iter()
+            .map(|q| FeatureExtractor::new(q, &g, FeatureScaling::default()).features_at(1, &vec![false; q.num_vertices()]))
+            .collect();
+        let masks: Vec<Vec<bool>> = queries.iter().map(|q| OrderingEnv::new(q).action_mask()).collect();
+
+        let mut stacked = feats[0].clone();
+        for f in &feats[1..] {
+            stacked = stacked.vstack(f);
+        }
+        let mut prepared = policy.prepare();
+        let mask_refs: Vec<&[bool]> = masks.iter().map(|m| m.as_slice()).collect();
+        let gt_refs: Vec<&GraphTensors> = gts.iter().collect();
+        // Collect first: the batched step borrows `prepared`.
+        let batched: Vec<(Vec<f32>, usize)> = {
+            let step = prepared.forward_batched(&gt_refs, &stacked, &mask_refs);
+            (0..step.len()).map(|i| (step.probs(i).to_vec(), step.greedy_argmax(i))).collect()
+        };
+        prop_assert_eq!(batched.len(), queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let single = prepared.forward(&gts[i], &feats[i], &masks[i]);
+            prop_assert_eq!(&batched[i].0[..], single.probs, "episode {} probs diverge ({})", i, KINDS[kind_ix].name());
+            prop_assert_eq!(batched[i].1, rlqvo_rl::argmax_lowest_index(single.probs), "episode {} argmax", i);
+            prop_assert_eq!(batched[i].0.len(), q.num_vertices());
+        }
+    }
+
+    /// Whole batched episodes vs one-at-a-time, greedy and sampling,
+    /// under the default bitwise math: identical orders.
+    #[test]
+    fn batched_orders_match_one_at_a_time_bitwise(seed in 0u64..300, s1 in 3usize..9, s2 in 3usize..9, s3 in 3usize..9, kind_ix in 0usize..6, sample in any::<bool>()) {
+        let g = random_query(seed ^ 1, 10);
+        let queries = [random_query(seed, s1), random_query(seed ^ 2, s2), random_query(seed ^ 3, s3)];
+        let policy = PolicyNetwork::new(KINDS[kind_ix], 2, 7, 8, seed);
+        let mut ordering = RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0);
+        if sample {
+            ordering = ordering.sampling(seed ^ 0x5EED);
+        }
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let batched = ordering.order_many(&refs, &g);
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(&batched[i], &ordering.run_episode(q, &g), "query {} diverged ({})", i, KINDS[kind_ix].name());
+            prop_assert!(connected_prefix_ok(q, &batched[i]));
+        }
+    }
+
+    /// The same order equality under `InferMath::Fast`: every fast kernel
+    /// computes each output row from that row's inputs alone, so the
+    /// batch composition cannot change any episode's scores within the
+    /// fast mode either.
+    #[test]
+    fn batched_orders_match_one_at_a_time_fast(seed in 0u64..300, s1 in 3usize..9, s2 in 3usize..9, kind_ix in 0usize..6) {
+        let g = random_query(seed ^ 1, 10);
+        let queries = [random_query(seed, s1), random_query(seed ^ 2, s2)];
+        let policy = PolicyNetwork::new(KINDS[kind_ix], 2, 7, 8, seed);
+        let ordering =
+            RlQvoOrdering::new(&policy, FeatureScaling::default(), false, 0).with_math(InferMath::Fast);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let batched = ordering.order_many(&refs, &g);
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(&batched[i], &ordering.run_episode(q, &g), "query {} diverged ({})", i, KINDS[kind_ix].name());
+            prop_assert!(connected_prefix_ok(q, &batched[i]));
+        }
+    }
+
+    /// Fast vs bitwise, tolerance-aware: first-step batched fast
+    /// probabilities stay within 1e-4 of the bitwise ones, and the greedy
+    /// argmax agrees whenever the bitwise top-2 gap clears that budget —
+    /// the property the fast serving path actually relies on.
+    #[test]
+    fn fast_batched_probs_track_bitwise_within_tolerance(seed in 0u64..300, s1 in 3usize..9, s2 in 3usize..9, kind_ix in 0usize..6) {
+        let g = random_query(seed ^ 1, 10);
+        let queries = [random_query(seed, s1), random_query(seed ^ 2, s2)];
+        let policy = PolicyNetwork::new(KINDS[kind_ix], 2, 7, 8, seed);
+        let gts: Vec<GraphTensors> = queries.iter().map(GraphTensors::of).collect();
+        let gt_refs: Vec<&GraphTensors> = gts.iter().collect();
+        let feats: Vec<_> = queries
+            .iter()
+            .map(|q| FeatureExtractor::new(q, &g, FeatureScaling::default()).features_at(1, &vec![false; q.num_vertices()]))
+            .collect();
+        let mut stacked = feats[0].clone();
+        stacked = stacked.vstack(&feats[1]);
+        let masks: Vec<Vec<bool>> = queries.iter().map(|q| vec![true; q.num_vertices()]).collect();
+        let mask_refs: Vec<&[bool]> = masks.iter().map(|m| m.as_slice()).collect();
+
+        let mut fast = policy.prepare_with(InferMath::Fast);
+        let fast_out: Vec<(Vec<f32>, usize)> = {
+            let step = fast.forward_batched(&gt_refs, &stacked, &mask_refs);
+            (0..step.len()).map(|i| (step.probs(i).to_vec(), step.greedy_argmax(i))).collect()
+        };
+        let mut bitwise = policy.prepare();
+        for (i, _q) in queries.iter().enumerate() {
+            let reference = bitwise.forward(&gts[i], &feats[i], &masks[i]);
+            let mut sorted: Vec<f32> = reference.probs.to_vec();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for (v, (&f, &r)) in fast_out[i].0.iter().zip(reference.probs).enumerate() {
+                prop_assert!((f - r).abs() <= 1e-4, "episode {} prob {} drifted: {} vs {}", i, v, f, r);
+            }
+            if sorted.len() >= 2 && sorted[0] - sorted[1] > 1e-4 {
+                prop_assert_eq!(fast_out[i].1, rlqvo_rl::argmax_lowest_index(reference.probs), "episode {} argmax", i);
+            }
+        }
+    }
+}

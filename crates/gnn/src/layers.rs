@@ -6,7 +6,7 @@
 //! [`rlqvo_tensor::GradStore`] by position.
 
 use rand::Rng;
-use rlqvo_tensor::infer::{broadcast_add_col_row_into, masked_softmax_rows_into};
+use rlqvo_tensor::infer::{broadcast_add_col_row_into, broadcast_add_slices_into};
 use rlqvo_tensor::{InferScratch, Matrix, Tape, Var};
 
 use crate::adj::GraphTensors;
@@ -59,11 +59,46 @@ pub trait GnnLayer: Send + Sync {
     /// Forward pass. `bound` must come from [`Self::bind`] on the same tape.
     fn forward(&self, t: &Tape, gt: &GraphTensors, bound: &[Var], h: Var) -> Var;
     /// Tape-free inference forward: the same math as [`Self::forward`],
-    /// bitwise identical (shared kernels, same accumulation order), but
-    /// with zero tape nodes, zero parameter binding, and no heap
-    /// allocation beyond `scratch`'s reusable buffers. Returns a buffer
-    /// owned by the pool — `put` it back when finished with it.
+    /// bitwise identical under the default `InferMath::Bitwise` contract
+    /// (shared kernels, same accumulation order; `scratch.math()` selects
+    /// the opt-in fast-math kernels instead), but with zero tape nodes,
+    /// zero parameter binding, and no heap allocation beyond `scratch`'s
+    /// reusable buffers. Returns a buffer owned by the pool — `put` it
+    /// back when finished with it.
     fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix;
+    /// Multi-query batched inference: `h` vertically stacks the feature
+    /// rows of several query graphs (graph `i`'s block starts at row
+    /// `offsets[i]` and spans `gts[i].num_vertices()` rows), and the
+    /// returned matrix stacks the per-graph outputs at the same offsets.
+    ///
+    /// Because every layer treats a row block independently given its own
+    /// graph tensors, block `i` of the result equals `self.infer(gts[i],
+    /// …, block_i)` — bitwise under `InferMath::Bitwise`, within the
+    /// fast-math tolerance under `InferMath::Fast` (property-pinned in
+    /// `crates/core/tests/infer_batched.rs`). The default implementation
+    /// runs block by block; layer impls override it to run the
+    /// shared-weight matmuls on the full stacked matrix, which is where
+    /// batching pays (wide register-blocked kernels, one pass per weight
+    /// instead of one per query).
+    fn infer_batched(
+        &self,
+        gts: &[&GraphTensors],
+        offsets: &[usize],
+        scratch: &mut InferScratch,
+        h: &Matrix,
+    ) -> Matrix {
+        let mut out = scratch.take(h.rows(), self.out_dim());
+        for (gt, &off) in gts.iter().zip(offsets) {
+            let n = gt.num_vertices();
+            let mut block = scratch.take(n, h.cols());
+            block.data_mut().copy_from_slice(&h.data()[off * h.cols()..(off + n) * h.cols()]);
+            let res = self.infer(gt, scratch, &block);
+            out.write_rows(off, &res);
+            scratch.put(res);
+            scratch.put(block);
+        }
+        out
+    }
     /// Output feature dimension.
     fn out_dim(&self) -> usize;
     /// Which ablation family this layer belongs to.
@@ -109,10 +144,30 @@ impl GnnLayer for GcnLayer {
         t.relu(lin)
     }
     fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let math = scratch.math();
         let mut agg = scratch.take(h.rows(), h.cols());
-        gt.norm_adj.matmul_into(h, &mut agg);
+        math.matmul_into(&gt.norm_adj, h, &mut agg);
         let mut out = scratch.take(h.rows(), self.w.cols());
-        agg.matmul_into(&self.w, &mut out);
+        math.matmul_into(&agg, &self.w, &mut out);
+        scratch.put(agg);
+        out.add_bias_row_assign(&self.b);
+        out.relu_in_place();
+        out
+    }
+    fn infer_batched(
+        &self,
+        gts: &[&GraphTensors],
+        offsets: &[usize],
+        scratch: &mut InferScratch,
+        h: &Matrix,
+    ) -> Matrix {
+        let math = scratch.math();
+        let mut agg = scratch.take(h.rows(), h.cols());
+        for (gt, &off) in gts.iter().zip(offsets) {
+            math.matmul_block_into(&gt.norm_adj, h, off, &mut agg, off);
+        }
+        let mut out = scratch.take(h.rows(), self.w.cols());
+        math.matmul_into(&agg, &self.w, &mut out);
         scratch.put(agg);
         out.add_bias_row_assign(&self.b);
         out.relu_in_place();
@@ -162,24 +217,61 @@ impl GnnLayer for GatLayer {
         t.relu(t.matmul(att, z))
     }
     fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let math = scratch.math();
         let n = h.rows();
         let mut z = scratch.take(n, self.w.cols());
-        h.matmul_into(&self.w, &mut z);
+        math.matmul_into(h, &self.w, &mut z);
         let mut s_src = scratch.take(n, 1);
-        z.matmul_into(&self.a_src, &mut s_src);
+        math.matmul_into(&z, &self.a_src, &mut s_src);
         let mut s_dst = scratch.take(n, 1);
-        z.matmul_into(&self.a_dst, &mut s_dst);
+        math.matmul_into(&z, &self.a_dst, &mut s_dst);
         let mut scores = scratch.take(n, n);
         broadcast_add_col_row_into(&s_src, &s_dst, &mut scores);
         scratch.put(s_src);
         scratch.put(s_dst);
         scores.leaky_relu_in_place(0.2);
         let mut att = scratch.take(n, n);
-        masked_softmax_rows_into(&scores, &gt.mask_self, &mut att);
+        math.masked_softmax_rows_into(&scores, &gt.mask_self, &mut att);
         scratch.put(scores);
         let mut out = scratch.take(n, z.cols());
-        att.matmul_into(&z, &mut out);
+        math.matmul_into(&att, &z, &mut out);
         scratch.put(att);
+        scratch.put(z);
+        out.relu_in_place();
+        out
+    }
+    fn infer_batched(
+        &self,
+        gts: &[&GraphTensors],
+        offsets: &[usize],
+        scratch: &mut InferScratch,
+        h: &Matrix,
+    ) -> Matrix {
+        // The linear projections are shared-weight and row-independent, so
+        // they run once on the stacked matrix; attention is inherently
+        // per-graph (an `n_i×n_i` score matrix each), so it loops blocks.
+        let math = scratch.math();
+        let total = h.rows();
+        let mut z = scratch.take(total, self.w.cols());
+        math.matmul_into(h, &self.w, &mut z);
+        let mut s_src = scratch.take(total, 1);
+        math.matmul_into(&z, &self.a_src, &mut s_src);
+        let mut s_dst = scratch.take(total, 1);
+        math.matmul_into(&z, &self.a_dst, &mut s_dst);
+        let mut out = scratch.take(total, z.cols());
+        for (gt, &off) in gts.iter().zip(offsets) {
+            let n = gt.num_vertices();
+            let mut scores = scratch.take(n, n);
+            broadcast_add_slices_into(&s_src.data()[off..off + n], &s_dst.data()[off..off + n], &mut scores);
+            scores.leaky_relu_in_place(0.2);
+            let mut att = scratch.take(n, n);
+            math.masked_softmax_rows_into(&scores, &gt.mask_self, &mut att);
+            scratch.put(scores);
+            math.matmul_block_into(&att, &z, off, &mut out, off);
+            scratch.put(att);
+        }
+        scratch.put(s_src);
+        scratch.put(s_dst);
         scratch.put(z);
         out.relu_in_place();
         out
@@ -224,12 +316,36 @@ impl GnnLayer for SageLayer {
         t.relu(t.add_bias_row(t.add(own, neigh), bound[2]))
     }
     fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let math = scratch.math();
         let mut own = scratch.take(h.rows(), self.w_self.cols());
-        h.matmul_into(&self.w_self, &mut own);
+        math.matmul_into(h, &self.w_self, &mut own);
         let mut agg = scratch.take(h.rows(), h.cols());
-        gt.mean_adj.matmul_into(h, &mut agg);
+        math.matmul_into(&gt.mean_adj, h, &mut agg);
         let mut neigh = scratch.take(h.rows(), self.w_neigh.cols());
-        agg.matmul_into(&self.w_neigh, &mut neigh);
+        math.matmul_into(&agg, &self.w_neigh, &mut neigh);
+        scratch.put(agg);
+        own.add_assign(&neigh);
+        scratch.put(neigh);
+        own.add_bias_row_assign(&self.b);
+        own.relu_in_place();
+        own
+    }
+    fn infer_batched(
+        &self,
+        gts: &[&GraphTensors],
+        offsets: &[usize],
+        scratch: &mut InferScratch,
+        h: &Matrix,
+    ) -> Matrix {
+        let math = scratch.math();
+        let mut own = scratch.take(h.rows(), self.w_self.cols());
+        math.matmul_into(h, &self.w_self, &mut own);
+        let mut agg = scratch.take(h.rows(), h.cols());
+        for (gt, &off) in gts.iter().zip(offsets) {
+            math.matmul_block_into(&gt.mean_adj, h, off, &mut agg, off);
+        }
+        let mut neigh = scratch.take(h.rows(), self.w_neigh.cols());
+        math.matmul_into(&agg, &self.w_neigh, &mut neigh);
         scratch.put(agg);
         own.add_assign(&neigh);
         scratch.put(neigh);
@@ -278,12 +394,36 @@ impl GnnLayer for GraphConvLayer {
         t.relu(t.add_bias_row(t.add(own, neigh), bound[2]))
     }
     fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let math = scratch.math();
         let mut own = scratch.take(h.rows(), self.w1.cols());
-        h.matmul_into(&self.w1, &mut own);
+        math.matmul_into(h, &self.w1, &mut own);
         let mut agg = scratch.take(h.rows(), h.cols());
-        gt.adj.matmul_into(h, &mut agg);
+        math.matmul_into(&gt.adj, h, &mut agg);
         let mut neigh = scratch.take(h.rows(), self.w2.cols());
-        agg.matmul_into(&self.w2, &mut neigh);
+        math.matmul_into(&agg, &self.w2, &mut neigh);
+        scratch.put(agg);
+        own.add_assign(&neigh);
+        scratch.put(neigh);
+        own.add_bias_row_assign(&self.b);
+        own.relu_in_place();
+        own
+    }
+    fn infer_batched(
+        &self,
+        gts: &[&GraphTensors],
+        offsets: &[usize],
+        scratch: &mut InferScratch,
+        h: &Matrix,
+    ) -> Matrix {
+        let math = scratch.math();
+        let mut own = scratch.take(h.rows(), self.w1.cols());
+        math.matmul_into(h, &self.w1, &mut own);
+        let mut agg = scratch.take(h.rows(), h.cols());
+        for (gt, &off) in gts.iter().zip(offsets) {
+            math.matmul_block_into(&gt.adj, h, off, &mut agg, off);
+        }
+        let mut neigh = scratch.take(h.rows(), self.w2.cols());
+        math.matmul_into(&agg, &self.w2, &mut neigh);
         scratch.put(agg);
         own.add_assign(&neigh);
         scratch.put(neigh);
@@ -338,15 +478,46 @@ impl GnnLayer for LeConvLayer {
         t.relu(t.add_bias_row(combined, bound[3]))
     }
     fn infer(&self, gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let math = scratch.math();
         let mut own = scratch.take(h.rows(), self.w1.cols());
-        h.matmul_into(&self.w1, &mut own);
+        math.matmul_into(h, &self.w1, &mut own);
         let mut scaled = scratch.take(h.rows(), self.w2.cols());
-        h.matmul_into(&self.w2, &mut scaled);
+        math.matmul_into(h, &self.w2, &mut scaled);
         scaled.mul_col_broadcast_assign(&gt.degree);
         let mut tmp = scratch.take(h.rows(), self.w3.cols());
-        h.matmul_into(&self.w3, &mut tmp);
+        math.matmul_into(h, &self.w3, &mut tmp);
         let mut neigh = scratch.take(h.rows(), self.w3.cols());
-        gt.adj.matmul_into(&tmp, &mut neigh);
+        math.matmul_into(&gt.adj, &tmp, &mut neigh);
+        scratch.put(tmp);
+        own.add_assign(&scaled);
+        own.sub_assign(&neigh);
+        scratch.put(scaled);
+        scratch.put(neigh);
+        own.add_bias_row_assign(&self.b);
+        own.relu_in_place();
+        own
+    }
+    fn infer_batched(
+        &self,
+        gts: &[&GraphTensors],
+        offsets: &[usize],
+        scratch: &mut InferScratch,
+        h: &Matrix,
+    ) -> Matrix {
+        let math = scratch.math();
+        let mut own = scratch.take(h.rows(), self.w1.cols());
+        math.matmul_into(h, &self.w1, &mut own);
+        let mut scaled = scratch.take(h.rows(), self.w2.cols());
+        math.matmul_into(h, &self.w2, &mut scaled);
+        for (gt, &off) in gts.iter().zip(offsets) {
+            scaled.mul_col_broadcast_rows_assign(off, &gt.degree);
+        }
+        let mut tmp = scratch.take(h.rows(), self.w3.cols());
+        math.matmul_into(h, &self.w3, &mut tmp);
+        let mut neigh = scratch.take(h.rows(), self.w3.cols());
+        for (gt, &off) in gts.iter().zip(offsets) {
+            math.matmul_block_into(&gt.adj, &tmp, off, &mut neigh, off);
+        }
         scratch.put(tmp);
         own.add_assign(&scaled);
         own.sub_assign(&neigh);
@@ -389,8 +560,25 @@ impl GnnLayer for DenseLayer {
         t.relu(t.add_bias_row(t.matmul(h, bound[0]), bound[1]))
     }
     fn infer(&self, _gt: &GraphTensors, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let math = scratch.math();
         let mut out = scratch.take(h.rows(), self.w.cols());
-        h.matmul_into(&self.w, &mut out);
+        math.matmul_into(h, &self.w, &mut out);
+        out.add_bias_row_assign(&self.b);
+        out.relu_in_place();
+        out
+    }
+    fn infer_batched(
+        &self,
+        _gts: &[&GraphTensors],
+        _offsets: &[usize],
+        scratch: &mut InferScratch,
+        h: &Matrix,
+    ) -> Matrix {
+        // Structure-blind: the batched forward is literally the stacked
+        // single forward.
+        let math = scratch.math();
+        let mut out = scratch.take(h.rows(), self.w.cols());
+        math.matmul_into(h, &self.w, &mut out);
         out.add_bias_row_assign(&self.b);
         out.relu_in_place();
         out
@@ -531,6 +719,44 @@ mod tests {
             // (recycled buffers carry no state).
             let again = layer.infer(&gt, &mut scratch, &h_val);
             assert_eq!(infer_out, again, "{}: warmed scratch changed the result", kind.name());
+        }
+    }
+
+    #[test]
+    fn infer_batched_blocks_match_single_graph_infer_for_every_kind() {
+        // Two graphs of different sizes stacked: each block of the batched
+        // output must be bitwise identical to running that graph alone.
+        let gt_a = path4_tensors();
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..3 {
+            b.add_vertex(0);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let gt_b = GraphTensors::of(&b.build());
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let h_a = Matrix::from_fn(4, 5, |r, c| ((r * 5 + c) as f32 * 0.31).sin());
+        let h_b = Matrix::from_fn(3, 5, |r, c| ((r * 7 + c) as f32 * 0.17).cos());
+        let stacked = h_a.vstack(&h_b);
+        for kind in ALL_KINDS {
+            let layer = build_layer(kind, 5, 8, &mut rng);
+            let mut scratch = InferScratch::new();
+            let one_a = layer.infer(&gt_a, &mut scratch, &h_a);
+            let one_b = layer.infer(&gt_b, &mut scratch, &h_b);
+            let batched = layer.infer_batched(&[&gt_a, &gt_b], &[0, 4], &mut scratch, &stacked);
+            assert_eq!(batched.shape(), (7, 8), "{}", kind.name());
+            for r in 0..4 {
+                for c in 0..8 {
+                    assert_eq!(batched.get(r, c), one_a.get(r, c), "{}: block a ({r},{c})", kind.name());
+                }
+            }
+            for r in 0..3 {
+                for c in 0..8 {
+                    assert_eq!(batched.get(4 + r, c), one_b.get(r, c), "{}: block b ({r},{c})", kind.name());
+                }
+            }
         }
     }
 

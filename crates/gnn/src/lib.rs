@@ -22,4 +22,4 @@ pub mod mlp;
 pub use adj::GraphTensors;
 pub use layers::{build_layer, GnnKind, GnnLayer};
 pub use mlp::MlpHead;
-pub use rlqvo_tensor::InferScratch;
+pub use rlqvo_tensor::{InferMath, InferScratch};

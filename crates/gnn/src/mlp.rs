@@ -47,15 +47,22 @@ impl MlpHead {
     }
 
     /// Tape-free inference forward, bitwise identical to
-    /// [`MlpHead::forward`] (shared kernels). Returns an `n×1` score
-    /// buffer owned by the scratch pool.
+    /// [`MlpHead::forward`] under the default `InferMath::Bitwise`
+    /// contract (shared kernels; `scratch.math()` selects the opt-in
+    /// fast-math kernels). Returns an `n×1` score buffer owned by the
+    /// scratch pool.
+    ///
+    /// Both layers are row-independent, so batched forwards call this
+    /// directly on a vertically stacked embedding matrix — each block of
+    /// the stacked score column equals the per-query result.
     pub fn infer(&self, scratch: &mut InferScratch, h: &Matrix) -> Matrix {
+        let math = scratch.math();
         let mut hidden = scratch.take(h.rows(), self.w1.cols());
-        h.matmul_into(&self.w1, &mut hidden);
+        math.matmul_into(h, &self.w1, &mut hidden);
         hidden.add_bias_row_assign(&self.b1);
         hidden.relu_in_place();
         let mut scores = scratch.take(h.rows(), 1);
-        hidden.matmul_into(&self.w2, &mut scores);
+        math.matmul_into(&hidden, &self.w2, &mut scores);
         scratch.put(hidden);
         scores.add_bias_row_assign(&self.b2);
         scores

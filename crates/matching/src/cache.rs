@@ -594,6 +594,19 @@ impl<E: CacheWeight> ShardedCache<E> {
         }
     }
 
+    /// Pure residency probe: true when `(query_id, variant)` holds a
+    /// *built* entry right now. No LRU touch, no hit/miss accounting, no
+    /// compute. Callers (the serving micro-batcher) use it to decide what
+    /// a batched pre-compute pass still needs; the answer may be stale by
+    /// the time they act on it, which [`ShardedCache::get_or_insert`]
+    /// tolerates by construction.
+    pub fn contains(&self, query_id: u64, variant: &str) -> bool {
+        let key: CacheKey = (query_id, variant.to_string());
+        let si = self.shared.shard_index(&key);
+        let inner = self.shared.lock(si);
+        inner.map.get(&key).is_some_and(|&i| inner.node(i).slot.cell.get().is_some())
+    }
+
     /// Lookups served from an existing entry.
     pub fn hits(&self) -> u64 {
         self.shared.hits.load(Ordering::Relaxed)

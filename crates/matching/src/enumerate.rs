@@ -576,6 +576,12 @@ fn probe_with_backward(
     if config.threads > 1 {
         return crate::parallel::enumerate_probe_parallel_from(g, cand, order, backward, config, start);
     }
+    // Engine entry check: the deadline may have expired while the
+    // backward sets were derived above — match the parallel path's
+    // zero-work guarantee instead of burning a cadence window first.
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     let mut ctx = new_probe_ctx(g, cand, order, backward, config, start, None);
     probe_recurse(&mut ctx, 0);
     EnumResult {
@@ -651,6 +657,13 @@ fn enumerate_in_space_from(
     config: EnumConfig,
     start: Instant,
 ) -> EnumResult {
+    // Engine entry check: the candidate-space build between the public
+    // entry check and this dispatch takes real time — a deadline that
+    // expired during it must yield zero enumeration work, exactly as the
+    // parallel path guarantees.
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     let mut ctx = new_space_ctx(q, cs, order, config, start, None);
     space_recurse(&mut ctx, 0);
     EnumResult {
@@ -1057,6 +1070,29 @@ mod tests {
             gb.add_edge(x, z);
         }
         (q, gb.build())
+    }
+
+    /// Regression: the serial engine bodies reject a deadline that
+    /// expired between the public entry check and engine dispatch (the
+    /// candidate-space build / backward-set derivation take real time).
+    #[test]
+    fn serial_engine_entries_reject_pre_expired_deadlines() {
+        let (q, g) = two_triangles();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = [0, 1, 2];
+        let cfg = EnumConfig::find_all().with_deadline(Instant::now());
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        let res = enumerate_in_space_from(&q, &cs, &order, cfg, Instant::now());
+        assert!(res.cancelled, "space engine");
+        assert_eq!(res.enumerations, 0, "space engine must do zero work");
+        let backward: Vec<Vec<VertexId>> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| order[..i].iter().copied().filter(|&p| q.has_edge(p, u)).collect())
+            .collect();
+        let res = probe_with_backward(&g, &cand, &order, backward, cfg, Instant::now());
+        assert!(res.cancelled, "probe engine");
+        assert_eq!(res.enumerations, 0, "probe engine must do zero work");
     }
 
     #[test]

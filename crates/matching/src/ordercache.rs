@@ -200,6 +200,15 @@ impl OrderCache {
         )
     }
 
+    /// Pure residency probe for `(key, variant)`: no LRU touch, no
+    /// hit/miss accounting, no compute. The serving micro-batcher uses
+    /// this to pick which queued queries still need the batched ordering
+    /// pass; a stale answer only costs one redundant (idempotent)
+    /// compute.
+    pub fn contains_keyed(&self, key: &QueryKey, variant: &str) -> bool {
+        self.cache.contains(key.fingerprint(), variant)
+    }
+
     /// Lookups served from an existing entry.
     pub fn hits(&self) -> u64 {
         self.cache.hits()

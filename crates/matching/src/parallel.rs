@@ -265,6 +265,13 @@ pub(crate) fn enumerate_in_space_parallel_from(
     config: EnumConfig,
     start: Instant,
 ) -> EnumResult {
+    // Engine entry check: the deadline may have expired (or the cancel
+    // flag risen) during the candidate-space build that ran between the
+    // public entry check and this dispatch — don't spin up workers that
+    // would each burn a cadence window before noticing.
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     let threads = config.threads.max(1);
     let root = order[0];
     let root_len = cs.cand_len(root);
@@ -348,6 +355,11 @@ fn space_slices_serial(
     start: Instant,
     num_slices: usize,
 ) -> EnumResult {
+    // Same engine-entry check as the worker-pool path: zero work on a
+    // pre-expired deadline (serial and parallel must agree on this).
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     let root = order[0];
     let root_len = cs.cand_len(root);
     let mut ctx = new_space_ctx(q, cs, order, config, start, None);
@@ -393,6 +405,12 @@ pub(crate) fn enumerate_probe_parallel_from(
     config: EnumConfig,
     start: Instant,
 ) -> EnumResult {
+    // Engine entry check, mirroring the CandidateSpace path: the backward
+    // set derivation between the public check and this dispatch takes
+    // time too.
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     let threads = config.threads.max(1);
     let root_cands = cand.of(order[0]);
     let root_len = root_cands.len();
@@ -455,6 +473,9 @@ fn probe_slices_serial(
     start: Instant,
     num_slices: usize,
 ) -> EnumResult {
+    if config.cancel_requested() {
+        return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
+    }
     let root_cands = cand.of(order[0]);
     let root_len = root_cands.len();
     let mut ctx = new_probe_ctx(g, cand, order, backward, config, start, None);
@@ -532,6 +553,53 @@ mod tests {
             assert!(!caps.sync_enumerations(1_000_000));
         }
         assert!(!caps.should_stop());
+    }
+
+    /// Regression: the engine entries themselves must reject a deadline
+    /// that expired *after* the public entry check (e.g. during the
+    /// candidate-space build) — previously each worker burned up to a
+    /// full cadence window of recursion before noticing.
+    #[test]
+    fn engine_entries_reject_pre_expired_deadlines() {
+        use crate::filter::{CandidateFilter, LdfFilter};
+        use rlqvo_graph::GraphBuilder;
+        let mut qb = GraphBuilder::new(3);
+        let (a, b, c) = (qb.add_vertex(0), qb.add_vertex(1), qb.add_vertex(2));
+        qb.add_edge(a, b);
+        qb.add_edge(b, c);
+        qb.add_edge(a, c);
+        let q = qb.build();
+        let mut gb = GraphBuilder::new(6);
+        for _ in 0..2 {
+            let (x, y, z) = (gb.add_vertex(0), gb.add_vertex(1), gb.add_vertex(2));
+            gb.add_edge(x, y);
+            gb.add_edge(y, z);
+            gb.add_edge(x, z);
+        }
+        let g = gb.build();
+        let cand = LdfFilter.filter(&q, &g);
+        let cs = CandidateSpace::build(&q, &g, &cand);
+        let order: Vec<VertexId> = vec![0, 1, 2];
+        let backward: Vec<Vec<VertexId>> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| order[..i].iter().copied().filter(|&p| q.has_edge(p, u)).collect())
+            .collect();
+        for threads in [1usize, 4] {
+            let cfg = EnumConfig::find_all().with_threads(threads).with_deadline(Instant::now());
+            let res = enumerate_in_space_parallel_from(&q, &cs, &order, cfg, Instant::now());
+            assert!(res.cancelled, "space engine, {threads} threads");
+            assert_eq!(res.enumerations, 0, "space engine must do zero work, {threads} threads");
+            let res = enumerate_probe_parallel_from(&g, &cand, &order, backward.clone(), cfg, Instant::now());
+            assert!(res.cancelled, "probe engine, {threads} threads");
+            assert_eq!(res.enumerations, 0, "probe engine must do zero work, {threads} threads");
+        }
+        // The slice-sequential faces carry the same contract.
+        let cfg = EnumConfig::find_all().with_deadline(Instant::now());
+        let res = space_slices_serial(&q, &cs, &order, cfg, Instant::now(), 2);
+        assert!(res.cancelled && res.enumerations == 0, "sliced space engine");
+        let res = probe_slices_serial(&g, &cand, &order, backward, cfg, Instant::now(), 2);
+        assert!(res.cancelled && res.enumerations == 0, "sliced probe engine");
     }
 
     #[test]

@@ -20,9 +20,14 @@
 //! replay [--smoke] [--dataset yeast] [--vertices 3000] [--clients 4]
 //!        [--requests 400] [--queries 24] [--hot 4] [--zipf 1.1]
 //!        [--query-size 8] [--deadline-ms 200] [--seed 7] [--no-cache]
+//!        [--batch 1] [--fast-math off]
 //! ```
 //!
 //! `--smoke` shrinks everything for CI (seconds, not minutes).
+//! `--batch N` turns on the server's micro-batching stage; `--fast-math
+//! on` routes every request through the learned RL-QVO ordering with the
+//! fast-math kernels (an untrained model is written to a temp file — the
+//! replay exercises the serving path, not ordering quality).
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -110,8 +115,18 @@ fn main() {
     let query_size: usize = num(&args, "--query-size", if smoke { 6 } else { 8 });
     let deadline_ms: u64 = num(&args, "--deadline-ms", 200);
     let seed: u64 = num(&args, "--seed", 7);
+    let batch: usize = num(&args, "--batch", 1).max(1);
+    let fast_math = match flag(&args, "--fast-math").as_deref().map(str::trim) {
+        None | Some("off" | "0" | "false") => false,
+        Some("on" | "1" | "true") => true,
+        Some(other) => {
+            eprintln!("bad --fast-math {other:?} (want on|off)");
+            std::process::exit(2);
+        }
+    };
 
-    eprintln!("replay: {dataset_name} n={vertices}, {clients} clients x {requests_per_client} requests, pool {pool_size} (hot {hot}), zipf s={zipf_s}");
+    eprintln!("replay: {dataset_name} n={vertices}, {clients} clients x {requests_per_client} requests, pool {pool_size} (hot {hot}), zipf s={zipf_s}, batch {batch}, math {}",
+        if fast_math { "fast" } else { "bitwise" });
 
     let g = Arc::new(dataset.load_scaled(vertices));
     let queries = build_query_set(&g, query_size, pool_size, seed).queries;
@@ -119,11 +134,24 @@ fn main() {
     // Hot set first: Zipf rank 0..hot gets the bulk of the mass.
     let zipf = Zipf::new(texts.len(), zipf_s);
 
+    // Fast math only matters on the learned ordering path, which needs a
+    // model on disk; an untrained one is enough, since the replay grades
+    // the serving path, not ordering quality.
+    let model_path = fast_math.then(|| {
+        let path = std::env::temp_dir().join(format!("rlqvo-replay-model-{}.txt", std::process::id()));
+        rlqvo_core::RlQvo::new(rlqvo_core::RlQvoConfig::harness()).save(&path).expect("write replay model");
+        path
+    });
+    let method = fast_math.then(|| "rlqvo".to_string());
+
     let handle = Server::start(
         ServeConfig {
             queue_depth: clients.max(2),
             use_cache: !no_cache,
             fault_injection: true,
+            model_path: model_path.as_ref().map(|p| p.to_string_lossy().into_owned()),
+            batch,
+            fast_math,
             ..ServeConfig::default()
         },
         Arc::clone(&g),
@@ -153,6 +181,7 @@ fn main() {
         for c in 0..clients {
             let texts = &texts;
             let zipf = &zipf;
+            let method = &method;
             let (sent, ok, deadline, overloaded, rejected, errored, injected_panics, lost) =
                 (&sent, &ok, &deadline, &overloaded, &rejected, &errored, &injected_panics, &lost);
             let shared = handle.shared();
@@ -184,7 +213,7 @@ fn main() {
                     let req = Request::Match {
                         deadline_ms: Some(deadline_ms),
                         max_matches: Some(10_000),
-                        method: None,
+                        method: method.clone(),
                         engine: None,
                         inject: inject.then(|| "panic".to_string()),
                         query_text: texts[idx].clone(),
@@ -256,7 +285,7 @@ fn main() {
     let probe = Request::Match {
         deadline_ms: Some(5_000),
         max_matches: Some(100),
-        method: None,
+        method: method.clone(),
         engine: None,
         inject: None,
         query_text: texts[0].clone(),
@@ -266,6 +295,9 @@ fn main() {
         other => panic!("server unusable after fault mix: {other:?}"),
     }
     handle.shutdown();
+    if let Some(p) = &model_path {
+        let _ = std::fs::remove_file(p);
+    }
 
     let mut sorted = latencies.clone();
     sorted.sort_unstable();
@@ -314,6 +346,10 @@ fn main() {
     for k in ["space_hits", "space_misses", "space_evictions", "order_hits", "order_misses", "order_evictions"] {
         metric(k);
     }
+    // Micro-batching accounting: every worker dispatch records its batch
+    // occupancy, so the per-size counters must cover every dispatched job.
+    let occupancy: u64 = (1..=batch).map(|i| metric(&format!("batch_size_{i}"))).sum();
+    assert!(occupancy >= 1, "workers must record batch occupancy");
     if !no_cache {
         // The corruption sweep flipped *space and order* checksums on
         // warm caches; each cache must have degraded at least once, and

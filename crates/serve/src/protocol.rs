@@ -58,7 +58,20 @@ pub enum Frame {
 /// single `write_all` so a descheduled sender can't leave the receiver
 /// stuck mid-frame: once this returns, the whole frame is in the kernel
 /// send buffer.
+///
+/// Payloads above [`MAX_FRAME_BYTES`] fail with a typed
+/// `InvalidInput` error *before* any bytes go out — the write-side
+/// mirror of the read side's [`Frame::Oversized`]. The guard matters
+/// beyond symmetry: the prefix is a `u32`, so an unchecked ≥ 4 GiB
+/// payload would silently truncate its declared length and
+/// desynchronize the stream.
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("oversized frame of {} bytes (limit {MAX_FRAME_BYTES})", payload.len()),
+        ));
+    }
     let mut buf = Vec::with_capacity(4 + payload.len());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(payload);
@@ -297,6 +310,23 @@ mod tests {
         buf.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB declared, no payload
         let mut r = Cursor::new(buf);
         assert!(matches!(read_frame(&mut r, 1024).unwrap(), Frame::Oversized(len) if len == u32::MAX));
+    }
+
+    #[test]
+    fn write_frame_rejects_oversized_payloads_before_writing() {
+        // Exactly at the limit: accepted, full frame emitted.
+        let payload = vec![0u8; MAX_FRAME_BYTES as usize];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(buf.len(), 4 + payload.len());
+        assert_eq!(buf[..4], (MAX_FRAME_BYTES).to_le_bytes());
+        // One byte past: typed error, zero bytes written — the stream
+        // stays in sync for whatever the caller sends next.
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &vec![0u8; MAX_FRAME_BYTES as usize + 1]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("oversized frame"), "{err}");
+        assert!(buf.is_empty(), "no bytes may reach the stream");
     }
 
     #[test]

@@ -33,13 +33,13 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rlqvo_bench::worker_split;
-use rlqvo_core::{RlQvo, RlQvoConfig};
+use rlqvo_core::{InferMath, RlQvo, RlQvoConfig};
 use rlqvo_graph::{io::read_graph, Graph};
 use rlqvo_matching::order::{
     CflOrdering, GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
@@ -72,6 +72,15 @@ pub struct ServeConfig {
     pub fault_injection: bool,
     /// Path to a trained model, enabling `method=rlqvo`.
     pub model_path: Option<String>,
+    /// Micro-batch size: a worker that picks up a `match` job gathers up
+    /// to `batch - 1` more from the queue (waiting at most 100 µs for
+    /// stragglers) and pre-stages their RL-QVO orders through one stacked
+    /// policy forward. `1` (the default) disables gathering entirely.
+    pub batch: usize,
+    /// Serve `method=rlqvo` orders with the opt-in fast-math kernels
+    /// (`InferMath::Fast`): FMA + blocked reductions, tolerance-bounded
+    /// instead of bitwise, keyed separately in the order cache.
+    pub fast_math: bool,
 }
 
 impl Default for ServeConfig {
@@ -88,9 +97,14 @@ impl Default for ServeConfig {
             use_cache: true,
             fault_injection: false,
             model_path: None,
+            batch: 1,
+            fast_math: false,
         }
     }
 }
+
+/// Cap on tracked micro-batch sizes (and thus `batch_size_*` counters).
+const MAX_BATCH: usize = 64;
 
 /// Counters the `metrics` request reports. All monotonic.
 #[derive(Default)]
@@ -113,7 +127,11 @@ pub struct ServerState {
     /// Request-facing switches, fixed at start.
     use_cache: bool,
     fault_injection: bool,
+    fast_math: bool,
     base_config: EnumConfig,
+    /// `batch_occupancy[n-1]` counts micro-batches that ran with exactly
+    /// `n` jobs (length = configured batch size).
+    batch_occupancy: Vec<AtomicU64>,
     /// Raised by `shutdown`: accept loop, idle connections, and drained
     /// workers exit; in-flight enumerations cancel cooperatively via
     /// `cancel` (each still sends its typed partial reply).
@@ -166,7 +184,16 @@ impl ServerState {
         m.insert("order_bytes".into(), self.orders.storage_bytes() as u64);
         m.insert("order_checksum_failures".into(), self.orders.checksum_failures());
         m.insert("order_poison_recoveries".into(), self.orders.poison_recoveries());
+        for (i, c) in self.batch_occupancy.iter().enumerate() {
+            m.insert(format!("batch_size_{}", i + 1), c.load(Ordering::Relaxed));
+        }
         m
+    }
+
+    fn observe_batch(&self, n: usize) {
+        if let Some(c) = self.batch_occupancy.get(n.saturating_sub(1)) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -206,6 +233,7 @@ impl Server {
             None => None,
         };
         let (query_workers, per_request) = worker_split(config.threads, config.enum_config);
+        let batch = config.batch.clamp(1, MAX_BATCH);
         let state = Arc::new(ServerState {
             g,
             space: SpaceCache::new(),
@@ -214,7 +242,9 @@ impl Server {
             metrics: Metrics::default(),
             use_cache: config.use_cache,
             fault_injection: config.fault_injection,
+            fast_math: config.fast_math,
             base_config: per_request,
+            batch_occupancy: (0..batch).map(|_| AtomicU64::new(0)).collect(),
             stop: AtomicBool::new(false),
             cancel: Box::leak(Box::new(AtomicBool::new(false))),
         });
@@ -230,7 +260,7 @@ impl Server {
             .map(|_| {
                 let state = Arc::clone(&state);
                 let rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || worker_loop(&state, &rx))
+                std::thread::spawn(move || worker_loop(&state, &rx, batch))
             })
             .collect();
 
@@ -432,28 +462,114 @@ fn serve_connection(
     }
 }
 
-fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>) {
+/// How long a worker that already holds one job waits for micro-batch
+/// stragglers before running what it has.
+const GATHER_WINDOW: Duration = Duration::from_micros(100);
+
+fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>, batch: usize) {
+    let mut jobs: Vec<Job> = Vec::with_capacity(batch);
     loop {
-        // Hold the receiver lock only for the pickup, never the work.
-        let job = {
+        jobs.clear();
+        // Hold the receiver lock only for the pickup (including the
+        // bounded gather window), never the work.
+        {
             let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
-            guard.recv_timeout(Duration::from_millis(50))
-        };
-        match job {
-            Ok(job) => {
-                let response = handle_match(state, &job);
-                // A vanished client is its problem; the reply was made.
-                let _ = job.reply.send(response);
-            }
-            // Only exit on an *empty* queue after stop: admitted requests
-            // are never dropped, even across shutdown.
-            Err(RecvTimeoutError::Timeout) => {
-                if state.stop.load(Ordering::Relaxed) {
-                    return;
+            match guard.recv_timeout(Duration::from_millis(50)) {
+                Ok(job) => {
+                    jobs.push(job);
+                    // Micro-batch gather: take whatever is already queued
+                    // and wait at most GATHER_WINDOW for stragglers. With
+                    // `batch = 1` the loop body never runs — zero added
+                    // latency.
+                    let window = Instant::now();
+                    while jobs.len() < batch {
+                        match guard.try_recv() {
+                            Ok(j) => jobs.push(j),
+                            Err(TryRecvError::Empty) => {
+                                if window.elapsed() >= GATHER_WINDOW {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
                 }
+                // Only exit on an *empty* queue after stop: admitted
+                // requests are never dropped, even across shutdown.
+                Err(RecvTimeoutError::Timeout) => {
+                    if state.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
             }
-            Err(RecvTimeoutError::Disconnected) => return,
         }
+        state.observe_batch(jobs.len());
+        if jobs.len() > 1 {
+            prestage_orders(state, &jobs);
+        }
+        for job in &jobs {
+            let response = handle_match(state, job);
+            // A vanished client is its problem; the reply was made.
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+/// The micro-batch pre-stage: one stacked policy forward
+/// ([`RlQvoOrdering::order_many`][rlqvo_core::RlQvoOrdering]) warms the
+/// [`OrderCache`] for every gathered `method=rlqvo` job that would
+/// otherwise run its ordering episode alone, so the per-job
+/// [`handle_match`] path — unchanged — finds the order already resident.
+///
+/// Jobs that cannot benefit are left untouched for the per-job path to
+/// handle: non-rlqvo methods, disabled cache, fault-injection directives
+/// (those must fail *inside* their own request), already-expired
+/// deadlines (those must report zero work), unparsable queries (typed
+/// reject), and queries whose order is already cached.
+fn prestage_orders(state: &ServerState, jobs: &[Job]) {
+    if !state.use_cache {
+        return;
+    }
+    let Some(model) = &state.model else { return };
+    let mut ordering = model.ordering();
+    if state.fast_math {
+        ordering = ordering.with_math(InferMath::Fast);
+    }
+    // The rlqvo path always filters with GqlFilter (see handle_match), so
+    // the variant key is fixed for the whole batch.
+    let variant = format!("{}@{}", ordering.cache_key(), GqlFilter::default().cache_key());
+    let now = Instant::now();
+    let mut targets: Vec<(Graph, QueryKey)> = Vec::new();
+    for job in jobs {
+        if job.method.as_deref() != Some("rlqvo") || job.inject.is_some() {
+            continue;
+        }
+        if job.deadline.is_some_and(|d| now >= d) {
+            continue;
+        }
+        let Ok(q) = read_graph(job.query_text.as_bytes(), Some(state.g.num_labels())) else {
+            continue;
+        };
+        let key = QueryKey::of(&q);
+        if state.orders.contains_keyed(&key, &variant)
+            || targets.iter().any(|(_, k)| k.fingerprint() == key.fingerprint())
+        {
+            continue; // resident, or a duplicate within this batch
+        }
+        targets.push((q, key));
+    }
+    if targets.is_empty() {
+        return;
+    }
+    let queries: Vec<&Graph> = targets.iter().map(|(q, _)| q).collect();
+    let orders = ordering.order_many(&queries, &state.g);
+    for ((q, key), order) in targets.iter().zip(orders) {
+        // A concurrent worker may have filled the slot meanwhile;
+        // get_or_compute then drops our copy — same order either way.
+        state.orders.get_or_compute_keyed(key, &variant, q, move || order);
     }
 }
 
@@ -489,7 +605,7 @@ fn handle_match(state: &ServerState, job: &Job) -> Response {
         "veq" => (Box::new(NlfFilter), &VeqOrdering),
         "rlqvo" => match &state.model {
             Some(m) => {
-                learned = m.ordering();
+                learned = if state.fast_math { m.ordering().with_math(InferMath::Fast) } else { m.ordering() };
                 (Box::new(GqlFilter::default()), &learned)
             }
             None => {

@@ -22,6 +22,79 @@
 
 use crate::matrix::Matrix;
 
+/// The floating-point contract an inference stream runs under.
+///
+/// * [`InferMath::Bitwise`] (the default) keeps the original guarantee:
+///   every kernel mirrors its tape counterpart's operations exactly, so
+///   tape and tape-free forwards are bitwise identical (the invariant
+///   `crates/core/tests/infer_parity.rs` pins).
+/// * [`InferMath::Fast`] opts into the FMA/blocked-reduction kernels
+///   ([`Matrix::matmul_into_fast`], reciprocal-multiply softmax): results
+///   are tolerance-tested against the reference (≤ `1e-5` relative error,
+///   `crates/tensor/tests/fastmath_tolerance.rs`) but **not** bitwise
+///   reproducible against the tape.
+///
+/// The knob lives on [`InferScratch`] so every kernel in one forward pass
+/// sees one consistent mode; layers dispatch through the methods below.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InferMath {
+    /// Bit-for-bit identical to the tape forward (differential contract).
+    #[default]
+    Bitwise,
+    /// FMA + reordered reductions; tolerance-tested, not bit-reproducible.
+    Fast,
+}
+
+impl InferMath {
+    /// True for [`InferMath::Fast`].
+    pub fn is_fast(self) -> bool {
+        matches!(self, InferMath::Fast)
+    }
+
+    /// `a @ rhs` into `out` under this contract.
+    pub fn matmul_into(self, a: &Matrix, rhs: &Matrix, out: &mut Matrix) {
+        match self {
+            InferMath::Bitwise => a.matmul_into(rhs, out),
+            InferMath::Fast => a.matmul_into_fast(rhs, out),
+        }
+    }
+
+    /// Block matmul ([`Matrix::matmul_block_into`]) under this contract.
+    pub fn matmul_block_into(self, a: &Matrix, rhs: &Matrix, rhs_row: usize, out: &mut Matrix, out_row: usize) {
+        match self {
+            InferMath::Bitwise => a.matmul_block_into(rhs, rhs_row, out, out_row),
+            InferMath::Fast => a.matmul_block_into_fast(rhs, rhs_row, out, out_row),
+        }
+    }
+
+    /// Masked column softmax ([`masked_softmax_col_into`]) under this
+    /// contract.
+    pub fn masked_softmax_col_into(self, scores: &Matrix, mask: &[bool], out: &mut Vec<f32>) {
+        assert_eq!(scores.cols(), 1, "masked_softmax_col expects an n×1 score vector");
+        assert_eq!(scores.rows(), mask.len(), "mask length mismatch");
+        self.masked_softmax_slice_into(scores.data(), mask, out);
+    }
+
+    /// Masked softmax over a raw score slice (the batched form: one
+    /// episode's contiguous block of a stacked score column) under this
+    /// contract.
+    pub fn masked_softmax_slice_into(self, scores: &[f32], mask: &[bool], out: &mut Vec<f32>) {
+        match self {
+            InferMath::Bitwise => masked_softmax_slice_into(scores, mask, out),
+            InferMath::Fast => masked_softmax_slice_into_fast(scores, mask, out),
+        }
+    }
+
+    /// Row-wise masked softmax ([`masked_softmax_rows_into`]) under this
+    /// contract.
+    pub fn masked_softmax_rows_into(self, scores: &Matrix, mask: &Matrix, out: &mut Matrix) {
+        match self {
+            InferMath::Bitwise => masked_softmax_rows_into(scores, mask, out),
+            InferMath::Fast => masked_softmax_rows_into_fast(scores, mask, out),
+        }
+    }
+}
+
 /// A recycling pool of matrix buffers for tape-free forward passes.
 ///
 /// `take` hands out a buffer resized to the requested dimensions with
@@ -34,12 +107,25 @@ use crate::matrix::Matrix;
 #[derive(Default)]
 pub struct InferScratch {
     pool: Vec<Matrix>,
+    math: InferMath,
 }
 
 impl InferScratch {
-    /// An empty pool (buffers materialize on first use).
+    /// An empty pool (buffers materialize on first use) under the default
+    /// [`InferMath::Bitwise`] contract.
     pub fn new() -> Self {
         InferScratch::default()
+    }
+
+    /// An empty pool running under `math` — kernels that receive this
+    /// scratch dispatch through [`InferScratch::math`].
+    pub fn with_math(math: InferMath) -> Self {
+        InferScratch { pool: Vec::new(), math }
+    }
+
+    /// The floating-point contract this inference stream runs under.
+    pub fn math(&self) -> InferMath {
+        self.math
     }
 
     /// A `rows × cols` buffer with unspecified contents (see the type
@@ -83,20 +169,53 @@ impl InferScratch {
 pub fn masked_softmax_col_into(scores: &Matrix, mask: &[bool], out: &mut Vec<f32>) {
     assert_eq!(scores.cols(), 1, "masked_softmax_col expects an n×1 score vector");
     assert_eq!(scores.rows(), mask.len(), "mask length mismatch");
-    let max = scores.data().iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x).fold(f32::NEG_INFINITY, f32::max);
+    masked_softmax_slice_into(scores.data(), mask, out);
+}
+
+/// [`masked_softmax_col_into`] over a raw score slice — the shared body
+/// (an `n×1` column's data *is* its flat slice, so this is the same
+/// computation bit for bit), and the form batched forwards use on one
+/// episode's contiguous block of a stacked score column.
+pub fn masked_softmax_slice_into(scores: &[f32], mask: &[bool], out: &mut Vec<f32>) {
+    assert_eq!(scores.len(), mask.len(), "mask length mismatch");
+    let max = scores.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x).fold(f32::NEG_INFINITY, f32::max);
     assert!(max.is_finite(), "mask must keep at least one entry");
     out.clear();
     out.resize(mask.len(), 0.0);
     let mut denom = 0.0;
     for (i, &m) in mask.iter().enumerate() {
         if m {
-            let e = (scores.get(i, 0) - max).exp();
+            let e = (scores[i] - max).exp();
             out[i] = e;
             denom += e;
         }
     }
     for p in out.iter_mut() {
         *p /= denom;
+    }
+}
+
+/// Fast-math variant of [`masked_softmax_slice_into`]: one division to
+/// form the reciprocal, then a multiply per element, instead of a divide
+/// per element. Within 1 ULP per probability of the bitwise version;
+/// covered by the same tolerance suite as the fast matmul.
+pub fn masked_softmax_slice_into_fast(scores: &[f32], mask: &[bool], out: &mut Vec<f32>) {
+    assert_eq!(scores.len(), mask.len(), "mask length mismatch");
+    let max = scores.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x).fold(f32::NEG_INFINITY, f32::max);
+    assert!(max.is_finite(), "mask must keep at least one entry");
+    out.clear();
+    out.resize(mask.len(), 0.0);
+    let mut denom = 0.0;
+    for (i, &m) in mask.iter().enumerate() {
+        if m {
+            let e = (scores[i] - max).exp();
+            out[i] = e;
+            denom += e;
+        }
+    }
+    let inv = 1.0 / denom;
+    for p in out.iter_mut() {
+        *p *= inv;
     }
 }
 
@@ -129,18 +248,53 @@ pub fn masked_softmax_rows_into(scores: &Matrix, mask: &Matrix, out: &mut Matrix
     }
 }
 
+/// Fast-math variant of [`masked_softmax_rows_into`]: reciprocal-multiply
+/// normalization per row (same contract as
+/// [`masked_softmax_slice_into_fast`]).
+pub fn masked_softmax_rows_into_fast(scores: &Matrix, mask: &Matrix, out: &mut Matrix) {
+    assert_eq!(scores.shape(), mask.shape(), "mask shape mismatch");
+    let (rows, cols) = scores.shape();
+    out.reshape_in_place(rows, cols);
+    for r in 0..rows {
+        let any = (0..cols).any(|c| mask.get(r, c) != 0.0);
+        if !any {
+            continue;
+        }
+        let max =
+            (0..cols).filter(|&c| mask.get(r, c) != 0.0).map(|c| scores.get(r, c)).fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for c in 0..cols {
+            if mask.get(r, c) != 0.0 {
+                let e = (scores.get(r, c) - max).exp();
+                out.set(r, c, e);
+                denom += e;
+            }
+        }
+        let inv = 1.0 / denom;
+        for c in 0..cols {
+            out.set(r, c, out.get(r, c) * inv);
+        }
+    }
+}
+
 /// Outer broadcast sum of two `n×1`/`m×1` columns into `out`:
 /// `out[i][j] = a_i + b_j`. Mirrors
 /// [`crate::Tape::broadcast_add_col_row`]'s forward.
 pub fn broadcast_add_col_row_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), 1, "a must be n×1");
     assert_eq!(b.cols(), 1, "b must be n×1");
-    let (n, m) = (a.rows(), b.rows());
+    broadcast_add_slices_into(a.data(), b.data(), out);
+}
+
+/// [`broadcast_add_col_row_into`] over raw column slices — the shared
+/// body, and the form batched forwards use on one episode's contiguous
+/// block of a stacked score column (same additions, bit for bit).
+pub fn broadcast_add_slices_into(a: &[f32], b: &[f32], out: &mut Matrix) {
+    let (n, m) = (a.len(), b.len());
     out.resize_for_overwrite(n, m); // every cell written below
-    for i in 0..n {
-        let ai = a.get(i, 0);
-        for j in 0..m {
-            out.set(i, j, ai + b.get(j, 0));
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            out.set(i, j, ai + bj);
         }
     }
 }

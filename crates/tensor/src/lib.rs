@@ -37,6 +37,6 @@ pub mod matrix;
 pub mod optim;
 pub mod tape;
 
-pub use infer::InferScratch;
+pub use infer::{InferMath, InferScratch};
 pub use matrix::Matrix;
 pub use tape::{GradStore, Tape, Var};

@@ -167,53 +167,92 @@ impl Matrix {
         // Every path below overwrites (or explicitly zeroes) each output
         // cell before reading it, so skip reshape_in_place's zero pass.
         out.resize_for_overwrite(self.rows, rhs.cols);
-        let n = rhs.cols;
-        if n == 1 {
-            for (o, i) in out.data.iter_mut().zip(0..self.rows) {
-                let mut acc = 0.0f32;
-                for (&a, &b) in self.data[i * self.cols..(i + 1) * self.cols].iter().zip(&rhs.data) {
-                    if a != 0.0 {
-                        acc += a * b;
-                    }
-                }
-                *o = acc;
-            }
-            return;
-        }
-        const B: usize = 16;
-        let chunks = if n >= B { n - n % B } else { 0 };
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut j = 0;
-            while j < chunks {
-                let mut acc = [0.0f32; B];
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue; // adjacency matrices are sparse in practice
-                    }
-                    let b = &rhs.data[k * n + j..k * n + j + B];
-                    for (acc_t, &b_t) in acc.iter_mut().zip(b) {
-                        *acc_t += a * b_t;
-                    }
-                }
-                out_row[j..j + B].copy_from_slice(&acc);
-                j += B;
-            }
-            if j < n {
-                let tail = &mut out_row[j..];
-                tail.fill(0.0); // the tail accumulates in place
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &rhs.data[k * n + j..k * n + n];
-                    for (o, &b) in tail.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        }
+        kernel_bitwise(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+    }
+
+    /// [`Matrix::matmul`] through the fast-math kernel (allocating
+    /// wrapper around [`Matrix::matmul_into_fast`]).
+    pub fn matmul_fast(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into_fast(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product through the **fast-math** kernel: fused
+    /// multiply-adds and register-blocked partial sums, dispatched to an
+    /// AVX2+FMA code path when the CPU supports it.
+    ///
+    /// Unlike [`Matrix::matmul_into`], this kernel reorders the reduction
+    /// (blocked partial sums, combined pairwise) and contracts `a*b + c`
+    /// into one rounding, so results are **not** bitwise identical to
+    /// [`Matrix::matmul_reference`] — only close: relative error on each
+    /// output element stays within a few ULPs of the reference for
+    /// well-conditioned inputs (property-checked against an explicit
+    /// `1e-5` relative bound in `tests/fastmath_tolerance.rs`). Callers
+    /// that need the bit-for-bit differential contract must stay on
+    /// [`Matrix::matmul_into`]; the `InferMath` knob on `InferScratch`
+    /// selects between the two per inference stream.
+    pub fn matmul_into_fast(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul {:?} @ {:?}", self.shape(), rhs.shape());
+        out.resize_for_overwrite(self.rows, rhs.cols);
+        kernel_fast_dispatch(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+    }
+
+    /// The fast-math kernel pinned to the portable (no `target_feature`)
+    /// code path regardless of CPU capabilities. Test-only hook: lets the
+    /// tolerance suite exercise both dispatch arms on one machine.
+    #[doc(hidden)]
+    pub fn matmul_into_fast_portable(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul {:?} @ {:?}", self.shape(), rhs.shape());
+        out.resize_for_overwrite(self.rows, rhs.cols);
+        kernel_fast::<PlainMac>(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+    }
+
+    /// Block matmul for batched forwards: `self @ rhs[rhs_row..rhs_row+k]`
+    /// written into rows `out_row..out_row+m` of `out` (which must already
+    /// have `rhs.cols` columns and enough rows). Row-major blocks are
+    /// contiguous, so this runs the *same* kernel body as
+    /// [`Matrix::matmul_into`] on sub-slices — the written block is
+    /// bitwise identical to a standalone `self.matmul(block)`.
+    pub fn matmul_block_into(&self, rhs: &Matrix, rhs_row: usize, out: &mut Matrix, out_row: usize) {
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        assert_eq!(n, out.cols, "block matmul column mismatch");
+        assert!(rhs_row + k <= rhs.rows, "rhs block out of range");
+        assert!(out_row + m <= out.rows, "out block out of range");
+        kernel_bitwise(
+            &self.data,
+            m,
+            k,
+            &rhs.data[rhs_row * n..(rhs_row + k) * n],
+            n,
+            &mut out.data[out_row * n..(out_row + m) * n],
+        );
+    }
+
+    /// [`Matrix::matmul_block_into`] through the fast-math kernel (same
+    /// tolerance contract as [`Matrix::matmul_into_fast`]).
+    pub fn matmul_block_into_fast(&self, rhs: &Matrix, rhs_row: usize, out: &mut Matrix, out_row: usize) {
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        assert_eq!(n, out.cols, "block matmul column mismatch");
+        assert!(rhs_row + k <= rhs.rows, "rhs block out of range");
+        assert!(out_row + m <= out.rows, "out block out of range");
+        kernel_fast_dispatch(
+            &self.data,
+            m,
+            k,
+            &rhs.data[rhs_row * n..(rhs_row + k) * n],
+            n,
+            &mut out.data[out_row * n..(out_row + m) * n],
+        );
+    }
+
+    /// Copies all rows of `src` into `self` starting at row `row_off` —
+    /// the packing primitive batched forwards use to stack per-query
+    /// feature matrices into one tall input.
+    pub fn write_rows(&mut self, row_off: usize, src: &Matrix) {
+        assert_eq!(self.cols, src.cols, "write_rows column mismatch");
+        assert!(row_off + src.rows <= self.rows, "write_rows out of range");
+        self.data[row_off * self.cols..(row_off + src.rows) * self.cols].copy_from_slice(&src.data);
     }
 
     /// The naive `i-j-k` triple loop over the row-major `rhs` — the
@@ -356,6 +395,22 @@ impl Matrix {
         }
     }
 
+    /// [`Matrix::mul_col_broadcast_assign`] restricted to the row block
+    /// starting at `row_off` (`col.rows()` rows) — the batched-forward
+    /// form, where each query's degree column scales only its own rows of
+    /// the stacked matrix. Bitwise identical to running the full-matrix
+    /// op on the extracted block.
+    pub fn mul_col_broadcast_rows_assign(&mut self, row_off: usize, col: &Matrix) {
+        assert_eq!(col.cols, 1, "col must be n×1");
+        assert!(row_off + col.rows <= self.rows, "row block out of range");
+        let block = &mut self.data[row_off * self.cols..(row_off + col.rows) * self.cols];
+        for (row, &c) in block.chunks_exact_mut(self.cols).zip(&col.data) {
+            for x in row {
+                *x *= c;
+            }
+        }
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()
@@ -396,6 +451,271 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape());
         self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
+}
+
+/// The bitwise kernel body shared by [`Matrix::matmul_into`] and
+/// [`Matrix::matmul_block_into`], over raw row-major slices
+/// (`a` is `m×k`, `rhs` is `k×n`, `out` is `m×n`).
+///
+/// Three shapes, one contract: every output element accumulates over
+/// ascending `k` with the same zero-skip, so all paths are bitwise
+/// identical to the naive [`Matrix::matmul_reference`] kernel for finite
+/// inputs (property-checked in `tests/matmul_kernels.rs`).
+///
+/// * `n == 1` (score/attention columns): a plain sequential dot product
+///   per row, contiguous on both operands, no per-`k` slice overhead;
+/// * wide outputs (≥ 16 columns — hidden-layer weights): 16-column
+///   register blocks whose accumulators survive the whole `k` loop (one
+///   contiguous load of `rhs`'s row chunk per `k`, one store per block),
+///   instead of the textbook `ikj` reload-and-store of the output row on
+///   every `k`;
+/// * otherwise the textbook `ikj` loop, which wins on narrow/sparse
+///   operands (adjacency propagation).
+fn kernel_bitwise(a: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    if n == 1 {
+        for (o, i) in out.iter_mut().zip(0..m) {
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a[i * k..(i + 1) * k].iter().zip(rhs) {
+                if av != 0.0 {
+                    acc += av * bv;
+                }
+            }
+            *o = acc;
+        }
+        return;
+    }
+    const B: usize = 16;
+    let chunks = if n >= B { n - n % B } else { 0 };
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j < chunks {
+            let mut acc = [0.0f32; B];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue; // adjacency matrices are sparse in practice
+                }
+                let b = &rhs[kk * n + j..kk * n + j + B];
+                for (acc_t, &b_t) in acc.iter_mut().zip(b) {
+                    *acc_t += av * b_t;
+                }
+            }
+            out_row[j..j + B].copy_from_slice(&acc);
+            j += B;
+        }
+        if j < n {
+            let tail = &mut out_row[j..];
+            tail.fill(0.0); // the tail accumulates in place
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs[kk * n + j..kk * n + n];
+                for (o, &bv) in tail.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// One multiply-accumulate step, abstracted so the fast kernel body can
+/// be monomorphized twice: [`FusedMac`] for the AVX2+FMA wrapper (where
+/// `mul_add` lowers to a single `vfmadd` instruction) and [`PlainMac`]
+/// for the portable fallback (where a bare `mul_add` without hardware
+/// FMA would lower to a slow `fmaf` libcall — the separate-multiply form
+/// keeps the fallback autovectorizable).
+///
+/// This must be a trait, not a `cfg!(target_feature)` branch inside the
+/// body: `cfg!` resolves at the *helper's* compile time, before inlining,
+/// so it would never observe the caller's `#[target_feature]` context.
+trait MulAcc {
+    fn mac(a: f32, b: f32, c: f32) -> f32;
+}
+
+enum FusedMac {}
+enum PlainMac {}
+
+impl MulAcc for FusedMac {
+    #[inline(always)]
+    fn mac(a: f32, b: f32, c: f32) -> f32 {
+        a.mul_add(b, c)
+    }
+}
+
+impl MulAcc for PlainMac {
+    #[inline(always)]
+    fn mac(a: f32, b: f32, c: f32) -> f32 {
+        c + a * b
+    }
+}
+
+/// Blocked-reduction dot product: 8 independent accumulator lanes over
+/// the length of the row, combined pairwise at the end. Branchless (no
+/// zero-skip) so the compiler can keep the lanes in one vector register.
+#[inline(always)]
+fn fast_dot<M: MulAcc>(row: &[f32], col: &[f32]) -> f32 {
+    const L: usize = 8;
+    let mut acc = [0.0f32; L];
+    for (a8, b8) in row.chunks_exact(L).zip(col.chunks_exact(L)) {
+        for ((acc_t, &av), &bv) in acc.iter_mut().zip(a8).zip(b8) {
+            *acc_t = M::mac(av, bv, *acc_t);
+        }
+    }
+    let rem = row.len() - row.len() % L;
+    let mut tail = 0.0f32;
+    for (&av, &bv) in row[rem..].iter().zip(&col[rem..]) {
+        tail = M::mac(av, bv, tail);
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// Fast-kernel inner body for `RB` consecutive output rows starting at
+/// `i0`: 16-column register blocks whose accumulators survive the whole
+/// `k` loop, with each load of `rhs`'s row chunk shared across the `RB`
+/// accumulator streams. Branchless, FMA-contracted via `M`.
+#[inline(always)]
+fn fast_block_rows<M: MulAcc, const RB: usize, const JB: usize>(
+    a: &[f32],
+    k: usize,
+    i0: usize,
+    rhs: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    let chunks = if n >= JB { n - n % JB } else { 0 };
+    let mut j = 0;
+    while j < chunks {
+        let mut acc = [[0.0f32; JB]; RB];
+        for kk in 0..k {
+            let b = &rhs[kk * n + j..kk * n + j + JB];
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let av = a[(i0 + r) * k + kk];
+                for (acc_rt, &b_t) in acc_r.iter_mut().zip(b) {
+                    *acc_rt = M::mac(av, b_t, *acc_rt);
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            out[(i0 + r) * n + j..(i0 + r) * n + j + JB].copy_from_slice(acc_r);
+        }
+        j += JB;
+    }
+    if j < n {
+        for r in 0..RB {
+            let row = i0 + r;
+            let tail = &mut out[row * n + j..(row + 1) * n];
+            tail.fill(0.0); // the tail accumulates in place
+            for kk in 0..k {
+                let av = a[row * k + kk];
+                let b_row = &rhs[kk * n + j..kk * n + n];
+                for (o, &bv) in tail.iter_mut().zip(b_row) {
+                    *o = M::mac(av, bv, *o);
+                }
+            }
+        }
+    }
+}
+
+/// The fast-math kernel body (`a` is `m×k`, `rhs` is `k×n`, `out` is
+/// `m×n`): blocked-reduction dots for columns, 4-row × 16-column register
+/// blocking otherwise. Generic over the multiply-accumulate so the same
+/// body serves both the FMA and the portable dispatch arms.
+#[inline(always)]
+fn kernel_fast<M: MulAcc>(a: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    if n == 1 {
+        for (o, i) in out.iter_mut().zip(0..m) {
+            *o = fast_dot::<M>(&a[i * k..(i + 1) * k], &rhs[..k]);
+        }
+        return;
+    }
+    let mut i = 0;
+    while i + 4 <= m {
+        fast_block_rows::<M, 4, 16>(a, k, i, rhs, n, out);
+        i += 4;
+    }
+    while i < m {
+        fast_block_rows::<M, 1, 16>(a, k, i, rhs, n, out);
+        i += 1;
+    }
+}
+
+/// [`kernel_fast`] reshaped for 512-bit vectors: 8-row × 32-column
+/// register blocks (16 zmm accumulators under AVX-512). Output-identical
+/// to [`kernel_fast`] for the same `M` — the row/column blocking never
+/// changes any single output's `k`-accumulation order — so dispatch
+/// width is invisible to the tolerance and batched-parity contracts.
+#[inline(always)]
+fn kernel_fast_wide<M: MulAcc>(a: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    if n < 32 {
+        // Narrow outputs would fall entirely into the scalar column tail;
+        // the 16-column shape covers them with full vector blocks.
+        kernel_fast::<M>(a, m, k, rhs, n, out);
+        return;
+    }
+    let mut i = 0;
+    while i + 8 <= m {
+        fast_block_rows::<M, 8, 32>(a, k, i, rhs, n, out);
+        i += 8;
+    }
+    while i + 4 <= m {
+        fast_block_rows::<M, 4, 32>(a, k, i, rhs, n, out);
+        i += 4;
+    }
+    while i < m {
+        fast_block_rows::<M, 1, 32>(a, k, i, rhs, n, out);
+        i += 1;
+    }
+}
+
+/// [`kernel_fast`] compiled with AVX2+FMA enabled: the generic body
+/// inlines here and its `mul_add`s contract to `vfmadd` instructions.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA (checked by the dispatcher).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn kernel_fast_avx2(a: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    kernel_fast::<FusedMac>(a, m, k, rhs, n, out);
+}
+
+/// [`kernel_fast_wide`] compiled with AVX-512F enabled: the 32-column
+/// blocks vectorize to zmm registers with `vfmadd` contraction.
+///
+/// # Safety
+/// The CPU must support AVX-512F (checked by the dispatcher; AVX-512F
+/// implies AVX2+FMA).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn kernel_fast_avx512(a: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    kernel_fast_wide::<FusedMac>(a, m, k, rhs, n, out);
+}
+
+/// Runtime-dispatched fast kernel: AVX-512F when the CPU has it, then
+/// AVX2+FMA, portable blocked-reduction otherwise (each checked once,
+/// cached). All three arms of one `MulAcc` flavour produce identical
+/// outputs; only FMA-vs-separate rounding distinguishes the portable arm.
+fn kernel_fast_dispatch(a: &[f32], m: usize, k: usize, rhs: &[f32], n: usize, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static HAS_AVX512: OnceLock<bool> = OnceLock::new();
+        static HAS_AVX2_FMA: OnceLock<bool> = OnceLock::new();
+        if *HAS_AVX512.get_or_init(|| std::is_x86_feature_detected!("avx512f")) {
+            // SAFETY: the detection above proves avx512f is available.
+            unsafe { kernel_fast_avx512(a, m, k, rhs, n, out) };
+            return;
+        }
+        let has =
+            *HAS_AVX2_FMA.get_or_init(|| std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma"));
+        if has {
+            // SAFETY: the detection above proves avx2+fma are available.
+            unsafe { kernel_fast_avx2(a, m, k, rhs, n, out) };
+            return;
+        }
+    }
+    kernel_fast::<PlainMac>(a, m, k, rhs, n, out);
 }
 
 #[cfg(test)]

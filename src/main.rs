@@ -48,7 +48,7 @@ fn main() {
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
             eprintln!(
-                "  serve --data G [--threads N] [--queue-depth 64] [--model m] [--max-matches N] [--time-limit-ms T] [--no-cache] [--fault-injection]"
+                "  serve --data G [--threads N] [--queue-depth 64] [--model m] [--max-matches N] [--time-limit-ms T] [--no-cache] [--fault-injection] [--batch N] [--fast-math on|off]"
             );
             std::process::exit(2);
         }
@@ -238,10 +238,27 @@ fn cmd_serve(args: &[String]) -> CliResult {
         config.enum_config.time_limit =
             Duration::from_millis(t.parse().map_err(|_| format!("bad --time-limit-ms {t:?}"))?);
     }
+    // Inference knobs, flag first, env fallback: `--batch`/`RLQVO_SERVE_BATCH`
+    // sets the micro-batch gather size, `--fast-math`/`RLQVO_FAST_MATH`
+    // opts the RL-QVO ordering path into the fast-math kernels.
+    if let Some(b) = flag(args, "--batch").or_else(|| std::env::var("RLQVO_SERVE_BATCH").ok()) {
+        config.batch = b.parse::<usize>().map_err(|_| format!("bad --batch {b:?}"))?.max(1);
+    }
+    if let Some(f) = flag(args, "--fast-math").or_else(|| std::env::var("RLQVO_FAST_MATH").ok()) {
+        config.fast_math = match f.trim().to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" => true,
+            "off" | "0" | "false" => false,
+            _ => return Err(format!("bad --fast-math {f:?} (want on|off)").into()),
+        };
+    }
     let caching = if config.use_cache { "on" } else { "off (cold path)" };
+    let batching = config.batch;
+    let math = if config.fast_math { "fast" } else { "bitwise" };
     let handle = rlqvo_suite::serve::Server::start(config, g)?;
     println!("listening on {}", handle.addr());
     println!("caches      : {caching}");
+    println!("batch       : {batching}");
+    println!("math        : {math}");
     println!("send `shutdown` to stop");
     handle.wait();
     Ok(())

@@ -39,6 +39,16 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let len = self.size.lo + if span > 1 { rng.below(span) } else { 0 };
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
+    fn describe(&self, value: &Vec<S::Value>) -> String {
+        // Failure reports lead with the shape; long vectors show a prefix
+        // only — the full input always reproduces from the case index.
+        const SHOWN: usize = 8;
+        let mut parts: Vec<String> = value.iter().take(SHOWN).map(|e| self.element.describe(e)).collect();
+        if value.len() > SHOWN {
+            parts.push(format!("... {} more", value.len() - SHOWN));
+        }
+        format!("len={} [{}]", value.len(), parts.join(", "))
+    }
 }
 
 /// A `Vec` whose length is drawn from `size` and whose elements are drawn

@@ -8,8 +8,11 @@
 //! [`collection::vec`] and [`prelude::any`].
 //!
 //! Differences from real proptest, deliberately accepted:
-//! * **No shrinking.** A failing case reports its case index and the seed
-//!   that reproduces it, not a minimized input.
+//! * **No shrinking.** A failing case reports its deterministic case index
+//!   plus a rendered summary of every generated input (values for
+//!   primitives and tuples, shape + element prefix for vectors, type
+//!   names for mapped/opaque values) — but never a *minimized* input; the
+//!   reported values are exactly what the failing case drew.
 //! * **Fixed seeding.** Case `i` of every test derives its RNG from `i`, so
 //!   runs are deterministic and a reported case index is always
 //!   reproducible.
@@ -64,12 +67,29 @@ macro_rules! __proptest_items {
                         ::core::result::Result::Ok(())
                     })();
                 if let ::core::result::Result::Err(e) = outcome {
+                    // Replay the case's generation with a fresh RNG (same
+                    // name + index, strategies drawn in the same order) to
+                    // render the inputs that failed. Earlier args stay
+                    // bound above, so even dependent strategies regenerate
+                    // the identical values.
+                    let mut describe_rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let mut inputs = ::std::string::String::new();
+                    $({
+                        let strat = &($strat);
+                        let value = $crate::strategy::Strategy::generate(strat, &mut describe_rng);
+                        inputs.push_str(&format!(
+                            "\n    {} = {}",
+                            stringify!($arg),
+                            $crate::strategy::Strategy::describe(strat, &value)
+                        ));
+                    })+
                     panic!(
-                        "proptest {} failed at case {}/{} (deterministic; rerun reproduces it): {}",
+                        "proptest {} failed at case {}/{} (deterministic; rerun reproduces it): {}\n  generated inputs (reported as-is, no shrinking):{}",
                         stringify!($name),
                         case,
                         config.cases,
-                        e
+                        e,
+                        inputs
                     );
                 }
             }
@@ -159,5 +179,38 @@ mod tests {
             }
         }
         always_fails();
+    }
+
+    #[test]
+    #[should_panic(expected = "generated inputs")]
+    fn failures_report_generated_inputs() {
+        proptest! {
+            fn fails_with_inputs(x in 0u32..10, v in crate::collection::vec(0u32..3, 12)) {
+                prop_assert!(x > 100 && v.is_empty());
+            }
+        }
+        fails_with_inputs();
+    }
+
+    #[test]
+    fn describe_renders_values_shapes_and_opaque_types() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_case("describe_probe", 0);
+        let r = 3u32..9;
+        let x = r.generate(&mut rng);
+        assert_eq!(r.describe(&x), x.to_string());
+        let t = (0u32..4, -1.0f32..1.0);
+        let v = t.generate(&mut rng);
+        let rendered = t.describe(&v);
+        assert!(rendered.starts_with('(') && rendered.contains(", "), "{rendered}");
+        let vs = crate::collection::vec(0u32..3, 12);
+        let v = vs.generate(&mut rng);
+        let rendered = vs.describe(&v);
+        assert!(rendered.starts_with("len=12 ["), "{rendered}");
+        assert!(rendered.contains("... 4 more"), "long vectors truncate: {rendered}");
+        // Mapped values have no Debug bound: the fallback is the type name.
+        let mapped = (0u32..4).prop_map(|n| vec![n; 2]);
+        let v = mapped.generate(&mut rng);
+        assert!(mapped.describe(&v).contains("Vec<u32>"), "{}", mapped.describe(&v));
     }
 }

@@ -13,6 +13,16 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Renders a generated value for failure reports. The default prints
+    /// only the value's type name, so strategies whose values have no
+    /// canonical rendering (mapped/flat-mapped values, opaque types) stay
+    /// reportable without a `Debug` bound; concrete strategies override
+    /// this with the actual value.
+    fn describe(&self, value: &Self::Value) -> String {
+        let _ = value;
+        format!("<{}>", std::any::type_name::<Self::Value>())
+    }
+
     /// Post-processes generated values with `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -66,6 +76,9 @@ macro_rules! int_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $t
             }
+            fn describe(&self, value: &$t) -> String {
+                value.to_string()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -74,6 +87,9 @@ macro_rules! int_range_strategy {
                 assert!(lo <= hi, "strategy on empty range");
                 let span = (hi - lo) as u64 + 1;
                 lo + (rng.next_u64() % span) as $t
+            }
+            fn describe(&self, value: &$t) -> String {
+                value.to_string()
             }
         }
     )*};
@@ -89,6 +105,9 @@ macro_rules! float_range_strategy {
                 assert!(self.start < self.end, "strategy on empty range");
                 self.start + rng.unit_f64() as $t * (self.end - self.start)
             }
+            fn describe(&self, value: &$t) -> String {
+                value.to_string()
+            }
         }
     )*};
 }
@@ -96,7 +115,7 @@ macro_rules! float_range_strategy {
 float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
-    ($($name:ident),+) => {
+    ($($name:ident $value:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
@@ -104,25 +123,43 @@ macro_rules! tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            #[allow(non_snake_case)]
+            fn describe(&self, value: &Self::Value) -> String {
+                let ($($name,)+) = self;
+                let ($($value,)+) = value;
+                let parts = [$($name.describe($value)),+];
+                format!("({})", parts.join(", "))
+            }
         }
     };
 }
 
-tuple_strategy!(A);
-tuple_strategy!(A, B);
-tuple_strategy!(A, B, C);
-tuple_strategy!(A, B, C, D);
-tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A a);
+tuple_strategy!(A a, B b);
+tuple_strategy!(A a, B b, C c);
+tuple_strategy!(A a, B b, C c, D d);
+tuple_strategy!(A a, B b, C c, D d, E e);
 
 /// Types with a canonical "any value" strategy (stand-in for proptest's
 /// `Arbitrary`).
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Renders a value for failure reports (see [`Strategy::describe`]);
+    /// primitives print themselves, everything else falls back to the
+    /// type name.
+    fn describe(value: &Self) -> String {
+        let _ = value;
+        format!("<{}>", std::any::type_name::<Self>())
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn describe(value: &bool) -> String {
+        value.to_string()
     }
 }
 
@@ -131,6 +168,9 @@ macro_rules! int_arbitrary {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn describe(value: &$t) -> String {
+                value.to_string()
             }
         }
     )*};
@@ -145,6 +185,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn describe(&self, value: &T) -> String {
+        T::describe(value)
     }
 }
 

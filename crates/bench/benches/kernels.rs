@@ -486,9 +486,45 @@ fn bench_autograd(c: &mut Criterion) {
     group.finish();
 }
 
+/// The disarmed-failpoint floor: PR 9 threads `failpoint!` sites through
+/// the cache lookup and enumeration hot paths, and the acceptance bar is
+/// that a *disarmed* site is free to within noise (≤1% on the
+/// `spacecache/hit-lookup` and `enumerate/` kernels above, which now
+/// contain real sites). This kernel isolates the per-site cost itself:
+/// 1024 disarmed evaluations against an empty counting loop of the same
+/// shape. Disarmed, each site is one relaxed atomic load — the two bars
+/// should be indistinguishable.
+fn bench_failpoints(c: &mut Criterion) {
+    rlqvo_fault::disarm_all();
+    let mut group = c.benchmark_group("fault");
+    group.bench_function("disarmed-site-x1024", |b| {
+        b.iter(|| {
+            let mut fired = 0u32;
+            for _ in 0..1024 {
+                if rlqvo_fault::failpoint!("bench.disarmed").is_some() {
+                    fired += 1;
+                }
+            }
+            criterion::black_box(fired)
+        })
+    });
+    group.bench_function("empty-loop-x1024", |b| {
+        b.iter(|| {
+            let mut fired = 0u32;
+            for i in 0..1024u32 {
+                if criterion::black_box(i) == u32::MAX {
+                    fired += 1;
+                }
+            }
+            criterion::black_box(fired)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_parallel_enum, bench_space_cache, bench_cache_thrash, bench_ordering_infer, bench_matmul_math, bench_infer_batched, bench_gcn_forward, bench_autograd
+    targets = bench_filters, bench_orderings, bench_enumeration, bench_intersect_kernels, bench_candspace_build, bench_enum_engines, bench_parallel_enum, bench_space_cache, bench_cache_thrash, bench_ordering_infer, bench_matmul_math, bench_infer_batched, bench_gcn_forward, bench_autograd, bench_failpoints
 }
 criterion_main!(benches);

@@ -84,7 +84,8 @@ pub trait CacheWeight: Send + Sync {
     /// Bytes this entry currently pins.
     fn weight(&self) -> usize;
     /// The collision-guard checksum written at insert. Atomic only so
-    /// corruption test hooks can flip it in place on a shared entry.
+    /// the `cache.checksum_corrupt` failpoint can flip it in place on a
+    /// shared entry.
     fn checksum_cell(&self) -> &AtomicU64;
 }
 
@@ -538,7 +539,9 @@ impl<E: CacheWeight> ShardedCache<E> {
         let key: CacheKey = (query_id, variant.to_string());
         // A known-oversize key skips residency entirely: build and serve
         // standalone, leaving every resident untouched (admit-uncached).
-        if self.shared.is_quarantined(&key) {
+        // The failpoint forces the same admit-uncached path for an
+        // arbitrary key, bound or no bound.
+        if self.shared.is_quarantined(&key) || rlqvo_fault::failpoint!("cache.oversize").is_some() {
             self.shared.misses.fetch_add(1, Ordering::Relaxed);
             self.shared.oversize_serves.fetch_add(1, Ordering::Relaxed);
             return (build(&key), true);
@@ -554,6 +557,13 @@ impl<E: CacheWeight> ShardedCache<E> {
             let slot = {
                 let si = self.shared.shard_index(&key);
                 let mut inner = self.shared.lock(si);
+                // A fire here dies holding the freshly acquired shard
+                // guard — the worker-died-mid-operation scenario. The
+                // panic unwinds to the caller; the next `lock` of this
+                // shard recovers it (counted in `poison_recoveries`).
+                if rlqvo_fault::failpoint!("cache.shard.poison").is_some() {
+                    panic!("failpoint cache.shard.poison: dying while holding a shard lock");
+                }
                 match inner.map.get(&key) {
                     Some(&i) => {
                         inner.touch(i, tick);
@@ -580,6 +590,13 @@ impl<E: CacheWeight> ShardedCache<E> {
                 return (Arc::clone(entry), true);
             }
             if verify_on_hit() {
+                // A fire flips the resident's stored checksum *before*
+                // the comparison below, so the corruption is observed by
+                // the same machinery real bit-rot would hit: one fire =
+                // one counted checksum failure = one degrade eviction.
+                if rlqvo_fault::failpoint!("cache.checksum_corrupt").is_some() {
+                    entry.checksum_cell().fetch_xor(u64::MAX, Ordering::Relaxed);
+                }
                 let expect = expected_checksum.unwrap_or_else(&checksum_of);
                 if entry.checksum_cell().load(Ordering::Relaxed) != expect {
                     // Degrade, don't panic: count it, evict exactly this
@@ -697,37 +714,5 @@ impl<E: CacheWeight> ShardedCache<E> {
             self.shared.total_entries.fetch_sub(count, Ordering::Relaxed);
         }
         self.shared.oversize.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
-    }
-
-    /// Fault injection for tests and the replay driver: flips the stored
-    /// checksum of every resident entry so the next verified hit observes
-    /// a mismatch and takes the degrade path. Returns how many entries
-    /// were corrupted.
-    #[doc(hidden)]
-    pub fn corrupt_resident_checksums_for_test(&self) -> usize {
-        let mut corrupted = 0;
-        for si in 0..SHARD_COUNT {
-            let inner = self.shared.lock(si);
-            for &i in inner.map.values() {
-                if let Some(entry) = inner.node(i).slot.cell.get() {
-                    entry.checksum_cell().fetch_xor(u64::MAX, Ordering::Relaxed);
-                    corrupted += 1;
-                }
-            }
-        }
-        corrupted
-    }
-
-    /// Fault injection for tests: poisons the shard mutex that owns
-    /// `(query_id, variant)` by panicking while holding it, simulating a
-    /// worker that died mid-operation.
-    #[doc(hidden)]
-    pub fn poison_shard_of_for_test(&self, query_id: u64, variant: &str) {
-        let key: CacheKey = (query_id, variant.to_string());
-        let si = self.shared.shard_index(&key);
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = self.shared.shards[si].lock().expect("not yet poisoned");
-            panic!("poisoning cache shard for test");
-        }));
     }
 }

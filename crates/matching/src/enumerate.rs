@@ -784,6 +784,15 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
     // the cost of shallow recursions. Parallel workers sync their local
     // call delta to the shared caps on the same cadence.
     if ctx.enumerations & 0x3FF == 0 {
+        // Failpoints ride the same cadence as the cooperative checks: a
+        // delay models a slow engine (deadline pressure), a panic a
+        // mid-enumeration death (in serve, fenced per-request).
+        if let Some(f) = rlqvo_fault::failpoint!("enum.delay") {
+            f.sleep();
+        }
+        if rlqvo_fault::failpoint!("enum.panic").is_some() {
+            panic!("failpoint enum.panic: dying mid-enumeration");
+        }
         if ctx.start.elapsed() > ctx.config.time_limit {
             ctx.deadline_hit = true;
             return true;
@@ -928,6 +937,14 @@ fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
         return true;
     }
     if ctx.enumerations & 0x3FF == 0 {
+        // Same failpoint cadence as the candidate-space engine: both
+        // engines expose the identical fault surface.
+        if let Some(f) = rlqvo_fault::failpoint!("enum.delay") {
+            f.sleep();
+        }
+        if rlqvo_fault::failpoint!("enum.panic").is_some() {
+            panic!("failpoint enum.panic: dying mid-enumeration");
+        }
         if ctx.start.elapsed() > ctx.config.time_limit {
             ctx.deadline_hit = true;
             return true;

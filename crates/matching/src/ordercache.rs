@@ -52,8 +52,8 @@ use crate::spacecache::{QueryKey, SpaceCache};
 pub struct OrderEntry {
     order: Vec<VertexId>,
     /// Structural checksum of the query this order was computed for.
-    /// Atomic only so the corruption test hook can flip it in place; the
-    /// cache writes it once at insert.
+    /// Atomic only so the `cache.checksum_corrupt` failpoint can flip it
+    /// in place; the cache writes it once at insert.
     checksum: AtomicU64,
     /// Wall time of the single ordering pass that created this entry.
     order_time: Duration,
@@ -275,22 +275,6 @@ impl OrderCache {
     /// changed — see the scope contract in the module docs).
     pub fn clear(&self) {
         self.cache.clear();
-    }
-
-    /// Fault injection for tests and the replay driver: flips the stored
-    /// checksum of every resident entry so the next verified hit observes
-    /// a mismatch and takes the degrade path. Returns the number of
-    /// entries corrupted.
-    #[doc(hidden)]
-    pub fn corrupt_resident_checksums_for_test(&self) -> usize {
-        self.cache.corrupt_resident_checksums_for_test()
-    }
-
-    /// Fault injection for tests: poisons the shard mutex owning
-    /// `(query_id, variant)` by panicking while holding it.
-    #[doc(hidden)]
-    pub fn poison_shard_of_for_test(&self, query_id: u64, variant: &str) {
-        self.cache.poison_shard_of_for_test(query_id, variant);
     }
 }
 
@@ -531,45 +515,9 @@ mod tests {
         assert!(cache.is_empty());
     }
 
-    #[test]
-    fn corrupted_checksum_degrades_to_a_counted_recompute() {
-        let (q, g) = case();
-        let cand = LdfFilter.filter(&q, &g);
-        let cache = OrderCache::new();
-        let qid = SpaceCache::query_fingerprint(&q);
-        let (bad, _) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
-        assert_eq!(cache.corrupt_resident_checksums_for_test(), 1);
-        // Debug builds verify every hit: the corrupted entry must be
-        // evicted and recomputed, not served and not panicked on.
-        let mut recomputed = false;
-        let (good, fresh) = cache.get_or_compute(qid, "RI", &q, || {
-            recomputed = true;
-            RiOrdering.order(&q, &g, &cand)
-        });
-        assert!(fresh && recomputed, "degrade recomputes the order");
-        assert!(!Arc::ptr_eq(&bad, &good));
-        assert!(good.verify_checksum(&q));
-        assert_eq!(cache.checksum_failures(), 1);
-        assert_eq!(cache.evictions(), 1);
-        let (_, fresh2) = cache.get_or_compute(qid, "RI", &q, || unreachable!("resident again"));
-        assert!(!fresh2);
-    }
-
-    #[test]
-    fn poisoned_shard_recovers_and_recomputes() {
-        let (q, g) = case();
-        let cand = LdfFilter.filter(&q, &g);
-        let cache = OrderCache::new();
-        let qid = SpaceCache::query_fingerprint(&q);
-        cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
-        cache.poison_shard_of_for_test(qid, "RI");
-        let (e, fresh) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
-        assert!(fresh, "recovered shard starts empty");
-        assert_eq!(e.order().len(), 3);
-        assert_eq!(cache.poison_recoveries(), 1);
-        let (_, fresh2) = cache.get_or_compute(qid, "RI", &q, || unreachable!("resident again"));
-        assert!(!fresh2, "the cache keeps serving after recovery");
-    }
+    // The corruption-degrade and poison-recovery contracts are exercised
+    // through the failpoint registry in `tests/faultpoints.rs` (its own
+    // binary: the registry is process-global).
 
     #[test]
     fn cached_ordering_decorator_is_transparent() {

@@ -294,6 +294,12 @@ pub(crate) fn enumerate_in_space_parallel_from(
             if caps.should_stop() {
                 break;
             }
+            // A stall here holds a claimed-but-idle worker: peers keep
+            // draining the cursor, so forward progress must survive one
+            // slow claimant (the chaos sweeps assert exact counts).
+            if let Some(f) = rlqvo_fault::failpoint!("enum.morsel.stall") {
+                f.sleep();
+            }
             let si = cursor.fetch_add(1, Ordering::Relaxed);
             if si >= num_slices {
                 break;
@@ -431,6 +437,10 @@ pub(crate) fn enumerate_probe_parallel_from(
         loop {
             if caps.should_stop() {
                 break;
+            }
+            // Same stall surface as the candidate-space morsel loop.
+            if let Some(f) = rlqvo_fault::failpoint!("enum.morsel.stall") {
+                f.sleep();
             }
             let si = cursor.fetch_add(1, Ordering::Relaxed);
             if si >= num_slices {

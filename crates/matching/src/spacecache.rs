@@ -67,8 +67,8 @@ pub struct SpaceEntry {
     filter_time: Duration,
     /// Independent structural hash of the query this entry was filtered
     /// from — the collision guard verified on hits. Atomic only so the
-    /// corruption test hook can flip it in place on a shared entry; the
-    /// cache itself writes it once at insert.
+    /// `cache.checksum_corrupt` failpoint can flip it in place on a
+    /// shared entry; the cache itself writes it once at insert.
     checksum: AtomicU64,
     /// Shared across all filter variants of the same query (order- and
     /// filter-independent).
@@ -473,23 +473,6 @@ impl SpaceCache {
     pub fn storage_bytes(&self) -> usize {
         self.cache.storage_bytes()
     }
-
-    /// Fault injection for tests and the replay driver: flips the stored
-    /// checksum of every resident entry so the next verified hit observes
-    /// a mismatch and exercises the degrade path. Returns how many
-    /// entries were corrupted.
-    #[doc(hidden)]
-    pub fn corrupt_resident_checksums_for_test(&self) -> usize {
-        self.cache.corrupt_resident_checksums_for_test()
-    }
-
-    /// Fault injection for tests: poisons the shard mutex that owns
-    /// `(query_id, filter_key)` by panicking while holding it, simulating
-    /// a worker that died mid-operation.
-    #[doc(hidden)]
-    pub fn poison_shard_of_for_test(&self, query_id: u64, filter_key: &str) {
-        self.cache.poison_shard_of_for_test(query_id, filter_key);
-    }
 }
 
 #[cfg(test)]
@@ -767,47 +750,9 @@ mod tests {
         assert_eq!(cache.len(), 100);
     }
 
-    #[test]
-    fn corrupted_checksum_degrades_to_a_counted_refilter() {
-        // Debug builds always verify hits, so the corruption is observed
-        // on the very next lookup.
-        let (q, g) = case();
-        let cache = SpaceCache::new();
-        let (bad, fresh) = cache.entry_for(&q, &g, &LdfFilter);
-        assert!(fresh);
-        assert_eq!(cache.corrupt_resident_checksums_for_test(), 1);
-        let (good, fresh) = cache.entry_for(&q, &g, &LdfFilter);
-        assert!(fresh, "the corrupted resident must be replaced, not served");
-        assert!(!Arc::ptr_eq(&bad, &good), "degrade produces a new entry");
-        assert!(good.verify_checksum(&q), "the replacement is trustworthy");
-        assert_eq!(cache.checksum_failures(), 1);
-        assert_eq!(cache.evictions(), 1, "the corrupted entry was evicted, not leaked");
-        // Steady state again: the replacement serves hits.
-        let (again, fresh) = cache.entry_for(&q, &g, &LdfFilter);
-        assert!(!fresh);
-        assert!(Arc::ptr_eq(&good, &again));
-        assert_eq!(cache.checksum_failures(), 1, "one corruption, one degrade");
-    }
-
-    #[test]
-    fn poisoned_shard_recovers_and_refilters() {
-        let (q, g) = case();
-        let cache = SpaceCache::new();
-        let qid = SpaceCache::query_fingerprint(&q);
-        cache.entry(qid, &q, &g, &LdfFilter);
-        assert_eq!(cache.len(), 1);
-        cache.poison_shard_of_for_test(qid, &crate::filter::CandidateFilter::cache_key(&LdfFilter));
-        // The next touch of the poisoned shard recovers it: the shard is
-        // cleared (as if evicted) and the lookup refilters.
-        let (e, fresh) = cache.entry(qid, &q, &g, &LdfFilter);
-        assert!(fresh, "recovered shard starts empty");
-        assert!(!e.cand().any_empty());
-        assert_eq!(cache.poison_recoveries(), 1);
-        assert_eq!(cache.storage_bytes(), e.resident_bytes(), "byte accounting survives the recovery");
-        // And the cache keeps serving afterwards.
-        let (_, fresh2) = cache.entry(qid, &q, &g, &LdfFilter);
-        assert!(!fresh2);
-    }
+    // The corruption-degrade and poison-recovery contracts are exercised
+    // through the failpoint registry in `tests/faultpoints.rs` (its own
+    // binary: the registry is process-global).
 
     /// The ISSUE-6 eviction-under-pressure test: a tiny byte bound forces
     /// continuous eviction from a flood thread while reader threads

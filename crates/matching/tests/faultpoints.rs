@@ -1,0 +1,192 @@
+//! Cache corruption/poison/oversize contracts, driven through the
+//! `rlqvo_fault` failpoint registry (ISSUE 9: the bespoke
+//! `*_for_test` hooks are gone — the registry is the only injection
+//! mechanism).
+//!
+//! Lives in its own binary, run by explicit name in CI: the registry is
+//! process-global, so an armed schedule must never share a process with
+//! unrelated tests. Within this binary, `arm_scoped` serializes the
+//! tests against each other.
+//!
+//! Debug builds always verify cache hits (`verify_on_hit`), so the
+//! corruption fires are observed on the very next lookup.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use rlqvo_graph::{Graph, GraphBuilder};
+use rlqvo_matching::order::{OrderingMethod, RiOrdering};
+use rlqvo_matching::{CandidateFilter, LdfFilter, OrderCache, SpaceCache};
+
+fn case() -> (Graph, Graph) {
+    let mut qb = GraphBuilder::new(2);
+    let a = qb.add_vertex(0);
+    let b = qb.add_vertex(1);
+    let c = qb.add_vertex(0);
+    qb.add_edge(a, b);
+    qb.add_edge(b, c);
+    let q = qb.build();
+    let mut gb = GraphBuilder::new(2);
+    for i in 0..8u32 {
+        gb.add_vertex(i % 2);
+    }
+    for i in 0..8u32 {
+        gb.add_edge(i, (i + 1) % 8);
+    }
+    (q, gb.build())
+}
+
+#[test]
+fn corrupted_space_checksum_degrades_to_a_counted_refilter() {
+    let (q, g) = case();
+    let cache = SpaceCache::new();
+    let (bad, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+    assert!(fresh);
+    // Armed *after* the fill: the first verified hit fires once,
+    // flipping the resident's checksum right before the comparison.
+    let guard = rlqvo_fault::arm_scoped("cache.checksum_corrupt=once", 1).unwrap();
+    let (good, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+    assert_eq!(rlqvo_fault::fired("cache.checksum_corrupt"), 1);
+    assert!(fresh, "the corrupted resident must be replaced, not served");
+    assert!(!Arc::ptr_eq(&bad, &good), "degrade produces a new entry");
+    assert!(good.verify_checksum(&q), "the replacement is trustworthy");
+    assert_eq!(cache.checksum_failures(), 1);
+    assert_eq!(cache.evictions(), 1, "the corrupted entry was evicted, not leaked");
+    // Steady state again: the replacement serves hits (the `once`
+    // trigger is spent, so the verify passes).
+    let (again, fresh) = cache.entry_for(&q, &g, &LdfFilter);
+    assert!(!fresh);
+    assert!(Arc::ptr_eq(&good, &again));
+    assert_eq!(cache.checksum_failures(), 1, "one fire, one degrade");
+    drop(guard);
+}
+
+#[test]
+fn corrupted_order_checksum_degrades_to_a_counted_recompute() {
+    let (q, g) = case();
+    let cand = LdfFilter.filter(&q, &g);
+    let cache = OrderCache::new();
+    let qid = SpaceCache::query_fingerprint(&q);
+    let (bad, _) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+    let guard = rlqvo_fault::arm_scoped("cache.checksum_corrupt=once", 1).unwrap();
+    let mut recomputed = false;
+    let (good, fresh) = cache.get_or_compute(qid, "RI", &q, || {
+        recomputed = true;
+        RiOrdering.order(&q, &g, &cand)
+    });
+    assert!(fresh && recomputed, "degrade recomputes the order");
+    assert!(!Arc::ptr_eq(&bad, &good));
+    assert!(good.verify_checksum(&q));
+    assert_eq!(cache.checksum_failures(), 1);
+    assert_eq!(cache.evictions(), 1);
+    drop(guard);
+    let (_, fresh2) = cache.get_or_compute(qid, "RI", &q, || unreachable!("resident again"));
+    assert!(!fresh2);
+}
+
+#[test]
+fn poisoned_space_shard_recovers_and_refilters() {
+    let (q, g) = case();
+    let cache = SpaceCache::new();
+    let qid = SpaceCache::query_fingerprint(&q);
+    cache.entry(qid, &q, &g, &LdfFilter);
+    assert_eq!(cache.len(), 1);
+    // The fire dies while holding the resident's shard lock — the
+    // worker-died-mid-operation scenario the old hook simulated, now
+    // reached through the real lookup path.
+    let guard = rlqvo_fault::arm_scoped("cache.shard.poison=once", 1).unwrap();
+    let poisoned = catch_unwind(AssertUnwindSafe(|| cache.entry(qid, &q, &g, &LdfFilter)));
+    assert!(poisoned.is_err(), "the armed lookup must die holding the shard lock");
+    drop(guard);
+    // The next touch of the poisoned shard recovers it: the shard is
+    // cleared (as if evicted) and the lookup refilters.
+    let (e, fresh) = cache.entry(qid, &q, &g, &LdfFilter);
+    assert!(fresh, "recovered shard starts empty");
+    assert!(!e.cand().any_empty());
+    assert_eq!(cache.poison_recoveries(), 1);
+    assert_eq!(cache.storage_bytes(), e.resident_bytes(), "byte accounting survives the recovery");
+    // And the cache keeps serving afterwards.
+    let (_, fresh2) = cache.entry(qid, &q, &g, &LdfFilter);
+    assert!(!fresh2);
+}
+
+#[test]
+fn poisoned_order_shard_recovers_and_recomputes() {
+    let (q, g) = case();
+    let cand = LdfFilter.filter(&q, &g);
+    let cache = OrderCache::new();
+    let qid = SpaceCache::query_fingerprint(&q);
+    cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+    let guard = rlqvo_fault::arm_scoped("cache.shard.poison=once", 1).unwrap();
+    let poisoned =
+        catch_unwind(AssertUnwindSafe(|| cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand))));
+    assert!(poisoned.is_err());
+    drop(guard);
+    let (e, fresh) = cache.get_or_compute(qid, "RI", &q, || RiOrdering.order(&q, &g, &cand));
+    assert!(fresh, "recovered shard starts empty");
+    assert_eq!(e.order().len(), 3);
+    assert_eq!(cache.poison_recoveries(), 1);
+    let (_, fresh2) = cache.get_or_compute(qid, "RI", &q, || unreachable!("resident again"));
+    assert!(!fresh2, "the cache keeps serving after recovery");
+}
+
+#[test]
+fn oversize_failpoint_forces_admit_uncached_on_an_unbounded_cache() {
+    let (q, g) = case();
+    let cache = SpaceCache::new();
+    let guard = rlqvo_fault::arm_scoped("cache.oversize=times(2)", 1).unwrap();
+    // Both fires serve standalone: never resident, no bytes charged —
+    // the admit-uncached contract without needing a byte bound.
+    let (e1, f1) = cache.entry_for(&q, &g, &LdfFilter);
+    let (e2, f2) = cache.entry_for(&q, &g, &LdfFilter);
+    assert!(f1 && f2, "oversize serves are standalone misses");
+    assert!(!Arc::ptr_eq(&e1, &e2));
+    assert_eq!(cache.len(), 0, "never resident");
+    assert_eq!(cache.storage_bytes(), 0);
+    assert_eq!(cache.oversize_serves(), 2);
+    drop(guard);
+    // Trigger spent: the next lookup is an ordinary resident fill.
+    let (_, f3) = cache.entry_for(&q, &g, &LdfFilter);
+    assert!(f3);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn enum_panic_failpoint_kills_a_run_on_the_cadence() {
+    // A query/host pair big enough to cross the 1024-call cadence.
+    let mut qb = GraphBuilder::new(1);
+    let a = qb.add_vertex(0);
+    let b = qb.add_vertex(0);
+    let c = qb.add_vertex(0);
+    qb.add_edge(a, b);
+    qb.add_edge(b, c);
+    let q = qb.build();
+    let mut gb = GraphBuilder::new(1);
+    for _ in 0..40u32 {
+        gb.add_vertex(0);
+    }
+    for i in 0..40u32 {
+        for j in (i + 1)..40u32 {
+            gb.add_edge(i, j);
+        }
+    }
+    let g = gb.build();
+    let cand = LdfFilter.filter(&q, &g);
+    let order = RiOrdering.order(&q, &g, &cand);
+    let config = rlqvo_matching::EnumConfig { max_matches: u64::MAX, ..rlqvo_matching::EnumConfig::default() };
+    // Unarmed: the run completes.
+    let clean = rlqvo_matching::enumerate(&q, &g, &cand, &order, config);
+    assert!(clean.match_count > 0);
+    assert!(clean.enumerations > 1024, "fixture must cross the failpoint cadence");
+    // Armed: the first cadence window after 1024 calls dies.
+    let guard = rlqvo_fault::arm_scoped("enum.panic=once", 1).unwrap();
+    let outcome = catch_unwind(AssertUnwindSafe(|| rlqvo_matching::enumerate(&q, &g, &cand, &order, config)));
+    assert!(outcome.is_err(), "the armed cadence must panic");
+    assert_eq!(rlqvo_fault::fired("enum.panic"), 1);
+    drop(guard);
+    // Disarmed again: identical counts to the clean run (the failpoint
+    // leaves no residue in the engine).
+    let again = rlqvo_matching::enumerate(&q, &g, &cand, &order, config);
+    assert_eq!(again.match_count, clean.match_count);
+    assert_eq!(again.enumerations, clean.enumerations);
+}

@@ -1,26 +1,42 @@
-//! Fault-injection replay driver for `rlqvo serve`.
+//! Chaos replay driver for `rlqvo serve`.
 //!
 //! Starts an in-process server over a scaled paper dataset, replays a
-//! Zipfian hot/cold query mix from concurrent clients, and injects the
-//! three fault classes the robustness contract promises to survive:
+//! Zipfian hot/cold query mix from concurrent clients, and injects
+//! faults through the [`rlqvo_fault`] failpoint registry, armed from a
+//! spec string so any chaos run replays from `(--faults, --fault-seed)`
+//! (plus the workload `--seed`): per-site fault decisions are pure
+//! functions of `(spec, seed, eval index)`.
 //!
-//! 1. **panic queries** — `inject=panic` requests that die inside the
-//!    engine (the cache-fill closure, the most hostile point);
-//! 2. **oversized queries** — frames whose declared length exceeds the
-//!    server's limit, answered with a typed reject;
-//! 3. **mid-run cache flush + checksum corruption** — half-way through,
-//!    the driver flushes both caches over the wire and (in-process)
-//!    flips every resident checksum, forcing the degrade path.
+//! The default spec reproduces the historical fault mix:
 //!
-//! Every request must come back with a typed reply — a lost reply is a
-//! driver failure, not a statistic. The report is one JSON object on
-//! stdout: p50/p99/p999 latency, throughput, shed/degraded/error counts.
+//! ```text
+//! replay.client.panic=1in29;replay.oversize=times(3);cache.checksum_corrupt=1in43
+//! ```
+//!
+//! * `replay.client.panic` — the driver marks the request `inject=panic`
+//!   so it dies inside the engine (the cache-fill closure, the most
+//!   hostile point);
+//! * `replay.oversize` — sacrificial connections declare frames beyond
+//!   the server's limit, expecting the typed reject;
+//! * `cache.checksum_corrupt` — a verified cache hit finds its resident
+//!   checksum flipped and must degrade (evict + recompute, counted).
+//!
+//! A mid-run cache `flush` at 70% stays unconditional — it is workload,
+//! not fault. Pass `--faults` to run any other schedule (server-side
+//! sites like `serve.worker.panic` included); the invariant set then
+//! drops the default-mix-specific counts and keeps the universal ones:
+//! zero lost replies, exactly-one typed reply per request, `degraded`
+//! equal to the sum of its per-cache parts, and a live server at the
+//! end. Every request must come back with a typed reply — a lost reply
+//! is a driver failure, not a statistic. The report is one JSON object
+//! on stdout: p50/p99/p999 latency, throughput, shed/degraded/error
+//! counts, and per-failpoint fire counts.
 //!
 //! ```text
 //! replay [--smoke] [--dataset yeast] [--vertices 3000] [--clients 4]
 //!        [--requests 400] [--queries 24] [--hot 4] [--zipf 1.1]
 //!        [--query-size 8] [--deadline-ms 200] [--seed 7] [--no-cache]
-//!        [--batch 1] [--fast-math off]
+//!        [--batch 1] [--fast-math off] [--faults SPEC] [--fault-seed 7]
 //! ```
 //!
 //! `--smoke` shrinks everything for CI (seconds, not minutes).
@@ -83,6 +99,13 @@ fn graph_text(q: &Graph) -> String {
     String::from_utf8(buf).expect("graph text is ascii")
 }
 
+/// The historical fault mix, expressed as a failpoint spec: a panic
+/// query roughly every 29th request, three oversized probes, and a
+/// checksum corruption on roughly every 43rd verified cache hit
+/// (spread through the run instead of the old one-shot 40% sweep —
+/// same degrade path, now seeded and replayable).
+const DEFAULT_FAULTS: &str = "replay.client.panic=1in29;replay.oversize=times(3);cache.checksum_corrupt=1in43";
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -116,6 +139,10 @@ fn main() {
     let deadline_ms: u64 = num(&args, "--deadline-ms", 200);
     let seed: u64 = num(&args, "--seed", 7);
     let batch: usize = num(&args, "--batch", 1).max(1);
+    let faults = flag(&args, "--faults");
+    let default_mix = faults.is_none();
+    let faults = faults.unwrap_or_else(|| DEFAULT_FAULTS.to_string());
+    let fault_seed: u64 = num(&args, "--fault-seed", 7);
     let fast_math = match flag(&args, "--fast-math").as_deref().map(str::trim) {
         None | Some("off" | "0" | "false") => false,
         Some("on" | "1" | "true") => true,
@@ -127,6 +154,19 @@ fn main() {
 
     eprintln!("replay: {dataset_name} n={vertices}, {clients} clients x {requests_per_client} requests, pool {pool_size} (hot {hot}), zipf s={zipf_s}, batch {batch}, math {}",
         if fast_math { "fast" } else { "bitwise" });
+    eprintln!("replay: faults {faults:?} seed {fault_seed}");
+
+    // Arm before any server thread exists so every site sees the
+    // schedule from its very first eval.
+    let armed_sites = rlqvo_fault::arm(&faults, fault_seed).unwrap_or_else(|e| {
+        eprintln!("bad --faults spec: {e}");
+        std::process::exit(2);
+    });
+    let fault_names: Vec<String> = if armed_sites > 0 {
+        faults.split(';').filter_map(|r| r.split('=').next()).map(|n| n.trim().to_string()).collect()
+    } else {
+        Vec::new()
+    };
 
     let g = Arc::new(dataset.load_scaled(vertices));
     let queries = build_query_set(&g, query_size, pool_size, seed).queries;
@@ -160,10 +200,9 @@ fn main() {
     let addr = handle.addr();
 
     let total = clients * requests_per_client;
-    // Fault schedule anchors: corrupt while the caches are warm (so hits
-    // actually trip the checksum degrade path), flush later (so the
-    // cold-refill path runs mid-stream too).
-    let corrupt_at = (2 * total / 5) as u64;
+    // The flush stays anchored at 70% of the run — late enough that the
+    // caches are warm, early enough that the cold-refill path runs
+    // mid-stream too.
     let flush_at = (7 * total / 10) as u64;
     let sent = AtomicU64::new(0);
     // Outcome tally (client side, ground truth for "no lost replies").
@@ -184,31 +223,23 @@ fn main() {
             let method = &method;
             let (sent, ok, deadline, overloaded, rejected, errored, injected_panics, lost) =
                 (&sent, &ok, &deadline, &overloaded, &rejected, &errored, &injected_panics, &lost);
-            let shared = handle.shared();
             joins.push(s.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (0xA5A5_0000 + c as u64));
                 let mut stream = TcpStream::connect(addr).expect("connect");
                 let mut lat = Vec::with_capacity(requests_per_client);
-                let (mut corrupted, mut flushed) = (false, false);
+                let mut flushed = false;
                 for _ in 0..requests_per_client {
                     let n = sent.fetch_add(1, Ordering::Relaxed);
-                    // Fault schedule (client 0 drives the global events):
-                    // a panic query every 29th request; a checksum
-                    // corruption sweep at 40% (in-process hook — the
-                    // checksums aren't on the wire) while the caches are
-                    // warm, so subsequent hits must degrade; a full cache
-                    // flush over the wire at 70%.
-                    if c == 0 && !corrupted && n >= corrupt_at {
-                        corrupted = true;
-                        let ns = shared.space().corrupt_resident_checksums_for_test();
-                        let no = shared.orders().corrupt_resident_checksums_for_test();
-                        eprintln!("replay: corrupted {ns} space + {no} order checksums at n={n}");
-                    }
                     if c == 0 && !flushed && n >= flush_at {
                         flushed = true;
                         roundtrip(&mut stream, &Request::Flush).expect("flush reply");
                     }
-                    let inject = n % 29 == 7;
+                    // The panic-query fault rides the registry: each
+                    // outgoing request draws one `replay.client.panic`
+                    // decision (server-side faults like checksum
+                    // corruption fire inside the server on their own
+                    // sites).
+                    let inject = rlqvo_fault::failpoint!("replay.client.panic").is_some();
                     let idx = zipf.sample(&mut rng);
                     let req = Request::Match {
                         deadline_ms: Some(deadline_ms),
@@ -247,9 +278,14 @@ fn main() {
 
         // The oversized-query fault, on sacrificial connections so the
         // measured clients keep their streams: declare a frame beyond
-        // the server's limit, expect the typed reject + close.
+        // the server's limit, expect the typed reject + close. The
+        // `replay.oversize` site drives the count (`times(3)` in the
+        // default mix); the hard cap keeps an `always` trigger finite.
         let mut oversized_ok = 0u32;
-        for _ in 0..3 {
+        for _ in 0..64 {
+            if rlqvo_fault::failpoint!("replay.oversize").is_none() {
+                break;
+            }
             let mut s = TcpStream::connect(addr).expect("connect oversized");
             s.write_all(&(u32::MAX).to_le_bytes()).expect("oversized prefix");
             match rlqvo_serve::read_frame(&mut s, rlqvo_serve::MAX_FRAME_BYTES).expect("oversized reply") {
@@ -264,7 +300,9 @@ fn main() {
                 other => panic!("oversized frame got no typed reply: {other:?}"),
             }
         }
-        assert_eq!(oversized_ok, 3, "every oversized probe must be typed-rejected");
+        if default_mix {
+            assert_eq!(oversized_ok, 3, "the default mix sends exactly three typed-rejected oversized probes");
+        }
 
         let mut all = Vec::with_capacity(total);
         for j in joins {
@@ -273,6 +311,21 @@ fn main() {
         all
     });
     let elapsed = t_start.elapsed();
+
+    // Fire counts are captured here — after every client joined, before
+    // the metrics fetch and the post-fault probe. Order matters for the
+    // conservation assert: a fire and its counted checksum failure land
+    // in the same lookup, so every fire captured now is visible in the
+    // metrics snapshot below, while the probe's own potential fires
+    // (which the snapshot would miss) stay out of the captured count.
+    let fired: BTreeMap<String, u64> = fault_names.iter().map(|n| (n.clone(), rlqvo_fault::fired(n))).collect();
+    let corrupt_fires_at_join = rlqvo_fault::fired("cache.checksum_corrupt");
+    // If the schedule killed workers, give the supervisor a couple of
+    // ticks to finish replacing the last casualty before the metrics
+    // snapshot (restarts from earlier in the run landed long ago).
+    if fired.get("serve.worker.panic").copied().unwrap_or(0) >= 1 {
+        std::thread::sleep(Duration::from_millis(100));
+    }
 
     // Server-side metrics before shutdown.
     let mut control = TcpStream::connect(addr).expect("connect control");
@@ -314,25 +367,17 @@ fn main() {
         errored: errored.load(Ordering::Relaxed),
         injected_panics: injected_panics.load(Ordering::Relaxed),
         lost: lost.load(Ordering::Relaxed),
+        faults: faults.clone(),
+        fault_seed,
+        fired: fired.clone(),
         metrics,
     };
 
-    // Acceptance: faults were injected, every request got a typed reply,
-    // and the panics surfaced as typed errors rather than lost replies.
-    assert!(report.injected_panics >= 1, "fault schedule must inject at least one panic");
+    // Universal invariants — they hold under *any* fault schedule.
     assert_eq!(report.lost, 0, "every request must receive a typed reply");
-    // Injected panics that were shed at admission or aged out in queue
-    // never reach the engine, so `errored` can undershoot the injection
-    // count — but it can never exceed it, and at least one must land.
-    assert!(report.errored >= 1, "at least one injected panic must surface as a typed error");
-    assert!(report.errored <= report.injected_panics, "typed errors can only come from injected panics");
-    assert!(
-        report.metrics.get("degraded").copied().unwrap_or(0) >= 1,
-        "the corruption sweep must force at least one counted checksum degrade"
-    );
-    assert!(report.metrics.get("flushes").copied().unwrap_or(0) >= 1, "the mid-run flush must have landed");
     let replied = report.ok + report.deadline + report.overloaded + report.rejected + report.errored;
     assert_eq!(replied as usize, total, "reply conservation: {replied} of {total}");
+    assert!(report.metrics.get("flushes").copied().unwrap_or(0) >= 1, "the mid-run flush must have landed");
     // Cache-tier conservation: the metrics map must surface the full
     // per-cache counter set, and the aggregate `degraded` must be exactly
     // the sum of its per-cache parts — a drifting aggregate means a
@@ -350,14 +395,41 @@ fn main() {
     // occupancy, so the per-size counters must cover every dispatched job.
     let occupancy: u64 = (1..=batch).map(|i| metric(&format!("batch_size_{i}"))).sum();
     assert!(occupancy >= 1, "workers must record batch occupancy");
-    if !no_cache {
-        // The corruption sweep flipped *space and order* checksums on
-        // warm caches; each cache must have degraded at least once, and
-        // every degrade evicts the lying entry.
-        assert!(metric("space_checksum_failures") >= 1, "space corruption must be observed");
-        assert!(metric("order_checksum_failures") >= 1, "order corruption must be observed");
-        assert!(metric("space_evictions") >= metric("space_checksum_failures"), "each degrade evicts");
-        assert!(metric("order_evictions") >= metric("order_checksum_failures"), "each degrade evicts");
+    // Self-healing: any schedule that kills workers must show the
+    // supervisor replacing them, with a live pool at the end.
+    if report.fired.get("serve.worker.panic").copied().unwrap_or(0) >= 1 {
+        assert!(metric("worker_restarts") >= 1, "worker kills fired but the supervisor recorded no restart");
+        assert!(metric("workers_alive") >= 1, "the pool must be alive after the schedule");
+    }
+
+    // Default-mix invariants — these know exactly which faults were
+    // scheduled, so they can pin the accounting down tight.
+    if default_mix {
+        assert!(report.injected_panics >= 1, "the default mix must inject at least one panic query");
+        // Injected panics that were shed at admission or aged out in
+        // queue never reach the engine, so `errored` can undershoot the
+        // injection count — but it can never exceed it (nothing else in
+        // the default mix produces a typed error), and one must land.
+        assert!(report.errored >= 1, "at least one injected panic must surface as a typed error");
+        assert!(report.errored <= report.injected_panics, "typed errors can only come from injected panics");
+        if !no_cache {
+            // Corruption conservation: every `cache.checksum_corrupt`
+            // fire flips a resident checksum mid-verify and is counted as
+            // a checksum failure by the firing lookup; concurrent hits on
+            // the same corrupted entry can count it again before the
+            // evict lands, so failures bound fires from above.
+            let corrupt_fires = corrupt_fires_at_join;
+            assert!(corrupt_fires >= 1, "the default mix must corrupt at least one verified hit");
+            let failures = metric("space_checksum_failures") + metric("order_checksum_failures");
+            assert!(
+                failures >= corrupt_fires,
+                "each corruption fire must be observed: {failures} failures < {corrupt_fires} fires"
+            );
+            assert!(metric("degraded") >= 1, "corruption must force at least one counted degrade");
+            // Every degrade evicts the lying entry.
+            assert!(metric("space_evictions") >= metric("space_checksum_failures"), "each degrade evicts");
+            assert!(metric("order_evictions") >= metric("order_checksum_failures"), "each degrade evicts");
+        }
     }
 
     eprintln!(
@@ -391,6 +463,10 @@ struct Report {
     errored: u64,
     injected_panics: u64,
     lost: u64,
+    faults: String,
+    fault_seed: u64,
+    /// Per-failpoint fire counts for the armed schedule.
+    fired: BTreeMap<String, u64>,
     metrics: BTreeMap<String, u64>,
 }
 
@@ -406,7 +482,15 @@ impl Report {
             self.ok, self.deadline, self.overloaded, self.rejected, self.errored
         ));
         s.push_str(&format!("\"injected_panics\": {}, \"lost\": {}, ", self.injected_panics, self.lost));
-        s.push_str("\"server\": {");
+        s.push_str(&format!(
+            "\"faults\": \"{}\", \"fault_seed\": {}, ",
+            self.faults.replace('"', "\\\""),
+            self.fault_seed
+        ));
+        s.push_str("\"fired\": {");
+        let kv: Vec<String> = self.fired.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        s.push_str(&kv.join(", "));
+        s.push_str("}, \"server\": {");
         let kv: Vec<String> = self.metrics.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
         s.push_str(&kv.join(", "));
         s.push_str("}}");

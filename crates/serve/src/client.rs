@@ -1,0 +1,200 @@
+//! Deadline-budgeted retry client for the serve protocol.
+//!
+//! The server's failure surface is fully typed — shed (`overloaded`),
+//! lost worker (`error reason=worker_lost`), dead connection — and every
+//! `match` request is idempotent (caches fill, nothing mutates), so the
+//! correct client response to a *transient* fault is to try again. The
+//! two things that make retries safe to operate are both here:
+//!
+//! * **A deadline budget.** Every call carries one; backoff sleeps are
+//!   always checked against the time remaining and a sleep that would
+//!   overshoot is not taken — the client returns the last outcome
+//!   instead of blowing the caller's deadline from the *client* side.
+//! * **A typed retryability line.** Only transport errors and replies
+//!   that assert "the server did no work you'd duplicate" are retried.
+//!   `deadline`/`rejected`/`error reason=panic` mean the request itself
+//!   is the problem (or carried partial results); retrying those either
+//!   wastes budget or double-counts, so they surface immediately.
+//!
+//! Backoff is exponential with *decorrelated jitter*: each sleep is
+//! drawn uniformly from `[base, 3 × previous]`, capped. Jitter matters
+//! under the exact failure this client exists for — a worker died and
+//! every blocked caller noticed at once; without it they all come back
+//! in lockstep and re-create the overload that shed them.
+//!
+//! The schedule ([`RetrySchedule`]) is a pure function of `(policy,
+//! seed, remaining-budget sequence)` — no clocks, no global RNG — so
+//! property tests can drive years of simulated retrying in microseconds,
+//! and a chaos run's client behaviour replays exactly.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{Request, Response};
+use crate::server::roundtrip;
+
+/// Retry shape: attempt count and backoff envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included. `1` disables retrying.
+    pub max_attempts: u32,
+    /// Lower bound of every backoff sleep (and the whole first one).
+    pub base: Duration,
+    /// Upper bound of any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base: Duration::from_millis(5), cap: Duration::from_millis(200) }
+    }
+}
+
+/// The deterministic backoff sequence for one call: decorrelated jitter
+/// fenced by the caller's remaining deadline budget.
+#[derive(Debug)]
+pub struct RetrySchedule {
+    policy: RetryPolicy,
+    /// Previous sleep in nanos (the jitter recurrence state).
+    prev_ns: u64,
+    /// Backoffs handed out so far (= retries taken).
+    taken: u32,
+    rng: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl RetrySchedule {
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        RetrySchedule { policy, prev_ns: policy.base.as_nanos() as u64, taken: 0, rng: seed }
+    }
+
+    /// The sleep to take before the next attempt, or `None` when the
+    /// call must stop retrying: attempts exhausted, or the drawn sleep
+    /// does not fit in `remaining` (sleeping through the caller's
+    /// deadline to deliver a doomed attempt helps nobody).
+    ///
+    /// Decorrelated jitter: uniform in `[base, 3 × previous]`, capped at
+    /// `policy.cap`; `previous` starts at `base`.
+    pub fn next_delay(&mut self, remaining: Duration) -> Option<Duration> {
+        if self.taken + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        self.rng = splitmix64(self.rng);
+        let unit = (self.rng >> 11) as f64 / (1u64 << 53) as f64;
+        let base_ns = self.policy.base.as_nanos() as u64;
+        let cap_ns = self.policy.cap.as_nanos() as u64;
+        let hi = (self.prev_ns.saturating_mul(3)).max(base_ns);
+        let drawn = base_ns + ((hi - base_ns) as f64 * unit) as u64;
+        let sleep_ns = drawn.min(cap_ns);
+        let sleep = Duration::from_nanos(sleep_ns);
+        if sleep >= remaining {
+            return None;
+        }
+        self.prev_ns = sleep_ns;
+        self.taken += 1;
+        Some(sleep)
+    }
+
+    /// Backoffs handed out so far.
+    pub fn retries_taken(&self) -> u32 {
+        self.taken
+    }
+}
+
+/// Is this typed reply safe and useful to retry? `true` only when the
+/// server asserts it did no work the caller would double-count:
+///
+/// * [`Response::Overloaded`] — shed at admission, nothing ran.
+/// * `error reason=worker_lost` — the worker died before replying; the
+///   reply channel closed, no result was delivered. (Request work may
+///   have *started*, but `match` is idempotent and nothing was
+///   reported.)
+///
+/// Everything else is terminal for the call: `deadline` carries valid
+/// partial counts, `rejected` means the request is malformed (it will be
+/// malformed again), `error reason=panic` means the request itself
+/// crashes the engine, and `shutting_down` means there is no server to
+/// come back to.
+pub fn retryable(resp: &Response) -> bool {
+    match resp {
+        Response::Overloaded => true,
+        Response::InternalError { reason } => reason == "worker_lost" || reason == "worker lost",
+        _ => false,
+    }
+}
+
+/// A reconnecting client with per-call deadline-budgeted retries.
+///
+/// Connections are lazy and sticky: one stream serves call after call
+/// until an I/O error, after which the next attempt reconnects (the
+/// server's `serve.reply.write_fail` failpoint produces exactly this
+/// shape: reply computed server-side, connection dead client-side).
+pub struct Client {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    stream: Option<TcpStream>,
+    seed: u64,
+    calls: u64,
+}
+
+/// Everything a finished call can report.
+#[derive(Debug)]
+pub struct CallOutcome {
+    pub response: Response,
+    /// Backoff sleeps taken (0 = first attempt succeeded).
+    pub retries: u32,
+}
+
+impl Client {
+    /// A client for `addr`. `seed` makes the whole retry behaviour of
+    /// this client deterministic (each call derives its schedule from
+    /// `(seed, call index)`), which chaos replays rely on.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy, seed: u64) -> Client {
+        Client { addr, policy, stream: None, seed, calls: 0 }
+    }
+
+    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            self.stream = Some(TcpStream::connect(self.addr)?);
+        }
+        Ok(self.stream.as_mut().unwrap())
+    }
+
+    /// One request, retried within `budget` (measured from this call's
+    /// start — pass the request's own `deadline_ms` or more).
+    ///
+    /// Returns the first non-retryable response, or — when retries run
+    /// out, the budget is exhausted, or a final transport error stands —
+    /// the last outcome as-is (`Err` for transport, `Ok` for a typed
+    /// retryable reply the caller can inspect).
+    pub fn call(&mut self, req: &Request, budget: Duration) -> std::io::Result<CallOutcome> {
+        let t0 = Instant::now();
+        let mut schedule = RetrySchedule::new(self.policy, splitmix64(self.seed ^ self.calls));
+        self.calls += 1;
+        loop {
+            let attempt: std::io::Result<Response> = self.stream().and_then(|s| roundtrip(s, req));
+            let outcome = match attempt {
+                Ok(resp) if !retryable(&resp) => {
+                    return Ok(CallOutcome { response: resp, retries: schedule.retries_taken() })
+                }
+                Ok(resp) => Ok(resp),
+                Err(e) => {
+                    // The stream is in an unknown state; reconnect next try.
+                    self.stream = None;
+                    Err(e)
+                }
+            };
+            let remaining = budget.saturating_sub(t0.elapsed());
+            match schedule.next_delay(remaining) {
+                Some(sleep) => std::thread::sleep(sleep),
+                None => return outcome.map(|response| CallOutcome { response, retries: schedule.retries_taken() }),
+            }
+        }
+    }
+}

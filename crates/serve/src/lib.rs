@@ -17,14 +17,24 @@
 //! - **Graceful degradation** — cache misses recompute on the fly,
 //!   checksum mismatches evict-and-recompute (the `degraded` metric),
 //!   and `--no-cache` proves the fully cold path end to end.
+//! - **Self-healing** — a supervisor replaces dead or wedged workers
+//!   (`worker_restarts`), and the `health` verb reports liveness without
+//!   touching the admission queue.
+//! - **Deadline-budgeted retries** — [`client`] reconnects and retries
+//!   *typed-retryable* failures with decorrelated-jitter backoff that
+//!   never sleeps through the caller's deadline.
 //!
 //! [`protocol`] defines the length-prefixed wire format; [`server`] the
-//! loop itself. `src/bin/replay.rs` is the Zipfian fault-injection
-//! replay driver that measures p50/p99/p999 under injected panics,
-//! oversized frames, and mid-run cache flushes.
+//! loop itself. `src/bin/replay.rs` is the Zipfian chaos replay driver:
+//! `--faults SPEC --fault-seed N` arms the [`rlqvo_fault`] failpoint
+//! registry, so any run — client-injected panics, oversized frames,
+//! cache corruption, worker kills — replays bit-identically from
+//! `(spec, seed)`.
 
+pub mod client;
 pub mod protocol;
 pub mod server;
 
+pub use client::{retryable, CallOutcome, Client, RetryPolicy, RetrySchedule};
 pub use protocol::{read_frame, write_frame, Frame, Request, Response, MAX_FRAME_BYTES};
 pub use server::{roundtrip, ServeConfig, Server, ServerHandle, ServerState};

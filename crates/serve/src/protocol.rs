@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! request  := control | match
-//! control  := "ping" | "flush" | "metrics" | "shutdown"
+//! control  := "ping" | "flush" | "metrics" | "health" | "shutdown"
 //! match    := "match" (" " key "=" value)* "\n" graph
 //! graph    := t/v/e text format (rlqvo_graph::io)
 //! ```
@@ -26,7 +26,7 @@
 //! "rejected" reason=                        — malformed/oversized input
 //! "error"    reason=                        — the request panicked; the
 //!                                             server and its caches live on
-//! "pong" | "bye" | "metrics" k=v ...
+//! "pong" | "bye" | "metrics" k=v ... | "health" k=v ...
 //! ```
 //!
 //! Every accepted frame gets exactly one response frame — load shedding
@@ -106,6 +106,11 @@ pub enum Request {
     /// forcing the fully-cold path mid-run).
     Flush,
     Metrics,
+    /// Liveness probe: uptime, worker aliveness, restart and degrade
+    /// counters. Answered inline on the connection thread — never
+    /// enqueued — so it stays responsive while the worker pool is
+    /// saturated or wedged.
+    Health,
     Shutdown,
     Match {
         /// Per-request deadline in milliseconds, measured from arrival.
@@ -137,6 +142,7 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "flush" => Ok(Request::Flush),
             "metrics" => Ok(Request::Metrics),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             "match" => {
                 let mut deadline_ms = None;
@@ -170,6 +176,7 @@ impl Request {
             Request::Ping => "ping".to_string(),
             Request::Flush => "flush".to_string(),
             Request::Metrics => "metrics".to_string(),
+            Request::Health => "health".to_string(),
             Request::Shutdown => "shutdown".to_string(),
             Request::Match { deadline_ms, max_matches, method, engine, inject, query_text } => {
                 let mut head = String::from("match");
@@ -224,6 +231,11 @@ pub enum Response {
     Pong,
     Bye,
     Metrics(BTreeMap<String, u64>),
+    /// Liveness report: `uptime_ms`, `workers_alive`, `workers_total`,
+    /// `worker_restarts`, `degraded`, plus whatever gauges the server
+    /// adds. Distinct from [`Response::Metrics`] so probes can assert on
+    /// the verb itself.
+    Health(BTreeMap<String, u64>),
 }
 
 impl Response {
@@ -243,6 +255,13 @@ impl Response {
             Response::Bye => "bye".to_string(),
             Response::Metrics(kv) => {
                 let mut s = String::from("metrics");
+                for (k, v) in kv {
+                    s.push_str(&format!(" {k}={v}"));
+                }
+                s
+            }
+            Response::Health(kv) => {
+                let mut s = String::from("health");
                 for (k, v) in kv {
                     s.push_str(&format!(" {k}={v}"));
                 }
@@ -276,12 +295,12 @@ impl Response {
             "error" => Ok(Response::InternalError { reason: kv.get("reason").unwrap_or(&"unspecified").to_string() }),
             "pong" => Ok(Response::Pong),
             "bye" => Ok(Response::Bye),
-            "metrics" => {
+            "metrics" | "health" => {
                 let map = kv
                     .into_iter()
                     .map(|(k, v)| v.parse().map(|n| (k.to_string(), n)).map_err(|_| format!("bad metric {k}")))
                     .collect::<Result<BTreeMap<_, _>, _>>()?;
-                Ok(Response::Metrics(map))
+                Ok(if verb == "metrics" { Response::Metrics(map) } else { Response::Health(map) })
             }
             other => Err(format!("unknown response verb {other:?}")),
         }
@@ -343,6 +362,7 @@ mod tests {
             Request::Ping,
             Request::Flush,
             Request::Metrics,
+            Request::Health,
             Request::Shutdown,
             Request::Match {
                 deadline_ms: Some(50),
@@ -379,6 +399,10 @@ mod tests {
         let mut metrics = BTreeMap::new();
         metrics.insert("served".to_string(), 17u64);
         metrics.insert("shed".to_string(), 3u64);
+        let mut health = BTreeMap::new();
+        health.insert("uptime_ms".to_string(), 1234u64);
+        health.insert("workers_alive".to_string(), 4u64);
+        health.insert("worker_restarts".to_string(), 1u64);
         let cases = [
             Response::Ok { matches: 12, enums: 3400, micros: 77, hit_space: true, hit_order: false },
             Response::DeadlineExceeded { matches: 2, enums: 2048, micros: 5120 },
@@ -388,6 +412,7 @@ mod tests {
             Response::Pong,
             Response::Bye,
             Response::Metrics(metrics),
+            Response::Health(health),
         ];
         for resp in cases {
             assert_eq!(Response::parse(&resp.to_text()).unwrap(), resp, "{resp:?}");

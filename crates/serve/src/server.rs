@@ -27,6 +27,19 @@
 //!    and recomputes (counted in the `degraded` metric). `use_cache =
 //!    false` serves every request down the fully cold path — the flag
 //!    that *proves* the degraded path works end to end.
+//! 5. **Self-healing.** A supervisor thread watches per-worker
+//!    heartbeats: a dead worker (a panic that escaped the fence, e.g.
+//!    one injected at queue pickup) is joined and replaced; a wedged one
+//!    (opt-in [`ServeConfig::stall_timeout`]) is retired and replaced.
+//!    Replacements are counted in `worker_restarts`; the `health` verb
+//!    reports liveness without touching the admission queue.
+//!
+//! Chaos drills exercise every layer of this contract through the
+//! [`rlqvo_fault`] failpoint registry (`serve.worker.panic`,
+//! `serve.worker.wedge`, `serve.admission.stall`,
+//! `serve.reply.write_fail`, plus the cache and enumeration points) —
+//! armed from a spec string, deterministic per `(spec, seed)`, and free
+//! when disarmed.
 
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -81,6 +94,17 @@ pub struct ServeConfig {
     /// (`InferMath::Fast`): FMA + blocked reductions, tolerance-bounded
     /// instead of bitwise, keyed separately in the order cache.
     pub fast_math: bool,
+    /// Byte bound on the candidate-space cache (`None` = unbounded).
+    pub space_cache_bytes: Option<usize>,
+    /// Byte bound on the ordering cache (`None` = unbounded).
+    pub order_cache_bytes: Option<usize>,
+    /// Watchdog wedge threshold: a worker whose heartbeat goes silent for
+    /// longer than this is retired and replaced (counted in
+    /// `worker_restarts`). `None` (the default) restarts only *dead*
+    /// workers — a heartbeat can legitimately go quiet for the length of
+    /// one long enumeration, so wedge detection is opt-in and the
+    /// threshold must exceed the longest request the deployment allows.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +123,9 @@ impl Default for ServeConfig {
             model_path: None,
             batch: 1,
             fast_math: false,
+            space_cache_bytes: None,
+            order_cache_bytes: None,
+            stall_timeout: None,
         }
     }
 }
@@ -115,6 +142,8 @@ struct Metrics {
     errors: AtomicU64,
     deadline_exceeded: AtomicU64,
     flushes: AtomicU64,
+    /// Workers the supervisor replaced (dead or wedged).
+    worker_restarts: AtomicU64,
 }
 
 /// State shared by the accept loop, connection threads, and workers.
@@ -139,6 +168,14 @@ pub struct ServerState {
     /// Leaked per-server kill switch threaded into every request's
     /// [`EnumConfig`] (one `AtomicBool` per server instance — bounded).
     cancel: &'static AtomicBool,
+    /// When the server came up — the `health` uptime anchor and the
+    /// epoch of the worker heartbeat clock.
+    start: Instant,
+    /// Pool size the supervisor maintains.
+    workers_total: u64,
+    /// Gauge refreshed by the supervisor each poll: workers currently
+    /// live and not retired.
+    workers_alive: AtomicU64,
 }
 
 impl ServerState {
@@ -170,6 +207,8 @@ impl ServerState {
         m.insert("errors".into(), self.metrics.errors.load(Ordering::Relaxed));
         m.insert("deadline_exceeded".into(), self.metrics.deadline_exceeded.load(Ordering::Relaxed));
         m.insert("flushes".into(), self.metrics.flushes.load(Ordering::Relaxed));
+        m.insert("worker_restarts".into(), self.metrics.worker_restarts.load(Ordering::Relaxed));
+        m.insert("workers_alive".into(), self.workers_alive.load(Ordering::Relaxed));
         m.insert("degraded".into(), degraded);
         m.insert("space_hits".into(), self.space.hits());
         m.insert("space_misses".into(), self.space.misses());
@@ -188,6 +227,29 @@ impl ServerState {
             m.insert(format!("batch_size_{}", i + 1), c.load(Ordering::Relaxed));
         }
         m
+    }
+
+    /// The `health` report: liveness only, cheap enough to answer from a
+    /// connection thread while every worker is busy or wedged.
+    fn health_snapshot(&self) -> BTreeMap<String, u64> {
+        let degraded = self.space.checksum_failures()
+            + self.space.poison_recoveries()
+            + self.orders.checksum_failures()
+            + self.orders.poison_recoveries();
+        let mut m = BTreeMap::new();
+        m.insert("uptime_ms".into(), self.start.elapsed().as_millis() as u64);
+        m.insert("workers_total".into(), self.workers_total);
+        m.insert("workers_alive".into(), self.workers_alive.load(Ordering::Relaxed));
+        m.insert("worker_restarts".into(), self.metrics.worker_restarts.load(Ordering::Relaxed));
+        m.insert("degraded".into(), degraded);
+        m.insert("shed".into(), self.metrics.shed.load(Ordering::Relaxed));
+        m.insert("errors".into(), self.metrics.errors.load(Ordering::Relaxed));
+        m
+    }
+
+    /// Millis since server start — the worker heartbeat clock.
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
     }
 
     fn observe_batch(&self, n: usize) {
@@ -217,7 +279,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    /// The worker pool's keeper — owns every worker handle (including
+    /// retired ones) and joins them all before exiting itself.
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -236,8 +300,14 @@ impl Server {
         let batch = config.batch.clamp(1, MAX_BATCH);
         let state = Arc::new(ServerState {
             g,
-            space: SpaceCache::new(),
-            orders: OrderCache::new(),
+            space: match config.space_cache_bytes {
+                Some(b) => SpaceCache::with_capacity_bytes(b),
+                None => SpaceCache::new(),
+            },
+            orders: match config.order_cache_bytes {
+                Some(b) => OrderCache::with_capacity_bytes(b),
+                None => OrderCache::new(),
+            },
             model,
             metrics: Metrics::default(),
             use_cache: config.use_cache,
@@ -247,6 +317,9 @@ impl Server {
             batch_occupancy: (0..batch).map(|_| AtomicU64::new(0)).collect(),
             stop: AtomicBool::new(false),
             cancel: Box::leak(Box::new(AtomicBool::new(false))),
+            start: Instant::now(),
+            workers_total: query_workers as u64,
+            workers_alive: AtomicU64::new(query_workers as u64),
         });
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -256,13 +329,13 @@ impl Server {
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let job_rx = Arc::new(Mutex::new(job_rx));
 
-        let workers: Vec<JoinHandle<()>> = (0..query_workers)
-            .map(|_| {
-                let state = Arc::clone(&state);
-                let rx = Arc::clone(&job_rx);
-                std::thread::spawn(move || worker_loop(&state, &rx, batch))
-            })
-            .collect();
+        let slots: Vec<WorkerSlot> = (0..query_workers).map(|_| spawn_worker(&state, &job_rx, batch)).collect();
+        let supervisor = {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&job_rx);
+            let stall = config.stall_timeout;
+            std::thread::spawn(move || supervisor_loop(&state, &rx, batch, slots, stall))
+        };
 
         let accept = {
             let state = Arc::clone(&state);
@@ -270,7 +343,7 @@ impl Server {
             std::thread::spawn(move || accept_loop(&state, &listener, &job_tx, max_frame))
         };
 
-        Ok(ServerHandle { addr, state, accept: Some(accept), workers })
+        Ok(ServerHandle { addr, state, accept: Some(accept), supervisor: Some(supervisor) })
     }
 }
 
@@ -311,10 +384,104 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join(); // joins every worker, retired ones included
         }
     }
+}
+
+/// One supervised worker: its thread, its heartbeat (millis on the
+/// [`ServerState::now_ms`] clock, stored at every pickup), and the
+/// retirement flag the watchdog raises to tell a wedged worker — if it
+/// ever wakes — that a replacement took its place and it must exit
+/// without touching the queue again.
+struct WorkerSlot {
+    handle: JoinHandle<()>,
+    heartbeat: Arc<AtomicU64>,
+    retired: Arc<AtomicBool>,
+}
+
+fn spawn_worker(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>, batch: usize) -> WorkerSlot {
+    let heartbeat = Arc::new(AtomicU64::new(state.now_ms()));
+    let retired = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let state = Arc::clone(state);
+        let rx = Arc::clone(rx);
+        let heartbeat = Arc::clone(&heartbeat);
+        let retired = Arc::clone(&retired);
+        std::thread::spawn(move || worker_loop(&state, &rx, batch, &heartbeat, &retired))
+    };
+    WorkerSlot { handle, heartbeat, retired }
+}
+
+/// How often the supervisor takes the pool's pulse.
+const SUPERVISE_TICK: Duration = Duration::from_millis(25);
+
+/// The self-healing loop. Two failure modes, two detectors:
+///
+/// * **Dead** — the thread finished outside shutdown (a panic escaped
+///   the per-request fence, e.g. the queue-pickup failpoints). Detected
+///   by [`JoinHandle::is_finished`]; the corpse is joined and a fresh
+///   worker takes the slot.
+/// * **Wedged** — the thread is alive but its heartbeat is older than
+///   `stall_timeout` (opt-in; `None` disables). The worker is *retired*,
+///   not killed — Rust has no safe thread kill — and a replacement is
+///   spawned beside it. A retired worker that wakes sees its flag,
+///   abandons its picked-up jobs (their reply senders drop, so each
+///   connection still gets a typed `worker lost` reply — exactly-one
+///   holds) and exits; the supervisor keeps its corpse in `retired`
+///   until shutdown, where every handle is joined.
+///
+/// Either way `worker_restarts` counts the replacement. At shutdown the
+/// supervisor respawns nothing and joins everything, so a server that
+/// came up under chaos still winds down clean.
+fn supervisor_loop(
+    state: &Arc<ServerState>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    batch: usize,
+    mut slots: Vec<WorkerSlot>,
+    stall_timeout: Option<Duration>,
+) {
+    let mut retired: Vec<WorkerSlot> = Vec::new();
+    while !state.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(SUPERVISE_TICK);
+        let now = state.now_ms();
+        for slot in &mut slots {
+            let dead = slot.handle.is_finished();
+            let wedged = !dead
+                && stall_timeout
+                    .is_some_and(|t| now.saturating_sub(slot.heartbeat.load(Ordering::Relaxed)) > t.as_millis() as u64);
+            if !(dead || wedged) {
+                continue;
+            }
+            if state.stop.load(Ordering::Relaxed) {
+                break; // no replacements during wind-down
+            }
+            slot.retired.store(true, Ordering::Relaxed);
+            let old = std::mem::replace(slot, spawn_worker(state, rx, batch));
+            if dead {
+                let _ = old.handle.join(); // collect the panic payload
+            } else {
+                retired.push(old); // still running; joined at shutdown
+            }
+            state.metrics.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        }
+        let alive = slots.iter().filter(|s| !s.handle.is_finished()).count() as u64;
+        state.workers_alive.store(alive, Ordering::Relaxed);
+    }
+    for slot in slots {
+        let _ = slot.handle.join(); // active workers drain the queue and exit
+    }
+    for slot in retired {
+        // A retired worker that woke up has exited; one that is *still*
+        // wedged at shutdown would block the join forever, so it is
+        // detached instead — it owns no queue jobs and the process is
+        // going down anyway.
+        if slot.handle.is_finished() {
+            let _ = slot.handle.join();
+        }
+    }
+    state.workers_alive.store(0, Ordering::Relaxed);
 }
 
 fn accept_loop(state: &Arc<ServerState>, listener: &TcpListener, job_tx: &SyncSender<Job>, max_frame: u32) {
@@ -421,14 +588,17 @@ fn serve_connection(
                 continue;
             }
         };
-        let response = match request {
-            Request::Ping => Response::Pong,
-            Request::Metrics => Response::Metrics(state.snapshot()),
+        let (response, is_match) = match request {
+            Request::Ping => (Response::Pong, false),
+            Request::Metrics => (Response::Metrics(state.snapshot()), false),
+            // Liveness must answer even when every worker is busy or
+            // wedged, so it never goes near the admission queue.
+            Request::Health => (Response::Health(state.health_snapshot()), false),
             Request::Flush => {
                 state.space.clear();
                 state.orders.clear();
                 state.metrics.flushes.fetch_add(1, Ordering::Relaxed);
-                Response::Metrics(state.snapshot())
+                (Response::Metrics(state.snapshot()), false)
             }
             Request::Shutdown => {
                 state.stop.store(true, Ordering::Relaxed);
@@ -448,16 +618,34 @@ fn serve_connection(
                     query_text,
                     reply: reply_tx,
                 };
-                match job_tx.try_send(job) {
+                // Chaos hook: hold the request at the admission door
+                // (deadlines keep ticking — they are anchored at arrival).
+                if let Some(f) = rlqvo_fault::failpoint!("serve.admission.stall") {
+                    f.sleep();
+                }
+                let resp = match job_tx.try_send(job) {
                     Ok(()) => reply_rx.recv().unwrap_or(Response::InternalError { reason: "worker lost".into() }),
                     Err(TrySendError::Full(_)) => {
                         state.metrics.shed.fetch_add(1, Ordering::Relaxed);
                         Response::Overloaded
                     }
                     Err(TrySendError::Disconnected(_)) => Response::InternalError { reason: "shutting down".into() },
-                }
+                };
+                (resp, true)
             }
         };
+        // Chaos hook: the reply for a `match` was computed but never
+        // reaches the wire — the connection dies instead, the way a
+        // mid-write network fault looks to a client. Control verbs stay
+        // reliable so probes and shutdown work under this fault. This is
+        // the one fault a client can't tell from success without
+        // idempotent retries — exactly what [`crate::client`] provides.
+        if is_match && rlqvo_fault::failpoint!("serve.reply.write_fail").is_some() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "failpoint serve.reply.write_fail: reply dropped, connection closed",
+            ));
+        }
         write_frame(&mut stream, response.to_text().as_bytes())?;
     }
 }
@@ -466,9 +654,19 @@ fn serve_connection(
 /// stragglers before running what it has.
 const GATHER_WINDOW: Duration = Duration::from_micros(100);
 
-fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>, batch: usize) {
+fn worker_loop(
+    state: &Arc<ServerState>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    batch: usize,
+    heartbeat: &AtomicU64,
+    retired: &AtomicBool,
+) {
     let mut jobs: Vec<Job> = Vec::with_capacity(batch);
     loop {
+        if retired.load(Ordering::Relaxed) {
+            return; // a replacement owns this slot; don't touch the queue
+        }
+        heartbeat.store(state.now_ms(), Ordering::Relaxed);
         jobs.clear();
         // Hold the receiver lock only for the pickup (including the
         // bounded gather window), never the work.
@@ -506,6 +704,26 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>, batch: 
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         }
+        heartbeat.store(state.now_ms(), Ordering::Relaxed);
+        // Failpoints at the most hostile moment: jobs picked up, replies
+        // owed, *outside* the per-request unwind fence. A panic here
+        // drops every reply sender (each connection synthesizes a typed
+        // `worker lost` reply) and kills the thread — the supervisor's
+        // dead-worker path. The wedge just sleeps; with a watchdog armed
+        // the slot is retired and the check below abandons the jobs the
+        // same way.
+        if rlqvo_fault::failpoint!("serve.worker.panic").is_some() {
+            panic!("failpoint serve.worker.panic: dying with {} job(s) picked up", jobs.len());
+        }
+        if let Some(f) = rlqvo_fault::failpoint!("serve.worker.wedge") {
+            f.sleep();
+        }
+        if retired.load(Ordering::Relaxed) {
+            // Wedged long enough to be replaced: dropping `jobs` closes
+            // the reply channels, so every owed reply is still made —
+            // typed, by the connection threads.
+            return;
+        }
         state.observe_batch(jobs.len());
         if jobs.len() > 1 {
             prestage_orders(state, &jobs);
@@ -515,6 +733,7 @@ fn worker_loop(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>, batch: 
             // A vanished client is its problem; the reply was made.
             let _ = job.reply.send(response);
         }
+        heartbeat.store(state.now_ms(), Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,278 @@
+//! Chaos schedules for the serving loop, driven end to end through the
+//! `rlqvo_fault` registry: arm a spec, run a workload, assert the
+//! robustness invariants, disarm, repeat.
+//!
+//! The invariant set (every schedule):
+//!
+//! * **No lost replies** — every request ends in exactly one typed
+//!   response (client-side ground truth).
+//! * **Degrade accounting** — `degraded` equals the sum of its
+//!   per-cache parts.
+//! * **Cache bounds hold** — configured byte bounds are never exceeded,
+//!   chaos or not.
+//! * **Health answers** — the `health` verb replies even while the
+//!   worker pool is wedged or saturated.
+//! * **Clean shutdown** — `ServerHandle::shutdown` joins everything and
+//!   returns, whatever the run did to the pool.
+//!
+//! One `#[test]` runs all schedules sequentially: the registry is
+//! process-global, so schedules must never overlap (each holds the
+//! `arm_scoped` guard for its duration). CI runs this binary by name.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rlqvo_graph::{io::write_graph, Graph, GraphBuilder};
+use rlqvo_serve::{roundtrip, Client, Request, Response, RetryPolicy, ServeConfig, Server, ServerHandle};
+
+/// A small labeled host with plenty of matches (fast requests).
+fn small_host() -> Graph {
+    let mut b = GraphBuilder::new(3);
+    for i in 0..40u32 {
+        b.add_vertex(i % 3);
+    }
+    for i in 0..40u32 {
+        for j in (i + 1)..40.min(i + 6) {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+fn small_query() -> Graph {
+    let mut b = GraphBuilder::new(3);
+    let a = b.add_vertex(0);
+    let c = b.add_vertex(1);
+    let d = b.add_vertex(2);
+    b.add_edge(a, c);
+    b.add_edge(c, d);
+    b.build()
+}
+
+/// A one-label near-clique whose path query costs millions of
+/// enumeration calls: guaranteed to cross the 1024-call failpoint
+/// cadence and to blow any tight deadline.
+fn heavy_host() -> Graph {
+    let mut b = GraphBuilder::new(1);
+    for _ in 0..80 {
+        b.add_vertex(0);
+    }
+    for i in 0..80u32 {
+        for j in (i + 1)..80.min(i + 11) {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+fn heavy_query() -> Graph {
+    let mut b = GraphBuilder::new(1);
+    let vs: Vec<_> = (0..6).map(|_| b.add_vertex(0)).collect();
+    for w in vs.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.build()
+}
+
+fn text(q: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_graph(q, &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+fn plain_match(query_text: String, deadline_ms: Option<u64>) -> Request {
+    Request::Match { deadline_ms, max_matches: None, method: None, engine: None, inject: None, query_text }
+}
+
+fn metrics(handle: &ServerHandle) -> BTreeMap<String, u64> {
+    let mut s = handle.connect().unwrap();
+    match roundtrip(&mut s, &Request::Metrics).unwrap() {
+        Response::Metrics(m) => m,
+        other => panic!("metrics got {other:?}"),
+    }
+}
+
+fn health(handle: &ServerHandle) -> BTreeMap<String, u64> {
+    let mut s = handle.connect().unwrap();
+    match roundtrip(&mut s, &Request::Health).unwrap() {
+        Response::Health(m) => m,
+        other => panic!("health got {other:?}"),
+    }
+}
+
+/// `degraded == Σ parts`, on any metrics snapshot.
+fn assert_degrade_conservation(m: &BTreeMap<String, u64>) {
+    let parts = m["space_checksum_failures"]
+        + m["space_poison_recoveries"]
+        + m["order_checksum_failures"]
+        + m["order_poison_recoveries"];
+    assert_eq!(m["degraded"], parts, "degraded must equal the sum of its per-cache parts");
+}
+
+/// Schedule 1 — **worker kill**: every 5th queue pickup dies *outside*
+/// the request fence, so the job's reply sender drops (typed `worker
+/// lost`), the thread is gone, and the supervisor must replace it. The
+/// retry client turns each typed loss into a transparent retry; every
+/// call must still end `ok`.
+fn schedule_worker_kill() {
+    let _guard = rlqvo_fault::arm_scoped("serve.worker.panic=1in5", 11).unwrap();
+    let handle =
+        Server::start(ServeConfig { threads: 1, queue_depth: 8, ..ServeConfig::default() }, Arc::new(small_host()))
+            .unwrap();
+    let q = text(&small_query());
+    let mut client = Client::new(handle.addr(), RetryPolicy::default(), 42);
+    let (mut oks, mut retries) = (0u32, 0u32);
+    for _ in 0..30 {
+        let out = client.call(&plain_match(q.clone(), None), Duration::from_secs(30)).expect("typed outcome");
+        assert!(matches!(out.response, Response::Ok { .. }), "retries must land every call: {:?}", out.response);
+        oks += 1;
+        retries += out.retries;
+    }
+    assert_eq!(oks, 30, "no lost replies");
+    assert!(retries >= 1, "at least one kill must have forced a retry");
+    assert!(rlqvo_fault::fired("serve.worker.panic") >= 1, "the schedule must actually kill workers");
+    let m = metrics(&handle);
+    assert!(m["worker_restarts"] >= 1, "the supervisor must replace killed workers: {m:?}");
+    assert!(m["workers_alive"] >= 1, "the pool must be live at the end: {m:?}");
+    assert_degrade_conservation(&m);
+    let h = health(&handle);
+    assert!(h["worker_restarts"] >= 1 && h["workers_total"] >= 1, "health must report the restarts: {h:?}");
+    handle.shutdown(); // must join cleanly despite the carnage
+}
+
+/// Schedule 2 — **cache corruption + shard poison**, on byte-bounded
+/// caches: the first lookup dies holding a shard lock (typed `panic`
+/// reply, shard poisoned), later verified hits find flipped checksums.
+/// The caches must recover the shard, degrade the liars — all counted —
+/// and never exceed their configured bounds.
+fn schedule_cache_chaos() {
+    const SPACE_BOUND: usize = 256 * 1024;
+    const ORDER_BOUND: usize = 64 * 1024;
+    let _guard = rlqvo_fault::arm_scoped("cache.shard.poison=once;cache.checksum_corrupt=1in7", 23).unwrap();
+    let handle = Server::start(
+        ServeConfig {
+            threads: 2,
+            queue_depth: 8,
+            space_cache_bytes: Some(SPACE_BOUND),
+            order_cache_bytes: Some(ORDER_BOUND),
+            ..ServeConfig::default()
+        },
+        Arc::new(small_host()),
+    )
+    .unwrap();
+    let q = text(&small_query());
+    let mut s = handle.connect().unwrap();
+    let (mut oks, mut errors) = (0u32, 0u32);
+    for _ in 0..40 {
+        match roundtrip(&mut s, &plain_match(q.clone(), None)).expect("typed reply") {
+            Response::Ok { .. } => oks += 1,
+            Response::InternalError { .. } => errors += 1, // the poison fire
+            other => panic!("unexpected reply under cache chaos: {other:?}"),
+        }
+    }
+    assert_eq!(oks + errors, 40, "exactly one typed reply per request");
+    assert_eq!(errors, 1, "exactly the one poison fire may error");
+    assert!(rlqvo_fault::fired("cache.checksum_corrupt") >= 1, "hot hits must have drawn corruption fires");
+    let m = metrics(&handle);
+    assert_degrade_conservation(&m);
+    assert!(m["space_poison_recoveries"] + m["order_poison_recoveries"] >= 1, "the shard must have recovered: {m:?}");
+    let failures = m["space_checksum_failures"] + m["order_checksum_failures"];
+    assert!(failures >= 1, "corrupted hits must be caught: {m:?}");
+    assert!(m["space_evictions"] >= m["space_checksum_failures"], "each degrade evicts: {m:?}");
+    assert!(m["order_evictions"] >= m["order_checksum_failures"], "each degrade evicts: {m:?}");
+    assert!(m["space_bytes"] <= SPACE_BOUND as u64, "space bound must hold under chaos: {m:?}");
+    assert!(m["order_bytes"] <= ORDER_BOUND as u64, "order bound must hold under chaos: {m:?}");
+    handle.shutdown();
+}
+
+/// Schedule 3 — **slow everything, tight deadlines**: enumeration drags
+/// (a sleep on every other 1024-call cadence check), admission stalls,
+/// and the requests carry deadlines that cannot survive it. The correct
+/// outcome is *typed partial results*, not errors, not losses.
+fn schedule_slow_with_deadlines() {
+    let _guard = rlqvo_fault::arm_scoped("enum.delay=2ms@1in2;serve.admission.stall=5ms@1in3", 31).unwrap();
+    let handle =
+        Server::start(ServeConfig { threads: 2, queue_depth: 4, ..ServeConfig::default() }, Arc::new(heavy_host()))
+            .unwrap();
+    let q = text(&heavy_query());
+    let mut s = handle.connect().unwrap();
+    let (mut deadlines, mut oks) = (0u32, 0u32);
+    for _ in 0..6 {
+        match roundtrip(&mut s, &plain_match(q.clone(), Some(60))).expect("typed reply") {
+            Response::DeadlineExceeded { .. } => deadlines += 1,
+            Response::Ok { .. } => oks += 1,
+            other => panic!("unexpected reply under slowdown: {other:?}"),
+        }
+    }
+    assert_eq!(deadlines + oks, 6, "exactly one typed reply per request");
+    assert!(deadlines >= 1, "the heavy query under 60ms deadlines must report partial counts");
+    assert!(rlqvo_fault::fired("enum.delay") >= 1, "the cadence delays must have fired");
+    assert!(rlqvo_fault::fired("serve.admission.stall") >= 1, "the admission stalls must have fired");
+    assert_degrade_conservation(&metrics(&handle));
+    handle.shutdown();
+}
+
+/// Schedule 4 — **wedged worker vs. watchdog**: the sole worker goes
+/// silent for 500ms holding a job; the 100ms watchdog retires it and
+/// spawns a replacement. The held job still gets its typed reply (the
+/// wedged worker abandons it on wake), `health` answers *during* the
+/// wedge, and the replacement serves the next request.
+fn schedule_wedge_watchdog() {
+    let _guard = rlqvo_fault::arm_scoped("serve.worker.wedge=500ms@once", 47).unwrap();
+    let handle = Server::start(
+        ServeConfig {
+            threads: 1,
+            queue_depth: 4,
+            stall_timeout: Some(Duration::from_millis(100)),
+            ..ServeConfig::default()
+        },
+        Arc::new(small_host()),
+    )
+    .unwrap();
+    let q = text(&small_query());
+    let addr = handle.addr();
+    let wedged = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            roundtrip(&mut s, &plain_match(q, None)).expect("typed reply even from a wedged worker")
+        })
+    };
+    // Mid-wedge: the pool is fully stuck, but health answers (it never
+    // touches the admission queue) and already shows the replacement.
+    std::thread::sleep(Duration::from_millis(250));
+    let h = health(&handle);
+    assert!(h["worker_restarts"] >= 1, "the watchdog must have retired the wedged worker: {h:?}");
+    assert!(h["workers_alive"] >= 1, "a replacement must be live while the wedge sleeps: {h:?}");
+    // The wedged worker wakes, sees itself retired, abandons the job —
+    // whose connection then synthesizes the typed worker-lost reply.
+    let reply = wedged.join().unwrap();
+    assert!(
+        matches!(&reply, Response::InternalError { reason } if reason == "worker_lost"),
+        "the abandoned job must surface as a typed worker-lost reply, got {reply:?}"
+    );
+    // The replacement serves.
+    let mut s = handle.connect().unwrap();
+    let reply = roundtrip(&mut s, &plain_match(q, None)).unwrap();
+    assert!(matches!(reply, Response::Ok { .. }), "the replacement worker must serve: {reply:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn chaos_schedules_hold_the_robustness_invariants() {
+    // Worker-kill panics escape the request fence by design; silence
+    // *failpoint* panics only, so genuine assertion failures still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let from_failpoint = info.payload().downcast_ref::<String>().is_some_and(|s| s.starts_with("failpoint "))
+            || info.payload().downcast_ref::<&str>().is_some_and(|s| s.starts_with("failpoint "));
+        if !from_failpoint {
+            default_hook(info);
+        }
+    }));
+    schedule_worker_kill();
+    schedule_cache_chaos();
+    schedule_slow_with_deadlines();
+    schedule_wedge_watchdog();
+}

@@ -1,0 +1,140 @@
+//! Property tests for the retry client's two load-bearing promises:
+//! the backoff schedule never spends more than the caller's deadline
+//! budget, and only typed-retryable outcomes are ever retried.
+//!
+//! [`RetrySchedule`] is a pure function of `(policy, seed, remaining
+//! budget sequence)`, so these drive thousands of simulated calls with
+//! no sockets and no clocks.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rlqvo_serve::{retryable, Response, RetryPolicy, RetrySchedule};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Simulate a call whose every attempt fails: however hostile the
+    /// policy and seed, the schedule's sleeps (plus simulated attempt
+    /// costs) never exceed the deadline budget, and it never hands out
+    /// more than `max_attempts - 1` backoffs.
+    #[test]
+    fn schedule_never_exceeds_the_deadline_budget(
+        seed in any::<u64>(),
+        budget_ms in 0u64..5_000,
+        base_us in 1u64..100_000,
+        cap_ms in 1u64..1_000,
+        max_attempts in 1u32..20,
+        attempt_cost_us in 0u64..50_000,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_millis(cap_ms),
+        };
+        let budget = Duration::from_millis(budget_ms);
+        let mut schedule = RetrySchedule::new(policy, seed);
+        let mut spent = Duration::ZERO;
+        let mut backoffs = 0u32;
+        loop {
+            // Every attempt costs wall-clock before its outcome is known.
+            spent += Duration::from_micros(attempt_cost_us);
+            let remaining = budget.saturating_sub(spent);
+            match schedule.next_delay(remaining) {
+                Some(sleep) => {
+                    // The core promise: a granted sleep always fits in
+                    // what's left of the budget.
+                    prop_assert!(sleep < remaining,
+                        "sleep {sleep:?} granted with only {remaining:?} remaining");
+                    prop_assert!(sleep <= policy.cap, "sleep {sleep:?} above cap {:?}", policy.cap);
+                    spent += sleep;
+                    backoffs += 1;
+                }
+                None => break,
+            }
+            prop_assert!(backoffs < max_attempts, "more backoffs than attempts allow");
+        }
+        // Sleeps alone never overdraw the budget (attempt costs are the
+        // caller's own spending, outside the schedule's control).
+        prop_assert_eq!(backoffs, schedule.retries_taken());
+        prop_assert!(backoffs < max_attempts);
+    }
+
+    /// A schedule is deterministic in `(policy, seed)`: the same budget
+    /// sequence yields the identical delay sequence, which is what makes
+    /// a chaos run's client behaviour replayable.
+    #[test]
+    fn schedule_replays_from_policy_and_seed(
+        seed in any::<u64>(),
+        base_us in 1u64..10_000,
+        max_attempts in 2u32..16,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base: Duration::from_micros(base_us),
+            cap: Duration::from_millis(50),
+        };
+        let budget = Duration::from_secs(3600); // effectively unbounded
+        let run = |policy, seed| {
+            let mut s = RetrySchedule::new(policy, seed);
+            let mut delays = Vec::new();
+            while let Some(d) = s.next_delay(budget) {
+                delays.push(d);
+            }
+            delays
+        };
+        let a = run(policy, seed);
+        let b = run(policy, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len() as u32 + 1, max_attempts);
+        for d in &a {
+            prop_assert!(*d >= policy.base && *d <= policy.cap);
+        }
+        // A different seed almost surely draws a different sequence
+        // (identical ones are possible only when the jitter range is
+        // degenerate, e.g. base == cap).
+        if policy.base < policy.cap && max_attempts > 3 {
+            let c = run(policy, seed ^ 0xDEAD_BEEF);
+            prop_assert!(a != c || a.iter().all(|d| *d == policy.cap));
+        }
+    }
+
+    /// Retryability is a property of the *typed* reply alone, and only
+    /// the two no-work-was-reported outcomes qualify: `overloaded` and
+    /// `error reason=worker_lost`. Everything else must surface to the
+    /// caller on the first attempt.
+    #[test]
+    fn only_no_work_replies_are_retryable(
+        matches in any::<u64>(),
+        enums in any::<u64>(),
+        micros in any::<u64>(),
+        reason in proptest::collection::vec(0u8..27, 1..24)
+            .prop_map(|cs| cs.iter().map(|&c| if c == 26 { '_' } else { (b'a' + c) as char }).collect::<String>()),
+    ) {
+        // Retryable by contract: shed at admission, and worker-lost.
+        let worker_lost = Response::InternalError { reason: "worker_lost".into() };
+        prop_assert!(retryable(&Response::Overloaded));
+        prop_assert!(retryable(&worker_lost));
+        // Never retryable — success carries the result, deadline carries
+        // valid partial counts, a rejected request will be rejected
+        // again, and arbitrary engine errors (panics included) are not
+        // known to be work-free — only the worker-lost reason is.
+        let success = Response::Ok { matches, enums, micros, hit_space: true, hit_order: false };
+        let partial = Response::DeadlineExceeded { matches, enums, micros };
+        let reject = Response::Rejected { reason: reason.clone() };
+        prop_assert!(!retryable(&success));
+        prop_assert!(!retryable(&partial));
+        prop_assert!(!retryable(&reject));
+        if reason != "worker_lost" && reason != "worker lost" {
+            let err = Response::InternalError { reason };
+            prop_assert!(!retryable(&err));
+        }
+        let metrics = Response::Metrics(BTreeMap::new());
+        let health = Response::Health(BTreeMap::new());
+        prop_assert!(!retryable(&Response::Pong));
+        prop_assert!(!retryable(&Response::Bye));
+        prop_assert!(!retryable(&metrics));
+        prop_assert!(!retryable(&health));
+    }
+}

@@ -12,9 +12,11 @@
 //! * [`rl`] — PPO and friends.
 //! * [`core`] — the RL-QVO model itself.
 //! * [`serve`] — the fault-tolerant serving loop (`rlqvo serve`).
+//! * [`fault`] — the cross-crate failpoint registry (chaos drills).
 
 pub use rlqvo_core as core;
 pub use rlqvo_datasets as datasets;
+pub use rlqvo_fault as fault;
 pub use rlqvo_gnn as gnn;
 pub use rlqvo_graph as graph;
 pub use rlqvo_matching as matching;

@@ -48,7 +48,7 @@ fn main() {
             eprintln!("  train --data G [--size 8] [--queries 32] [--epochs 40] --out m.model");
             eprintln!("  stats --data G");
             eprintln!(
-                "  serve --data G [--threads N] [--queue-depth 64] [--model m] [--max-matches N] [--time-limit-ms T] [--no-cache] [--fault-injection] [--batch N] [--fast-math on|off]"
+                "  serve --data G [--threads N] [--queue-depth 64] [--model m] [--max-matches N] [--time-limit-ms T] [--no-cache] [--fault-injection] [--batch N] [--fast-math on|off] [--space-cache-bytes B] [--order-cache-bytes B] [--stall-timeout-ms T] [--faults SPEC] [--fault-seed N]"
             );
             std::process::exit(2);
         }
@@ -251,6 +251,29 @@ fn cmd_serve(args: &[String]) -> CliResult {
             _ => return Err(format!("bad --fast-math {f:?} (want on|off)").into()),
         };
     }
+    // Resilience knobs: bounded cache tiers, the wedged-worker watchdog,
+    // and the failpoint registry (`--faults`/`RLQVO_FAULTS`).
+    if let Some(b) = flag(args, "--space-cache-bytes") {
+        config.space_cache_bytes = Some(b.parse().map_err(|_| format!("bad --space-cache-bytes {b:?}"))?);
+    }
+    if let Some(b) = flag(args, "--order-cache-bytes") {
+        config.order_cache_bytes = Some(b.parse().map_err(|_| format!("bad --order-cache-bytes {b:?}"))?);
+    }
+    if let Some(t) = flag(args, "--stall-timeout-ms") {
+        config.stall_timeout =
+            Some(Duration::from_millis(t.parse().map_err(|_| format!("bad --stall-timeout-ms {t:?}"))?));
+    }
+    let faults = flag(args, "--faults");
+    if let Some(spec) = &faults {
+        let seed = match flag(args, "--fault-seed") {
+            Some(s) => s.parse().map_err(|_| format!("bad --fault-seed {s:?}"))?,
+            None => 0,
+        };
+        rlqvo_suite::fault::arm(spec, seed).map_err(|e| format!("bad --faults spec: {e}"))?;
+    } else {
+        // No flag: honour RLQVO_FAULTS / RLQVO_FAULT_SEED if set.
+        rlqvo_suite::fault::arm_from_env().map_err(|e| format!("bad RLQVO_FAULTS spec: {e}"))?;
+    }
     let caching = if config.use_cache { "on" } else { "off (cold path)" };
     let batching = config.batch;
     let math = if config.fast_math { "fast" } else { "bitwise" };
@@ -259,6 +282,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     println!("caches      : {caching}");
     println!("batch       : {batching}");
     println!("math        : {math}");
+    if rlqvo_suite::fault::armed() {
+        println!("faults      : armed ({})", faults.as_deref().unwrap_or("from env"));
+    }
     println!("send `shutdown` to stop");
     handle.wait();
     Ok(())

@@ -210,12 +210,48 @@ fn bench_enum_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The work-stealing scheduler's worst case for the old root-partitioned
+/// pool: one unique-labeled mega-hub is the query root's ONLY candidate,
+/// so root partitioning degenerates to one busy worker. Stealing splits
+/// the subtree below the root instead.
+fn steal_single_root_case() -> (rlqvo_graph::Graph, rlqvo_graph::Graph) {
+    let n = 20_000u32;
+    let mut gb = GraphBuilder::new(2);
+    gb.add_vertex(0); // the hub: the unique label-0 vertex
+    for _ in 0..n {
+        gb.add_vertex(1);
+    }
+    for v in 1..=n {
+        gb.add_edge(0, v);
+    }
+    for v in 1..n {
+        for step in 1..=8u32 {
+            if v + step <= n {
+                gb.add_edge(v, v + step);
+            }
+        }
+    }
+    let g = gb.build();
+    // Triangle rooted at the hub label: all the fan-out is at depth 1.
+    let mut qb = GraphBuilder::new(2);
+    let a = qb.add_vertex(0);
+    let b = qb.add_vertex(1);
+    let c = qb.add_vertex(1);
+    qb.add_edge(a, b);
+    qb.add_edge(a, c);
+    qb.add_edge(b, c);
+    (qb.build(), g)
+}
+
 /// Intra-query parallel enumeration over prebuilt spaces: the serial
 /// amortized kernels at 1/2/4 workers. Find-all is byte-identical across
 /// worker counts, so these measure pure wall-clock scaling of the
-/// root-partitioned work-sharing pool. (On a single-core host the >1
-/// worker rows measure scheduling overhead, not speedup — BENCH_enum.json
-/// records which kind of host produced each entry.)
+/// work-stealing scheduler — and, at `threads = 1`, its bypass back to
+/// the deterministic sliced-serial path. The `steal-single-root` rows
+/// are the adversarial shape the retired root-partitioned pool could
+/// not parallelize at all. (On a single-core host the >1 worker rows
+/// measure scheduling overhead, not speedup — BENCH_enum.json records
+/// which kind of host produced each entry.)
 fn bench_parallel_enum(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel");
     {
@@ -225,7 +261,7 @@ fn bench_parallel_enum(c: &mut Criterion) {
         let space = CandidateSpace::build(&q, &g, &cand);
         for threads in [1usize, 2, 4] {
             let cfg = EnumConfig::find_all().with_threads(threads);
-            group.bench_with_input(BenchmarkId::new("dense-band-all", threads), &threads, |b, _| {
+            group.bench_with_input(BenchmarkId::new("steal-dense-band-all", threads), &threads, |b, _| {
                 b.iter(|| enumerate_in_space(&q, &space, &order, cfg))
             });
         }
@@ -237,7 +273,19 @@ fn bench_parallel_enum(c: &mut Criterion) {
         let space = CandidateSpace::build(&q, &g, &cand);
         for threads in [1usize, 2, 4] {
             let cfg = EnumConfig::find_all().with_threads(threads);
-            group.bench_with_input(BenchmarkId::new("skewed-hub-all", threads), &threads, |b, _| {
+            group.bench_with_input(BenchmarkId::new("steal-skewed-hub-all", threads), &threads, |b, _| {
+                b.iter(|| enumerate_in_space(&q, &space, &order, cfg))
+            });
+        }
+    }
+    {
+        let (q, g) = steal_single_root_case();
+        let cand = LdfFilter.filter(&q, &g);
+        let order = vec![0u32, 1, 2]; // rooted at the single-candidate hub
+        let space = CandidateSpace::build(&q, &g, &cand);
+        for threads in [1usize, 2, 4] {
+            let cfg = EnumConfig::find_all().with_threads(threads);
+            group.bench_with_input(BenchmarkId::new("steal-single-root", threads), &threads, |b, _| {
                 b.iter(|| enumerate_in_space(&q, &space, &order, cfg))
             });
         }

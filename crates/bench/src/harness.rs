@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use rlqvo_graph::Graph;
 use rlqvo_matching::{
-    auto_decide, enumerate_in_space, enumerate_probe_prepared, run_pipeline, EnumConfig, EnumEngine, OrderCache,
-    Pipeline, PipelineResult, SpaceCache,
+    auto_decide, enumerate_in_space, enumerate_probe_prepared, run_on_pool, run_pipeline, EnumConfig, EnumEngine,
+    OrderCache, Pipeline, PipelineResult, SpaceCache, TokenBudget,
 };
 
 use crate::methods::BenchMethod;
@@ -104,26 +104,28 @@ fn percentile_secs(times: &[Duration], p: f64) -> f64 {
     secs[rank.min(secs.len() - 1)]
 }
 
-/// Splits a total thread budget between the two levels of parallelism:
-/// `config.threads` intra-query enumeration workers are clamped to the
-/// budget, and the query-parallel worker count becomes the quotient —
-/// so `query workers × enum workers ≤ threads`, never oversubscribed
-/// (checked against the process-wide
+/// Wires one total thread budget through both levels of parallelism: a
+/// leaked [`TokenBudget`] of `threads` tokens is attached to the config,
+/// and every concurrently-running participant — query-level worker or
+/// intra-query enumeration helper — holds exactly one token. The old
+/// static `worker_split` quotient is gone: a roster with more queries
+/// than tokens runs query-parallel with serial enumerations, a single
+/// monster query soaks the whole budget into its work-stealing
+/// enumeration, and everything in between composes dynamically (checked
+/// against the process-wide
 /// [`peak_parallel_workers`][rlqvo_matching::peak_parallel_workers] gauge
-/// in `tests/parallel_enum.rs`). Public so the serving layer derives its
-/// per-request limits (`worker pool size × per-request enum threads`)
-/// from the same arithmetic the harness uses.
-pub fn worker_split(threads: usize, config: EnumConfig) -> (usize, EnumConfig) {
+/// in `tests/parallel_enum.rs`).
+fn budgeted_config(threads: usize, config: EnumConfig) -> (usize, &'static TokenBudget, EnumConfig) {
     let total = threads.max(1);
-    let enum_threads = config.threads.clamp(1, total);
-    ((total / enum_threads).max(1), config.with_threads(enum_threads))
+    let budget = TokenBudget::leaked(total);
+    (total, budget, config.with_threads(config.threads.clamp(1, total)).with_pool_tokens(budget))
 }
 
 /// Runs `method` over every query (in parallel across `threads` workers)
 /// and aggregates. Unsolved queries are clamped to the time limit, as the
 /// paper does. `threads` is the *total* budget: intra-query enumeration
-/// workers requested via `config.threads` compose under it (see
-/// [`worker_split`]).
+/// workers requested via `config.threads` compose under it through the
+/// shared token budget (see [`budgeted_config`]).
 pub fn run_method(
     g: &Graph,
     queries: &[Graph],
@@ -131,35 +133,40 @@ pub fn run_method(
     config: EnumConfig,
     threads: usize,
 ) -> RunStats {
-    let (query_workers, config) = worker_split(threads, config);
-    let results = parallel_map(queries.len(), query_workers, |i| {
+    let (total, budget, config) = budgeted_config(threads, config);
+    let results = parallel_map(queries.len(), total, budget, |i| {
         let pipeline = Pipeline { filter: method.filter.as_ref(), ordering: method.ordering.as_ref(), config };
         run_pipeline(&queries[i], g, &pipeline)
     });
     collect_stats(method.name, &results, config, None)
 }
 
-/// Index-parallel map over `0..n` with a fixed worker pool: the shared
-/// work-stealing loop behind both harness entry points.
-fn parallel_map<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// Index-parallel map over `0..n` on the global scheduler: the caller
+/// participates, up to `threads - 1` pool helpers join, and each
+/// participant holds one token from `budget` while it runs — the same
+/// tokens the per-query enumerations draw their helper grants from, so
+/// query-level × intra-query parallelism never exceeds the budget.
+fn parallel_map<T: Send>(n: usize, threads: usize, budget: &TokenBudget, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads.max(1) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i);
-                // Poisoning carries no risk here (each slot is written
-                // whole, exactly once); recover the guard rather than
-                // cascading one worker's panic into every sibling — the
-                // scope join below still propagates the panic itself.
-                slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
-            });
+    // The caller's own token, plus one per pool helper worth waking. A
+    // fresh budget always has the caller's token available; `n.min(...)`
+    // keeps tiny rosters from parking helpers with nothing to claim.
+    let own = budget.try_acquire(1);
+    let extra = budget.try_acquire(threads.saturating_sub(1).min(n.saturating_sub(1)));
+    run_on_pool(extra, |_slot| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
+        let r = f(i);
+        // Poisoning carries no risk here (each slot is written whole,
+        // exactly once); recover the guard rather than cascading one
+        // worker's panic into every sibling — the pool still propagates
+        // the panic itself after every participant returns.
+        slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
     });
+    budget.release(own + extra);
     slots
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -316,8 +323,8 @@ fn run_roster(
     charge_hits: bool,
 ) -> Vec<RunStats> {
     assert!(!methods.is_empty(), "need at least one method");
-    let (query_workers, config) = worker_split(threads, config);
-    let outcomes = parallel_map(queries.len(), query_workers, |i| {
+    let (total, budget, config) = budgeted_config(threads, config);
+    let outcomes = parallel_map(queries.len(), total, budget, |i| {
         eval_query_shared(g, &queries[i], methods, config, cache, order_cache, charge_hits)
     });
 

@@ -15,9 +15,7 @@ pub mod methods;
 pub mod models;
 pub mod scale;
 
-pub use harness::{
-    run_method, run_methods_cached, run_methods_cached_ordered, run_methods_shared, worker_split, RunStats,
-};
+pub use harness::{run_method, run_methods_cached, run_methods_cached_ordered, run_methods_shared, RunStats};
 pub use methods::{baseline_methods, hybrid_method, rlqvo_method, BenchMethod};
 pub use models::train_model_for;
 pub use scale::Scale;

@@ -83,7 +83,7 @@ impl Scale {
         println!("== {experiment} ==");
         println!("paper setting : {paper_setting}");
         println!(
-            "harness scale : {} queries/set (50% train), {} epochs, {:?} limit, {} match cap, {} threads ({} enum workers/query), space cache {}",
+            "harness scale : {} queries/set (50% train), {} epochs, {:?} limit, {} match cap, {} tokens ({} enum threads/query max), space cache {}",
             self.queries_per_set,
             self.train_epochs,
             self.time_limit,

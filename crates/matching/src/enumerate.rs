@@ -197,6 +197,20 @@ pub struct EnumConfig {
     /// at-least semantics). Callers that explicitly want a parallel
     /// budgeted run construct the config literally.
     pub deterministic: bool,
+    /// Token accounting for the global scheduler: a parallel run asks
+    /// this budget for its `threads - 1` helper tokens (never blocking —
+    /// an exhausted budget degrades the run towards serial), so
+    /// query-level and intra-query parallelism compose under one cap
+    /// instead of a static split. `None` (the default) grants the full
+    /// request, which is what standalone callers and tests want. The
+    /// `&'static` lifetime keeps the config `Copy`, like `cancel`.
+    pub pool_tokens: Option<&'static crate::scheduler::TokenBudget>,
+    /// Liveness counter for an external watchdog, bumped once per
+    /// amortized 1024-call cadence window by every worker of the run. A
+    /// supervisor that sees the value still changing knows the request is
+    /// long but healthy — which lets `--stall-timeout-ms` sit far below
+    /// the longest legitimate enumeration. `None` disables the tick.
+    pub heartbeat: Option<&'static AtomicU64>,
 }
 
 impl Default for EnumConfig {
@@ -211,6 +225,8 @@ impl Default for EnumConfig {
             deadline: None,
             cancel: None,
             deterministic: false,
+            pool_tokens: None,
+            heartbeat: None,
         }
     }
 }
@@ -248,6 +264,8 @@ impl EnumConfig {
             deadline: None,
             cancel: None,
             deterministic: true,
+            pool_tokens: None,
+            heartbeat: None,
         }
     }
 
@@ -278,6 +296,18 @@ impl EnumConfig {
     /// [`EnumConfig::cancel`]).
     pub fn with_cancel_flag(self, cancel: &'static AtomicBool) -> Self {
         EnumConfig { cancel: Some(cancel), ..self }
+    }
+
+    /// The same configuration drawing helper tokens from `budget` (see
+    /// [`EnumConfig::pool_tokens`]).
+    pub fn with_pool_tokens(self, budget: &'static crate::scheduler::TokenBudget) -> Self {
+        EnumConfig { pool_tokens: Some(budget), ..self }
+    }
+
+    /// The same configuration ticking `heartbeat` on the engine cadence
+    /// (see [`EnumConfig::heartbeat`]).
+    pub fn with_heartbeat(self, heartbeat: &'static AtomicU64) -> Self {
+        EnumConfig { heartbeat: Some(heartbeat), ..self }
     }
 
     /// True when the cooperative-cancel hook asks this run to stop now:
@@ -364,15 +394,20 @@ const AUTO_PROBE_MARGIN: u64 = 8;
 /// Minimum estimated enumeration work (in [`AUTO_WORK_PER_CALL`] units)
 /// that must land on *each additional worker* before the Auto path
 /// parallelizes. Calibration: one unit is roughly an adjacency entry
-/// scanned (~1–2 ns), so 1M units is low-single-digit milliseconds of
-/// estimated work per worker — a 20×+ margin over the tens of
-/// microseconds a scoped-thread spawn plus per-worker scratch setup
-/// costs, and comfortably above the whole yeast-first-1k kernel
-/// (1000 matches × 12 calls × 16 units ≈ 192k units), which measured
-/// serial at ~4 µs and must never pay a spawn. Shares units with the
-/// build estimate, so recalibrating [`AUTO_WORK_PER_CALL`] recalibrates
-/// this gate consistently.
-pub const AUTO_PARALLEL_WORK_PER_WORKER: u64 = 1_000_000;
+/// scanned (~1–2 ns), so 256Ki units is a few hundred microseconds of
+/// estimated work per worker. The work-stealing scheduler made extra
+/// workers much cheaper than the scoped-thread pool this gate was first
+/// tuned for — a grant is a condvar wake of a persistent pool helper
+/// plus per-worker scratch (single-digit microseconds), not a thread
+/// spawn — and stealing amortizes far smaller work units than root
+/// morsels did, so the old 1M-unit bar left real speedups on the table.
+/// The recalibrated bar still clears the whole yeast-first-1k kernel
+/// (1000 matches × 12 calls × 16 units ≈ 192k units, measured serial at
+/// ~4 µs) with a ~35% margin, so tiny workloads keep paying zero
+/// scheduling cost. Shares units with the build estimate, so
+/// recalibrating [`AUTO_WORK_PER_CALL`] recalibrates this gate
+/// consistently.
+pub const AUTO_PARALLEL_WORK_PER_WORKER: u64 = 262_144;
 
 /// Caps `requested` intra-query workers to what `est_enum_work` (in
 /// [`AUTO_WORK_PER_CALL`] units — see [`AutoDecision::est_enum_work`])
@@ -617,6 +652,7 @@ pub(crate) fn new_probe_ctx<'a>(
         config,
         start,
         shared,
+        steal: None,
         synced: 0,
         deadline_hit: false,
         budget_hit: false,
@@ -708,6 +744,7 @@ pub(crate) fn new_space_ctx<'a>(
         config,
         start,
         shared,
+        steal: None,
         synced: 0,
         deadline_hit: false,
         budget_hit: false,
@@ -749,6 +786,10 @@ pub(crate) struct SpaceCtx<'a> {
     /// Present in parallel runs only: the process-shared match/budget
     /// caps every worker of one enumeration coordinates through.
     shared: Option<&'a crate::parallel::SharedCaps>,
+    /// Present in work-stealing runs only: the run's deque set and this
+    /// worker's slot in it. When set, the recursion donates splittable
+    /// candidate lists as open-subtree [`crate::parallel::Task`]s.
+    pub(crate) steal: Option<(&'a crate::parallel::StealShared, usize)>,
     /// `enumerations` value already pushed to `shared` (workers sync
     /// deltas on the same 1024-call cadence as the deadline check).
     synced: u64,
@@ -784,6 +825,12 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
     // the cost of shallow recursions. Parallel workers sync their local
     // call delta to the shared caps on the same cadence.
     if ctx.enumerations & 0x3FF == 0 {
+        // Liveness tick first, before anything on this cadence can block
+        // or die: a watchdog watching the counter change distinguishes a
+        // long-but-healthy enumeration from a wedged worker.
+        if let Some(hb) = ctx.config.heartbeat {
+            hb.fetch_add(1, Ordering::Relaxed);
+        }
         // Failpoints ride the same cadence as the cooperative checks: a
         // delay models a slow engine (deadline pressure), a panic a
         // mid-enumeration death (in serve, fenced per-request).
@@ -838,7 +885,11 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
     match ctx.backward[depth].len() {
         0 => {
             // Disconnected prefix (or the first vertex): full candidate set.
-            for pos in 0..cs.cand_len(u) as u32 {
+            let mut end = cs.cand_len(u);
+            if let Some(steal) = ctx.steal {
+                end = donate_tail(steal, depth, &ctx.chosen_pos[..depth], end, |k, l| (k as u32..l as u32).collect());
+            }
+            for pos in 0..end as u32 {
                 if try_extend(ctx, depth, u, pos) {
                     return true;
                 }
@@ -846,7 +897,12 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
         }
         1 => {
             let (j, e) = ctx.backward[depth][0];
-            for &pos in cs.edge_list(e, ctx.chosen_pos[j]) {
+            let list = cs.edge_list(e, ctx.chosen_pos[j]);
+            let mut keep = list.len();
+            if let Some(steal) = ctx.steal {
+                keep = donate_tail(steal, depth, &ctx.chosen_pos[..depth], keep, |k, l| list[k..l].to_vec());
+            }
+            for &pos in &list[..keep] {
                 if try_extend(ctx, depth, u, pos) {
                     return true;
                 }
@@ -869,8 +925,12 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
                 intersect_in_place(&mut buf, cs.edge_list(e, pos));
             }
             ctx.lists[depth] = lists;
+            let mut keep = buf.len();
+            if let Some(steal) = ctx.steal {
+                keep = donate_tail(steal, depth, &ctx.chosen_pos[..depth], keep, |k, l| buf[k..l].to_vec());
+            }
             let mut stop = false;
-            for &pos in &buf {
+            for &pos in &buf[..keep] {
                 if try_extend(ctx, depth, u, pos) {
                     stop = true;
                     break;
@@ -881,6 +941,30 @@ fn space_recurse(ctx: &mut SpaceCtx<'_>, depth: usize) -> bool {
         }
     }
     false
+}
+
+/// Work-stealing donation: carves geometric tail chunks off this depth's
+/// remaining candidate list into open-subtree [`crate::parallel::Task`]s
+/// — each a frozen copy of the current prefix (`path`) plus the chunk —
+/// until the local share is down to the granularity threshold or the
+/// owner's deque is full. Returns how much of the list to keep locally
+/// (always the *head*, so the donor plus its thieves cover exactly the
+/// positions the serial loop would, each in ascending order).
+#[inline]
+fn donate_tail(
+    steal: (&crate::parallel::StealShared, usize),
+    depth: usize,
+    path: &[u32],
+    mut len: usize,
+    tail: impl Fn(usize, usize) -> Vec<u32>,
+) -> usize {
+    let (shared, slot) = steal;
+    while len > shared.granularity() && shared.has_room(slot) {
+        let keep = len.div_ceil(2);
+        shared.donate(slot, crate::parallel::Task { depth, path: path.to_vec(), slots: tail(keep, len) });
+        len = keep;
+    }
+    len
 }
 
 /// Maps `u` to the candidate at `pos`, recurses, and unwinds. Returns
@@ -902,6 +986,47 @@ pub(crate) fn try_extend(ctx: &mut SpaceCtx<'_>, depth: usize, u: VertexId, pos:
     stop
 }
 
+/// Executes one open-subtree task on this worker's space context: loads
+/// the frozen prefix (position path → mapping/used/chosen_pos), re-donates
+/// splittable tails of the task's own candidate chunk, iterates what
+/// remains exactly as the donor's loop would have, and unwinds the
+/// prefix. Returns true when this worker should stop (caps reached).
+pub(crate) fn run_space_task(ctx: &mut SpaceCtx<'_>, task: crate::parallel::Task) -> bool {
+    let crate::parallel::Task { depth, path, mut slots } = task;
+    debug_assert_eq!(path.len(), depth, "frozen prefix covers order[..depth]");
+    let cs = ctx.cs;
+    let order = ctx.order;
+    for (i, &pos) in path.iter().enumerate() {
+        let qu = order[i];
+        let v = cs.cand_vertex(qu, pos);
+        debug_assert!(!ctx.used[v as usize], "frozen prefix must be injective");
+        ctx.mapping[qu as usize] = v;
+        ctx.used[v as usize] = true;
+        ctx.chosen_pos[i] = pos;
+    }
+    if let Some((shared, slot)) = ctx.steal {
+        if slots.len() > shared.granularity() && shared.has_room(slot) {
+            let keep = donate_tail((shared, slot), depth, &path, slots.len(), |k, l| slots[k..l].to_vec());
+            slots.truncate(keep);
+        }
+    }
+    let u = order[depth];
+    let mut stop = false;
+    for &pos in &slots {
+        if try_extend(ctx, depth, u, pos) {
+            stop = true;
+            break;
+        }
+    }
+    for (i, &pos) in path.iter().enumerate() {
+        let qu = order[i];
+        let v = cs.cand_vertex(qu, pos);
+        ctx.used[v as usize] = false;
+        ctx.mapping[qu as usize] = VertexId::MAX;
+    }
+    stop
+}
+
 // ---------------------------------------------------------------------------
 // Probe engine (reference oracle — the seed implementation)
 // ---------------------------------------------------------------------------
@@ -917,6 +1042,8 @@ pub(crate) struct ProbeCtx<'a> {
     start: Instant,
     /// Shared caps of a parallel run (see [`SpaceCtx::shared`]).
     shared: Option<&'a crate::parallel::SharedCaps>,
+    /// Work-stealing hookup (see [`SpaceCtx::steal`]).
+    pub(crate) steal: Option<(&'a crate::parallel::StealShared, usize)>,
     synced: u64,
     pub(crate) deadline_hit: bool,
     pub(crate) budget_hit: bool,
@@ -937,6 +1064,11 @@ fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
         return true;
     }
     if ctx.enumerations & 0x3FF == 0 {
+        // Liveness tick first — see the candidate-space engine's cadence
+        // block; both engines feed the same watchdog counter.
+        if let Some(hb) = ctx.config.heartbeat {
+            hb.fetch_add(1, Ordering::Relaxed);
+        }
         // Same failpoint cadence as the candidate-space engine: both
         // engines expose the identical fault surface.
         if let Some(f) = rlqvo_fault::failpoint!("enum.delay") {
@@ -982,7 +1114,16 @@ fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
     let u = ctx.order[depth];
     // LC(u, M) goes into a workhorse buffer taken out of ctx and restored
     // after the loop, so steady-state recursion does not allocate.
-    let local = compute_local_candidates(ctx, u, depth);
+    let mut local = compute_local_candidates(ctx, u, depth);
+    if let Some((shared, slot)) = ctx.steal {
+        if local.len() > shared.granularity() && shared.has_room(slot) {
+            // The probe engine's frozen prefix is the mapped data vertices
+            // along the order (built lazily — only when a donation is due).
+            let path: Vec<u32> = ctx.order[..depth].iter().map(|&qu| ctx.mapping[qu as usize]).collect();
+            let keep = donate_tail((shared, slot), depth, &path, local.len(), |k, l| local[k..l].to_vec());
+            local.truncate(keep);
+        }
+    }
     for &v in &local {
         if ctx.used[v as usize] {
             continue;
@@ -1008,15 +1149,59 @@ fn probe_recurse(ctx: &mut ProbeCtx<'_>, depth: usize) -> bool {
 /// so its LC is the full `C(order[0])`). Returns true when the worker
 /// should stop.
 pub(crate) fn probe_try_root(ctx: &mut ProbeCtx<'_>, v: VertexId) -> bool {
-    let u = ctx.order[0];
+    probe_try_at(ctx, 0, v)
+}
+
+/// One iteration of the serial depth-`depth` loop: maps `order[depth]`
+/// to `v`, recurses, and unwinds. The work-stealing path drives this for
+/// stolen open subtrees, whose candidate chunks can start at any depth.
+pub(crate) fn probe_try_at(ctx: &mut ProbeCtx<'_>, depth: usize, v: VertexId) -> bool {
+    let u = ctx.order[depth];
     if ctx.used[v as usize] {
         return false;
     }
     ctx.mapping[u as usize] = v;
     ctx.used[v as usize] = true;
-    let stop = probe_recurse(ctx, 1);
+    let stop = probe_recurse(ctx, depth + 1);
     ctx.used[v as usize] = false;
     ctx.mapping[u as usize] = VertexId::MAX;
+    stop
+}
+
+/// Executes one open-subtree task on this worker's probe context: loads
+/// the frozen prefix, re-donates splittable tails of the task's own
+/// candidate chunk, iterates what remains exactly as the donor's loop
+/// would have, and unwinds the prefix. Returns true when this worker
+/// should stop (caps reached).
+pub(crate) fn run_probe_task(ctx: &mut ProbeCtx<'_>, task: crate::parallel::Task) -> bool {
+    let crate::parallel::Task { depth, path, mut slots } = task;
+    debug_assert_eq!(path.len(), depth, "frozen prefix covers order[..depth]");
+    for (i, &v) in path.iter().enumerate() {
+        let qu = ctx.order[i];
+        debug_assert!(!ctx.used[v as usize], "frozen prefix must be injective");
+        ctx.mapping[qu as usize] = v;
+        ctx.used[v as usize] = true;
+    }
+    if let Some((shared, slot)) = ctx.steal {
+        if slots.len() > shared.granularity() && shared.has_room(slot) {
+            let keep = donate_tail((shared, slot), depth, &path, slots.len(), |k, l| slots[k..l].to_vec());
+            slots.truncate(keep);
+        }
+    }
+    let mut stop = false;
+    for &v in &slots {
+        if probe_try_at(ctx, depth, v) {
+            stop = true;
+            break;
+        }
+    }
+    let order = ctx.order;
+    for &v in path.iter() {
+        ctx.used[v as usize] = false;
+    }
+    for &qu in &order[..depth] {
+        ctx.mapping[qu as usize] = VertexId::MAX;
+    }
     stop
 }
 

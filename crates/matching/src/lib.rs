@@ -49,6 +49,7 @@ pub mod order;
 pub mod ordercache;
 pub mod parallel;
 pub mod pipeline;
+pub mod scheduler;
 pub mod spacecache;
 
 pub use cache::{CacheConfig, CacheKey, CacheWeight, EvictPolicy, ShardedCache, EVICT_SAMPLE, SHARD_COUNT};
@@ -65,4 +66,5 @@ pub use parallel::{enumerate_in_space_sliced, peak_parallel_workers, reset_peak_
 pub use pipeline::{
     run_pipeline, run_with_candidates, run_with_entry, run_with_entry_ordered, run_with_space, Pipeline, PipelineResult,
 };
+pub use scheduler::{reset_scheduler_counters, run_on_pool, scheduler_stats, SchedulerStats, TokenBudget};
 pub use spacecache::{QueryKey, SpaceCache, SpaceEntry};

@@ -1,58 +1,117 @@
-//! Intra-query parallel enumeration: root-partitioned work sharing.
+//! Intra-query parallel enumeration: work-stealing over open subtrees.
 //!
-//! The serial engines explore one recursion tree whose first level fans
-//! out over `C(order[0])` — and because the root has no mapped backward
-//! neighbours, those subtrees are completely independent: they share no
-//! mapping state, no injectivity bitmap, no buffers. That independence is
-//! the whole parallelization: the root candidate positions are split into
-//! contiguous **morsels** (several per worker, so an unlucky heavy
-//! subtree doesn't serialize the run), a fixed scoped-thread worker pool
-//! claims morsels from an atomic cursor, and every worker owns a full
-//! private recursion context ([`SpaceCtx`]/[`ProbeCtx`] — mapping,
-//! injectivity bitmap, per-depth LC buffers). The steady-state hot path
-//! is exactly the serial engines' code with **zero locks and zero shared
-//! allocations**; workers only touch shared state at the existing
-//! 1024-call deadline cadence (budget sync) and per emitted match under a
-//! finite cap.
+//! The serial engines explore one recursion tree. PR 4 parallelized only
+//! its first level — contiguous morsels of `C(order[0])` claimed from a
+//! cursor — which serialized exactly the hard cases: a query whose root
+//! has one candidate, or one monster subtree, kept every other core idle
+//! behind its owner. This module parallelizes the *whole* tree instead:
+//!
+//! * Every worker owns a bounded chase-lev-style deque of **open
+//!   subtrees** ([`Task`]: a frozen partial embedding plus the remaining
+//!   candidate chunk at its depth). The owner pushes and pops at the back
+//!   (LIFO — depth-first locality); thieves take from the front (FIFO —
+//!   the biggest, shallowest subtrees move between workers).
+//! * While recursing, a worker **donates**: whenever the candidate list
+//!   at the current depth is longer than a granularity threshold
+//!   (`RLQVO_STEAL_GRANULARITY`, default 4 — the hook a learned
+//!   per-subtree cost estimate can later replace) and its deque has room,
+//!   it freezes geometric tail chunks of the list into tasks and keeps
+//!   the head. A worker whose deque drains **steals** from a random
+//!   victim, so one monster subtree fans out across all workers no matter
+//!   who first claimed it.
+//! * The workers themselves come from the process-global scheduler
+//!   ([`crate::scheduler`]): the caller participates directly, and up to
+//!   `threads - 1` persistent pool helpers join — gated by the config's
+//!   [`TokenBudget`][crate::scheduler::TokenBudget] so query-level and
+//!   intra-query parallelism compose under one cap (an exhausted budget
+//!   degrades the run towards serial instead of oversubscribing).
+//!
+//! Each worker still owns a full private recursion context
+//! ([`SpaceCtx`]/[`ProbeCtx`] — mapping, injectivity bitmap, per-depth LC
+//! buffers), so the steady-state hot path is the serial engines' code;
+//! shared state is touched only at donation points (an atomic room check,
+//! rarely a deque push), at the existing 1024-call cadence (budget sync),
+//! and per emitted match under a finite cap.
 //!
 //! ## Result semantics
 //!
-//! * **Find-all** (no caps bind): every slice is fully explored, so
+//! * **Find-all** (no caps bind): every subtree is fully explored exactly
+//!   once, and because every candidate list the engines iterate is sorted
+//!   ascending, the serial match stream is lexicographic in the
+//!   order-permuted mapping `(M[order[0]], M[order[1]], …)`. The merge
+//!   re-sorts the concatenated worker streams by that same key, so
 //!   `match_count`, `#enum`, and — with `store_matches` — the match
-//!   stream itself, merged in slice order, are **byte-identical** to the
-//!   serial engines (property-tested in `tests/oracle.rs`).
+//!   stream itself are **byte-identical** to the serial engines
+//!   (property-tested in `tests/oracle.rs`, including single-root-candidate
+//!   queries the morsel pool used to serialize).
 //! * **`max_matches` cap**: the reported `match_count` is exact (the
-//!   merge truncates), but workers mid-descent when the shared counter
-//!   reaches the cap finish unwinding first, so *which* matches are kept
-//!   and the reported `#enum` may differ from serial run to run.
+//!   merge truncates), but *which* matches are kept and the reported
+//!   `#enum` may differ from serial run to run.
 //! * **`max_enumerations` budget**: a shared atomic budget with
 //!   *at-least* semantics — workers sync local call counts every 1024
 //!   calls and stop once the global total reaches the budget, so the run
 //!   performs at least `max_enumerations` total work (possibly up to
 //!   `threads × 1024` calls more, and therefore possibly more matches
 //!   than a serial run at the same budget). Training rewards need exact
-//!   determinism, which is why [`EnumConfig::budgeted`] pins `threads: 1`.
+//!   determinism, which is why [`EnumConfig::budgeted`] pins `threads: 1`
+//!   — deterministic runs never enter the steal path.
 //!
-//! For tests of the slicing machinery itself there is a deterministic
-//! fallback: `threads == 1` routes through the same morsel iterator on
-//! the caller thread with no shared state, which is byte-identical to the
-//! serial engine under *every* configuration, caps included
-//! ([`enumerate_in_space_sliced`]).
+//! Cancellation, deadlines, and the failpoint surface thread through the
+//! steal loop unchanged: `enum.morsel.stall` fires at every task claim
+//! (a stalled claimant holds no task, so peers keep draining the deques),
+//! and one worker observing `deadline`/`cancel` raises the shared stop
+//! that peers see at their next cadence sync or task claim.
+//!
+//! For tests of the decomposition machinery there is a deterministic
+//! fallback: `threads == 1` (and a token-starved run) routes through a
+//! slice-sequential loop on the caller thread with no shared state, which
+//! is byte-identical to the serial engine under *every* configuration,
+//! caps included ([`enumerate_in_space_sliced`]).
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 use rlqvo_graph::{Graph, VertexId};
 
 use crate::candspace::CandidateSpace;
-use crate::enumerate::{new_probe_ctx, new_space_ctx, probe_try_root, try_extend, EnumConfig, EnumResult};
+use crate::enumerate::{
+    new_probe_ctx, new_space_ctx, probe_try_root, run_probe_task, run_space_task, try_extend, EnumConfig, EnumResult,
+};
 use crate::filter::Candidates;
+use crate::scheduler;
 
-/// Morsels handed out per worker: enough that one heavy root subtree
-/// rarely leaves the rest of the pool idle, small enough that the
-/// per-morsel bookkeeping (one atomic claim, one result push) stays
-/// invisible next to real enumeration work.
+/// Slices per worker in the deterministic slice-sequential fallback (the
+/// parallel path no longer slices — it steals).
 const MORSELS_PER_WORKER: usize = 8;
+
+/// Deque capacity per worker. Donations stop when the owner's deque is
+/// full, bounding queued (cloned-prefix) memory per worker; a full deque
+/// simply means thieves are not keeping up, so the owner descends into
+/// the work itself.
+const DEQUE_CAP: usize = 8;
+
+/// Candidate lists at or below this length are not worth freezing into a
+/// task (`RLQVO_STEAL_GRANULARITY` overrides; ROADMAP item 3's learned
+/// per-subtree estimator is the intended future replacement for this
+/// scalar gate). The default is deliberately coarse: donation halves a
+/// list down to this floor, so a single fat level still fans out into
+/// plenty of tasks, while the short (≤ tens of candidates) inner lists
+/// that dominate deep recursion never pay the freeze-a-prefix cost —
+/// measured on the skewed single-root kernel, a floor of 4 spent ~70%
+/// of the run donating and re-stealing depth-2 crumbs.
+fn steal_granularity() -> usize {
+    static G: OnceLock<usize> = OnceLock::new();
+    *G.get_or_init(|| {
+        std::env::var("RLQVO_STEAL_GRANULARITY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&g| g >= 1)
+            .unwrap_or(64)
+    })
+}
 
 // ---------------------------------------------------------------------------
 // Worker gauge (oversubscription guard)
@@ -76,7 +135,7 @@ fn gauge_enter() -> WorkerGuard {
 }
 
 /// High-water mark of concurrently running enumeration workers (the
-/// calling thread participates in its own pool, so a `threads = 4` run
+/// calling thread participates in its own run, so a `threads = 4` run
 /// registers 4, not 5). Process-global and monotone; the
 /// no-oversubscription regression test resets it, runs a composed
 /// harness, and asserts the peak never exceeded the configured budget.
@@ -106,7 +165,7 @@ pub struct SharedCaps {
     /// Matches emitted so far (only maintained under a finite cap).
     matches: AtomicU64,
     /// Set once any cap/budget/deadline is hit; workers observe it at
-    /// their next sync point and stop claiming morsels.
+    /// their next sync point and stop claiming tasks.
     stop: AtomicBool,
     max_enumerations: u64,
     max_matches: u64,
@@ -155,8 +214,9 @@ impl SharedCaps {
     }
 
     /// Raised by a worker that observed a cooperative cancel
-    /// ([`EnumConfig::deadline`] / [`EnumConfig::cancel`]); peers exit at
-    /// their next cadence sync or morsel claim.
+    /// ([`EnumConfig::deadline`] / [`EnumConfig::cancel`]) — or by the
+    /// panic fence, so a dead worker's open subtrees can never wedge its
+    /// peers; everyone exits at the next cadence sync or task claim.
     pub(crate) fn raise_stop(&self) {
         self.stop.store(true, Ordering::Relaxed);
     }
@@ -167,86 +227,259 @@ impl SharedCaps {
 }
 
 // ---------------------------------------------------------------------------
-// Morsels and merging
+// Open-subtree tasks and the per-run deque set
 // ---------------------------------------------------------------------------
 
-/// Contiguous, disjoint, covering decomposition of `0..len` into
-/// `count` near-equal slices (the first `len % count` get one extra).
-fn slice_bounds(len: usize, count: usize, i: usize) -> (usize, usize) {
-    let base = len / count;
-    let extra = len % count;
-    let lo = i * base + i.min(extra);
-    let hi = lo + base + usize::from(i < extra);
-    (lo, hi)
+/// One open subtree, frozen at a donation point: everything a thief
+/// needs to continue the donor's depth-`depth` loop on its own context.
+pub(crate) struct Task {
+    /// Depth whose candidate loop this task continues.
+    pub(crate) depth: usize,
+    /// The frozen partial embedding covering `order[..depth]`. Space
+    /// engine: chosen candidate *positions* per depth; probe engine: the
+    /// mapped data vertices along the order. Both reconstruct the donor's
+    /// exact `mapping`/`used` state in `O(depth)`.
+    pub(crate) path: Vec<u32>,
+    /// The remaining candidate chunk at `depth` (space: positions into
+    /// `C(order[depth])`; probe: data vertices), in ascending order.
+    pub(crate) slots: Vec<u32>,
 }
 
-/// What one worker recorded for one morsel: exact local deltas, plus the
-/// stored matches in the order the slice produced them.
-struct SliceOut {
-    slice: usize,
+struct TaskDeque {
+    q: Mutex<VecDeque<Task>>,
+    /// Approximate length, maintained beside the lock so the hot-path
+    /// room check ([`StealShared::has_room`]) and victim scan are plain
+    /// atomic loads.
+    len: AtomicUsize,
+}
+
+/// The per-run stealing state: one bounded deque per participant plus
+/// the open-subtree count that detects termination (`open` counts tasks
+/// queued *or executing*, so `open == 0` means the whole tree has been
+/// explored).
+pub(crate) struct StealShared {
+    deques: Vec<TaskDeque>,
+    open: AtomicUsize,
+    granularity: usize,
+}
+
+impl StealShared {
+    fn new(participants: usize) -> Self {
+        StealShared {
+            deques: (0..participants)
+                .map(|_| TaskDeque { q: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) })
+                .collect(),
+            open: AtomicUsize::new(0),
+            granularity: steal_granularity(),
+        }
+    }
+
+    pub(crate) fn granularity(&self) -> usize {
+        self.granularity
+    }
+
+    /// Cheap pre-check a donor runs before freezing a prefix: false once
+    /// its deque is full (thieves are not keeping up — descend instead).
+    pub(crate) fn has_room(&self, slot: usize) -> bool {
+        self.deques[slot].len.load(Ordering::Relaxed) < DEQUE_CAP
+    }
+
+    /// Pushes an open subtree onto `slot`'s deque (back — the owner pops
+    /// newest-first for depth-first locality).
+    pub(crate) fn donate(&self, slot: usize, task: Task) {
+        self.open.fetch_add(1, Ordering::AcqRel);
+        let d = &self.deques[slot];
+        let mut q = d.q.lock().unwrap_or_else(PoisonError::into_inner);
+        q.push_back(task);
+        d.len.store(q.len(), Ordering::Relaxed);
+        drop(q);
+        scheduler::note_task_pushed();
+    }
+
+    fn pop_own(&self, slot: usize) -> Option<Task> {
+        let d = &self.deques[slot];
+        if d.len.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let mut q = d.q.lock().unwrap_or_else(PoisonError::into_inner);
+        let t = q.pop_back();
+        d.len.store(q.len(), Ordering::Relaxed);
+        drop(q);
+        if t.is_some() {
+            scheduler::note_task_taken();
+        }
+        t
+    }
+
+    /// One full victim scan from a random start. Steals the *front* of a
+    /// victim's deque: its shallowest, biggest frozen subtree.
+    fn try_steal(&self, thief: usize, rng: &mut u32) -> Option<Task> {
+        let n = self.deques.len();
+        let from = (xorshift(rng) as usize) % n;
+        for k in 0..n {
+            let v = (from + k) % n;
+            if v == thief || self.deques[v].len.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let d = &self.deques[v];
+            let mut q = d.q.lock().unwrap_or_else(PoisonError::into_inner);
+            let t = q.pop_front();
+            d.len.store(q.len(), Ordering::Relaxed);
+            drop(q);
+            if t.is_some() {
+                scheduler::note_steal();
+                scheduler::note_task_taken();
+                return t;
+            }
+        }
+        None
+    }
+
+    /// Books the completion of one claimed task. Claims don't change
+    /// `open`; the decrement happens *after* execution so that
+    /// `open == 0` really means "nothing left anywhere".
+    fn finish_task(&self) {
+        self.open.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn done(&self) -> bool {
+        self.open.load(Ordering::Acquire) == 0
+    }
+
+    /// Blocks (spinning with backoff) until this worker has a task, the
+    /// run is complete, or a stop is raised. The spin must re-check the
+    /// stop flag: the only worker holding work may be unwinding a cancel
+    /// — or dead, with its panic fence having raised the stop.
+    fn next_task(&self, slot: usize, caps: &SharedCaps, rng: &mut u32) -> Option<Task> {
+        let mut fails = 0u32;
+        loop {
+            if caps.should_stop() {
+                return None;
+            }
+            if let Some(t) = self.pop_own(slot) {
+                return Some(t);
+            }
+            if self.done() {
+                return None;
+            }
+            if let Some(t) = self.try_steal(slot, rng) {
+                return Some(t);
+            }
+            // Every deque empty but subtrees still executing: their
+            // owners may donate again any moment. Yield first; back off
+            // to a short sleep quickly — on an oversubscribed host a
+            // spinning thief competes with the very owner it is waiting
+            // on, so idle claimants must get off the core fast.
+            scheduler::note_steal_failure();
+            fails += 1;
+            if fails > 8 {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+fn xorshift(state: &mut u32) -> u32 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    *state = x;
+    x
+}
+
+// ---------------------------------------------------------------------------
+// Merging
+// ---------------------------------------------------------------------------
+
+/// What one steal worker recorded: exact local deltas plus its share of
+/// the stored matches (in the donor-order it produced them).
+struct StealOut {
     enumerations: u64,
     match_count: u64,
     matches: Vec<Vec<VertexId>>,
-}
-
-/// Per-worker summary: its slice outputs plus terminal flags.
-struct WorkerOut {
-    slices: Vec<SliceOut>,
     deadline_hit: bool,
     budget_hit: bool,
     cancel_hit: bool,
 }
 
-/// Folds worker outputs into an [`EnumResult`]. Slices merge in slice
-/// order — the order the serial engine visits root candidates — so the
-/// find-all match stream is byte-identical to serial; under a binding
-/// `max_matches` the stream and count are truncated to the cap (exact
-/// count, first `cap` matches in slice order).
-fn merge(mut outs: Vec<WorkerOut>, caps: &SharedCaps, config: &EnumConfig, start: Instant) -> EnumResult {
-    let mut slices: Vec<SliceOut> = outs.iter_mut().flat_map(|w| w.slices.drain(..)).collect();
-    slices.sort_unstable_by_key(|s| s.slice);
-    // The +1 is the root call of the recursion (depth 0), which the
-    // serial engines count before fanning out over C(order[0]).
-    let enumerations = 1 + slices.iter().map(|s| s.enumerations).sum::<u64>();
-    let found = slices.iter().map(|s| s.match_count).sum::<u64>();
+/// Folds steal-worker outputs into an [`EnumResult`]. Counters are exact
+/// sums (+1 for the depth-0 root call the serial engines count before
+/// fanning out). The match stream is restored to the serial engine's
+/// emission order by sorting on the order-permuted mapping — the serial
+/// stream is lexicographic in that key because every candidate list the
+/// engines iterate is ascending — which makes find-all byte-identical
+/// without tracking where each stolen fragment came from.
+fn merge_steal(
+    outs: Vec<StealOut>,
+    caps: &SharedCaps,
+    config: &EnumConfig,
+    order: &[VertexId],
+    start: Instant,
+) -> EnumResult {
+    let enumerations = 1 + outs.iter().map(|o| o.enumerations).sum::<u64>();
+    let found = outs.iter().map(|o| o.match_count).sum::<u64>();
     let match_count = found.min(config.max_matches);
     let mut matches = Vec::new();
     if config.store_matches {
-        for s in &mut slices {
-            matches.append(&mut s.matches);
+        let mut outs = outs;
+        for o in &mut outs {
+            matches.append(&mut o.matches);
         }
+        matches.sort_unstable_by(|a, b| {
+            for &u in order {
+                match a[u as usize].cmp(&b[u as usize]) {
+                    std::cmp::Ordering::Equal => continue,
+                    unequal => return unequal,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
         if (matches.len() as u64) > match_count {
             matches.truncate(match_count as usize);
         }
+        return finish(outs, caps, start, enumerations, match_count, matches);
     }
+    finish(outs, caps, start, enumerations, match_count, matches)
+}
+
+fn finish(
+    outs: Vec<StealOut>,
+    caps: &SharedCaps,
+    start: Instant,
+    enumerations: u64,
+    match_count: u64,
+    matches: Vec<Vec<VertexId>>,
+) -> EnumResult {
     EnumResult {
         match_count,
         enumerations,
         elapsed: start.elapsed(),
-        timed_out: outs.iter().any(|w| w.deadline_hit),
-        budget_exhausted: outs.iter().any(|w| w.budget_hit) || caps.budget_exhausted(),
-        cancelled: outs.iter().any(|w| w.cancel_hit),
+        timed_out: outs.iter().any(|o| o.deadline_hit),
+        budget_exhausted: outs.iter().any(|o| o.budget_hit) || caps.budget_exhausted(),
+        cancelled: outs.iter().any(|o| o.cancel_hit),
         matches,
     }
 }
 
-/// Runs `worker` (claiming morsel indices from the shared cursor until
-/// none remain) on a pool of `threads` workers — `threads - 1` scoped
-/// spawns plus the calling thread, so a composed harness occupies exactly
-/// its thread budget, never budget + 1.
-fn drive_workers<F>(threads: usize, worker: F) -> Vec<WorkerOut>
-where
-    F: Fn(&AtomicUsize) -> WorkerOut + Sync,
-{
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (1..threads).map(|_| s.spawn(|| worker(&cursor))).collect();
-        let mut outs = vec![worker(&cursor)];
-        for h in handles {
-            outs.push(h.join().expect("enumeration worker panicked"));
-        }
-        outs
-    })
+/// Helper-token grant for one parallel run: `threads - 1` when no budget
+/// is attached, otherwise whatever the budget can spare right now (the
+/// caller's own token is its caller's business — see
+/// [`EnumConfig::pool_tokens`]).
+fn grant_helpers(config: &EnumConfig, threads: usize) -> usize {
+    let want = threads - 1;
+    match config.pool_tokens {
+        Some(budget) => budget.try_acquire(want),
+        None => want,
+    }
+}
+
+fn release_helpers(config: &EnumConfig, granted: usize) {
+    if let Some(budget) = config.pool_tokens {
+        budget.release(granted);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -275,68 +508,89 @@ pub(crate) fn enumerate_in_space_parallel_from(
     let threads = config.threads.max(1);
     let root = order[0];
     let root_len = cs.cand_len(root);
-    let num_slices = root_len.min(threads * MORSELS_PER_WORKER);
-    if threads == 1 || num_slices <= 1 {
-        return space_slices_serial(q, cs, order, config, start, num_slices.max(1).min(root_len.max(1)));
+    if threads == 1 || root_len == 0 {
+        return space_slices_serial(q, cs, order, config, start, root_len.clamp(1, threads * MORSELS_PER_WORKER));
     }
     if config.max_enumerations <= 1 {
         // The root call alone exhausts the budget — serial reports the
         // same without descending.
         return EnumResult { enumerations: 1, budget_exhausted: true, ..EnumResult::empty(start.elapsed()) };
     }
+    let granted = grant_helpers(&config, threads);
+    if granted == 0 {
+        // Token budget exhausted: the composed load already occupies the
+        // whole pool, so this request degrades to the deterministic
+        // serial fallback instead of oversubscribing.
+        return space_slices_serial(q, cs, order, config, start, root_len.clamp(1, threads * MORSELS_PER_WORKER));
+    }
 
     let caps = SharedCaps::new(&config);
-    let outs = drive_workers(threads, |cursor| {
-        let _gauge = gauge_enter();
-        let mut ctx = new_space_ctx(q, cs, order, config, start, Some(&caps));
-        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false, cancel_hit: false };
-        loop {
-            if caps.should_stop() {
-                break;
-            }
-            // A stall here holds a claimed-but-idle worker: peers keep
-            // draining the cursor, so forward progress must survive one
-            // slow claimant (the chaos sweeps assert exact counts).
-            if let Some(f) = rlqvo_fault::failpoint!("enum.morsel.stall") {
-                f.sleep();
-            }
-            let si = cursor.fetch_add(1, Ordering::Relaxed);
-            if si >= num_slices {
-                break;
-            }
-            let (lo, hi) = slice_bounds(root_len, num_slices, si);
-            let (e0, m0) = (ctx.enumerations, ctx.match_count);
-            let mut stop = false;
-            for pos in lo..hi {
-                if try_extend(&mut ctx, 0, root, pos as u32) {
-                    stop = true;
+    let shared = StealShared::new(granted + 1);
+    shared.donate(0, Task { depth: 0, path: Vec::new(), slots: (0..root_len as u32).collect() });
+    let outs: Mutex<Vec<StealOut>> = Mutex::new(Vec::new());
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    scheduler::run_on_pool(granted, |slot| {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _gauge = gauge_enter();
+            let mut ctx = new_space_ctx(q, cs, order, config, start, Some(&caps));
+            ctx.steal = Some((&shared, slot));
+            let mut rng = (slot as u32).wrapping_mul(0x9E37_79B9) | 1;
+            loop {
+                if caps.should_stop() {
+                    break;
+                }
+                // A stall here holds an idle claimant, never a claimed
+                // task: peers keep draining every deque, so forward
+                // progress must survive one slow worker (the chaos
+                // sweeps assert exact counts).
+                if let Some(f) = rlqvo_fault::failpoint!("enum.morsel.stall") {
+                    f.sleep();
+                }
+                let Some(task) = shared.next_task(slot, &caps, &mut rng) else {
+                    break;
+                };
+                let stop = run_space_task(&mut ctx, task);
+                shared.finish_task();
+                if stop {
                     break;
                 }
             }
-            out.slices.push(SliceOut {
-                slice: si,
-                enumerations: ctx.enumerations - e0,
-                match_count: ctx.match_count - m0,
+            StealOut {
+                enumerations: ctx.enumerations,
+                match_count: ctx.match_count,
                 matches: std::mem::take(&mut ctx.matches),
-            });
-            if stop {
-                break;
+                deadline_hit: ctx.deadline_hit,
+                budget_hit: ctx.budget_hit,
+                cancel_hit: ctx.cancel_hit,
+            }
+        }));
+        match r {
+            Ok(out) => outs.lock().unwrap_or_else(PoisonError::into_inner).push(out),
+            Err(p) => {
+                // A dead worker's open subtrees would wedge its peers'
+                // steal spins; the stop flag drains everyone first, then
+                // the caller rethrows below.
+                caps.raise_stop();
+                let mut slot = panicked.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
             }
         }
-        out.deadline_hit = ctx.deadline_hit;
-        out.budget_hit = ctx.budget_hit;
-        out.cancel_hit = ctx.cancel_hit;
-        out
     });
-    merge(outs, &caps, &config, start)
+    release_helpers(&config, granted);
+    if let Some(p) = panicked.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        resume_unwind(p);
+    }
+    merge_steal(outs.into_inner().unwrap_or_else(PoisonError::into_inner), &caps, &config, order, start)
 }
 
-/// The deterministic slice-sequential fallback: the same morsel
-/// decomposition the parallel path uses, executed on the calling thread
-/// with one context and the exact serial cap semantics. Byte-identical
-/// to the serial CandidateSpace engine under **every** configuration
-/// (caps and budgets included) — the property that proves the slice
-/// decomposition itself loses nothing; `tests/oracle.rs` checks it.
+/// The deterministic slice-sequential fallback: the PR-4 morsel
+/// decomposition executed on the calling thread with one context and the
+/// exact serial cap semantics. Byte-identical to the serial
+/// CandidateSpace engine under **every** configuration (caps and budgets
+/// included) — the property that proves the slice decomposition itself
+/// loses nothing; `tests/oracle.rs` checks it.
 pub fn enumerate_in_space_sliced(q: &Graph, cs: &CandidateSpace, order: &[VertexId], config: EnumConfig) -> EnumResult {
     let start = Instant::now();
     if config.cancel_requested() {
@@ -361,7 +615,7 @@ fn space_slices_serial(
     start: Instant,
     num_slices: usize,
 ) -> EnumResult {
-    // Same engine-entry check as the worker-pool path: zero work on a
+    // Same engine-entry check as the steal path: zero work on a
     // pre-expired deadline (serial and parallel must agree on this).
     if config.cancel_requested() {
         return EnumResult { cancelled: true, ..EnumResult::empty(start.elapsed()) };
@@ -395,6 +649,16 @@ fn space_slices_serial(
     }
 }
 
+/// Contiguous, disjoint, covering decomposition of `0..len` into
+/// `count` near-equal slices (the first `len % count` get one extra).
+fn slice_bounds(len: usize, count: usize, i: usize) -> (usize, usize) {
+    let base = len / count;
+    let extra = len % count;
+    let lo = i * base + i.min(extra);
+    let hi = lo + base + usize::from(i < extra);
+    (lo, hi)
+}
+
 // ---------------------------------------------------------------------------
 // Probe engine
 // ---------------------------------------------------------------------------
@@ -420,57 +684,73 @@ pub(crate) fn enumerate_probe_parallel_from(
     let threads = config.threads.max(1);
     let root_cands = cand.of(order[0]);
     let root_len = root_cands.len();
-    let num_slices = root_len.min(threads * MORSELS_PER_WORKER);
-    if threads == 1 || num_slices <= 1 {
-        return probe_slices_serial(g, cand, order, backward, config, start, num_slices.max(1).min(root_len.max(1)));
+    if threads == 1 || root_len == 0 {
+        let slices = root_len.clamp(1, threads * MORSELS_PER_WORKER);
+        return probe_slices_serial(g, cand, order, backward, config, start, slices);
     }
     if config.max_enumerations <= 1 {
         return EnumResult { enumerations: 1, budget_exhausted: true, ..EnumResult::empty(start.elapsed()) };
     }
+    let granted = grant_helpers(&config, threads);
+    if granted == 0 {
+        let slices = root_len.clamp(1, threads * MORSELS_PER_WORKER);
+        return probe_slices_serial(g, cand, order, backward, config, start, slices);
+    }
 
     let caps = SharedCaps::new(&config);
+    let shared = StealShared::new(granted + 1);
+    shared.donate(0, Task { depth: 0, path: Vec::new(), slots: root_cands.to_vec() });
+    let outs: Mutex<Vec<StealOut>> = Mutex::new(Vec::new());
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let backward = &backward;
-    let outs = drive_workers(threads, |cursor| {
-        let _gauge = gauge_enter();
-        let mut ctx = new_probe_ctx(g, cand, order, backward.clone(), config, start, Some(&caps));
-        let mut out = WorkerOut { slices: Vec::new(), deadline_hit: false, budget_hit: false, cancel_hit: false };
-        loop {
-            if caps.should_stop() {
-                break;
-            }
-            // Same stall surface as the candidate-space morsel loop.
-            if let Some(f) = rlqvo_fault::failpoint!("enum.morsel.stall") {
-                f.sleep();
-            }
-            let si = cursor.fetch_add(1, Ordering::Relaxed);
-            if si >= num_slices {
-                break;
-            }
-            let (lo, hi) = slice_bounds(root_len, num_slices, si);
-            let (e0, m0) = (ctx.enumerations, ctx.match_count);
-            let mut stop = false;
-            for &v in &root_cands[lo..hi] {
-                if probe_try_root(&mut ctx, v) {
-                    stop = true;
+    scheduler::run_on_pool(granted, |slot| {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _gauge = gauge_enter();
+            let mut ctx = new_probe_ctx(g, cand, order, backward.clone(), config, start, Some(&caps));
+            ctx.steal = Some((&shared, slot));
+            let mut rng = (slot as u32).wrapping_mul(0x9E37_79B9) | 1;
+            loop {
+                if caps.should_stop() {
+                    break;
+                }
+                // Same stall surface as the candidate-space steal loop.
+                if let Some(f) = rlqvo_fault::failpoint!("enum.morsel.stall") {
+                    f.sleep();
+                }
+                let Some(task) = shared.next_task(slot, &caps, &mut rng) else {
+                    break;
+                };
+                let stop = run_probe_task(&mut ctx, task);
+                shared.finish_task();
+                if stop {
                     break;
                 }
             }
-            out.slices.push(SliceOut {
-                slice: si,
-                enumerations: ctx.enumerations - e0,
-                match_count: ctx.match_count - m0,
+            StealOut {
+                enumerations: ctx.enumerations,
+                match_count: ctx.match_count,
                 matches: std::mem::take(&mut ctx.matches),
-            });
-            if stop {
-                break;
+                deadline_hit: ctx.deadline_hit,
+                budget_hit: ctx.budget_hit,
+                cancel_hit: ctx.cancel_hit,
+            }
+        }));
+        match r {
+            Ok(out) => outs.lock().unwrap_or_else(PoisonError::into_inner).push(out),
+            Err(p) => {
+                caps.raise_stop();
+                let mut slot = panicked.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
             }
         }
-        out.deadline_hit = ctx.deadline_hit;
-        out.budget_hit = ctx.budget_hit;
-        out.cancel_hit = ctx.cancel_hit;
-        out
     });
-    merge(outs, &caps, &config, start)
+    release_helpers(&config, granted);
+    if let Some(p) = panicked.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        resume_unwind(p);
+    }
+    merge_steal(outs.into_inner().unwrap_or_else(PoisonError::into_inner), &caps, &config, order, start)
 }
 
 /// Probe-engine face of the deterministic slice-sequential fallback.
@@ -563,6 +843,37 @@ mod tests {
             assert!(!caps.sync_enumerations(1_000_000));
         }
         assert!(!caps.should_stop());
+    }
+
+    #[test]
+    fn steal_shared_owner_pops_newest_thief_takes_oldest() {
+        let s = StealShared::new(2);
+        for depth in 0..3usize {
+            s.donate(0, Task { depth, path: vec![0; depth], slots: vec![1, 2, 3] });
+        }
+        assert!(!s.done(), "three open tasks");
+        let own = s.pop_own(0).expect("owner pops");
+        assert_eq!(own.depth, 2, "owner takes the newest (deepest) task");
+        let mut rng = 1u32;
+        let stolen = s.try_steal(1, &mut rng).expect("thief steals");
+        assert_eq!(stolen.depth, 0, "thief takes the oldest (shallowest) task");
+        s.finish_task();
+        s.finish_task();
+        assert!(!s.done(), "one task still open");
+        s.finish_task();
+        assert!(s.done());
+    }
+
+    #[test]
+    fn steal_shared_room_check_respects_the_cap() {
+        let s = StealShared::new(1);
+        for _ in 0..DEQUE_CAP {
+            assert!(s.has_room(0));
+            s.donate(0, Task { depth: 0, path: Vec::new(), slots: vec![0] });
+        }
+        assert!(!s.has_room(0), "full deque stops donations");
+        s.pop_own(0).expect("still pops");
+        assert!(s.has_room(0), "room returns as the deque drains");
     }
 
     /// Regression: the engine entries themselves must reject a deadline

@@ -457,4 +457,94 @@ proptest! {
             );
         }
     }
+
+    /// The adversarial case for a root-partitioned pool: the root has
+    /// exactly ONE candidate (a unique-labeled hub), so every morsel
+    /// scheme keyed on root candidates degenerates to one worker. The
+    /// work-stealing scheduler must still return find-all byte-identical
+    /// to serial — stolen subtrees split *below* the root.
+    #[test]
+    fn single_root_candidate_steal_is_identical_to_serial(n in 6usize..40, chain in 1usize..4) {
+        // Host: unique-labeled hub 0 adjacent to everything, plus a chain
+        // among the label-1 spokes. Query: a triangle (hub, spoke, spoke)
+        // whose root vertex is the hub — one candidate, wide subtree.
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(0);
+        for _ in 0..n {
+            b.add_vertex(1);
+        }
+        for v in 1..=n as u32 {
+            b.add_edge(0, v);
+        }
+        for v in 1..n as u32 {
+            for step in 1..=chain as u32 {
+                if v + step <= n as u32 {
+                    b.add_edge(v, v + step);
+                }
+            }
+        }
+        let g = b.build();
+        let mut qb = GraphBuilder::new(2);
+        qb.add_vertex(0);
+        qb.add_vertex(1);
+        qb.add_vertex(1);
+        qb.add_edge(0, 1);
+        qb.add_edge(0, 2);
+        qb.add_edge(1, 2);
+        let q = qb.build();
+        let cand = GqlFilter::default().filter(&q, &g);
+        let order = vec![0u32, 1, 2];
+        prop_assert_eq!(cand.len_of(0), 1, "the hub must be the only root candidate");
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace, EnumEngine::Auto] {
+            let mut cfg = EnumConfig::find_all().with_engine(engine).with_threads(1);
+            cfg.store_matches = true;
+            let serial = enumerate(&q, &g, &cand, &order, cfg);
+            for threads in [2usize, 4] {
+                let par = enumerate(&q, &g, &cand, &order, cfg.with_threads(threads));
+                prop_assert_eq!(par.match_count, serial.match_count, "{} x{}", engine.name(), threads);
+                prop_assert_eq!(par.enumerations, serial.enumerations, "{} x{}", engine.name(), threads);
+                prop_assert_eq!(&par.matches, &serial.matches, "{} x{}", engine.name(), threads);
+            }
+        }
+    }
+
+    /// Cancellation raised mid-steal must terminate every worker — owner
+    /// and thieves alike poll the flag through the steal loop — and the
+    /// partial result stays a valid truncation: no invented matches, no
+    /// count above the full answer, `cancelled` reported truthfully.
+    #[test]
+    fn steal_under_cancel_terminates_with_a_valid_partial(
+        g in arb_graph(9, 3),
+        seed in 0u64..200,
+        delay_us in 0u64..60,
+    ) {
+        let Some(q) = query_of(&g, seed, 4) else { return Ok(()) };
+        let cand = GqlFilter::default().filter(&q, &g);
+        let order = all_orderings()[0].order(&q, &g, &cand);
+        let mut cfg = EnumConfig::find_all().with_threads(4);
+        cfg.store_matches = true;
+        let full = enumerate(&q, &g, &cand, &order, cfg.with_threads(1));
+        for engine in [EnumEngine::Probe, EnumEngine::CandidateSpace] {
+            // Leaked per case: one byte each, bounded by the case count.
+            let cancel: &'static std::sync::atomic::AtomicBool =
+                Box::leak(Box::new(std::sync::atomic::AtomicBool::new(false)));
+            let arm = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            let res = enumerate(&q, &g, &cand, &order, cfg.with_engine(engine).with_cancel_flag(cancel));
+            arm.join().unwrap();
+            prop_assert!(res.match_count <= full.match_count, "{}", engine.name());
+            prop_assert_eq!(res.matches.len() as u64, res.match_count, "{}", engine.name());
+            for m in &res.matches {
+                prop_assert!(full.matches.contains(m), "invented match under cancel: {}", engine.name());
+            }
+            if !res.cancelled {
+                // The race lost: the run finished first — then it must be
+                // the exact find-all answer.
+                prop_assert_eq!(res.match_count, full.match_count, "{}", engine.name());
+                prop_assert_eq!(&res.matches, &full.matches, "{}", engine.name());
+            }
+        }
+    }
 }

@@ -139,6 +139,10 @@ fn main() {
     let deadline_ms: u64 = num(&args, "--deadline-ms", 200);
     let seed: u64 = num(&args, "--seed", 7);
     let batch: usize = num(&args, "--batch", 1).max(1);
+    // Total core-token budget (request workers + enumeration helpers).
+    // The default follows the host; chaos runs that want the steal path
+    // engaged under faults pass an explicit budget > 1.
+    let threads: usize = num(&args, "--threads", ServeConfig::default().threads).max(1);
     let faults = flag(&args, "--faults");
     let default_mix = faults.is_none();
     let faults = faults.unwrap_or_else(|| DEFAULT_FAULTS.to_string());
@@ -186,6 +190,7 @@ fn main() {
 
     let handle = Server::start(
         ServeConfig {
+            threads,
             queue_depth: clients.max(2),
             use_cache: !no_cache,
             fault_injection: true,

@@ -2,9 +2,15 @@
 //!
 //! One [`Server`] owns a warm cache tier — a [`SpaceCache`], an
 //! [`OrderCache`], and (optionally) a loaded RL-QVO policy — shared by a
-//! fixed pool of request workers. The pool geometry comes from the same
-//! [`worker_split`] arithmetic the figure harness uses: `threads` is the
-//! *total* core budget, split into `query_workers × enum_threads`.
+//! fixed pool of request workers. `threads` is the *total* core budget,
+//! tracked by one [`TokenBudget`]: each request worker holds one token
+//! while it runs a job, and the work-stealing enumeration inside that
+//! job borrows whatever tokens are left for helper threads from the
+//! shared [`run_on_pool`][rlqvo_matching::run_on_pool] scheduler. There
+//! is no static query-workers × enum-threads split any more: an idle
+//! server gives one request the whole budget, a saturated one runs
+//! `threads` requests serially — and the queue never deadlocks, because
+//! token waits are on the *outside* of enumeration, never inside it.
 //!
 //! The robustness contract, in order of the request lifecycle:
 //!
@@ -31,8 +37,12 @@
 //!    heartbeats: a dead worker (a panic that escaped the fence, e.g.
 //!    one injected at queue pickup) is joined and replaced; a wedged one
 //!    (opt-in [`ServeConfig::stall_timeout`]) is retired and replaced.
-//!    Replacements are counted in `worker_restarts`; the `health` verb
-//!    reports liveness without touching the admission queue.
+//!    The heartbeat is a counter ticked at queue pickup *and* inside the
+//!    engine's 1024-call cadence ([`EnumConfig`]'s `heartbeat` hook), so
+//!    a long-but-healthy enumeration keeps beating and the threshold can
+//!    sit far below the longest legitimate request. Replacements are
+//!    counted in `worker_restarts`; the `health` verb reports liveness
+//!    without touching the admission queue.
 //!
 //! Chaos drills exercise every layer of this contract through the
 //! [`rlqvo_fault`] failpoint registry (`serve.worker.panic`,
@@ -51,24 +61,25 @@ use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rlqvo_bench::worker_split;
 use rlqvo_core::{InferMath, RlQvo, RlQvoConfig};
 use rlqvo_graph::{io::read_graph, Graph};
 use rlqvo_matching::order::{
     CflOrdering, GqlOrdering, OrderingMethod, QsiOrdering, RiOrdering, VeqOrdering, Vf2ppOrdering,
 };
 use rlqvo_matching::{
-    run_pipeline, run_with_entry_ordered, CandidateFilter, EnumConfig, EnumEngine, GqlFilter, LdfFilter, NlfFilter,
-    OrderCache, Pipeline, PipelineResult, QueryKey, SpaceCache,
+    run_pipeline, run_with_entry_ordered, scheduler_stats, CandidateFilter, EnumConfig, EnumEngine, GqlFilter,
+    LdfFilter, NlfFilter, OrderCache, Pipeline, PipelineResult, QueryKey, SpaceCache, TokenBudget,
 };
 
 use crate::protocol::{read_frame, write_frame, Frame, Request, Response};
 
-/// Server configuration. `threads` is the total core budget; the split
-/// into concurrent requests × per-request enumeration threads reuses the
-/// harness rule ([`worker_split`]).
+/// Server configuration. `threads` is the total core budget, enforced
+/// by one [`TokenBudget`] shared between request-level concurrency and
+/// intra-query work-stealing enumeration — no static split.
 pub struct ServeConfig {
-    /// Total worker-thread budget across concurrent requests.
+    /// Total worker-thread budget. `threads` request workers are
+    /// spawned, but only token holders run jobs; the rest of the budget
+    /// is up for grabs as enumeration helper threads.
     pub threads: usize,
     /// Bound on queued (admitted, not yet running) requests. Beyond it,
     /// requests are shed with a typed `overloaded` reply.
@@ -98,12 +109,15 @@ pub struct ServeConfig {
     pub space_cache_bytes: Option<usize>,
     /// Byte bound on the ordering cache (`None` = unbounded).
     pub order_cache_bytes: Option<usize>,
-    /// Watchdog wedge threshold: a worker whose heartbeat goes silent for
-    /// longer than this is retired and replaced (counted in
-    /// `worker_restarts`). `None` (the default) restarts only *dead*
-    /// workers — a heartbeat can legitimately go quiet for the length of
-    /// one long enumeration, so wedge detection is opt-in and the
-    /// threshold must exceed the longest request the deployment allows.
+    /// Watchdog wedge threshold: a worker whose heartbeat counter stops
+    /// advancing for longer than this is retired and replaced (counted
+    /// in `worker_restarts`). The counter ticks at every queue pickup
+    /// *and* every 1024 enumeration calls, so a long-but-healthy request
+    /// keeps beating and this threshold may sit well below the longest
+    /// enumeration the deployment allows — it only needs to exceed the
+    /// longest *gap between ticks* (one cadence window, plus model
+    /// inference for `method=rlqvo`). `None` (the default) restarts only
+    /// *dead* workers.
     pub stall_timeout: Option<Duration>,
 }
 
@@ -168,8 +182,11 @@ pub struct ServerState {
     /// Leaked per-server kill switch threaded into every request's
     /// [`EnumConfig`] (one `AtomicBool` per server instance — bounded).
     cancel: &'static AtomicBool,
-    /// When the server came up — the `health` uptime anchor and the
-    /// epoch of the worker heartbeat clock.
+    /// The core budget: one token per unit of `threads`, shared between
+    /// request workers (one each while running a job) and enumeration
+    /// helper grants (leaked per server instance — bounded).
+    tokens: &'static TokenBudget,
+    /// When the server came up — the `health` uptime anchor.
     start: Instant,
     /// Pool size the supervisor maintains.
     workers_total: u64,
@@ -210,6 +227,10 @@ impl ServerState {
         m.insert("worker_restarts".into(), self.metrics.worker_restarts.load(Ordering::Relaxed));
         m.insert("workers_alive".into(), self.workers_alive.load(Ordering::Relaxed));
         m.insert("degraded".into(), degraded);
+        let sched = scheduler_stats();
+        m.insert("steals".into(), sched.steals);
+        m.insert("steal_failures".into(), sched.steal_failures);
+        m.insert("queue_depth".into(), sched.queue_depth);
         m.insert("space_hits".into(), self.space.hits());
         m.insert("space_misses".into(), self.space.misses());
         m.insert("space_evictions".into(), self.space.evictions());
@@ -245,11 +266,6 @@ impl ServerState {
         m.insert("shed".into(), self.metrics.shed.load(Ordering::Relaxed));
         m.insert("errors".into(), self.metrics.errors.load(Ordering::Relaxed));
         m
-    }
-
-    /// Millis since server start — the worker heartbeat clock.
-    fn now_ms(&self) -> u64 {
-        self.start.elapsed().as_millis() as u64
     }
 
     fn observe_batch(&self, n: usize) {
@@ -296,7 +312,16 @@ impl Server {
             ),
             None => None,
         };
-        let (query_workers, per_request) = worker_split(config.threads, config.enum_config);
+        // One worker slot per token: every slot can run a request when
+        // the others are idle, and the token budget (not slot count)
+        // bounds actual concurrency, so enumeration helper grants and
+        // request admission trade off against each other dynamically.
+        let query_workers = config.threads.max(1);
+        let tokens = TokenBudget::leaked(query_workers);
+        let per_request = config
+            .enum_config
+            .with_threads(config.enum_config.threads.clamp(1, query_workers))
+            .with_pool_tokens(tokens);
         let batch = config.batch.clamp(1, MAX_BATCH);
         let state = Arc::new(ServerState {
             g,
@@ -317,6 +342,7 @@ impl Server {
             batch_occupancy: (0..batch).map(|_| AtomicU64::new(0)).collect(),
             stop: AtomicBool::new(false),
             cancel: Box::leak(Box::new(AtomicBool::new(false))),
+            tokens,
             start: Instant::now(),
             workers_total: query_workers as u64,
             workers_alive: AtomicU64::new(query_workers as u64),
@@ -390,28 +416,37 @@ impl ServerHandle {
     }
 }
 
-/// One supervised worker: its thread, its heartbeat (millis on the
-/// [`ServerState::now_ms`] clock, stored at every pickup), and the
-/// retirement flag the watchdog raises to tell a wedged worker — if it
-/// ever wakes — that a replacement took its place and it must exit
-/// without touching the queue again.
+/// One supervised worker: its thread, its heartbeat counter (ticked at
+/// every queue pickup, token wait, and — through [`EnumConfig`]'s
+/// `heartbeat` hook — every 1024 enumeration calls), and the retirement
+/// flag the watchdog raises to tell a wedged worker — if it ever wakes —
+/// that a replacement took its place and it must exit without touching
+/// the queue again. `last_beat`/`last_change` are the supervisor's
+/// private view of the counter: the watchdog fires on *no advancement*
+/// for `stall_timeout`, not on any wall-clock comparison, so the counter
+/// needs no epoch and never wraps meaningfully.
 struct WorkerSlot {
     handle: JoinHandle<()>,
-    heartbeat: Arc<AtomicU64>,
+    /// Leaked so the engine's `&'static` heartbeat hook can tick it from
+    /// inside enumeration (8 bytes per spawn, bounded by restarts).
+    heartbeat: &'static AtomicU64,
     retired: Arc<AtomicBool>,
+    /// Counter value at the supervisor's last poll.
+    last_beat: u64,
+    /// When the supervisor last saw the counter move.
+    last_change: Instant,
 }
 
 fn spawn_worker(state: &Arc<ServerState>, rx: &Arc<Mutex<Receiver<Job>>>, batch: usize) -> WorkerSlot {
-    let heartbeat = Arc::new(AtomicU64::new(state.now_ms()));
+    let heartbeat: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
     let retired = Arc::new(AtomicBool::new(false));
     let handle = {
         let state = Arc::clone(state);
         let rx = Arc::clone(rx);
-        let heartbeat = Arc::clone(&heartbeat);
         let retired = Arc::clone(&retired);
-        std::thread::spawn(move || worker_loop(&state, &rx, batch, &heartbeat, &retired))
+        std::thread::spawn(move || worker_loop(&state, &rx, batch, heartbeat, &retired))
     };
-    WorkerSlot { handle, heartbeat, retired }
+    WorkerSlot { handle, heartbeat, retired, last_beat: 0, last_change: Instant::now() }
 }
 
 /// How often the supervisor takes the pool's pulse.
@@ -423,8 +458,11 @@ const SUPERVISE_TICK: Duration = Duration::from_millis(25);
 ///   the per-request fence, e.g. the queue-pickup failpoints). Detected
 ///   by [`JoinHandle::is_finished`]; the corpse is joined and a fresh
 ///   worker takes the slot.
-/// * **Wedged** — the thread is alive but its heartbeat is older than
-///   `stall_timeout` (opt-in; `None` disables). The worker is *retired*,
+/// * **Wedged** — the thread is alive but its heartbeat counter has not
+///   advanced for `stall_timeout` (opt-in; `None` disables). Because the
+///   counter also ticks inside enumeration, a worker deep in a long
+///   healthy request keeps advancing and is never confused with a
+///   genuinely stuck one. The worker is *retired*,
 ///   not killed — Rust has no safe thread kill — and a replacement is
 ///   spawned beside it. A retired worker that wakes sees its flag,
 ///   abandons its picked-up jobs (their reply senders drop, so each
@@ -445,12 +483,14 @@ fn supervisor_loop(
     let mut retired: Vec<WorkerSlot> = Vec::new();
     while !state.stop.load(Ordering::Relaxed) {
         std::thread::sleep(SUPERVISE_TICK);
-        let now = state.now_ms();
         for slot in &mut slots {
             let dead = slot.handle.is_finished();
-            let wedged = !dead
-                && stall_timeout
-                    .is_some_and(|t| now.saturating_sub(slot.heartbeat.load(Ordering::Relaxed)) > t.as_millis() as u64);
+            let beat = slot.heartbeat.load(Ordering::Relaxed);
+            if beat != slot.last_beat {
+                slot.last_beat = beat;
+                slot.last_change = Instant::now();
+            }
+            let wedged = !dead && stall_timeout.is_some_and(|t| slot.last_change.elapsed() > t);
             if !(dead || wedged) {
                 continue;
             }
@@ -654,11 +694,22 @@ fn serve_connection(
 /// stragglers before running what it has.
 const GATHER_WINDOW: Duration = Duration::from_micros(100);
 
+/// Releases worker tokens on every exit path — including a panic that
+/// escapes the per-request fence (e.g. inside [`prestage_orders`]), so a
+/// respawned worker never finds the budget leaked away.
+struct TokenGuard<'a>(&'a TokenBudget, usize);
+
+impl Drop for TokenGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release(self.1);
+    }
+}
+
 fn worker_loop(
     state: &Arc<ServerState>,
     rx: &Arc<Mutex<Receiver<Job>>>,
     batch: usize,
-    heartbeat: &AtomicU64,
+    heartbeat: &'static AtomicU64,
     retired: &AtomicBool,
 ) {
     let mut jobs: Vec<Job> = Vec::with_capacity(batch);
@@ -666,7 +717,7 @@ fn worker_loop(
         if retired.load(Ordering::Relaxed) {
             return; // a replacement owns this slot; don't touch the queue
         }
-        heartbeat.store(state.now_ms(), Ordering::Relaxed);
+        heartbeat.fetch_add(1, Ordering::Relaxed);
         jobs.clear();
         // Hold the receiver lock only for the pickup (including the
         // bounded gather window), never the work.
@@ -704,7 +755,7 @@ fn worker_loop(
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         }
-        heartbeat.store(state.now_ms(), Ordering::Relaxed);
+        heartbeat.fetch_add(1, Ordering::Relaxed);
         // Failpoints at the most hostile moment: jobs picked up, replies
         // owed, *outside* the per-request unwind fence. A panic here
         // drops every reply sender (each connection synthesizes a typed
@@ -724,16 +775,38 @@ fn worker_loop(
             // typed, by the connection threads.
             return;
         }
+        // The core-budget gate: one token buys the right to run this
+        // batch. While another request's enumeration has the budget
+        // borrowed as helper threads, wait — ticking the heartbeat, so
+        // the watchdog can tell a token wait from a wedge — and honor
+        // retirement (dropped jobs still yield typed `worker lost`
+        // replies, exactly as on the wedge path above).
+        let token = loop {
+            let got = state.tokens.try_acquire(1);
+            if got > 0 {
+                break TokenGuard(state.tokens, got);
+            }
+            if retired.load(Ordering::Relaxed) {
+                return;
+            }
+            // Not checked against `stop`: admitted requests are never
+            // dropped, and every token holder makes progress even during
+            // shutdown (enumerations poll `cancel`), so the wait is
+            // bounded.
+            heartbeat.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(1));
+        };
         state.observe_batch(jobs.len());
         if jobs.len() > 1 {
             prestage_orders(state, &jobs);
         }
         for job in &jobs {
-            let response = handle_match(state, job);
+            let response = handle_match(state, job, heartbeat);
             // A vanished client is its problem; the reply was made.
             let _ = job.reply.send(response);
         }
-        heartbeat.store(state.now_ms(), Ordering::Relaxed);
+        drop(token);
+        heartbeat.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -794,7 +867,10 @@ fn prestage_orders(state: &ServerState, jobs: &[Job]) {
 
 /// Runs one admitted `match` request and produces its typed response.
 /// Never panics out: the engine call is fenced with `catch_unwind`.
-fn handle_match(state: &ServerState, job: &Job) -> Response {
+/// `heartbeat` is the owning worker's liveness counter, threaded into
+/// the engine so it keeps ticking on the 1024-call cadence for the whole
+/// enumeration.
+fn handle_match(state: &ServerState, job: &Job, heartbeat: &'static AtomicU64) -> Response {
     // Deadline re-check at pickup: a request that aged out in the queue
     // reports zero work done, which is the truth.
     if let Some(d) = job.deadline {
@@ -855,7 +931,7 @@ fn handle_match(state: &ServerState, job: &Job) -> Response {
     if let Some(d) = job.deadline {
         config = config.with_deadline(d);
     }
-    config = config.with_cancel_flag(state.cancel);
+    config = config.with_cancel_flag(state.cancel).with_heartbeat(heartbeat);
 
     let inject_panic = state.fault_injection && job.inject.as_deref() == Some("panic");
 

@@ -263,6 +263,44 @@ fn no_cache_serves_cold_and_flush_resets_the_warm_path() {
 }
 
 #[test]
+fn long_but_healthy_request_survives_a_watchdog_below_its_runtime() {
+    // The watchdog blind-spot regression: the worker heartbeat ticks on
+    // the engine's 1024-call cadence, so `stall_timeout` may sit far
+    // BELOW the longest legitimate enumeration. Here the request runs
+    // ~600ms against a 120ms watchdog; with pickup-only heartbeats the
+    // supervisor would retire the worker mid-request (worker_restarts
+    // >= 1). Healthy now means: typed reply from the original worker and
+    // zero restarts.
+    let config = ServeConfig {
+        threads: 1,
+        stall_timeout: Some(Duration::from_millis(120)),
+        enum_config: rlqvo_matching::EnumConfig {
+            max_matches: u64::MAX,
+            time_limit: Duration::from_secs(600),
+            ..rlqvo_matching::EnumConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(config, Arc::new(heavy_host())).unwrap();
+    let mut s = handle.connect().unwrap();
+    let t0 = Instant::now();
+    let r = roundtrip(&mut s, &plain_match(text(&heavy_query()), Some(600))).unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(r, Response::DeadlineExceeded { .. }),
+        "the heavy query must outlive the watchdog and trip its own deadline: {r:?}"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(400),
+        "fixture too fast ({elapsed:?}) to outlast the 120ms watchdog — the regression is untested"
+    );
+    let Response::Metrics(m) = roundtrip(&mut s, &Request::Metrics).unwrap() else { panic!("metrics") };
+    assert_eq!(m["worker_restarts"], 0, "a beating worker was retired as wedged");
+    assert_eq!(m["workers_alive"], 1);
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_answers_in_flight_requests_before_exiting() {
     // Uncapped find-all on the heavy fixture runs long enough that the
     // shutdown lands mid-enumeration; the cooperative cancel switch must
